@@ -1,0 +1,72 @@
+"""§II background tools, rebuilt and cross-validated.
+
+The paper surveys the ecosystem its suite complements: llvm-exegesis
+(per-opcode latency micro-benchmarks) and Abel & Reineke's
+port-mapping reverse engineering.  Both are implemented against our
+simulated machines; this bench cross-validates them against the
+ground-truth tables — the "do the background tools agree with the
+machine they measure" sanity the paper's methodology presumes.
+"""
+
+from repro.classify.portprobe import BLOCKERS, PortProber
+from repro.eval.reporting import format_table
+from repro.isa.parser import parse_instruction
+from repro.profiler.latency import InstructionBenchmark
+from repro.uarch.tables import get_uarch
+from repro.uarch.uops import Decomposer
+
+OPCODES = ("add", "imul", "shl", "popcnt", "addps", "mulps",
+           "pshufd", "paddd", "xorps")
+
+
+def test_exegesis_style_timings(benchmark, report):
+    bench = InstructionBenchmark("haswell")
+    desc, table, div = get_uarch("haswell")
+    decomposer = Decomposer(desc, table, div)
+    rows = []
+    for mnemonic in OPCODES:
+        timing = bench.measure(mnemonic)
+        from repro.profiler.latency import _chain_block
+        truth = decomposer.decompose(_chain_block(mnemonic)[0])
+        truth_latency = max(u.latency for u in truth.uops)
+        rows.append((mnemonic, truth_latency,
+                     round(timing.latency, 2),
+                     round(timing.reciprocal_throughput, 2)))
+        assert abs(timing.latency - truth_latency) < 0.2, mnemonic
+    report("background_exegesis", format_table(
+        ["opcode", "table latency", "measured latency",
+         "measured rthroughput"],
+        rows, title="llvm-exegesis analogue vs ground-truth tables "
+                    "(Haswell)"))
+
+    benchmark(bench.latency, "imul")
+
+
+def test_abel_reineke_style_port_inference(benchmark, report):
+    prober = PortProber("haswell")
+    desc, table, div = get_uarch("haswell")
+    decomposer = Decomposer(desc, table, div)
+    probe_set = ["pslld $2, %xmm12", "addss %xmm13, %xmm12",
+                 "pshufd $3, %xmm13, %xmm12", "mulps %xmm13, %xmm12",
+                 "paddd %xmm13, %xmm12", "xorps %xmm13, %xmm12",
+                 "imul %rbx, %rax", "add %rbx, %rax"]
+    rows = []
+    correct = 0
+    for text in probe_set:
+        truth = decomposer.decompose(parse_instruction(text)).uops[0] \
+            .ports
+        inferred = prober.infer(text)
+        blockable = set(truth) <= set(BLOCKERS)
+        match = set(inferred.ports) == set(truth) if blockable \
+            else set(truth) <= set(inferred.ports)
+        correct += match
+        rows.append((text, "p" + "".join(map(str, truth)),
+                     inferred.combo, "yes" if match else "NO"))
+    report("background_port_inference", format_table(
+        ["instruction", "ground truth", "inferred", "match"],
+        rows, title="Abel & Reineke-style port inference vs "
+                    "ground-truth tables (Haswell)"))
+    assert correct == len(probe_set)
+
+    benchmark(prober.slowdown,
+              parse_instruction("imul %rbx, %rax"), (1,))

@@ -1,0 +1,43 @@
+"""Fig. 11 — schedules predicted by llvm-mca and IACA for the gzip
+CRC block.
+
+The paper's observation: IACA dispatches the ``xorb``'s load micro-op
+noticeably earlier because it knows the load is independent of the
+ALU operand; llvm-mca delays the whole fused pair behind the previous
+``xorq``.
+"""
+
+from repro.corpus import gzip_crc_block
+from repro.eval.reporting import schedule_diagram
+from repro.models import IacaModel, LlvmMcaModel
+
+
+def test_fig11_schedules(benchmark, report):
+    block = gzip_crc_block()
+    iaca, mca = IacaModel(), LlvmMcaModel()
+    iaca_trace = iaca.schedule_trace(block, "haswell", unroll=3)
+    mca_trace = mca.schedule_trace(block, "haswell", unroll=3)
+
+    text = "\n\n".join([
+        "IACA's predicted schedule (3 iterations):",
+        schedule_diagram(iaca_trace.records, len(block) * 3,
+                         max_cycles=60),
+        "llvm-mca's predicted schedule (3 iterations):",
+        schedule_diagram(mca_trace.records, len(block) * 3,
+                         max_cycles=60),
+    ])
+    report("fig11_scheduling", text)
+
+    def xorb_load_dispatches(records):
+        return [r.dispatch for r in records
+                if r.slot == 3 and r.kind in ("load", "load_op")]
+
+    iaca_loads = xorb_load_dispatches(iaca_trace.records)
+    mca_loads = xorb_load_dispatches(mca_trace.records)
+    # From the second iteration on, IACA hoists the xorb load ahead
+    # of where llvm-mca can dispatch the fused pair.
+    assert iaca_loads[-1] < mca_loads[-1]
+    # And the iteration windows are wider for llvm-mca (8 vs 13).
+    assert mca_trace.cycles > iaca_trace.cycles
+
+    benchmark(iaca.schedule_trace, block, "haswell", 3)

@@ -1,0 +1,80 @@
+"""Fig. 12 (case-study table) — interesting basic blocks and their
+inverse throughput as measured and as reported by each model.
+
+Paper (Haswell):
+  div block:    measured 21.62 | IACA 98.00 | mca 99.04 |
+                Ithemal 14.49 | OSACA 12.25
+  vxorps idiom: measured 0.25  | IACA 0.24  | mca 1.00  |
+                Ithemal 0.328 | OSACA 1.00
+  gzip CRC:     measured 8.25  | IACA 8.00  | mca 13.04 |
+                Ithemal 2.13  | OSACA -
+"""
+
+import pytest
+
+from repro.corpus import div_block, gzip_crc_block, zero_idiom_block
+from repro.eval.reporting import format_table
+from repro.profiler import BasicBlockProfiler
+from repro.uarch import Machine
+
+PAPER = {
+    "64/32-bit unsigned division": (21.62, 98.00, 99.04, 14.49, 12.25),
+    "vxorps zero idiom": (0.25, 0.24, 1.00, 0.328, 1.00),
+    "gzip CRC inner loop": (8.25, 8.00, 13.04, 2.13, None),
+}
+
+
+@pytest.fixture(scope="module")
+def case_rows(experiment):
+    experiment.validation("haswell")  # trains Ithemal
+    models = experiment.models
+    profiler = BasicBlockProfiler(Machine("haswell"))
+    cases = {
+        "64/32-bit unsigned division": div_block(),
+        "vxorps zero idiom": zero_idiom_block(),
+        "gzip CRC inner loop": gzip_crc_block(),
+    }
+    rows = {}
+    for name, block in cases.items():
+        measured = profiler.profile(block).throughput
+        preds = {m.name: m.predict_safe(block, "haswell").throughput
+                 for m in models}
+        rows[name] = (measured, preds)
+    return rows
+
+
+def test_fig12_case_study(benchmark, case_rows, report):
+    table = []
+    for name, (measured, preds) in case_rows.items():
+        paper = PAPER[name]
+        table.append((name,
+                      paper[0], round(measured, 2),
+                      paper[1], preds["IACA"],
+                      paper[2], preds["llvm-mca"],
+                      paper[3], preds["Ithemal"],
+                      paper[4], preds["OSACA"]))
+    report("fig12_case_study", format_table(
+        ["Block", "meas(p)", "meas", "IACA(p)", "IACA",
+         "mca(p)", "mca", "Ith(p)", "Ith", "OSACA(p)", "OSACA"],
+        table, title="Fig. 12 — case-study blocks (Haswell; (p) = "
+                     "paper's value, '-' = tool failed)"))
+
+    div_measured, div_preds = case_rows["64/32-bit unsigned division"]
+    assert div_measured == pytest.approx(21.62, abs=2.5)
+    assert div_preds["IACA"] > 3 * div_measured      # width confusion
+    assert div_preds["llvm-mca"] > 3 * div_measured
+    assert div_preds["OSACA"] < div_measured          # under-predicts
+
+    zi_measured, zi_preds = case_rows["vxorps zero idiom"]
+    assert zi_measured == pytest.approx(0.25, abs=0.01)
+    assert zi_preds["IACA"] == pytest.approx(0.25, abs=0.05)
+    assert zi_preds["llvm-mca"] == pytest.approx(1.0, abs=0.15)
+    assert zi_preds["OSACA"] == pytest.approx(1.0, abs=0.15)
+
+    crc_measured, crc_preds = case_rows["gzip CRC inner loop"]
+    assert crc_measured == pytest.approx(8.25, abs=1.0)
+    assert crc_preds["OSACA"] is None                 # parser crash
+    assert crc_preds["llvm-mca"] > crc_preds["IACA"]
+
+    from repro.models import IacaModel
+    benchmark(IacaModel().predict_safe, div_block(), "haswell")

@@ -1,0 +1,25 @@
+"""Fig. 3 — one example basic block per LDA category."""
+
+from repro.classify import CATEGORY_LABELS
+
+
+def test_fig3_category_examples(benchmark, experiment, report):
+    result = experiment.classification
+    examples = result.example_blocks(experiment.corpus.blocks)
+
+    sections = []
+    for category in sorted(examples):
+        block = examples[category]
+        sections.append(
+            f"Category-{category}: {CATEGORY_LABELS[category - 1]}\n"
+            + "\n".join("    " + line
+                        for line in block.text().splitlines()))
+    report("fig3_examples", "Fig. 3 — example blocks per category\n\n"
+           + "\n\n".join(sections))
+
+    # Most categories should have a short representative example.
+    assert len(examples) >= 4
+    for category, block in examples.items():
+        assert len(block) <= 8
+
+    benchmark(result.example_blocks, experiment.corpus.blocks)

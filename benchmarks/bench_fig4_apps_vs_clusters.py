@@ -1,0 +1,38 @@
+"""Fig. 4 — breakdown of applications by basic-block categories
+(frequency-weighted, as in the paper's caption).
+
+Reproduced claims: TensorFlow/OpenBLAS spend most time in vectorized
+categories; the majority of SQLite and LLVM blocks are not vectorized;
+OpenSSL and Gzip are heavy on bit-manipulation (category 5 + scalar).
+"""
+
+from repro.classify import category_shares_by_app
+from repro.eval.reporting import grouped_bar_chart
+
+
+def test_fig4_apps_vs_clusters(benchmark, experiment, report):
+    shares = category_shares_by_app(experiment.corpus,
+                                    experiment.classification,
+                                    weighted=True)
+    chart = {
+        app: {f"cat-{c}": share for c, share in dist.items()
+              if share >= 0.01}
+        for app, dist in shares.items()
+    }
+    report("fig4_apps_vs_clusters", grouped_bar_chart(
+        chart, title="Fig. 4 — category share per application "
+                     "(weighted by execution frequency)",
+        fmt="{:.2f}"))
+
+    vector = {app: dist[1] + dist[2] for app, dist in shares.items()}
+    assert vector["openblas"] > 0.5
+    assert vector["tensorflow"] > 0.4
+    assert vector["embree"] > 0.4
+    assert vector["sqlite"] < 0.25
+    assert vector["llvm"] < 0.25
+    # Bit-manipulation apps: scalar-ALU category prominent.
+    assert shares["gzip"][5] + shares["gzip"][6] > 0.5
+    assert shares["openssl"][5] + shares["openssl"][6] > 0.5
+
+    benchmark(category_shares_by_app, experiment.corpus,
+              experiment.classification)

@@ -1,0 +1,35 @@
+"""Table III — source applications of basic blocks.
+
+Paper: nine applications, 358,561 blocks.  We synthesise the same
+proportions at the configured scale.
+"""
+
+from repro.corpus import TABLE3_APPS, build_application, get_spec
+from repro.eval.reporting import format_table
+
+PAPER_TOTAL = 358561
+
+
+def test_table3_corpus_composition(benchmark, experiment, report):
+    corpus = experiment.corpus
+    counts = corpus.counts()
+    rows = []
+    total_ours = 0
+    for app in TABLE3_APPS:
+        spec = get_spec(app)
+        rows.append((app, spec.domain, spec.paper_blocks, counts[app]))
+        total_ours += counts[app]
+    rows.append(("Total", "", PAPER_TOTAL, total_ours))
+    report("table3_corpus", format_table(
+        ["Application", "Domain", "# blocks (paper)", "# blocks (ours)"],
+        rows, title=f"Table III — source applications "
+                    f"(scale {experiment.scale})"))
+
+    # Proportions must match the paper's.
+    for app in TABLE3_APPS:
+        expected = get_spec(app).paper_blocks / PAPER_TOTAL
+        ours = counts[app] / total_ours
+        assert abs(expected - ours) < 0.02, app
+
+    # Benchmark corpus synthesis throughput (blocks/second).
+    benchmark(build_application, "gzip", count=40, seed=1)

@@ -1,0 +1,40 @@
+"""Table IV — LDA basic-block categories and their sizes.
+
+Paper (of 330,016 classified blocks): cat-1 7,710 / cat-2 1,267 /
+cat-3 58,540 / cat-4 55,879 / cat-5 85,208 / cat-6 121,412.
+The reproduced invariants: six categories with the same semantics,
+loads the largest, the purely/partially-vector categories the small
+ones.
+"""
+
+from repro.classify import CATEGORY_LABELS, classify_blocks
+from repro.eval.reporting import format_table
+
+PAPER_COUNTS = {1: 7710, 2: 1267, 3: 58540, 4: 55879, 5: 85208,
+                6: 121412}
+PAPER_TOTAL = sum(PAPER_COUNTS.values())
+
+
+def test_table4_categories(benchmark, experiment, report):
+    result = experiment.classification
+    counts = result.counts()
+    n = len(experiment.corpus)
+    rows = []
+    for c in range(1, 7):
+        rows.append((f"Category-{c}", CATEGORY_LABELS[c - 1],
+                     f"{PAPER_COUNTS[c]} "
+                     f"({100 * PAPER_COUNTS[c] / PAPER_TOTAL:.1f}%)",
+                     f"{counts[c]} ({100 * counts[c] / n:.1f}%)"))
+    report("table4_categories", format_table(
+        ["Category", "Description", "paper", "ours"],
+        rows, title="Table IV — basic block categories (LDA, 6 topics, "
+                    "alpha=1/6, beta=1/13)"))
+
+    assert sum(counts.values()) == n
+    # Loads dominate; vector categories are the smallest group.
+    assert counts[6] == max(counts.values())
+    assert counts[1] + counts[2] < counts[5] + counts[6]
+
+    # Benchmark the classification pipeline on a small slice.
+    blocks = experiment.corpus.blocks[:150]
+    benchmark(classify_blocks, blocks, n_restarts=1)

@@ -1,0 +1,67 @@
+"""Table V — overall error of the evaluated models per uarch.
+
+Paper:
+  Ivy Bridge: IACA .1693, llvm-mca .1885, Ithemal .1180, OSACA .3277
+  Haswell:    IACA .1798, llvm-mca .1832, Ithemal .1253, OSACA .3916
+  Skylake:    IACA .1578, llvm-mca .2278, Ithemal .1191, OSACA .3768
+"""
+
+import pytest
+
+from repro.eval.pipeline import UARCHES
+from repro.eval.reporting import format_table
+
+PAPER = {
+    "ivybridge": {"IACA": 0.1693, "llvm-mca": 0.1885,
+                  "Ithemal": 0.1180, "OSACA": 0.3277},
+    "haswell": {"IACA": 0.1798, "llvm-mca": 0.1832,
+                "Ithemal": 0.1253, "OSACA": 0.3916},
+    "skylake": {"IACA": 0.1578, "llvm-mca": 0.2278,
+                "Ithemal": 0.1191, "OSACA": 0.3768},
+}
+
+
+@pytest.fixture(scope="module")
+def validations(experiment):
+    return experiment.validations(UARCHES)
+
+
+def test_table5_overall_error(benchmark, experiment, validations,
+                              report):
+    rows = []
+    ours = {}
+    for uarch in UARCHES:
+        val = validations[uarch]
+        for model in val.model_names:
+            error = val.overall_error(model)
+            ours[(uarch, model)] = error
+            rows.append((uarch, model, PAPER[uarch][model],
+                         round(error, 4)))
+    report("table5_overall_error", format_table(
+        ["Microarchitecture", "Model", "paper", "ours"], rows,
+        title="Table V — overall (unweighted) average error"))
+
+    for uarch in UARCHES:
+        val = validations[uarch]
+        # Paper ordering: Ithemal best, OSACA worst, on every uarch.
+        assert ours[(uarch, "Ithemal")] < ours[(uarch, "IACA")]
+        assert ours[(uarch, "OSACA")] > max(
+            ours[(uarch, "IACA")], ours[(uarch, "llvm-mca")])
+        # Within striking distance of the paper's absolute numbers.
+        for model in val.model_names:
+            assert abs(ours[(uarch, model)] - PAPER[uarch][model]) \
+                < 0.08, (uarch, model)
+    # llvm-mca's Skylake regression.
+    assert ours[("skylake", "llvm-mca")] > \
+        ours[("haswell", "llvm-mca")]
+
+    benchmark(validations["haswell"].overall_error, "IACA")
+
+
+def test_table5_kendall_tau_sanity(validations):
+    """Not in Table V, but models must all rank blocks far better
+    than chance (the property Table VI quantifies)."""
+    for uarch in UARCHES:
+        val = validations[uarch]
+        for model in val.model_names:
+            assert val.kendall_tau(model) > 0.4, (uarch, model)

@@ -1,0 +1,41 @@
+"""Unroll-factor stability (§III-B's "large enough" requirement).
+
+Eq. 2's only requirement on (u, u') is reaching steady state; this
+bench sweeps pairs and single factors on a latency-bound kernel to
+show (a) pair-invariance of the two-factor derivation and (b) the
+warm-up bias decay of Eq. 1 — the quantitative backing for the
+suite's default factors.
+"""
+
+from repro.eval.reporting import format_table
+from repro.eval.sweeps import sweep_naive_unroll, sweep_unroll_pairs
+from repro.isa.parser import parse_block
+
+
+def test_unroll_sweep(benchmark, report):
+    block = parse_block("mulps %xmm0, %xmm1\nmulps %xmm1, %xmm2\n"
+                        "mulps %xmm2, %xmm3")
+
+    pair_points = sweep_unroll_pairs(
+        block, [(4, 8), (8, 16), (12, 28), (16, 32), (24, 48)])
+    naive_points = sweep_naive_unroll(block, [4, 8, 16, 32, 64, 100])
+
+    rows = [(f"Eq.2 u={p.parameter}", p.throughput)
+            for p in pair_points]
+    rows += [(f"Eq.1 u={p.parameter[0]}", p.throughput)
+             for p in naive_points]
+    report("unroll_sweep", format_table(
+        ["derivation", "throughput"], rows,
+        title="Unroll-factor sweep on a 5-cycle FP chain "
+              "(steady state = 5.0)"))
+
+    pair_values = {p.throughput for p in pair_points}
+    assert len(pair_values) == 1  # Eq. 2 is pair-invariant
+    steady = pair_values.pop()
+
+    naive_values = [p.throughput for p in naive_points]
+    assert naive_values == sorted(naive_values, reverse=True)
+    assert naive_values[0] > steady           # visible warm-up bias
+    assert abs(naive_values[-1] - steady) < 0.2 * steady
+
+    benchmark(sweep_naive_unroll, block, [16])

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Hunt cost-model bugs with the case-study blocks (paper §V).
+
+Shows the three classes of model failure the paper dissects —
+division-width confusion, unrecognised zero idioms, and fused load-op
+mis-scheduling — including the side-by-side dispatch schedules of
+Fig. 11.
+
+Run:  python examples/find_model_bugs.py
+"""
+
+from repro.corpus import div_block, gzip_crc_block, zero_idiom_block
+from repro.eval.reporting import schedule_diagram
+from repro.models import IacaModel, LlvmMcaModel, OsacaModel
+from repro.profiler import profile_block
+
+
+def show(name, block, note):
+    print(f"== {name}")
+    print("\n".join("    " + line for line in block.text().splitlines()))
+    measured = profile_block(block)
+    value = (f"{measured.throughput:.2f} cycles/iter" if measured.ok
+             else measured.failure.value)
+    print(f"  measured: {value}")
+    for model in (IacaModel(), LlvmMcaModel(), OsacaModel()):
+        pred = model.predict_safe(block, "haswell")
+        text = f"{pred.throughput:.2f}" if pred.ok else \
+            f"failed ({pred.error})"
+        print(f"  {model.name:9s}: {text}")
+    print(f"  -> {note}\n")
+
+
+def main() -> None:
+    show("64/32-bit unsigned division", div_block(),
+         "IACA and llvm-mca price this as the 128/64-bit divide "
+         "(~90 cycles) and ignore the zeroed-rdx fast path; OSACA's "
+         "flat table entry is optimistic.")
+
+    show("vectorized zero idiom", zero_idiom_block(),
+         "the hardware executes nothing (dependency broken at "
+         "rename); IACA knows the idiom, llvm-mca and OSACA price a "
+         "real XOR with a self-dependency.")
+
+    show("gzip CRC inner loop", gzip_crc_block(),
+         "llvm-mca dispatches the byte-xor's load only after the ALU "
+         "operand is ready; the hardware (and IACA) hoist the "
+         "independent load.  OSACA's parser rejects the "
+         "index-without-base addressing form.")
+
+    print("Fig. 11 — predicted dispatch schedules (3 iterations):\n")
+    block = gzip_crc_block()
+    for model in (IacaModel(), LlvmMcaModel()):
+        trace = model.schedule_trace(block, "haswell", unroll=3)
+        print(f"{model.name} (total {trace.cycles} cycles):")
+        print(schedule_diagram(trace.records, len(block) * 3,
+                               max_cycles=56))
+        print()
+
+
+if __name__ == "__main__":
+    main()

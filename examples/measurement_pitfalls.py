@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Why naive basic-block timing fails: the paper's Table II, narrated.
+
+Walks one large vectorized TensorFlow-style inner loop through each of
+the measurement techniques and shows what goes wrong without them.
+
+Run:  python examples/measurement_pitfalls.py
+"""
+
+from repro.corpus import tensorflow_ablation_block
+from repro.profiler import (BasicBlockProfiler, STAGES, STAGE_LABELS,
+                            config_for_stage, relaxed)
+from repro.uarch import Machine
+
+STORY = {
+    "None": "Agner-Fog-style timing: the block dereferences pointers "
+            "it does not own -> SIGSEGV.",
+    "Page mapping": "mapping every faulting page makes it run, but "
+                    "the streaming working set misses the L1D and the "
+                    "FP chain hits subnormal assists.",
+    "Single physical page": "aliasing every virtual page onto ONE "
+                            "frame keeps data L1-resident (VIPT), but "
+                            "the subnormal assists remain.",
+    "Disabling gradual underflow": "MXCSR FTZ+DAZ removes the ~100x "
+                                   "assist stalls; at unroll=100 the "
+                                   "code footprint still overflows "
+                                   "the 32KB L1I.",
+    "Using smaller unroll factor": "two smaller unroll factors fit "
+                                   "the I-cache; the cycle DIFFERENCE "
+                                   "cancels warm-up, giving the clean "
+                                   "steady-state number.",
+}
+
+
+def main() -> None:
+    block = tensorflow_ablation_block()
+    print(f"block: {len(block)} instructions, "
+          f"{block.byte_length} bytes encoded")
+    print(f"unrolled 100x -> {block.byte_length * 100 / 1024:.1f} KiB "
+          f"of code (L1I is 32 KiB)\n")
+
+    for stage in STAGES:
+        profiler = BasicBlockProfiler(
+            Machine("haswell"), relaxed(config_for_stage(stage)))
+        result = profiler.profile(block)
+        label = STAGE_LABELS[stage]
+        print(f"== {label}")
+        print(f"   {STORY[label]}")
+        if result.ok:
+            m = result.measurements[0]
+            print(f"   -> {result.throughput:8.1f} cycles/iter   "
+                  f"(D-miss {m.l1d_read_misses + m.l1d_write_misses}, "
+                  f"I-miss {m.l1i_misses})")
+        else:
+            print(f"   -> {result.failure.value}")
+        print()
+
+    # With invariants enforced (the real suite's configuration), every
+    # stage before the last is REJECTED rather than silently wrong.
+    print("with invariant enforcement on (the suite's default):")
+    for stage in STAGES:
+        profiler = BasicBlockProfiler(Machine("haswell"),
+                                      config_for_stage(stage))
+        result = profiler.profile(block)
+        outcome = (f"{result.throughput:.1f} cycles/iter"
+                   if result.ok else f"rejected: {result.failure.value}")
+        print(f"  {STAGE_LABELS[stage]:28s} -> {outcome}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Quickstart: profile x86-64 basic blocks and query a cost model.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import profile_block, parse_block
+from repro.models import IacaModel
+
+
+def main() -> None:
+    # 1. Profile a basic block straight from assembly text (either
+    #    AT&T or Intel syntax).  The harness maps every page the block
+    #    touches onto one physical page (so it cannot crash and always
+    #    hits the L1 cache), runs it at two unroll factors, and derives
+    #    the steady-state throughput in cycles per iteration.
+    crc_loop = """
+        add $1, %rdi
+        mov %edx, %eax
+        shr $8, %rdx
+        xor -1(%rdi), %al
+        movzx %al, %eax
+        xor 0x41108(, %rax, 8), %rdx
+        cmp %rcx, %rdi
+    """
+    result = profile_block(crc_loop, uarch="haswell")
+    print("gzip CRC inner loop (Haswell)")
+    print(f"  measured throughput : {result.throughput:.2f} cycles/iter")
+    print(f"  pages mapped        : {result.pages_mapped}")
+    print(f"  faults intercepted  : {result.num_faults}")
+
+    # 2. Blocks that cannot be measured fail gracefully, with the
+    #    reason the paper's taxonomy would give them.
+    bad = profile_block("xor %ecx, %ecx\nxor %edx, %edx\ndiv %ecx")
+    print(f"\ndivide-by-zero block -> {bad.failure.value}")
+
+    # 3. Ask a static cost model for its prediction and compare.
+    model = IacaModel()
+    block = parse_block(crc_loop)
+    prediction = model.predict_safe(block, "haswell")
+    error = abs(prediction.throughput - result.throughput) \
+        / result.throughput
+    print(f"\nIACA-style prediction : {prediction.throughput:.2f} "
+          f"cycles/iter  (relative error {error:.1%})")
+
+    # 4. The same block on different microarchitectures.
+    print("\nacross microarchitectures:")
+    for uarch in ("ivybridge", "haswell", "skylake"):
+        r = profile_block(crc_loop, uarch=uarch)
+        print(f"  {uarch:10s}: {r.throughput:.2f} cycles/iter")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept alongside pyproject.toml so the package installs in offline
+environments that lack the ``wheel`` module (legacy ``pip install -e .
+--no-use-pep517`` path).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,43 @@
+"""repro — a reproduction of BHive (IISWC 2019).
+
+A benchmark suite and measurement framework for validating x86-64
+basic-block performance models, rebuilt as a self-contained Python
+library: the hardware is a simulated out-of-order core, the
+measurement framework implements the paper's page-mapping +
+two-unroll-factor technique faithfully, and four cost models (IACA,
+llvm-mca, OSACA, Ithemal analogues) are evaluated against the
+simulated ground truth.
+
+Quickstart::
+
+    from repro import profile_block, parse_block
+    result = profile_block("xor %edx, %edx\\ndiv %ecx")
+    print(result.throughput)       # cycles/iteration at steady state
+
+See README.md for the architecture overview, DESIGN.md for the
+system inventory, and EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+from repro.errors import (ArithmeticFault, AsmSyntaxError,
+                          InvalidAddressFault, MemoryFault, ModelError,
+                          ProfilingFailure, ReproError,
+                          UnknownOpcodeError,
+                          UnsupportedInstructionError)
+from repro.isa import (BasicBlock, Instruction, block_length,
+                       format_block, parse_block, parse_instruction)
+from repro.profiler import (BasicBlockProfiler, FailureReason,
+                            ProfileResult, ProfilerConfig, profile_block)
+from repro.uarch import Machine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BasicBlock", "Instruction", "Machine",
+    "parse_block", "parse_instruction", "format_block", "block_length",
+    "BasicBlockProfiler", "ProfilerConfig", "ProfileResult",
+    "FailureReason", "profile_block",
+    "ReproError", "AsmSyntaxError", "UnknownOpcodeError",
+    "UnsupportedInstructionError", "MemoryFault", "InvalidAddressFault",
+    "ArithmeticFault", "ProfilingFailure", "ModelError",
+    "__version__",
+]

@@ -1,0 +1,13 @@
+"""Basic-block classification: port combos -> LDA -> Table IV categories."""
+
+from repro.classify.categories import (CATEGORY_LABELS, ClassifierResult,
+                                       category_shares_by_app,
+                                       classify_blocks)
+from repro.classify.lda import LatentDirichletAllocation, LdaConfig
+from repro.classify.portmap import PortMapper
+
+__all__ = [
+    "CATEGORY_LABELS", "ClassifierResult", "classify_blocks",
+    "category_shares_by_app", "LatentDirichletAllocation", "LdaConfig",
+    "PortMapper",
+]

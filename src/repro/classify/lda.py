@@ -1,0 +1,107 @@
+"""Latent Dirichlet Allocation via batch variational EM (numpy).
+
+The paper clusters micro-ops with scikit-learn's stochastic
+variational LDA (6 topics, α=1/6, β=1/13).  scikit-learn is not
+available offline, so this is a from-scratch batch variational EM over
+the document-term count matrix — the same model family, deterministic
+given the seed.
+
+Documents are basic blocks; terms are micro-op port combinations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+from scipy.special import digamma
+
+
+@dataclass
+class LdaConfig:
+    n_topics: int = 6
+    #: Dirichlet prior on document-topic distributions (paper: 1/6).
+    alpha: float = 1.0 / 6.0
+    #: Dirichlet prior on topic-term distributions (paper: 1/13).
+    beta: float = 1.0 / 13.0
+    max_iter: int = 60
+    #: Mean-field inner iterations per document batch.
+    inner_iter: int = 25
+    tol: float = 1e-3
+    seed: int = 0
+
+
+class LatentDirichletAllocation:
+    """Batch variational-EM LDA over a count matrix."""
+
+    def __init__(self, config: Optional[LdaConfig] = None):
+        self.config = config if config is not None else LdaConfig()
+        self.components_: Optional[np.ndarray] = None  # (K, V)
+        self._exp_elog_beta: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+
+    def _e_step(self, counts: np.ndarray,
+                exp_elog_beta: np.ndarray) -> tuple:
+        """Mean-field update of per-document topic mixtures.
+
+        Returns (gamma (D,K), sufficient statistics (K,V)).
+        """
+        cfg = self.config
+        n_docs = counts.shape[0]
+        rng = np.random.default_rng(cfg.seed + 1)
+        gamma = rng.gamma(100.0, 0.01, size=(n_docs, cfg.n_topics))
+        exp_elog_theta = np.exp(digamma(gamma)
+                                - digamma(gamma.sum(1, keepdims=True)))
+        for _ in range(cfg.inner_iter):
+            # phi_{dvk} ∝ exp_elog_theta_{dk} * exp_elog_beta_{kv}
+            norm = exp_elog_theta @ exp_elog_beta + 1e-100  # (D, V)
+            gamma = cfg.alpha + exp_elog_theta * \
+                ((counts / norm) @ exp_elog_beta.T)
+            exp_elog_theta = np.exp(
+                digamma(gamma) - digamma(gamma.sum(1, keepdims=True)))
+        norm = exp_elog_theta @ exp_elog_beta + 1e-100
+        stats = exp_elog_beta * (exp_elog_theta.T @ (counts / norm))
+        return gamma, stats
+
+    def fit(self, counts: np.ndarray) -> "LatentDirichletAllocation":
+        """Fit topics on a (documents × vocabulary) count matrix."""
+        counts = np.asarray(counts, dtype=np.float64)
+        cfg = self.config
+        n_vocab = counts.shape[1]
+        rng = np.random.default_rng(cfg.seed)
+        lam = rng.gamma(100.0, 0.01, size=(cfg.n_topics, n_vocab))
+        previous = None
+        for _ in range(cfg.max_iter):
+            exp_elog_beta = np.exp(
+                digamma(lam) - digamma(lam.sum(1, keepdims=True)))
+            _, stats = self._e_step(counts, exp_elog_beta)
+            lam = cfg.beta + stats
+            if previous is not None and \
+                    np.abs(lam - previous).mean() < cfg.tol:
+                break
+            previous = lam.copy()
+        self.components_ = lam
+        self._exp_elog_beta = np.exp(
+            digamma(lam) - digamma(lam.sum(1, keepdims=True)))
+        return self
+
+    def transform(self, counts: np.ndarray) -> np.ndarray:
+        """Per-document topic distributions (rows sum to 1)."""
+        if self.components_ is None:
+            raise RuntimeError("fit() first")
+        counts = np.asarray(counts, dtype=np.float64)
+        gamma, _ = self._e_step(counts, self._exp_elog_beta)
+        return gamma / gamma.sum(1, keepdims=True)
+
+    def fit_transform(self, counts: np.ndarray) -> np.ndarray:
+        return self.fit(counts).transform(counts)
+
+    @property
+    def topic_word_(self) -> np.ndarray:
+        """Normalised topic-term distributions (K, V)."""
+        if self.components_ is None:
+            raise RuntimeError("fit() first")
+        return self.components_ / \
+            self.components_.sum(1, keepdims=True)

@@ -1,0 +1,163 @@
+"""Port-usage inference by measurement (Abel & Reineke, §II).
+
+The paper's classifier consumes Abel & Reineke's reverse-engineered
+instruction→port mappings.  This module reproduces the *method* those
+mappings come from, against our simulated machine as the black box:
+saturate a candidate port set with single-port "blocker" instructions,
+add copies of the instruction under test, and watch whether the
+combined throughput grows.  If the instruction's micro-op can escape
+to an unblocked port, the blockers hide it; if every port it can use
+is saturated, each copy costs a full issue slot on the blocked ports.
+
+The search walks candidate port sets smallest-first, so the inferred
+set is minimal — exactly the A&R construction (their uops.info tables
+were built from the same experiment on silicon).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.isa.instruction import BasicBlock, Instruction
+from repro.isa.parser import parse_instruction
+from repro.profiler.harness import BasicBlockProfiler
+from repro.uarch.machine import Machine
+
+#: Single-port blocker instructions, one list per saturated port.
+#: Chosen to be (a) single-port on every modelled uarch, (b) free of
+#: dependency chains (write-only destinations, disjoint from the
+#: test-copy register pool), so the baseline is purely port-bound —
+#: A&R's construction needs exactly this property.
+BLOCKERS: Dict[int, List[str]] = {
+    0: [f"movmskps %xmm9, %r{r}d" for r in (8, 9, 10)] * 3,
+    1: [f"imul $3, %rbp, %r{r}" for r in (10, 11, 12, 13)] * 2,
+    5: [f"pshufd $0x1b, %xmm9, %xmm{r}" for r in (6, 7, 8)] * 3,
+}
+
+#: All-ALU fallback when no blockable subset explains the behaviour.
+FULL_ALU = {"haswell": (0, 1, 5, 6), "skylake": (0, 1, 5, 6),
+            "ivybridge": (0, 1, 5)}
+
+
+@dataclass(frozen=True)
+class PortProbeResult:
+    """Inferred port usage for one instruction."""
+
+    instruction: str
+    ports: Tuple[int, ...]
+    #: Per-candidate-set measured slowdown (cycles per added copy).
+    evidence: Tuple[Tuple[Tuple[int, ...], float], ...]
+
+    @property
+    def combo(self) -> str:
+        return "p" + "".join(str(p) for p in self.ports)
+
+
+class PortProber:
+    """Infers port mappings from throughput measurements alone."""
+
+    #: Test copies added on top of the saturated ports.
+    N_TESTS = 4
+    #: Confinement threshold, scaled by blocked-set size: a confined
+    #: single-occupancy micro-op adds ~1/|S| cycles per copy when all
+    #: |S| of its ports are saturated, ~0 when it can escape.
+    THRESHOLD = 0.5
+
+    def __init__(self, uarch: str = "haswell", seed: int = 0):
+        self.uarch = uarch
+        self.profiler = BasicBlockProfiler(Machine(uarch, seed=seed))
+        self._blockers = BLOCKERS
+
+    # ------------------------------------------------------------------
+
+    def _blocker_instrs(self, port: int) -> List[Instruction]:
+        return [parse_instruction(text)
+                for text in self._blockers[port]]
+
+    def _test_instrs(self, instr: Instruction, count: int
+                     ) -> List[Instruction]:
+        """Independent copies: registers rotated so the copies do not
+        chain (a serial chain would hide port behaviour behind
+        latency)."""
+        return [self._rotate_registers(instr, k) for k in range(count)]
+
+    @staticmethod
+    def _rotate_registers(instr: Instruction, k: int) -> Instruction:
+        from repro.isa.registers import lookup
+        from repro.isa.operands import is_reg
+
+        def rotate(op):
+            if not is_reg(op):
+                return op
+            if op.is_vector:
+                idx = int(op.base[3:])
+                name = ("ymm" if op.width == 256 else "xmm") \
+                    + str(12 + (idx + k) % 4)
+                return lookup(name)
+            if op.kind == "gpr" and op.width >= 32:
+                pool = ("rax", "rbx", "rcx", "rdx", "r14", "r15")
+                idx = pool.index(op.base) if op.base in pool else 0
+                base = pool[(idx + k) % len(pool)]
+                return lookup(base if op.width == 64
+                              else {"rax": "eax", "rbx": "ebx",
+                                    "rcx": "ecx", "rdx": "edx",
+                                    "r14": "r14d", "r15": "r15d"}[base])
+            return op
+
+        return Instruction(instr.mnemonic,
+                           tuple(rotate(op) for op in instr.operands))
+
+    def _cycles(self, instrs: Sequence[Instruction]) -> Optional[float]:
+        result = self.profiler.profile(BasicBlock(instrs,
+                                                  source="port-probe"))
+        return result.throughput if result.ok else None
+
+    def slowdown(self, instr: Instruction,
+                 ports: Sequence[int]) -> Optional[float]:
+        """Extra cycles per test copy when ``ports`` are saturated."""
+        blockers: List[Instruction] = []
+        for port in ports:
+            blockers.extend(self._blocker_instrs(port))
+        base = self._cycles(blockers)
+        combined = self._cycles(blockers
+                                + self._test_instrs(instr, self.N_TESTS))
+        if base is None or combined is None:
+            return None
+        return (combined - base) / self.N_TESTS
+
+    # ------------------------------------------------------------------
+
+    def infer(self, instruction) -> PortProbeResult:
+        """Infer the (minimal blockable) port set of an instruction.
+
+        Only compute micro-ops of register-operand instructions are
+        probed (loads/stores would need p23/p4 blockers; the paper's
+        tables cover those separately).
+        """
+        if isinstance(instruction, str):
+            instruction = parse_instruction(instruction)
+        candidates: List[Tuple[int, ...]] = []
+        ports = sorted(self._blockers)
+        for size in range(1, len(ports) + 1):
+            candidates.extend(combinations(ports, size))
+
+        evidence: List[Tuple[Tuple[int, ...], float]] = []
+        found: Optional[Tuple[int, ...]] = None
+        for candidate in candidates:
+            delta = self.slowdown(instruction, candidate)
+            if delta is None:
+                continue
+            evidence.append((candidate, round(delta, 3)))
+            if found is None and delta >= self.THRESHOLD / len(candidate):
+                found = candidate
+        if found is None:
+            found = FULL_ALU[self.uarch]
+        return PortProbeResult(
+            instruction=str(instruction),
+            ports=tuple(found),
+            evidence=tuple(evidence))
+
+    def infer_many(self, instructions) -> List[PortProbeResult]:
+        return [self.infer(i) for i in instructions]

@@ -1,0 +1,200 @@
+"""Command-line interface.
+
+The real BHive ships shell tools around its harness; this module
+provides the equivalents::
+
+    python -m repro profile  block.s --uarch haswell
+    python -m repro predict  block.s --model iaca --model llvm-mca
+    python -m repro timings  add imul mulps --uarch skylake
+    python -m repro ports    "mulps %xmm13, %xmm12"
+    python -m repro corpus   --scale 0.002 --out suite.csv --measure
+    python -m repro validate --scale 0.001 --uarch haswell
+
+``block.s`` may be ``-`` for stdin.  Blocks are AT&T or Intel syntax,
+auto-detected.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.isa.parser import parse_block
+
+_MODEL_NAMES = ("iaca", "llvm-mca", "osaca")
+
+
+def _read_block(path: str):
+    text = sys.stdin.read() if path == "-" else open(path).read()
+    return parse_block(text)
+
+
+def _make_model(name: str):
+    from repro.models import IacaModel, LlvmMcaModel, OsacaModel
+    return {"iaca": IacaModel, "llvm-mca": LlvmMcaModel,
+            "osaca": OsacaModel}[name]()
+
+
+# ---------------------------------------------------------------------------
+# Subcommands
+# ---------------------------------------------------------------------------
+
+def cmd_profile(args) -> int:
+    from repro.profiler import profile_block
+    block = _read_block(args.block)
+    result = profile_block(block, uarch=args.uarch, seed=args.seed)
+    if not result.ok:
+        print(f"unprofileable: {result.failure.value}"
+              + (f" ({result.detail})" if result.detail else ""))
+        return 1
+    print(f"throughput: {result.throughput:.2f} cycles/iteration "
+          f"({args.uarch})")
+    print(f"pages mapped: {result.pages_mapped}   "
+          f"faults intercepted: {result.num_faults}")
+    for m in result.measurements:
+        print(f"  unroll={m.unroll}: {m.cycles} cycles, "
+              f"{m.clean_runs}/{m.total_runs} clean runs")
+    return 0
+
+
+def cmd_predict(args) -> int:
+    block = _read_block(args.block)
+    names = args.model or list(_MODEL_NAMES)
+    for name in names:
+        model = _make_model(name)
+        pred = model.predict_safe(block, args.uarch)
+        if pred.ok:
+            print(f"{model.name:9s} {pred.throughput:.2f}")
+        else:
+            print(f"{model.name:9s} -  ({pred.error})")
+    return 0
+
+
+def cmd_timings(args) -> int:
+    from repro.profiler.latency import InstructionBenchmark
+    bench = InstructionBenchmark(args.uarch, seed=args.seed)
+    print(f"{'mnemonic':14s} {'latency':>8s} {'rthroughput':>12s}")
+    for mnemonic in args.mnemonics:
+        t = bench.measure(mnemonic)
+        lat = "-" if t.latency is None else f"{t.latency:.2f}"
+        rtp = "-" if t.reciprocal_throughput is None \
+            else f"{t.reciprocal_throughput:.2f}"
+        print(f"{mnemonic:14s} {lat:>8s} {rtp:>12s}")
+    return 0
+
+
+def cmd_ports(args) -> int:
+    from repro.classify.portprobe import PortProber
+    prober = PortProber(args.uarch, seed=args.seed)
+    for text in args.instructions:
+        result = prober.infer(text)
+        print(f"{text:32s} -> {result.combo}")
+        if args.verbose:
+            for ports, delta in result.evidence:
+                label = "p" + "".join(map(str, ports))
+                print(f"    blocked {label:6s}: "
+                      f"+{delta:.2f} cycles/copy")
+    return 0
+
+
+def cmd_corpus(args) -> int:
+    from repro.corpus import build_corpus
+    from repro.corpus.io import save_csv, save_json
+    corpus = build_corpus(scale=args.scale, seed=args.seed)
+    measured = None
+    if args.measure:
+        from repro.eval.validation import profile_corpus
+        measured = profile_corpus(corpus, args.uarch, seed=args.seed)
+        print(f"measured {len(measured)}/{len(corpus)} blocks "
+              f"on {args.uarch}")
+    if args.out.endswith(".json"):
+        save_json(args.out, corpus, measured)
+        written = len(corpus)
+    else:
+        written = save_csv(args.out, corpus, measured)
+    print(f"wrote {written} blocks to {args.out}")
+    return 0
+
+
+def cmd_validate(args) -> int:
+    from repro.corpus import build_corpus
+    from repro.eval.reporting import format_table
+    from repro.eval.validation import validate
+    from repro.models import (IacaModel, IthemalModel, LlvmMcaModel,
+                              OsacaModel)
+    corpus = build_corpus(scale=args.scale, seed=args.seed)
+    models = [IacaModel(), LlvmMcaModel(), IthemalModel(), OsacaModel()]
+    result = validate(corpus, args.uarch, models, seed=args.seed)
+    rows = [(m, round(result.overall_error(m), 4),
+             round(result.weighted_overall_error(m), 4),
+             round(result.kendall_tau(m), 4))
+            for m in result.model_names]
+    print(format_table(
+        ["model", "avg error", "weighted", "tau"], rows,
+        title=f"{args.uarch}: {len(result.rows)} blocks evaluated, "
+              f"{result.profiled_fraction:.1%} profiled"))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BHive reproduction: profile and predict x86-64 "
+                    "basic block throughput on simulated machines.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--uarch", default="haswell",
+                       choices=("ivybridge", "haswell", "skylake"))
+        p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("profile", help="measure a basic block")
+    p.add_argument("block", help="assembly file, or - for stdin")
+    common(p)
+    p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser("predict", help="run cost models on a block")
+    p.add_argument("block")
+    p.add_argument("--model", action="append",
+                   choices=_MODEL_NAMES)
+    common(p)
+    p.set_defaults(func=cmd_predict)
+
+    p = sub.add_parser("timings",
+                       help="per-instruction latency/throughput")
+    p.add_argument("mnemonics", nargs="+")
+    common(p)
+    p.set_defaults(func=cmd_timings)
+
+    p = sub.add_parser("ports", help="infer port usage by measurement")
+    p.add_argument("instructions", nargs="+")
+    p.add_argument("-v", "--verbose", action="store_true")
+    common(p)
+    p.set_defaults(func=cmd_ports)
+
+    p = sub.add_parser("corpus", help="synthesise the benchmark suite")
+    p.add_argument("--scale", type=float, default=0.001)
+    p.add_argument("--out", default="bhive.csv")
+    p.add_argument("--measure", action="store_true",
+                   help="profile every block and include throughputs")
+    common(p)
+    p.set_defaults(func=cmd_corpus)
+
+    p = sub.add_parser("validate", help="run the Table V pipeline")
+    p.add_argument("--scale", type=float, default=0.001)
+    common(p)
+    p.set_defaults(func=cmd_validate)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

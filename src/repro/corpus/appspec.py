@@ -1,0 +1,100 @@
+"""Application workload specifications.
+
+The paper extracts blocks from nine open-source applications (plus
+OpenSSL, and Spanner/Dremel for the production case study) with
+DynamoRIO.  We cannot run those binaries here, so each application is
+described by an :class:`ApplicationSpec` — a statistical profile of
+its basic blocks (instruction-mix weights over synthesis templates,
+block-length distribution, share of register-only blocks, share of
+pathological blocks) — and blocks are synthesised from the profile
+with a seeded generator.
+
+The profiles were set from the paper's own observations: general
+purpose C/C++ code (LLVM, Redis, SQLite, Gzip) is memory-heavy and
+non-vectorized; OpenBLAS/TensorFlow/Eigen/Embree/FFmpeg carry
+hand-optimised vector kernels with long unrolled bodies; OpenSSL and
+Gzip are bit-manipulation heavy; Spanner and Dremel spend ~40–50% of
+their time in load-dominated blocks with more vectorised code than the
+OSS general-purpose apps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+#: Synthesis template names understood by
+#: :class:`repro.corpus.synthesis.BlockSynthesizer`.
+TEMPLATES: Tuple[str, ...] = (
+    "alu", "mov_rr", "mov_imm", "lea", "load", "store", "store_burst",
+    "load_burst", "copy", "rmw", "load_alu", "bitmanip", "mul", "div",
+    "cmov_set", "stack", "zero_idiom", "table_lookup", "pointer_walk",
+    "vec_scalar_fp", "vec_fp", "vec_fp_avx", "fma", "vec_int",
+    "vec_int_avx", "shuffle", "cvt", "vec_load", "vec_store",
+    "compare",
+)
+
+#: Rare pathological templates (injected at block level, not drawn
+#: from the mix).
+PATHOLOGICAL: Tuple[str, ...] = (
+    "unsupported", "invalid_mem", "page_stride", "div_zero",
+    "subnormal_kernel", "misaligned_vec",
+)
+
+
+@dataclass(frozen=True)
+class ApplicationSpec:
+    """Statistical profile of one source application."""
+
+    name: str
+    domain: str
+    #: Block count reported in the paper's Table III (0 when the app is
+    #: outside that table, e.g. OpenSSL / Spanner / Dremel).
+    paper_blocks: int
+    #: Template -> weight; normalised at synthesis time.
+    mix: Dict[str, float]
+    #: Block count to synthesise (before scaling) for apps outside
+    #: Table III; ignored when ``paper_blocks`` is set.
+    nominal_blocks: int = 0
+    #: Log-normal block length parameters (of instruction count).
+    length_mu: float = 1.6
+    length_sigma: float = 0.55
+    min_length: int = 1
+    max_length: int = 24
+    #: Fraction of blocks synthesised with no memory templates at all.
+    register_only_fraction: float = 0.15
+    #: Fraction of long "unrolled kernel" blocks (these are what breaks
+    #: naive 100x unrolling in Table I).
+    long_kernel_fraction: float = 0.0
+    long_kernel_length: Tuple[int, int] = (70, 140)
+    #: Per-pathology injection probabilities.
+    pathology: Dict[str, float] = field(default_factory=dict)
+    #: Zipf exponent for execution-frequency assignment.
+    zipf_exponent: float = 1.4
+    #: Extra execution-frequency weight for vector-heavy blocks: in
+    #: kernel applications (OpenBLAS, TensorFlow, Embree) the hot inner
+    #: loops *are* the vector kernels, so dynamic-frequency weighting
+    #: must concentrate on them (Fig. 4's "TensorFlow and OpenBLAS
+    #: spent most of time executing vectorized basic blocks").
+    hot_kernel_bias: float = 0.0
+
+    def normalized_mix(self) -> Dict[str, float]:
+        unknown = set(self.mix) - set(TEMPLATES)
+        if unknown:
+            raise ValueError(f"{self.name}: unknown templates {unknown}")
+        total = sum(self.mix.values())
+        return {k: v / total for k, v in self.mix.items()}
+
+    def memory_free_mix(self) -> Dict[str, float]:
+        """The mix restricted to register-only templates."""
+        memory_templates = {
+            "load", "store", "store_burst", "load_burst", "copy", "rmw",
+            "load_alu", "stack", "table_lookup", "pointer_walk",
+            "vec_load", "vec_store",
+        }
+        mix = {k: v for k, v in self.normalized_mix().items()
+               if k not in memory_templates}
+        if not mix:
+            mix = {"alu": 1.0}
+        total = sum(mix.values())
+        return {k: v / total for k, v in mix.items()}

@@ -1,0 +1,150 @@
+"""Corpus assembly: the benchmark suite itself.
+
+``build_corpus`` synthesises every application's blocks at a chosen
+scale of the paper's counts (Table III: 358,561 blocks across nine
+applications — full scale is feasible but slow in a pure-Python
+simulator, so benches default to ``scale≈1/100``) and attaches
+execution frequencies from the simulated dynamic trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.corpus.appspec import ApplicationSpec
+from repro.corpus.synthesis import BlockSynthesizer
+from repro.corpus.tracing import assign_frequencies
+from repro.isa.instruction import BasicBlock
+
+#: Table III applications in paper order.
+TABLE3_APPS: Tuple[str, ...] = (
+    "openblas", "redis", "sqlite", "gzip", "tensorflow", "llvm",
+    "eigen", "embree", "ffmpeg",
+)
+
+#: Applications included in the default corpus (Table III + OpenSSL,
+#: which the paper collects and shows in its figures).
+DEFAULT_APPS: Tuple[str, ...] = TABLE3_APPS + ("openssl",)
+
+#: Google production applications (§V case study).
+GOOGLE_APPS: Tuple[str, ...] = ("spanner", "dremel")
+
+
+def get_spec(name: str) -> ApplicationSpec:
+    """Look up an application spec by name."""
+    import importlib
+    module = importlib.import_module(f"repro.corpus.generators.{name}")
+    return module.SPEC
+
+
+@dataclass(frozen=True)
+class BlockRecord:
+    """One corpus entry: a block plus its provenance and frequency."""
+
+    block: BasicBlock
+    application: str
+    frequency: int
+    block_id: int
+
+
+@dataclass
+class Corpus:
+    """An ordered collection of block records."""
+
+    records: List[BlockRecord] = field(default_factory=list)
+    scale: float = 1.0
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def __getitem__(self, idx) -> BlockRecord:
+        return self.records[idx]
+
+    @property
+    def blocks(self) -> List[BasicBlock]:
+        return [r.block for r in self.records]
+
+    def applications(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for r in self.records:
+            seen.setdefault(r.application, None)
+        return list(seen)
+
+    def by_application(self) -> Dict[str, List[BlockRecord]]:
+        grouped: Dict[str, List[BlockRecord]] = {}
+        for r in self.records:
+            grouped.setdefault(r.application, []).append(r)
+        return grouped
+
+    def counts(self) -> Dict[str, int]:
+        return {app: len(records)
+                for app, records in self.by_application().items()}
+
+    def subset(self, applications: Iterable[str]) -> "Corpus":
+        wanted = set(applications)
+        return Corpus([r for r in self.records
+                       if r.application in wanted], scale=self.scale)
+
+    def top_by_frequency(self, k: int) -> "Corpus":
+        """The k most frequently executed blocks (the §V protocol)."""
+        ordered = sorted(self.records, key=lambda r: -r.frequency)
+        return Corpus(ordered[:k], scale=self.scale)
+
+
+def _target_count(spec: ApplicationSpec, scale: float) -> int:
+    base = spec.paper_blocks or spec.nominal_blocks
+    return max(8, int(round(base * scale)))
+
+
+def build_application(name: str, scale: float = 0.01,
+                      seed: int = 0,
+                      count: Optional[int] = None) -> Corpus:
+    """Synthesise one application's blocks with frequencies."""
+    spec = get_spec(name)
+    n = count if count is not None else _target_count(spec, scale)
+    synthesizer = BlockSynthesizer(spec, seed=seed)
+    blocks = synthesizer.blocks(n)
+    frequencies = assign_frequencies(n, spec.zipf_exponent, seed=seed)
+    if spec.hot_kernel_bias:
+        from repro.models.residual import block_mix
+        frequencies = [
+            max(1, int(f * (1.0 + spec.hot_kernel_bias
+                            * block_mix(b)["vector"]) ** 2))
+            for b, f in zip(blocks, frequencies)
+        ]
+    records = [BlockRecord(block=b, application=name,
+                           frequency=f, block_id=i)
+               for i, (b, f) in enumerate(zip(blocks, frequencies))]
+    return Corpus(records, scale=scale)
+
+
+def build_corpus(scale: float = 0.01, seed: int = 0,
+                 applications: Sequence[str] = DEFAULT_APPS) -> Corpus:
+    """Synthesise the full benchmark suite at ``scale`` of Table III."""
+    records: List[BlockRecord] = []
+    next_id = 0
+    for name in applications:
+        app = build_application(name, scale=scale, seed=seed)
+        for r in app.records:
+            records.append(BlockRecord(block=r.block,
+                                       application=r.application,
+                                       frequency=r.frequency,
+                                       block_id=next_id))
+            next_id += 1
+    return Corpus(records, scale=scale)
+
+
+def build_google_corpus(scale: float = 0.01,
+                        seed: int = 0) -> Dict[str, Corpus]:
+    """Spanner and Dremel corpora (the paper profiles the 100k most
+    frequently executed blocks of each; scaled here)."""
+    result = {}
+    for name in GOOGLE_APPS:
+        app = build_application(name, scale=scale, seed=seed)
+        top_k = max(16, int(round(100_000 * scale)))
+        result[name] = app.top_by_frequency(top_k)
+    return result

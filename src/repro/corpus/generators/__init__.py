@@ -1,0 +1,1 @@
+"""Per-application workload specifications (one module per app)."""

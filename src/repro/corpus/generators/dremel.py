@@ -1,0 +1,34 @@
+"""Dremel: Google's interactive ad-hoc query system (production).
+
+Proprietary — synthesised from the composition the paper reports
+(Fig. 13): ~50% of (frequency-weighted) time in load-dominated blocks
+(columnar scans), plus partially-vectorised predicate/aggregation code.
+"""
+
+from repro.corpus.appspec import ApplicationSpec
+
+SPEC = ApplicationSpec(
+    name="dremel",
+    domain="Query Engine",
+    paper_blocks=0,
+    nominal_blocks=100000,
+    mix={
+        "alu": 0.12, "compare": 0.05, "mov_rr": 0.04, "mov_imm": 0.025,
+        "lea": 0.04, "load": 0.28, "load_burst": 0.075, "store": 0.035,
+        "store_burst": 0.02, "copy": 0.03, "rmw": 0.012, "load_alu": 0.05,
+        "bitmanip": 0.04, "mul": 0.006, "div": 0.002,
+        "cmov_set": 0.03, "stack": 0.015, "zero_idiom": 0.018,
+        "table_lookup": 0.04, "pointer_walk": 0.055,
+        "vec_scalar_fp": 0.03, "vec_fp": 0.05, "vec_int": 0.04,
+        "shuffle": 0.012, "cvt": 0.012, "vec_load": 0.02,
+        "vec_store": 0.008,
+    },
+    length_mu=1.55, length_sigma=0.6, max_length=24,
+    register_only_fraction=0.11,
+    long_kernel_fraction=0.01,
+    pathology={"unsupported": 0.012, "invalid_mem": 0.01,
+               "page_stride": 0.012, "div_zero": 0.003,
+               "misaligned_vec": 0.0054},
+    zipf_exponent=1.55,
+    hot_kernel_bias=2.5,
+)

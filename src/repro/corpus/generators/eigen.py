@@ -1,0 +1,31 @@
+"""Eigen: C++ template scientific computing.
+
+Evaluated by the paper on sparse kernels (SPMM/SPMV): index-indirect
+loads (gather-style through integer index arrays) mixed with vector
+arithmetic — plus expression-template scalar glue.
+"""
+
+from repro.corpus.appspec import ApplicationSpec
+
+SPEC = ApplicationSpec(
+    name="eigen",
+    domain="Scientific Computing",
+    paper_blocks=4545,
+    mix={
+        "alu": 0.12, "compare": 0.04, "mov_rr": 0.04, "mov_imm": 0.02,
+        "lea": 0.05, "load": 0.09, "store": 0.04, "rmw": 0.01,
+        "bitmanip": 0.02, "cmov_set": 0.015, "zero_idiom": 0.02,
+        "table_lookup": 0.09, "pointer_walk": 0.05,
+        "vec_scalar_fp": 0.09, "vec_fp": 0.12, "vec_fp_avx": 0.06,
+        "fma": 0.07, "shuffle": 0.04, "cvt": 0.025,
+        "vec_load": 0.07, "vec_store": 0.03,
+    },
+    length_mu=1.8, length_sigma=0.6, max_length=36,
+    register_only_fraction=0.12,
+    long_kernel_fraction=0.06,
+    pathology={"unsupported": 0.01, "invalid_mem": 0.01,
+               "page_stride": 0.014, "div_zero": 0.002,
+               "misaligned_vec": 0.0060, "subnormal_kernel": 0.003},
+    zipf_exponent=1.7,
+    hot_kernel_bias=3.0,
+)

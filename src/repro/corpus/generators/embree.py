@@ -1,0 +1,32 @@
+"""Embree: ray tracing (ispc).
+
+ispc compiles to wide SIMD: almost everything is vectorised — packed
+FP arithmetic, masks/blends, shuffles, gather-style lookups for BVH
+traversal.  Purely-vector blocks (category 2) largely come from here
+and from OpenBLAS/TensorFlow.
+"""
+
+from repro.corpus.appspec import ApplicationSpec
+
+SPEC = ApplicationSpec(
+    name="embree",
+    domain="Ray Tracing",
+    paper_blocks=12602,
+    mix={
+        "alu": 0.07, "compare": 0.025, "mov_rr": 0.03, "mov_imm": 0.015,
+        "lea": 0.03, "load": 0.025, "store": 0.02, "zero_idiom": 0.02,
+        "table_lookup": 0.03, "pointer_walk": 0.03,
+        "vec_scalar_fp": 0.05, "vec_fp": 0.16, "vec_fp_avx": 0.12,
+        "fma": 0.1, "vec_int": 0.07, "vec_int_avx": 0.02,
+        "shuffle": 0.1, "cvt": 0.03, "vec_load": 0.08,
+        "vec_store": 0.04,
+    },
+    length_mu=1.9, length_sigma=0.6, max_length=40,
+    register_only_fraction=0.10,
+    long_kernel_fraction=0.06,
+    pathology={"unsupported": 0.009, "invalid_mem": 0.009,
+               "page_stride": 0.012, "div_zero": 0.001,
+               "misaligned_vec": 0.0075, "subnormal_kernel": 0.002},
+    zipf_exponent=1.75,
+    hot_kernel_bias=5.0,
+)

@@ -1,0 +1,33 @@
+"""FFmpeg: multimedia (C + handwritten SIMD assembly).
+
+Pixel pipelines: packed *integer* SIMD (SAD, averaging, saturation),
+byte shuffles, strided loads over image rows, and scalar bitstream
+parsing; the handwritten assembly also contributes unusual instruction
+forms (some of which trip OSACA's parser).
+"""
+
+from repro.corpus.appspec import ApplicationSpec
+
+SPEC = ApplicationSpec(
+    name="ffmpeg",
+    domain="Multimedia",
+    paper_blocks=17150,
+    mix={
+        "alu": 0.13, "compare": 0.04, "mov_rr": 0.05, "mov_imm": 0.03,
+        "lea": 0.04, "load": 0.09, "store": 0.05, "store_burst": 0.02, "copy": 0.05,
+        "rmw": 0.015, "load_alu": 0.03, "bitmanip": 0.07, "mul": 0.01,
+        "div": 0.003, "cmov_set": 0.02, "stack": 0.015,
+        "zero_idiom": 0.025, "table_lookup": 0.04,
+        "pointer_walk": 0.05, "vec_scalar_fp": 0.015, "vec_fp": 0.03,
+        "vec_int": 0.13, "vec_int_avx": 0.02, "shuffle": 0.07,
+        "cvt": 0.015, "vec_load": 0.05, "vec_store": 0.025,
+    },
+    length_mu=1.75, length_sigma=0.6, max_length=36,
+    register_only_fraction=0.13,
+    long_kernel_fraction=0.05,
+    pathology={"unsupported": 0.02, "invalid_mem": 0.011,
+               "page_stride": 0.014, "div_zero": 0.004,
+               "misaligned_vec": 0.0105, "subnormal_kernel": 0.001},
+    zipf_exponent=1.6,
+    hot_kernel_bias=2.0,
+)

@@ -1,0 +1,28 @@
+"""Gzip: compression (C).
+
+Bit-manipulation dominated — shift/mask chains for Huffman coding and
+the CRC table lookups of the paper's motivating example.  Small blocks
+with table lookups and byte loads.
+"""
+
+from repro.corpus.appspec import ApplicationSpec
+
+SPEC = ApplicationSpec(
+    name="gzip",
+    domain="Compression",
+    paper_blocks=2272,
+    mix={
+        "alu": 0.2, "compare": 0.07, "mov_rr": 0.07, "mov_imm": 0.04,
+        "lea": 0.04, "load": 0.08, "store": 0.06, "store_burst": 0.03,
+        "rmw": 0.02, "load_alu": 0.05, "bitmanip": 0.27,
+        "mul": 0.005, "cmov_set": 0.02, "stack": 0.02,
+        "zero_idiom": 0.02, "table_lookup": 0.05,
+        "pointer_walk": 0.045,
+    },
+    length_mu=1.55, length_sigma=0.55, max_length=18,
+    register_only_fraction=0.16,
+    pathology={"unsupported": 0.012, "invalid_mem": 0.01,
+               "page_stride": 0.014, "div_zero": 0.004,
+               "misaligned_vec": 0.0045},
+    zipf_exponent=1.6,
+)

@@ -1,0 +1,30 @@
+"""Clang/LLVM: the corpus's largest source (compiler, C++).
+
+General-purpose code: heavy scalar ALU and pointer traffic, virtually
+no vectorisation, many small blocks (visitor patterns, switch
+dispatch), frequent stores from object construction/spills.
+"""
+
+from repro.corpus.appspec import ApplicationSpec
+
+SPEC = ApplicationSpec(
+    name="llvm",
+    domain="Compiler",
+    paper_blocks=212758,
+    mix={
+        "alu": 0.15, "compare": 0.07, "mov_rr": 0.08, "mov_imm": 0.05,
+        "lea": 0.07, "load": 0.155, "load_burst": 0.05, "store": 0.06,
+        "store_burst": 0.05, "copy": 0.04, "rmw": 0.02, "load_alu": 0.04,
+        "bitmanip": 0.04, "mul": 0.012, "div": 0.004,
+        "cmov_set": 0.035, "stack": 0.035, "zero_idiom": 0.03,
+        "table_lookup": 0.025, "pointer_walk": 0.03,
+        "vec_scalar_fp": 0.008, "vec_load": 0.004, "cvt": 0.003,
+    },
+    length_mu=1.55, length_sigma=0.6, max_length=22,
+    register_only_fraction=0.20,
+    long_kernel_fraction=0.0,
+    pathology={"unsupported": 0.025, "invalid_mem": 0.018,
+               "page_stride": 0.023, "div_zero": 0.006,
+               "misaligned_vec": 0.0051, "subnormal_kernel": 0.0005},
+    zipf_exponent=1.35,
+)

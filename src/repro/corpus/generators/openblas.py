@@ -1,0 +1,31 @@
+"""OpenBLAS: scientific computing (hand-written assembly kernels).
+
+GEMM/GEMV inner loops: long unrolled bodies of packed FP multiply-add
+with streaming vector loads — the blocks whose 100x-unrolled footprint
+overflows L1I and motivates the paper's two-unroll-factor technique.
+"""
+
+from repro.corpus.appspec import ApplicationSpec
+
+SPEC = ApplicationSpec(
+    name="openblas",
+    domain="Scientific Computing",
+    paper_blocks=19032,
+    mix={
+        "alu": 0.06, "compare": 0.02, "mov_rr": 0.02, "mov_imm": 0.01,
+        "lea": 0.03, "load": 0.035, "store": 0.02, "rmw": 0.005,
+        "bitmanip": 0.01, "zero_idiom": 0.02, "pointer_walk": 0.05,
+        "vec_scalar_fp": 0.06, "vec_fp": 0.17, "vec_fp_avx": 0.13,
+        "fma": 0.15, "vec_int": 0.02, "shuffle": 0.06, "cvt": 0.02,
+        "vec_load": 0.11, "vec_store": 0.05,
+    },
+    length_mu=2.0, length_sigma=0.7, max_length=48,
+    register_only_fraction=0.10,
+    long_kernel_fraction=0.12,
+    long_kernel_length=(70, 150),
+    pathology={"unsupported": 0.008, "invalid_mem": 0.008,
+               "page_stride": 0.012, "div_zero": 0.001,
+               "misaligned_vec": 0.0090, "subnormal_kernel": 0.004},
+    zipf_exponent=1.9,
+    hot_kernel_bias=5.0,
+)

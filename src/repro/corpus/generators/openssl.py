@@ -1,0 +1,31 @@
+"""OpenSSL: cryptography (C + handwritten assembly).
+
+Rotate/xor/shift-heavy rounds (SHA, ChaCha) with long register-only
+stretches — the paper notes IACA is consistently accurate here, and
+Fig. 4 shows Gzip/OpenSSL dominated by bit-manipulation categories.
+Not part of Table III's nine rows; included for the figures.
+"""
+
+from repro.corpus.appspec import ApplicationSpec
+
+SPEC = ApplicationSpec(
+    name="openssl",
+    domain="Cryptography",
+    paper_blocks=0,          # outside Table III
+    nominal_blocks=14000,
+    mix={
+        "alu": 0.27, "compare": 0.04, "mov_rr": 0.08, "mov_imm": 0.05,
+        "lea": 0.035, "load": 0.06, "load_burst": 0.01, "store": 0.045,
+        "store_burst": 0.02, "rmw": 0.015, "load_alu": 0.035,
+        "bitmanip": 0.31, "mul": 0.015, "cmov_set": 0.015,
+        "stack": 0.015, "zero_idiom": 0.02, "table_lookup": 0.025,
+        "pointer_walk": 0.02, "vec_int": 0.025,
+    },
+    length_mu=1.9, length_sigma=0.55, max_length=28,
+    register_only_fraction=0.35,
+    long_kernel_fraction=0.01,
+    pathology={"unsupported": 0.012, "invalid_mem": 0.008,
+               "page_stride": 0.01, "div_zero": 0.002,
+               "misaligned_vec": 0.0030},
+    zipf_exponent=1.7,
+)

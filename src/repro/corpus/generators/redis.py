@@ -1,0 +1,27 @@
+"""Redis: in-memory database (C).
+
+Pointer-chasing through dict/skiplist structures, string handling
+(byte loads, bit tests), moderate stores; no vector code to speak of.
+"""
+
+from repro.corpus.appspec import ApplicationSpec
+
+SPEC = ApplicationSpec(
+    name="redis",
+    domain="Database",
+    paper_blocks=9343,
+    mix={
+        "alu": 0.2, "compare": 0.08, "mov_rr": 0.07, "mov_imm": 0.05,
+        "lea": 0.06, "load": 0.17, "load_burst": 0.05, "store": 0.07,
+        "store_burst": 0.06, "copy": 0.05, "rmw": 0.03, "load_alu": 0.05,
+        "bitmanip": 0.045, "mul": 0.01, "div": 0.004,
+        "cmov_set": 0.03, "stack": 0.03, "zero_idiom": 0.025,
+        "table_lookup": 0.03, "pointer_walk": 0.045,
+    },
+    length_mu=1.5, length_sigma=0.6, max_length=20,
+    register_only_fraction=0.13,
+    pathology={"unsupported": 0.016, "invalid_mem": 0.012,
+               "page_stride": 0.018, "div_zero": 0.005,
+               "misaligned_vec": 0.0054},
+    zipf_exponent=1.45,
+)

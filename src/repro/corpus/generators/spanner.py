@@ -1,0 +1,35 @@
+"""Spanner: Google's globally distributed database (production).
+
+Proprietary — synthesised from the composition the paper reports
+(Fig. 13): ~40% of (frequency-weighted) time in load-dominated blocks
+(category 6), noticeably more partially-vectorised code (category 1)
+than open-source general-purpose applications.
+"""
+
+from repro.corpus.appspec import ApplicationSpec
+
+SPEC = ApplicationSpec(
+    name="spanner",
+    domain="Distributed Database",
+    paper_blocks=0,
+    nominal_blocks=100000,
+    mix={
+        "alu": 0.14, "compare": 0.05, "mov_rr": 0.05, "mov_imm": 0.03,
+        "lea": 0.05, "load": 0.23, "load_burst": 0.06, "store": 0.045,
+        "store_burst": 0.025, "copy": 0.03, "rmw": 0.015, "load_alu": 0.05,
+        "bitmanip": 0.035, "mul": 0.008, "div": 0.002,
+        "cmov_set": 0.025, "stack": 0.02, "zero_idiom": 0.02,
+        "table_lookup": 0.04, "pointer_walk": 0.05,
+        "vec_scalar_fp": 0.04, "vec_fp": 0.055, "vec_int": 0.035,
+        "shuffle": 0.015, "cvt": 0.01, "vec_load": 0.025,
+        "vec_store": 0.01,
+    },
+    length_mu=1.6, length_sigma=0.6, max_length=26,
+    register_only_fraction=0.12,
+    long_kernel_fraction=0.01,
+    pathology={"unsupported": 0.012, "invalid_mem": 0.01,
+               "page_stride": 0.012, "div_zero": 0.003,
+               "misaligned_vec": 0.0054},
+    zipf_exponent=1.5,
+    hot_kernel_bias=2.5,
+)

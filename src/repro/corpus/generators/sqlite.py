@@ -1,0 +1,28 @@
+"""SQLite: embedded database (C).
+
+Its VDBE bytecode interpreter gives dense load/compare/branch-feeding
+blocks; B-tree code adds pointer walks and record (de)serialisation
+stores.
+"""
+
+from repro.corpus.appspec import ApplicationSpec
+
+SPEC = ApplicationSpec(
+    name="sqlite",
+    domain="Database",
+    paper_blocks=8871,
+    mix={
+        "alu": 0.19, "compare": 0.09, "mov_rr": 0.07, "mov_imm": 0.06,
+        "lea": 0.05, "load": 0.17, "load_burst": 0.05, "store": 0.07,
+        "store_burst": 0.06, "copy": 0.05, "rmw": 0.025, "load_alu": 0.05,
+        "bitmanip": 0.04, "mul": 0.012, "div": 0.006,
+        "cmov_set": 0.035, "stack": 0.03, "zero_idiom": 0.02,
+        "table_lookup": 0.035, "pointer_walk": 0.04,
+    },
+    length_mu=1.5, length_sigma=0.58, max_length=20,
+    register_only_fraction=0.13,
+    pathology={"unsupported": 0.015, "invalid_mem": 0.013,
+               "page_stride": 0.016, "div_zero": 0.007,
+               "misaligned_vec": 0.0054},
+    zipf_exponent=1.4,
+)

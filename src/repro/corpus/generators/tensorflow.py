@@ -1,0 +1,35 @@
+"""TensorFlow: machine learning (C++ + Eigen + hand-tuned kernels).
+
+The paper's CNN training benchmark: convolution/GEMM inner loops
+(FMA-dense, AVX2), im2col-style shuffles and streaming loads, plus a
+large body of general C++ graph-execution code — so the mix spans both
+worlds.  Table II's ablation block is one of its critical inner loops.
+"""
+
+from repro.corpus.appspec import ApplicationSpec
+
+SPEC = ApplicationSpec(
+    name="tensorflow",
+    domain="Machine Learning",
+    paper_blocks=71988,
+    mix={
+        "alu": 0.12, "compare": 0.04, "mov_rr": 0.05, "mov_imm": 0.03,
+        "lea": 0.045, "load": 0.08, "store": 0.045, "store_burst": 0.035, "copy": 0.02,
+        "rmw": 0.01, "load_alu": 0.02, "bitmanip": 0.02, "mul": 0.008,
+        "div": 0.002, "cmov_set": 0.015, "stack": 0.015,
+        "zero_idiom": 0.025, "table_lookup": 0.025,
+        "pointer_walk": 0.04, "vec_scalar_fp": 0.04, "vec_fp": 0.09,
+        "vec_fp_avx": 0.08, "fma": 0.1, "vec_int": 0.02,
+        "vec_int_avx": 0.015, "shuffle": 0.045, "cvt": 0.02,
+        "vec_load": 0.07, "vec_store": 0.035,
+    },
+    length_mu=1.8, length_sigma=0.65, max_length=40,
+    register_only_fraction=0.12,
+    long_kernel_fraction=0.08,
+    long_kernel_length=(70, 140),
+    pathology={"unsupported": 0.012, "invalid_mem": 0.01,
+               "page_stride": 0.015, "div_zero": 0.003,
+               "misaligned_vec": 0.0060, "subnormal_kernel": 0.003},
+    zipf_exponent=1.8,
+    hot_kernel_bias=5.0,
+)

@@ -1,0 +1,110 @@
+"""Dataset serialization.
+
+The real BHive publishes its benchmark suite as CSV files of
+(machine-code hex, measured throughput) rows.  Our equivalent persists
+blocks as assembly text plus provenance and measurements, in both a
+CSV (two-column, BHive-style) and a richer JSON format, so corpora and
+ground-truth measurements can be shipped and reloaded without re-running
+the simulator.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Dict, Iterable, Optional
+
+from repro.corpus.dataset import BlockRecord, Corpus
+from repro.isa.parser import parse_block
+
+#: Separator used to keep a block's instructions on one CSV line.
+_LINE_SEP = "; "
+
+
+def block_to_field(block) -> str:
+    """One-line representation of a block (AT&T, ';'-separated)."""
+    return _LINE_SEP.join(block.text().splitlines())
+
+
+def block_from_field(field: str):
+    return parse_block(field.replace(_LINE_SEP, "\n"),
+                       source="imported")
+
+
+# ---------------------------------------------------------------------------
+# CSV (BHive-style two/three column)
+# ---------------------------------------------------------------------------
+
+def save_csv(path: str, corpus: Corpus,
+             measured: Optional[Dict[int, float]] = None) -> int:
+    """Write ``block, [throughput]`` rows; returns rows written.
+
+    With ``measured`` given, only successfully measured blocks are
+    written — mirroring the published BHive dataset, which contains
+    only blocks that survived the paper's filters.
+    """
+    written = 0
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        for record in corpus:
+            if measured is not None:
+                if record.block_id not in measured:
+                    continue
+                writer.writerow([block_to_field(record.block),
+                                 f"{measured[record.block_id]:.2f}"])
+            else:
+                writer.writerow([block_to_field(record.block)])
+            written += 1
+    return written
+
+
+def load_csv(path: str):
+    """Yield (block, throughput-or-None) pairs from a CSV dataset."""
+    with open(path, newline="") as fh:
+        for row in csv.reader(fh):
+            if not row:
+                continue
+            block = block_from_field(row[0])
+            throughput = float(row[1]) if len(row) > 1 else None
+            yield block, throughput
+
+
+# ---------------------------------------------------------------------------
+# JSON (full corpus round-trip)
+# ---------------------------------------------------------------------------
+
+def save_json(path: str, corpus: Corpus,
+              measured: Optional[Dict[int, float]] = None) -> None:
+    """Persist a corpus (and optional measurements) losslessly."""
+    payload = {
+        "scale": corpus.scale,
+        "records": [
+            {
+                "id": record.block_id,
+                "application": record.application,
+                "frequency": record.frequency,
+                "asm": block_to_field(record.block),
+                "throughput": (measured or {}).get(record.block_id),
+            }
+            for record in corpus
+        ],
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=1)
+
+
+def load_json(path: str):
+    """Returns (corpus, measured dict) from :func:`save_json` output."""
+    with open(path) as fh:
+        payload = json.load(fh)
+    records = []
+    measured: Dict[int, float] = {}
+    for item in payload["records"]:
+        block = block_from_field(item["asm"])
+        records.append(BlockRecord(block=block,
+                                   application=item["application"],
+                                   frequency=item["frequency"],
+                                   block_id=item["id"]))
+        if item.get("throughput") is not None:
+            measured[item["id"]] = item["throughput"]
+    return Corpus(records, scale=payload.get("scale", 1.0)), measured

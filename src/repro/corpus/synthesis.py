@@ -1,0 +1,478 @@
+"""Basic-block synthesis from application profiles.
+
+The synthesiser maintains the discipline a compiler's register
+allocator would: a few *pointer* registers only ever hold valid,
+mappable addresses (they start at the profiler's init constant and are
+advanced by small strides), while *scratch* registers absorb arbitrary
+arithmetic.  This mirrors real blocks — and guarantees the interesting
+failure modes (invalid addresses, page-stride walks, divide faults)
+appear exactly where the pathology knobs inject them, not at random.
+
+All randomness comes from one seeded ``random.Random``; the corpus is
+fully reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, Dict, List
+
+from repro.isa.instruction import BasicBlock, Instruction
+from repro.isa.operands import Imm, Mem
+from repro.isa.registers import Register, lookup
+from repro.corpus.appspec import ApplicationSpec
+
+_POINTER_POOL = ("rbx", "rsi", "rdi", "rbp", "r8", "r9")
+_SCRATCH_POOL = ("rax", "rcx", "rdx", "r10", "r11", "r12", "r13",
+                 "r14", "r15")
+
+_GPR32 = {"rax": "eax", "rcx": "ecx", "rdx": "edx", "r10": "r10d",
+          "r11": "r11d", "r12": "r12d", "r13": "r13d", "r14": "r14d",
+          "r15": "r15d"}
+_GPR8 = {"rax": "al", "rcx": "cl", "rdx": "dl", "r10": "r10b",
+         "r11": "r11b", "r12": "r12b", "r13": "r13b", "r14": "r14b",
+         "r15": "r15b"}
+
+
+def _i(mnemonic: str, *operands) -> Instruction:
+    return Instruction(mnemonic, tuple(operands))
+
+
+class BlockSynthesizer:
+    """Generates basic blocks matching one application's profile."""
+
+    def __init__(self, spec: ApplicationSpec, seed: int = 0):
+        self.spec = spec
+        self.rng = random.Random(f"{spec.name}:{seed}")
+        self._mix = spec.normalized_mix()
+        self._regfree_mix = spec.memory_free_mix()
+        self._emitters: Dict[str, Callable[..., List[Instruction]]] = {
+            name: getattr(self, f"_emit_{name}")
+            for name in set(self._mix) | {"compare"}}
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def block(self) -> BasicBlock:
+        """Synthesise one basic block."""
+        rng = self.rng
+        pathology = self._pick_pathology()
+        register_only = pathology is None and \
+            rng.random() < self.spec.register_only_fraction
+        long_kernel = pathology is None and not register_only and \
+            rng.random() < self.spec.long_kernel_fraction
+
+        if long_kernel:
+            length = rng.randint(*self.spec.long_kernel_length)
+        else:
+            length = int(round(rng.lognormvariate(
+                self.spec.length_mu, self.spec.length_sigma)))
+            length = max(self.spec.min_length,
+                         min(self.spec.max_length, length))
+
+        ctx = _BlockContext(rng, register_only=register_only)
+        instructions: List[Instruction] = []
+        mix = self._regfree_mix if register_only else self._mix
+        names = list(mix)
+        weights = [mix[n] for n in names]
+        while len(instructions) < length:
+            template = rng.choices(names, weights)[0]
+            instructions.extend(self._emitters[template](ctx))
+        instructions = instructions[:max(length, 1)]
+        if not register_only and \
+                not any(i.has_memory_access for i in instructions):
+            # The register-only share is an explicit profile knob; a
+            # "memory" block that happened to sample no memory template
+            # gets one load so the split stays calibrated (the paper:
+            # "most [blocks] contain memory accesses").
+            instructions[-1:] = self._emit_load(ctx)
+
+        if pathology is not None:
+            instructions = self._inject_pathology(pathology, ctx,
+                                                  instructions)
+        return BasicBlock(instructions, source=self.spec.name)
+
+    def blocks(self, count: int) -> List[BasicBlock]:
+        return [self.block() for _ in range(count)]
+
+    # ------------------------------------------------------------------
+    # Pathology injection
+    # ------------------------------------------------------------------
+
+    def _pick_pathology(self) -> str:
+        roll = self.rng.random()
+        acc = 0.0
+        for name, probability in self.spec.pathology.items():
+            acc += probability
+            if roll < acc:
+                return name
+        return None
+
+    def _inject_pathology(self, name: str, ctx: "_BlockContext",
+                          instructions: List[Instruction]
+                          ) -> List[Instruction]:
+        extra = getattr(self, f"_emit_{name}")(ctx)
+        where = self.rng.randrange(len(instructions) + 1)
+        return instructions[:where] + extra + instructions[where:]
+
+    # ------------------------------------------------------------------
+    # Template emitters — ordinary code
+    # ------------------------------------------------------------------
+
+    def _emit_alu(self, ctx) -> List[Instruction]:
+        op = ctx.rng.choice(("add", "sub", "and", "or", "xor",
+                             "add", "and"))
+        dst = ctx.scratch()
+        if ctx.rng.random() < 0.4:
+            return [_i(op, dst, Imm(ctx.rng.randint(1, 4096)))]
+        src = ctx.scratch(exclude=dst)
+        return [_i(op, dst, src)]
+
+    def _emit_compare(self, ctx) -> List[Instruction]:
+        op = ctx.rng.choice(("cmp", "test"))
+        a = ctx.scratch()
+        if ctx.rng.random() < 0.5:
+            return [_i(op, a, Imm(ctx.rng.randint(0, 255)))]
+        return [_i(op, a, ctx.scratch(exclude=a))]
+
+    def _emit_mov_rr(self, ctx) -> List[Instruction]:
+        dst = ctx.scratch()
+        src = ctx.scratch(exclude=dst)
+        if ctx.rng.random() < 0.3:
+            return [_i("mov", lookup(_GPR32[dst.name]),
+                       lookup(_GPR32[src.name]))]
+        return [_i("mov", dst, src)]
+
+    def _emit_mov_imm(self, ctx) -> List[Instruction]:
+        return [_i("mov", ctx.scratch(),
+                   Imm(ctx.rng.randint(1, 1 << 20)))]
+
+    def _emit_lea(self, ctx) -> List[Instruction]:
+        base = ctx.pointer()
+        if ctx.rng.random() < 0.4:
+            mem = Mem(base=base, index=ctx.scratch(),
+                      scale=ctx.rng.choice((1, 2, 4, 8)),
+                      disp=ctx.rng.randint(0, 64), width=8)
+        else:
+            mem = Mem(base=base, disp=ctx.rng.randint(-64, 256), width=8)
+        return [_i("lea", ctx.scratch(), mem)]
+
+    def _emit_load(self, ctx) -> List[Instruction]:
+        width = ctx.rng.choice((1, 2, 4, 8, 8))
+        mem = ctx.mem(width)
+        dst = ctx.scratch()
+        if width == 8:
+            return [_i("mov", dst, mem)]
+        if width == 4:
+            return [_i("mov", lookup(_GPR32[dst.name]), mem)]
+        return [_i("movzx", lookup(_GPR32[dst.name]), mem)]
+
+    def _emit_store(self, ctx) -> List[Instruction]:
+        width = ctx.rng.choice((4, 8, 8))
+        mem = ctx.mem(width)
+        if ctx.rng.random() < 0.3:
+            return [_i("mov", mem, Imm(ctx.rng.randint(0, 1 << 16)))]
+        src = ctx.scratch()
+        return [_i("mov", mem,
+                   src if width == 8 else lookup(_GPR32[src.name]))]
+
+    def _emit_store_burst(self, ctx) -> List[Instruction]:
+        base = ctx.pointer()
+        out = []
+        offset = ctx.rng.randrange(0, 64, 8)
+        for k in range(ctx.rng.randint(2, 4)):
+            src = ctx.scratch()
+            out.append(_i("mov", Mem(base=base, disp=offset + 8 * k,
+                                     width=8), src))
+        return out
+
+    def _emit_load_burst(self, ctx) -> List[Instruction]:
+        base = ctx.pointer()
+        out = []
+        offset = ctx.rng.randrange(0, 64, 8)
+        for k in range(ctx.rng.randint(2, 4)):
+            out.append(_i("mov", ctx.scratch(),
+                          Mem(base=base, disp=offset + 8 * k, width=8)))
+        return out
+
+    def _emit_copy(self, ctx) -> List[Instruction]:
+        """memcpy/memmove-style load-store pairs (the paper's
+        category-3 "mix of loads and stores" blocks)."""
+        src_base = ctx.pointer()
+        dst_base = ctx.pointer()
+        out = []
+        offset = ctx.rng.randrange(0, 64, 8)
+        for k in range(ctx.rng.randint(2, 4)):
+            tmp = ctx.scratch()
+            out.append(_i("mov", tmp,
+                          Mem(base=src_base, disp=offset + 8 * k,
+                              width=8)))
+            out.append(_i("mov",
+                          Mem(base=dst_base, disp=offset + 8 * k + 256,
+                              width=8), tmp))
+        return out
+
+    def _emit_rmw(self, ctx) -> List[Instruction]:
+        op = ctx.rng.choice(("add", "sub", "or", "and", "xor"))
+        mem = ctx.mem(8)
+        if ctx.rng.random() < 0.45:  # imm->mem: OSACA parser bug 1
+            return [_i(op, mem, Imm(ctx.rng.randint(1, 127)))]
+        return [_i(op, mem, ctx.scratch())]
+
+    def _emit_load_alu(self, ctx) -> List[Instruction]:
+        op = ctx.rng.choice(("add", "sub", "and", "or", "xor"))
+        return [_i(op, ctx.scratch(), ctx.mem(8))]
+
+    def _emit_bitmanip(self, ctx) -> List[Instruction]:
+        kind = ctx.rng.random()
+        dst = ctx.scratch()
+        if kind < 0.55:
+            op = ctx.rng.choice(("shl", "shr", "sar", "rol", "ror"))
+            return [_i(op, dst, Imm(ctx.rng.randint(1, 31)))]
+        if kind < 0.75:
+            op = ctx.rng.choice(("popcnt", "bsf", "bsr", "tzcnt"))
+            return [_i(op, dst, ctx.scratch(exclude=dst))]
+        if kind < 0.9:
+            return [_i("bswap", dst)]
+        return [_i("shld", dst, ctx.scratch(exclude=dst),
+                   Imm(ctx.rng.randint(1, 31)))]
+
+    def _emit_mul(self, ctx) -> List[Instruction]:
+        dst = ctx.scratch()
+        if ctx.rng.random() < 0.3:
+            return [_i("imul", dst, ctx.scratch(exclude=dst),
+                       Imm(ctx.rng.randint(2, 1000)))]
+        return [_i("imul", dst, ctx.scratch(exclude=dst))]
+
+    def _emit_div(self, ctx) -> List[Instruction]:
+        divisor = ctx.scratch(exclude_names=("rax", "rdx"))
+        edx = lookup("edx")
+        return [
+            _i("mov", lookup(_GPR32[divisor.name]),
+               Imm(ctx.rng.randint(3, 1 << 20))),
+            _i("xor", edx, edx),
+            _i("div", lookup(_GPR32[divisor.name])),
+        ]
+
+    def _emit_cmov_set(self, ctx) -> List[Instruction]:
+        cc = ctx.rng.choice(("e", "ne", "l", "g", "b", "a"))
+        a = ctx.scratch()
+        out = [_i("cmp", a, Imm(ctx.rng.randint(0, 255)))]
+        if ctx.rng.random() < 0.5:
+            out.append(_i(f"cmov{cc}", ctx.scratch(exclude=a), a))
+        else:
+            dst = ctx.scratch(exclude=a)
+            out.append(_i(f"set{cc}", lookup(_GPR8[dst.name])))
+        return out
+
+    def _emit_stack(self, ctx) -> List[Instruction]:
+        reg = ctx.scratch()
+        if ctx.rng.random() < 0.5:
+            return [_i("push", reg)]
+        return [_i("pop", reg)]
+
+    def _emit_zero_idiom(self, ctx) -> List[Instruction]:
+        if ctx.rng.random() < 0.6:
+            reg = lookup(_GPR32[ctx.scratch().name])
+            return [_i("xor", reg, reg)]
+        x = ctx.vec(128)
+        return [_i("pxor", x, x)]
+
+    def _emit_table_lookup(self, ctx) -> List[Instruction]:
+        idx = ctx.scratch()
+        base = ctx.pointer()
+        out = [_i("movzx", lookup(_GPR32[idx.name]),
+                  Mem(base=base, disp=ctx.rng.randint(0, 64), width=1))]
+        scale = ctx.rng.choice((4, 8))
+        dst = ctx.scratch(exclude=idx)
+        mem = Mem(base=ctx.pointer(), index=idx, scale=scale,
+                  disp=ctx.rng.randrange(0, 256, scale), width=scale)
+        # Element width matches the table's element size, like a real
+        # lookup table — an 8-byte load off a 4-byte-strided table
+        # would split cache lines.
+        out.append(_i("mov", dst if scale == 8
+                      else lookup(_GPR32[dst.name]), mem))
+        return out
+
+    def _emit_pointer_walk(self, ctx) -> List[Instruction]:
+        # Strides are whole cache lines: the same pointer may feed
+        # 16/32-byte vector accesses later in the block, and sub-line
+        # strides would drift them across line boundaries (tripping
+        # the misaligned-access filter far more often than real code).
+        ptr = ctx.pointer()
+        stride = ctx.rng.choice((64, 64, 128, 256))
+        return [
+            _i("mov", ctx.scratch(), Mem(base=ptr, width=8)),
+            _i("add", ptr, Imm(stride)),
+        ]
+
+    # -- vector templates ----------------------------------------------------
+
+    def _emit_vec_scalar_fp(self, ctx) -> List[Instruction]:
+        op = ctx.rng.choice(("addss", "mulss", "subss", "addsd",
+                             "mulsd", "maxss"))
+        dst = ctx.vec(128)
+        return [_i(op, dst, ctx.vec(128, exclude=dst))]
+
+    def _emit_vec_fp(self, ctx) -> List[Instruction]:
+        op = ctx.rng.choice(("addps", "mulps", "subps", "minps",
+                             "maxps", "addpd", "mulpd"))
+        dst = ctx.vec(128)
+        return [_i(op, dst, ctx.vec(128, exclude=dst))]
+
+    def _emit_vec_fp_avx(self, ctx) -> List[Instruction]:
+        op = ctx.rng.choice(("vaddps", "vmulps", "vsubps", "vminps",
+                             "vaddpd", "vmulpd"))
+        dst = ctx.vec(256)
+        a = ctx.vec(256, exclude=dst)
+        b = ctx.vec(256, exclude=dst)
+        return [_i(op, dst, a, b)]
+
+    def _emit_fma(self, ctx) -> List[Instruction]:
+        width = 256 if ctx.rng.random() < 0.6 else 128
+        op = ctx.rng.choice(("vfmadd231ps", "vfmadd213ps",
+                             "vfmadd231pd", "vfnmadd231ps"))
+        dst = ctx.vec(width)
+        a = ctx.vec(width, exclude=dst)
+        b = ctx.vec(width, exclude=dst)
+        return [_i(op, dst, a, b)]
+
+    def _emit_vec_int(self, ctx) -> List[Instruction]:
+        op = ctx.rng.choice(("paddd", "psubd", "pand", "por",
+                             "pcmpeqd", "pmaxsd", "paddw", "pslld"))
+        dst = ctx.vec(128)
+        if op == "pslld":
+            return [_i(op, dst, Imm(ctx.rng.randint(1, 15)))]
+        return [_i(op, dst, ctx.vec(128, exclude=dst))]
+
+    def _emit_vec_int_avx(self, ctx) -> List[Instruction]:
+        op = ctx.rng.choice(("vpaddd", "vpsubd", "vpand", "vpor"))
+        dst = ctx.vec(256)
+        a = ctx.vec(256, exclude=dst)
+        b = ctx.vec(256, exclude=dst)
+        return [_i(op, dst, a, b)]
+
+    def _emit_shuffle(self, ctx) -> List[Instruction]:
+        kind = ctx.rng.random()
+        dst = ctx.vec(128)
+        src = ctx.vec(128, exclude=dst)
+        if kind < 0.4:
+            return [_i("pshufd", dst, src,
+                       Imm(ctx.rng.randint(0, 255)))]
+        if kind < 0.7:
+            return [_i("shufps", dst, src,
+                       Imm(ctx.rng.randint(0, 255)))]
+        return [_i(ctx.rng.choice(("unpcklps", "unpckhps",
+                                   "punpckldq")), dst, src)]
+
+    def _emit_cvt(self, ctx) -> List[Instruction]:
+        kind = ctx.rng.random()
+        if kind < 0.5:
+            return [_i("cvtsi2ss", ctx.vec(128),
+                       lookup(_GPR32[ctx.scratch().name]))]
+        if kind < 0.8:
+            dst = ctx.vec(128)
+            return [_i("cvtdq2ps", dst, ctx.vec(128, exclude=dst))]
+        return [_i("cvttss2si", lookup(_GPR32[ctx.scratch().name]),
+                   ctx.vec(128))]
+
+    def _emit_vec_load(self, ctx) -> List[Instruction]:
+        if ctx.rng.random() < 0.25:
+            dst = ctx.vec(256)
+            return [_i("vmovups", dst,
+                       ctx.mem(32, align=32))]
+        op = ctx.rng.choice(("movaps", "movups", "movdqa", "movss",
+                             "movsd"))
+        width = {"movss": 4, "movsd": 8}.get(op, 16)
+        return [_i(op, ctx.vec(128), ctx.mem(width, align=width))]
+
+    def _emit_vec_store(self, ctx) -> List[Instruction]:
+        op = ctx.rng.choice(("movaps", "movups", "movss"))
+        width = 4 if op == "movss" else 16
+        return [_i(op, ctx.mem(width, align=width), ctx.vec(128))]
+
+    # ------------------------------------------------------------------
+    # Template emitters — pathologies
+    # ------------------------------------------------------------------
+
+    def _emit_unsupported(self, ctx) -> List[Instruction]:
+        return [_i(ctx.rng.choice(("syscall", "cpuid", "rdtsc",
+                                   "mfence", "rep_movsb")))]
+
+    def _emit_invalid_mem(self, ctx) -> List[Instruction]:
+        # Absolute address below the first mappable page (or far above
+        # user space): isValidAddr() fails, mapping gives up.
+        bad = ctx.rng.choice((0x40, 0x200, (1 << 47) + 0x1000))
+        return [_i("mov", ctx.scratch(), Mem(disp=bad, width=8))]
+
+    def _emit_page_stride(self, ctx) -> List[Instruction]:
+        # Three page-granular pointer walks: the mapping stage would
+        # need hundreds of mappings — exceeds maxNumFaults.
+        out = []
+        for _ in range(3):
+            ptr = ctx.pointer()
+            out.append(_i("mov", ctx.scratch(), Mem(base=ptr, width=8)))
+            out.append(_i("add", ptr, Imm(4096)))
+        return out
+
+    def _emit_div_zero(self, ctx) -> List[Instruction]:
+        ecx = lookup("ecx")
+        edx = lookup("edx")
+        return [_i("xor", ecx, ecx), _i("xor", edx, edx), _i("div", ecx)]
+
+    def _emit_subnormal_kernel(self, ctx) -> List[Instruction]:
+        # Produces genuinely subnormal f32 values from the canonical
+        # init pattern: dividing the tiny loaded float (~5.7e-28) by
+        # the int-converted pattern (~3.1e8) twice lands in the f32
+        # subnormal range — a microcode assist unless FTZ is set.
+        x, y, z = lookup("xmm0"), lookup("xmm1"), lookup("xmm2")
+        return [
+            _i("movss", x, ctx.mem(4, align=4)),
+            _i("cvtsi2ss", y, lookup(_GPR32[ctx.scratch().name])),
+            _i("divss", x, y),
+            _i("divss", x, y),
+            _i("mulss", z, x),
+        ]
+
+    def _emit_misaligned_vec(self, ctx) -> List[Instruction]:
+        # Offset 60 mod 64: a 16-byte access always crosses a line.
+        base = ctx.pointer()
+        return [_i("movups", ctx.vec(128),
+                   Mem(base=base, disp=60, width=16))]
+
+
+class _BlockContext:
+    """Per-block register discipline."""
+
+    def __init__(self, rng: random.Random, register_only: bool):
+        self.rng = rng
+        self.register_only = register_only
+        self.pointers = rng.sample(_POINTER_POOL,
+                                   k=rng.randint(2, 4))
+        self.scratches = rng.sample(_SCRATCH_POOL,
+                                    k=rng.randint(4, len(_SCRATCH_POOL)))
+        self.vecs = rng.sample(range(16), k=rng.randint(4, 10))
+
+    def pointer(self) -> Register:
+        return lookup(self.rng.choice(self.pointers))
+
+    def scratch(self, exclude: Register = None,
+                exclude_names=()) -> Register:
+        names = [n for n in self.scratches
+                 if n not in exclude_names
+                 and (exclude is None or n != exclude.base)]
+        return lookup(self.rng.choice(names))
+
+    def vec(self, width: int, exclude: Register = None) -> Register:
+        prefix = "ymm" if width == 256 else "xmm"
+        choices = [i for i in self.vecs
+                   if exclude is None or f"{prefix}{i}" != exclude.name]
+        return lookup(f"{prefix}{self.rng.choice(choices)}")
+
+    def mem(self, width: int, align: int = 0) -> Mem:
+        align = align or width
+        disp = self.rng.randrange(0, 512, max(align, 1))
+        base = self.pointer()
+        return Mem(base=base, disp=disp, width=width)

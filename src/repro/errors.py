@@ -1,0 +1,93 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without swallowing unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by this library."""
+
+
+class AsmSyntaxError(ReproError):
+    """The assembly text could not be parsed.
+
+    Attributes:
+        text: the offending source line (or fragment).
+    """
+
+    def __init__(self, message: str, text: str = ""):
+        super().__init__(message if not text else f"{message}: {text!r}")
+        self.text = text
+
+
+class UnknownOpcodeError(ReproError):
+    """An instruction uses a mnemonic the ISA tables do not define."""
+
+    def __init__(self, mnemonic: str):
+        super().__init__(f"unknown opcode: {mnemonic!r}")
+        self.mnemonic = mnemonic
+
+
+class UnsupportedInstructionError(ReproError):
+    """The instruction is recognised but cannot be executed or timed.
+
+    This mirrors real basic blocks containing privileged or otherwise
+    unprofileable instructions (``syscall``, ``cpuid``, ...).
+    """
+
+
+class MemoryFault(ReproError):
+    """A (simulated) access touched an unmapped virtual page.
+
+    This is the analogue of SIGSEGV in the paper's ptrace-based harness;
+    :mod:`repro.profiler.mapping` intercepts it to build page mappings.
+    """
+
+    def __init__(self, address: int, *, is_write: bool = False):
+        kind = "write" if is_write else "read"
+        super().__init__(f"fault: {kind} access to unmapped address {address:#x}")
+        self.address = address
+        self.is_write = is_write
+
+
+class InvalidAddressFault(MemoryFault):
+    """The faulting address can never be mapped (non-canonical / kernel).
+
+    Fig. 2's ``isValidAddr`` check fails for these, so the monitor gives
+    up on the block instead of creating a mapping.
+    """
+
+
+class ArithmeticFault(ReproError):
+    """The executed code raised #DE (divide error) — simulated SIGFPE.
+
+    Blocks whose execution divides by zero under the profiler's
+    canonical initialisation can never be measured; they count toward
+    the unprofileable residue of Table I.
+    """
+
+    def __init__(self, detail: str = "divide error"):
+        super().__init__(detail)
+
+
+class ProfilingFailure(ReproError):
+    """A basic block could not be successfully profiled.
+
+    Carries a machine-readable ``reason`` used by the ablation benches.
+    """
+
+    def __init__(self, reason: str, detail: str = ""):
+        super().__init__(f"profiling failed ({reason})" + (f": {detail}" if detail else ""))
+        self.reason = reason
+
+
+class ModelError(ReproError):
+    """A cost model could not analyse the given block.
+
+    The paper reports OSACA crashing on unrecognised instruction forms;
+    those crashes surface as this exception (rendered as ``-`` in the
+    case-study table).
+    """

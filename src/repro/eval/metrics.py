@@ -1,0 +1,61 @@
+"""Accuracy metrics (§V).
+
+The paper scores predictors by *relative error* — absolute error of
+the predicted throughput normalised by the measured throughput — plus,
+for the production case study, frequency-weighted error and Kendall's
+tau (the fraction of pairwise throughput orderings a model preserves).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+from scipy import stats
+
+
+def relative_error(predicted: float, measured: float) -> float:
+    """|predicted - measured| / measured (the paper's error metric)."""
+    if measured <= 0:
+        raise ValueError("measured throughput must be positive")
+    return abs(predicted - measured) / measured
+
+
+def average_error(pairs: Iterable[Tuple[float, float]]) -> Optional[float]:
+    """Unweighted mean relative error over (predicted, measured)."""
+    errors = [relative_error(p, m) for p, m in pairs]
+    if not errors:
+        return None
+    return sum(errors) / len(errors)
+
+
+def weighted_error(triples: Iterable[Tuple[float, float, float]]
+                   ) -> Optional[float]:
+    """Frequency-weighted mean relative error.
+
+    ``triples`` are (predicted, measured, weight); the paper weights a
+    block's error by its runtime execution frequency.
+    """
+    total = 0.0
+    weight_sum = 0.0
+    for predicted, measured, weight in triples:
+        total += relative_error(predicted, measured) * weight
+        weight_sum += weight
+    if weight_sum == 0:
+        return None
+    return total / weight_sum
+
+
+def kendall_tau(predicted: Sequence[float],
+                measured: Sequence[float]) -> Optional[float]:
+    """Kendall's tau-b between predicted and measured throughputs.
+
+    Measures the fraction of pairwise orderings preserved — the paper
+    reports it because a model that ranks blocks correctly is useful
+    to an optimising compiler even when its absolute scale is off.
+    """
+    if len(predicted) != len(measured):
+        raise ValueError("length mismatch")
+    if len(predicted) < 2:
+        return None
+    tau, _pvalue = stats.kendalltau(predicted, measured)
+    return float(tau)

@@ -1,0 +1,163 @@
+"""End-to-end experiment pipeline with caching.
+
+Every bench and example needs the same expensive artefacts: a corpus,
+its classification, per-uarch ground-truth measurements, and model
+predictions.  ``Experiment`` builds them once per (scale, seed) —
+memoised in-process and, for the measurements (the slow part, ~20 ms a
+block), on disk under ``.cache/`` keyed by a corpus content hash so
+repeated bench runs are fast and edits to the generators invalidate
+cleanly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence
+
+from repro.classify.categories import ClassifierResult, classify_blocks
+from repro.corpus.dataset import Corpus, build_corpus, build_google_corpus
+from repro.eval.validation import (ValidationResult, profile_corpus,
+                                   validate)
+from repro.models.base import CostModel
+from repro.models.iaca import IacaModel
+from repro.models.ithemal import IthemalModel
+from repro.models.llvm_mca import LlvmMcaModel
+from repro.models.osaca import OsacaModel
+
+#: Default scale for benches: 1/250 of the paper's 358k blocks.
+DEFAULT_SCALE = float(os.environ.get("REPRO_SCALE", "0.004"))
+DEFAULT_SEED = int(os.environ.get("REPRO_SEED", "0"))
+
+UARCHES = ("ivybridge", "haswell", "skylake")
+
+
+def _cache_dir() -> str:
+    root = os.environ.get("REPRO_CACHE",
+                          os.path.join(os.path.dirname(__file__),
+                                       "..", "..", "..", ".cache"))
+    path = os.path.abspath(root)
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def _corpus_digest(corpus: Corpus) -> int:
+    crc = 0
+    for record in corpus:
+        crc = zlib.crc32(record.block.text().encode(), crc)
+    return crc
+
+
+@dataclass
+class Experiment:
+    """Shared lazy artefacts for one (scale, seed) configuration."""
+
+    scale: float = DEFAULT_SCALE
+    seed: int = DEFAULT_SEED
+    _corpus: Optional[Corpus] = field(default=None, repr=False)
+    _classification: Optional[ClassifierResult] = field(default=None,
+                                                        repr=False)
+    _measured: Dict[str, Dict[int, float]] = field(default_factory=dict,
+                                                   repr=False)
+    _validations: Dict[str, ValidationResult] = field(
+        default_factory=dict, repr=False)
+    _models: Optional[List[CostModel]] = field(default=None, repr=False)
+    _google: Optional[Dict[str, Corpus]] = field(default=None, repr=False)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def corpus(self) -> Corpus:
+        if self._corpus is None:
+            self._corpus = build_corpus(scale=self.scale, seed=self.seed)
+        return self._corpus
+
+    @property
+    def google_corpora(self) -> Dict[str, Corpus]:
+        if self._google is None:
+            self._google = build_google_corpus(scale=self.scale,
+                                               seed=self.seed)
+        return self._google
+
+    @property
+    def classification(self) -> ClassifierResult:
+        if self._classification is None:
+            self._classification = classify_blocks(self.corpus.blocks)
+        return self._classification
+
+    @property
+    def models(self) -> List[CostModel]:
+        """The paper's four predictors (Ithemal trained lazily)."""
+        if self._models is None:
+            self._models = [IacaModel(), LlvmMcaModel(), IthemalModel(),
+                            OsacaModel()]
+        return self._models
+
+    # ------------------------------------------------------------------
+
+    def measured(self, uarch: str,
+                 corpus: Optional[Corpus] = None,
+                 tag: str = "main") -> Dict[int, float]:
+        """Ground-truth throughputs (disk-cached)."""
+        key = f"{tag}:{uarch}"
+        if key in self._measured:
+            return self._measured[key]
+        corpus = corpus if corpus is not None else self.corpus
+        digest = _corpus_digest(corpus)
+        path = os.path.join(
+            _cache_dir(),
+            f"measured_{tag}_{uarch}_{self.seed}_{digest:08x}.json")
+        if os.path.exists(path):
+            with open(path) as fh:
+                data = {int(k): v for k, v in json.load(fh).items()}
+        else:
+            data = profile_corpus(corpus, uarch, seed=self.seed)
+            with open(path, "w") as fh:
+                json.dump(data, fh)
+        self._measured[key] = data
+        return data
+
+    def validation(self, uarch: str) -> ValidationResult:
+        """Full §V validation for one microarchitecture (cached)."""
+        if uarch not in self._validations:
+            categories = {
+                record.block_id: category
+                for record, category in zip(self.corpus.records,
+                                            self.classification.categories)
+            }
+            self._validations[uarch] = validate(
+                self.corpus, uarch, self.models,
+                categories=categories, seed=self.seed,
+                measured=self.measured(uarch))
+        return self._validations[uarch]
+
+    def validations(self, uarches: Sequence[str] = UARCHES
+                    ) -> Dict[str, ValidationResult]:
+        return {uarch: self.validation(uarch) for uarch in uarches}
+
+    def google_validation(self, app: str,
+                          uarch: str = "haswell") -> ValidationResult:
+        """§V case study: validate models on Spanner/Dremel blocks.
+
+        Like the paper, the models arrive pre-built (Ithemal trained on
+        the main suite's measurements) and are evaluated on the
+        production application's most frequently executed blocks.
+        OSACA is excluded ("due to licensing issues").
+        """
+        self.validation(uarch)  # ensures Ithemal is trained
+        corpus = self.google_corpora[app]
+        models = [m for m in self.models if m.name != "OSACA"]
+        return validate(corpus, uarch, models, seed=self.seed,
+                        measured=self.measured(uarch, corpus=corpus,
+                                               tag=app),
+                        train_fraction=0.0)
+
+
+@lru_cache(maxsize=4)
+def default_experiment(scale: float = DEFAULT_SCALE,
+                       seed: int = DEFAULT_SEED) -> Experiment:
+    """Process-wide shared experiment (what the benches use)."""
+    return Experiment(scale=scale, seed=seed)

@@ -1,0 +1,120 @@
+"""Text renderers for the paper's tables and figures.
+
+The benches print each table/figure in the same shape the paper uses,
+with the paper's reported values alongside ours where applicable.
+Figures are rendered as labelled ASCII bar charts — good enough to
+compare orderings and magnitudes at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """Render a simple aligned ASCII table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if cell is None:
+        return "-"
+    if isinstance(cell, float):
+        return f"{cell:.4f}" if abs(cell) < 10 else f"{cell:.1f}"
+    return str(cell)
+
+
+def bar_chart(values: Dict[str, float], title: str = "",
+              width: int = 46, fmt: str = "{:.3f}") -> str:
+    """Horizontal ASCII bar chart (one bar per key)."""
+    lines = [title] if title else []
+    if not values:
+        return title
+    peak = max((v for v in values.values() if v is not None),
+               default=1.0) or 1.0
+    label_w = max(len(str(k)) for k in values)
+    for key, value in values.items():
+        if value is None:
+            lines.append(f"{str(key).ljust(label_w)} | -")
+            continue
+        bar = "#" * max(1, int(round(width * value / peak)))
+        lines.append(f"{str(key).ljust(label_w)} | "
+                     f"{bar} {fmt.format(value)}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(groups: Dict[str, Dict[str, Optional[float]]],
+                      title: str = "", width: int = 40,
+                      fmt: str = "{:.3f}") -> str:
+    """Grouped ASCII bars: one section per group, one bar per series.
+
+    Mirrors the paper's per-application / per-cluster error figures
+    (group = application or category, series = model).
+    """
+    lines = [title] if title else []
+    flat = [v for g in groups.values() for v in g.values()
+            if v is not None]
+    peak = max(flat, default=1.0) or 1.0
+    series_w = max((len(s) for g in groups.values() for s in g), default=4)
+    for group, series in groups.items():
+        lines.append(f"{group}:")
+        for name, value in series.items():
+            if value is None:
+                lines.append(f"  {name.ljust(series_w)} | -")
+                continue
+            bar = "#" * max(1, int(round(width * value / peak)))
+            lines.append(f"  {name.ljust(series_w)} | "
+                         f"{bar} {fmt.format(value)}")
+    return "\n".join(lines)
+
+
+def schedule_diagram(records, n_instructions: int,
+                     max_cycles: int = 64, title: str = "") -> str:
+    """ASCII dispatch timeline (the paper's Fig. 11).
+
+    One row per micro-op; columns are cycles; ``D`` marks the dispatch
+    cycle, ``=`` execution until the result is ready.
+    """
+    lines = [title] if title else []
+    lines.append("cycle      " + "".join(
+        str(c % 10) for c in range(max_cycles)))
+    for rec in records:
+        if rec.instr_index >= n_instructions:
+            break
+        if rec.dispatch >= max_cycles:
+            continue
+        row = [" "] * max_cycles
+        end = min(rec.finish, max_cycles)
+        for c in range(rec.dispatch, end):
+            row[c] = "="
+        row[rec.dispatch] = "D"
+        label = f"{rec.mnemonic[:8]:8s}.{rec.kind[:4]:4s}"
+        port = f"p{rec.port}" if rec.port is not None else "--"
+        lines.append(f"{label}{port:>3s} " + "".join(row))
+    return "\n".join(lines)
+
+
+def side_by_side(paper: Dict[str, float], ours: Dict[str, float],
+                 title: str = "",
+                 headers: Tuple[str, str, str] = ("metric", "paper",
+                                                  "ours")) -> str:
+    """Two-column comparison against the paper's reported numbers."""
+    rows: List[Sequence[object]] = []
+    for key in paper:
+        rows.append((key, paper[key], ours.get(key)))
+    return format_table(headers, rows, title=title)

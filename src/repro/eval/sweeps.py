@@ -1,0 +1,89 @@
+"""Parameter sweeps over the measurement methodology.
+
+§III-B leaves the unroll factors as free parameters ("large enough to
+get the processor into a steady state"); these helpers sweep them (and
+the acceptance threshold) so the stability claims behind those choices
+can be checked quantitatively — the data behind DESIGN.md's ablation
+list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.isa.instruction import BasicBlock
+from repro.profiler.environment import Environment, EnvironmentConfig
+from repro.profiler.filters import AcceptancePolicy
+from repro.profiler.harness import BasicBlockProfiler, ProfilerConfig
+from repro.profiler.mapping import map_pages
+from repro.profiler.unroll import UnrollPlan
+from repro.runtime.executor import Executor
+from repro.uarch.machine import Machine
+
+
+@dataclass
+class SweepPoint:
+    """One configuration's outcome."""
+
+    parameter: Tuple
+    throughput: Optional[float]
+    failure: Optional[str] = None
+
+
+def _measure_at(machine: Machine, block: BasicBlock,
+                plan: UnrollPlan,
+                env_config: Optional[EnvironmentConfig] = None
+                ) -> SweepPoint:
+    env = Environment(env_config or EnvironmentConfig())
+    env.reset()
+    outcome = map_pages(env, block, unroll=plan.max_factor)
+    if not outcome.success:
+        return SweepPoint(plan.factors, None, outcome.failure.value)
+    cycles = []
+    for unroll in plan.factors:
+        env.reinitialize()
+        trace = Executor(env.state, env.memory).execute_block(block,
+                                                              unroll)
+        run = machine.run(block, unroll, trace, env.memory)
+        accepted, failure, _ = AcceptancePolicy().accept(run.samples)
+        if failure is not None:
+            return SweepPoint(plan.factors, None, failure.value)
+        cycles.append(accepted)
+    return SweepPoint(plan.factors,
+                      plan.derive_throughput(tuple(cycles)))
+
+
+def sweep_unroll_pairs(block: BasicBlock,
+                       pairs: Sequence[Tuple[int, int]],
+                       uarch: str = "haswell",
+                       seed: int = 0) -> List[SweepPoint]:
+    """Eq. 2 throughput across (u, u') choices.
+
+    The paper's claim: any pair past the steady-state knee gives the
+    same answer.  Points that violate the §III-C invariants (e.g. the
+    larger factor overflowing L1I) report their failure instead.
+    """
+    machine = Machine(uarch, seed=seed)
+    return [
+        _measure_at(machine, block, UnrollPlan(factors=pair))
+        for pair in pairs
+    ]
+
+
+def sweep_naive_unroll(block: BasicBlock,
+                       factors: Sequence[int],
+                       uarch: str = "haswell",
+                       seed: int = 0) -> List[SweepPoint]:
+    """Eq. 1 throughput across single unroll factors (warm-up bias)."""
+    machine = Machine(uarch, seed=seed)
+    return [
+        _measure_at(machine, block, UnrollPlan(factors=(factor,)))
+        for factor in factors
+    ]
+
+
+def stability_table(points: Sequence[SweepPoint]
+                    ) -> Dict[Tuple, Optional[float]]:
+    """parameter -> throughput view for reporting."""
+    return {p.parameter: p.throughput for p in points}

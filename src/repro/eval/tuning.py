@@ -1,0 +1,166 @@
+"""Cost-model tuning from measured data (the paper's raison d'être).
+
+The paper's conclusion: "Our benchmark can be used to systematically
+evaluate and **tune** performance models of x86-64 basic blocks", and
+its introduction quotes an LLVM commit choosing cost-model parameters
+"haphazardly".  This module closes the loop: given a simulator-style
+model and a measured corpus, it fits per-timing-class corrections to
+the model's tables by coordinate descent on the measured error —
+exactly the workflow the suite enables for LLVM's scheduling-model
+maintainers.
+
+``tune`` returns a :class:`TunedModel` (the original instance is left
+untouched) plus a per-class report of the chosen corrections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.eval.metrics import average_error
+from repro.isa.instruction import BasicBlock
+from repro.models.portsim import PortSimulatorModel
+from repro.models.tables import perturb_entry
+from repro.uarch.uops import timing_class
+
+
+class TunedModel(PortSimulatorModel):
+    """A simulator model with per-class latency/occupancy corrections."""
+
+    def __init__(self, base: PortSimulatorModel,
+                 scales: Dict[str, float]):
+        super().__init__(**base._policy, residuals=base._residuals)
+        self.name = f"{base.name}+tuned"
+        self._base = base
+        self.scales = dict(scales)
+
+    def build_table(self, uarch, base_table, base_div):
+        table, div = self._base.build_table(uarch, base_table, base_div)
+        tuned = {
+            cls: perturb_entry(entry, self.scales.get(cls, 1.0))
+            for cls, entry in table.items()
+        }
+        return tuned, div
+
+    def build_descriptor(self, desc):
+        return self._base.build_descriptor(desc)
+
+    def preprocess(self, block):
+        return self._base.preprocess(block)
+
+
+@dataclass
+class ClassAdjustment:
+    """One tuning decision."""
+
+    timing_class: str
+    factor: float
+    error_before: float
+    error_after: float
+    n_blocks: int
+
+
+@dataclass
+class TuningReport:
+    model: str
+    uarch: str
+    adjustments: List[ClassAdjustment]
+    error_before: float
+    error_after: float
+
+
+def _blocks_by_class(blocks: Sequence[BasicBlock]
+                     ) -> Dict[str, List[int]]:
+    by_class: Dict[str, List[int]] = {}
+    for index, block in enumerate(blocks):
+        seen = set()
+        for instr in block:
+            if instr.info.unsupported:
+                continue
+            try:
+                cls = timing_class(instr)
+            except KeyError:
+                continue
+            if cls not in seen:
+                seen.add(cls)
+                by_class.setdefault(cls, []).append(index)
+    return by_class
+
+
+def _mean_error(model, blocks, measured, indices, uarch) -> Optional[float]:
+    pairs = []
+    for index in indices:
+        prediction = model.predict_safe(blocks[index], uarch)
+        if prediction.ok:
+            pairs.append((prediction.throughput, measured[index]))
+    return average_error(pairs)
+
+
+def tune(base: PortSimulatorModel,
+         blocks: Sequence[BasicBlock],
+         measured: Sequence[float],
+         uarch: str,
+         grid: Tuple[float, ...] = (0.5, 0.67, 0.8, 1.0, 1.25, 1.5, 2.0),
+         max_classes: int = 10,
+         sample_per_class: int = 24,
+         passes: int = 1) -> Tuple[TunedModel, TuningReport]:
+    """Fit per-class table corrections minimising measured error.
+
+    Coordinate descent: for the most frequent timing classes, try each
+    scale factor on a sample of blocks containing that class and keep
+    the best.  Classes are visited most-common-first; ``passes`` > 1
+    revisits them (adjustments interact through port contention).
+    """
+    if len(blocks) != len(measured):
+        raise ValueError("blocks and measured differ in length")
+    by_class = _blocks_by_class(blocks)
+    ranked = sorted(by_class, key=lambda cls: -len(by_class[cls]))
+    ranked = ranked[:max_classes]
+
+    scales: Dict[str, float] = {}
+    adjustments: List[ClassAdjustment] = []
+    all_indices = list(range(len(blocks)))
+    before_overall = _mean_error(base, blocks, measured, all_indices,
+                                 uarch) or 0.0
+
+    for _ in range(max(passes, 1)):
+        for cls in ranked:
+            indices = by_class[cls][:sample_per_class]
+            best_factor, best_error = None, None
+            baseline_error = None
+            for factor in grid:
+                candidate = TunedModel(base, {**scales, cls: factor})
+                error = _mean_error(candidate, blocks, measured,
+                                    indices, uarch)
+                if error is None:
+                    continue
+                if factor == 1.0 and cls not in scales:
+                    baseline_error = error
+                # Prefer the smallest change on ties: a correction
+                # that does not measurably help should not be made.
+                key = (round(error, 4), abs(factor - 1.0))
+                if best_error is None or key < best_error:
+                    best_factor, best_error = factor, key
+            best_error = best_error[0] if best_error else None
+            if best_factor is None:
+                continue
+            current = scales.get(cls, 1.0)
+            if baseline_error is None:
+                baseline_error = best_error
+            if best_factor != current:
+                scales[cls] = best_factor
+                adjustments.append(ClassAdjustment(
+                    timing_class=cls, factor=best_factor,
+                    error_before=round(baseline_error, 4),
+                    error_after=round(best_error, 4),
+                    n_blocks=len(indices)))
+
+    tuned = TunedModel(base, scales)
+    after_overall = _mean_error(tuned, blocks, measured, all_indices,
+                                uarch) or before_overall
+    report = TuningReport(model=base.name, uarch=uarch,
+                          adjustments=adjustments,
+                          error_before=round(before_overall, 4),
+                          error_after=round(after_overall, 4))
+    return tuned, report

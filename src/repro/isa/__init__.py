@@ -1,0 +1,28 @@
+"""x86-64 instruction-set model: registers, operands, parsing, encoding.
+
+Public entry points:
+
+* :func:`parse_block` / :class:`BasicBlock` — turn assembly text into a
+  block the profiler and the cost models consume.
+* :data:`REGISTERS`, :func:`lookup` — the register file.
+* :func:`opcode_info` — per-mnemonic architectural metadata.
+"""
+
+from repro.isa.encoder import block_length, instruction_length
+from repro.isa.instruction import BasicBlock, Instruction, block
+from repro.isa.opcodes import OPCODES, OpcodeInfo, is_known, opcode_info
+from repro.isa.operands import Imm, Mem, Operand, is_imm, is_mem, is_reg
+from repro.isa.parser import parse_block, parse_instruction
+from repro.isa.printer import format_block, format_instruction
+from repro.isa.registers import REGISTERS, Register, gpr, lookup, xmm, ymm
+
+__all__ = [
+    "BasicBlock", "Instruction", "block",
+    "Imm", "Mem", "Operand", "Register",
+    "REGISTERS", "OPCODES", "OpcodeInfo",
+    "parse_block", "parse_instruction",
+    "format_block", "format_instruction",
+    "instruction_length", "block_length",
+    "opcode_info", "is_known", "lookup", "gpr", "xmm", "ymm",
+    "is_imm", "is_mem", "is_reg",
+]

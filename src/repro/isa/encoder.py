@@ -1,0 +1,79 @@
+"""Instruction length estimation (pseudo-encoder).
+
+The profiler needs the *byte footprint* of an unrolled block to model
+L1 instruction-cache pressure (the effect behind Table II's 35 I-cache
+misses and the "more intelligent unrolling" row of Table I).  We do not
+need bit-exact machine code — only realistic lengths — so this module
+computes lengths from standard x86-64 encoding rules: legacy/REX/VEX
+prefixes, opcode bytes, ModRM/SIB, displacement and immediate sizes.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instruction import Instruction
+from repro.isa.operands import Imm, Mem, is_imm, is_mem, is_reg
+
+#: Opcodes encoded with a two-byte (0F-escape) opcode.
+_TWO_BYTE_GROUPS = frozenset({
+    "movzx", "cmov", "setcc", "bitscan", "vec_mov", "vec_xfer",
+    "fp_add", "fp_mul", "fp_div", "fp_sqrt", "fp_rcp", "fp_round",
+    "fp_cmp", "fp_comi", "fp_cvt", "vec_logic", "vec_int", "vec_imul",
+    "vec_shift", "shuffle", "lane_xfer", "fma",
+})
+
+
+def _disp_bytes(disp: int) -> int:
+    if disp == 0:
+        return 0
+    if -128 <= disp <= 127:
+        return 1
+    return 4
+
+
+def _imm_bytes(value: int, width_bytes: int) -> int:
+    if -128 <= value <= 127:
+        return 1
+    if width_bytes >= 4 or not (-32768 <= value <= 32767):
+        return 4 if -(1 << 31) <= value < (1 << 32) else 8
+    return 2
+
+
+def instruction_length(instr: Instruction) -> int:
+    """Estimated encoded length in bytes (1..15)."""
+    info = instr.info
+    length = 1  # primary opcode byte
+
+    if info.group in _TWO_BYTE_GROUPS or info.feature != "base":
+        length += 1
+    if instr.mnemonic.startswith("v"):
+        length += 2  # VEX prefix (use 3-byte VEX as the common case)
+    elif info.feature == "sse":
+        length += 1  # mandatory 66/F2/F3 prefix
+    if instr.operand_width == 8 and not info.vec:
+        length += 1  # REX.W
+    elif any(is_reg(op) and op.name.startswith("r") and op.name[1:2].isdigit()
+             for op in instr.operands):
+        length += 1  # REX.B/R for r8..r15
+
+    mem = instr.memory_operand
+    regs_or_mem = [op for op in instr.operands if not is_imm(op)]
+    if regs_or_mem:
+        length += 1  # ModRM
+    if mem is not None:
+        if mem.index is not None or mem.base is None:
+            length += 1  # SIB
+        if mem.base is None:
+            length += 4  # absolute disp32
+        else:
+            length += _disp_bytes(mem.disp)
+
+    for op in instr.operands:
+        if is_imm(op):
+            length += _imm_bytes(op.value, instr.operand_width)
+
+    return min(length, 15)
+
+
+def block_length(block) -> int:
+    """Total encoded length of a block in bytes."""
+    return sum(instruction_length(i) for i in block)

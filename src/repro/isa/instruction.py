@@ -1,0 +1,368 @@
+"""Instruction and basic-block data structures.
+
+An :class:`Instruction` is a parsed mnemonic plus operands in **Intel
+order** (destination first); the AT&T parser reverses operand order
+before constructing one.  All register/memory read/write sets are
+derived here once from the opcode metadata so that the functional
+executor, the micro-op decomposer and every cost model agree on the
+dataflow of each instruction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import AsmSyntaxError
+from repro.isa import registers as regs
+from repro.isa.opcodes import OpcodeInfo, opcode_info
+from repro.isa.operands import Imm, Mem, Operand, is_mem, is_reg
+
+_FEATURE_ORDER = {"base": 0, "sse": 1, "avx": 2, "avx2": 3, "fma": 3}
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One decoded x86-64 instruction (operands in Intel order)."""
+
+    mnemonic: str
+    operands: Tuple[Operand, ...] = ()
+
+    def __post_init__(self) -> None:
+        info = opcode_info(self.mnemonic)
+        if info.arity and len(self.operands) not in info.arity \
+                and not info.unsupported:
+            raise AsmSyntaxError(
+                f"{self.mnemonic} takes {info.arity} operands, "
+                f"got {len(self.operands)}")
+
+    @cached_property
+    def info(self) -> OpcodeInfo:
+        return opcode_info(self.mnemonic)
+
+    # -- operand roles ----------------------------------------------------
+
+    @property
+    def dest(self) -> Optional[Operand]:
+        """The destination operand, if this instruction writes one."""
+        if self.info.writes_dst and self.operands:
+            if self.info.semantic in ("imul", "mul") \
+                    and len(self.operands) == 1:
+                return None  # one-operand forms write rdx:rax only
+            return self.operands[0]
+        return None
+
+    @property
+    def sources(self) -> Tuple[Operand, ...]:
+        """Operands read as data (includes dst when read-modify-write)."""
+        ops = self.operands
+        if not ops:
+            return ()
+        reads_dst = self.info.reads_dst
+        if self.mnemonic == "imul" and len(ops) == 3:
+            reads_dst = False  # imul r, r/m, imm writes dst only
+        srcs: List[Operand] = []
+        if self.info.writes_dst:
+            if reads_dst:
+                srcs.append(ops[0])
+            srcs.extend(ops[1:])
+        else:
+            srcs.extend(ops)
+        return tuple(srcs)
+
+    @cached_property
+    def memory_operand(self) -> Optional[Mem]:
+        """The (at most one) memory operand of the instruction."""
+        for op in self.operands:
+            if is_mem(op):
+                return op
+        return None
+
+    @property
+    def loads_memory(self) -> bool:
+        mem = self.memory_operand
+        if mem is None or self.mnemonic == "lea":
+            return False
+        if mem in self.sources:
+            return True
+        # A read-modify-write destination in memory also loads.
+        return bool(self.info.writes_dst and self.info.reads_dst
+                    and self.operands and self.operands[0] is mem)
+
+    @property
+    def stores_memory(self) -> bool:
+        mem = self.memory_operand
+        if mem is None:
+            return False
+        if self.mnemonic == "push":
+            return True
+        return bool(self.info.writes_dst and self.operands
+                    and self.operands[0] is mem)
+
+    @property
+    def has_memory_access(self) -> bool:
+        if self.mnemonic in ("push", "pop"):
+            return True
+        if self.mnemonic == "lea":
+            return False
+        return self.memory_operand is not None
+
+    # -- register dataflow -------------------------------------------------
+
+    @cached_property
+    def implicit_reads(self) -> Tuple[regs.Register, ...]:
+        sem = self.info.semantic
+        if sem in ("div", "idiv"):
+            return (regs.lookup("rax"), regs.lookup("rdx"))
+        if sem in ("mul",) or (sem == "imul" and len(self.operands) == 1):
+            return (regs.lookup("rax"),)
+        if sem in ("cdq", "cqo", "cdqe"):
+            return (regs.lookup("rax"),)
+        if self.info.group in ("push", "pop"):
+            return (regs.lookup("rsp"),)
+        if self.info.group == "shift" and len(self.operands) == 2 \
+                and is_reg(self.operands[1]) \
+                and self.operands[1].name == "cl":
+            return ()  # already explicit
+        return ()
+
+    @cached_property
+    def implicit_writes(self) -> Tuple[regs.Register, ...]:
+        sem = self.info.semantic
+        if sem in ("div", "idiv", "mul"):
+            return (regs.lookup("rax"), regs.lookup("rdx"))
+        if sem == "imul" and len(self.operands) == 1:
+            return (regs.lookup("rax"), regs.lookup("rdx"))
+        if sem in ("cdq", "cqo"):
+            return (regs.lookup("rdx"),)
+        if sem == "cdqe":
+            return (regs.lookup("rax"),)
+        if self.info.group in ("push", "pop"):
+            return (regs.lookup("rsp"),)
+        return ()
+
+    @cached_property
+    def regs_read(self) -> Tuple[regs.Register, ...]:
+        """Registers whose values this instruction consumes.
+
+        Includes address registers of memory operands and implicit
+        operands.  A zero idiom (``xor rax, rax``) reads nothing — the
+        hardware breaks the dependency, and the dataflow model must too.
+        Models that do *not* recognise idioms use :attr:`regs_read_raw`.
+        """
+        if self.is_zero_idiom:
+            return ()
+        return self.regs_read_raw
+
+    @cached_property
+    def regs_read_raw(self) -> Tuple[regs.Register, ...]:
+        """Registers read, ignoring dependency-breaking idioms."""
+        seen: List[regs.Register] = []
+
+        def add(r: regs.Register) -> None:
+            if r not in seen:
+                seen.append(r)
+
+        for op in self.operands:
+            if is_mem(op):
+                for r in op.registers:
+                    add(r)
+        for op in self.sources:
+            if is_reg(op):
+                add(op)
+        if self.mnemonic == "xchg":
+            for op in self.operands:
+                if is_reg(op):
+                    add(op)
+        for r in self.implicit_reads:
+            add(r)
+        return tuple(seen)
+
+    @cached_property
+    def regs_written(self) -> Tuple[regs.Register, ...]:
+        seen: List[regs.Register] = []
+        dst = self.dest
+        if dst is not None and is_reg(dst):
+            seen.append(dst)
+        if self.mnemonic == "xchg":
+            for op in self.operands:
+                if is_reg(op) and op not in seen:
+                    seen.append(op)
+        for r in self.implicit_writes:
+            if r not in seen:
+                seen.append(r)
+        return tuple(seen)
+
+    # -- properties used by timing/classification --------------------------
+
+    @property
+    def is_zero_idiom(self) -> bool:
+        """True for dependency-breaking idioms like ``xor %rax, %rax``.
+
+        The ground-truth machine and IACA exploit these; llvm-mca and
+        OSACA (per the paper's case study) do not.
+        """
+        if not self.info.zero_idiom:
+            return False
+        ops = self.operands
+        data_ops = [op for op in ops if is_reg(op)]
+        if self.info.reads_dst and len(ops) == 2:
+            return len(data_ops) == 2 and data_ops[0] == data_ops[1]
+        if len(ops) == 3:  # VEX non-destructive form
+            return (len(data_ops) == 3
+                    and data_ops[1] == data_ops[2])
+        return False
+
+    @cached_property
+    def operand_width(self) -> int:
+        """Data width in bytes (largest data operand)."""
+        width = 0
+        for op in self.operands:
+            if is_reg(op):
+                width = max(width, op.width // 8)
+            elif is_mem(op):
+                width = max(width, op.width)
+        return width or 8
+
+    @property
+    def feature_level(self) -> int:
+        level = _FEATURE_ORDER[self.info.feature]
+        # Integer vector ops on ymm registers are AVX2, not AVX: the
+        # VEX form of e.g. ``paddd`` is AVX1 only at xmm width.
+        if level == 2 and self.mnemonic.startswith("vp") and \
+                any(is_reg(op) and op.is_vector and op.width == 256
+                    for op in self.operands):
+            return 3
+        return level
+
+    @cached_property
+    def memory_access_width(self) -> int:
+        """Bytes actually moved by the memory operand, if any.
+
+        The parser can only guess widths from sibling register operands
+        (``addss xmm0, [rax]`` would guess 16); this resolves the
+        mnemonic-specific truth.  Used for alignment/split-line checks
+        and cache accounting.
+        """
+        mem = self.memory_operand
+        if mem is None and self.mnemonic not in ("push", "pop"):
+            return 0
+        name = self.mnemonic.lstrip("v") if self.info.vec else self.mnemonic
+        fixed = {
+            "movss": 4, "movsd": 8, "movd": 4, "movq": 8,
+            "pinsrb": 1, "pinsrw": 2, "pinsrd": 4, "pinsrq": 8,
+            "pextrb": 1, "pextrw": 2, "pextrd": 4, "pextrq": 8,
+            "broadcastss": 4, "broadcastsd": 8,
+            "pbroadcastb": 1, "pbroadcastd": 4, "pbroadcastq": 8,
+            "insertf128": 16, "inserti128": 16,
+            "extractf128": 16, "extracti128": 16,
+        }
+        if name in fixed:
+            return fixed[name]
+        if self.info.vec and self.info.fp and name.endswith("ss"):
+            return 4
+        if self.info.vec and self.info.fp and name.endswith("sd"):
+            return 8
+        if self.info.vec:
+            vec_widths = [op.width // 8 for op in self.operands
+                          if is_reg(op) and op.is_vector]
+            if vec_widths:
+                return max(vec_widths)
+        if mem is not None:
+            return mem.width
+        return self.operand_width
+
+    @cached_property
+    def form(self) -> str:
+        """Operand-kind signature, e.g. ``"rm"`` for ``xor al, [rdi-1]``."""
+        from repro.isa.operands import operand_kind
+        return "".join(operand_kind(op) for op in self.operands)
+
+    def __str__(self) -> str:
+        from repro.isa.printer import format_instruction
+        return format_instruction(self)
+
+
+class BasicBlock:
+    """A straight-line sequence of instructions (no control flow).
+
+    This matches the paper's notion of a basic block: terminators are
+    stripped before profiling, so a block is pure data/ALU/memory code.
+    """
+
+    def __init__(self, instructions: Sequence[Instruction],
+                 source: str = "synthetic"):
+        self.instructions: Tuple[Instruction, ...] = tuple(instructions)
+        #: Provenance tag (application name or "synthetic").
+        self.source = source
+
+    @classmethod
+    def from_text(cls, text: str, source: str = "text") -> "BasicBlock":
+        """Parse assembly text (auto-detects AT&T vs. Intel syntax)."""
+        from repro.isa.parser import parse_block
+        return parse_block(text, source=source)
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __getitem__(self, idx):
+        return self.instructions[idx]
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, BasicBlock)
+                and self.instructions == other.instructions)
+
+    def __hash__(self) -> int:
+        return hash(self.instructions)
+
+    @cached_property
+    def has_memory_access(self) -> bool:
+        return any(i.has_memory_access for i in self.instructions)
+
+    @cached_property
+    def feature_level(self) -> int:
+        """Max ISA feature level used (see ``OpcodeInfo.feature``)."""
+        return max((i.feature_level for i in self.instructions), default=0)
+
+    @property
+    def uses_avx2_or_fma(self) -> bool:
+        """Blocks excluded from Ivy Bridge validation in the paper."""
+        return self.feature_level >= 3
+
+    @cached_property
+    def is_supported(self) -> bool:
+        return not any(i.info.unsupported for i in self.instructions)
+
+    @cached_property
+    def byte_length(self) -> int:
+        """Estimated encoded size; drives the I-cache footprint model."""
+        from repro.isa.encoder import instruction_length
+        return sum(instruction_length(i) for i in self.instructions)
+
+    def text(self, syntax: str = "att") -> str:
+        from repro.isa.printer import format_block
+        return format_block(self, syntax=syntax)
+
+    def __str__(self) -> str:
+        return self.text()
+
+    def __repr__(self) -> str:
+        head = "; ".join(str(i) for i in self.instructions[:3])
+        more = "..." if len(self.instructions) > 3 else ""
+        return (f"BasicBlock(<{len(self)} instrs, {self.source}> "
+                f"{head}{more})")
+
+
+def block(*lines: str, source: str = "text") -> BasicBlock:
+    """Build a block from one instruction per argument (test helper)."""
+    return BasicBlock.from_text("\n".join(lines), source=source)
+
+
+def iter_instructions(blocks: Iterable[BasicBlock]):
+    """Flatten an iterable of blocks into instructions."""
+    for b in blocks:
+        yield from b.instructions

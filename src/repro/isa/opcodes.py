@@ -1,0 +1,366 @@
+"""Opcode registry: static metadata for every mnemonic we model.
+
+Each :class:`OpcodeInfo` records the *architectural* properties of a
+mnemonic (operand policy, flags behaviour, vector-ness, ISA feature
+level).  Timing properties (micro-ops, ports, latencies) live in the
+per-microarchitecture tables under :mod:`repro.uarch.tables`, keyed by
+the ``group`` defined here.
+
+The set below covers the instruction vocabulary produced by the corpus
+generators plus everything appearing in the paper's example blocks.
+Mnemonics outside the registry raise
+:class:`repro.errors.UnknownOpcodeError` at parse time, and mnemonics
+registered with ``unsupported=True`` (syscalls, string ops, ...) parse
+fine but cannot be executed — they contribute to the unprofileable
+fraction in Table I exactly as in the real suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.errors import UnknownOpcodeError
+
+#: Condition-code suffixes shared by ``cmov``, ``set`` and ``j`` families.
+CONDITION_CODES: Tuple[str, ...] = (
+    "e", "ne", "z", "nz", "l", "le", "g", "ge", "b", "be", "a", "ae",
+    "s", "ns", "o", "no", "p", "np", "c", "nc",
+)
+
+
+@dataclass(frozen=True)
+class OpcodeInfo:
+    """Architectural metadata for one mnemonic.
+
+    Attributes:
+        name: canonical (Intel-syntax, unsuffixed) mnemonic.
+        group: timing/semantic family; the per-uarch tables and the
+            functional-semantics dispatcher key off this.
+        arity: allowed operand counts.
+        reads_dst: destination is read-modify-write (``add``) rather
+            than write-only (``mov``).
+        writes_dst: first operand is written at all (``cmp`` is not).
+        reads_flags / writes_flags: condition-code behaviour.
+        vec: operates on xmm/ymm data.
+        fp: ``"f32"``/``"f64"`` for floating-point ops, else ``None``.
+        feature: ISA extension required: ``base``, ``sse``, ``avx``,
+            ``avx2`` or ``fma``.  Ivy Bridge rejects ``avx2``/``fma``
+            blocks, mirroring the paper's exclusion of AVX2 blocks.
+        zero_idiom: ``op r, r`` with identical operands is a
+            dependency-breaking zero idiom (``xor``, ``pxor``, ...).
+        unsupported: recognised but never executable by the profiler.
+        cc: condition code for ``cmov``/``set`` variants.
+        semantic: name of the semantic handler (defaults to ``group``).
+    """
+
+    name: str
+    group: str
+    arity: Tuple[int, ...] = (2,)
+    reads_dst: bool = True
+    writes_dst: bool = True
+    reads_flags: bool = False
+    writes_flags: bool = False
+    vec: bool = False
+    fp: Optional[str] = None
+    feature: str = "base"
+    zero_idiom: bool = False
+    unsupported: bool = False
+    cc: Optional[str] = None
+    semantic: str = field(default="")
+
+    def __post_init__(self) -> None:
+        if not self.semantic:
+            object.__setattr__(self, "semantic", self.group)
+
+
+_REGISTRY: Dict[str, OpcodeInfo] = {}
+
+
+def _def(name: str, group: str, **kw) -> None:
+    if name in _REGISTRY:
+        raise ValueError(f"duplicate opcode {name}")
+    _REGISTRY[name] = OpcodeInfo(name=name, group=group, **kw)
+
+
+def _def_fp(name: str, group: str, fp: str, **kw) -> None:
+    kw.setdefault("vec", True)
+    kw.setdefault("reads_dst", True)
+    _def(name, group, fp=fp, **kw)
+
+
+# --------------------------------------------------------------------------
+# Scalar integer
+# --------------------------------------------------------------------------
+
+_def("mov", "mov", reads_dst=False)
+_def("movzx", "movzx", reads_dst=False)
+_def("movsx", "movzx", reads_dst=False, semantic="movsx")
+_def("movsxd", "movzx", reads_dst=False, semantic="movsx")
+_def("lea", "lea", reads_dst=False)
+_def("xchg", "xchg", arity=(2,), semantic="xchg")
+
+for _n in ("add", "sub", "and", "or", "xor"):
+    _def(_n, "int_alu", writes_flags=True, zero_idiom=_n in ("xor", "sub"),
+         semantic=_n)
+_def("adc", "int_alu", writes_flags=True, reads_flags=True, semantic="adc")
+_def("sbb", "int_alu", writes_flags=True, reads_flags=True,
+     zero_idiom=False, semantic="sbb")
+_def("cmp", "int_alu", arity=(2,), writes_dst=False, writes_flags=True,
+     semantic="cmp")
+_def("test", "int_alu", arity=(2,), writes_dst=False, writes_flags=True,
+     semantic="test")
+for _n in ("inc", "dec", "neg", "not"):
+    _def(_n, "int_alu", arity=(1,), writes_flags=_n != "not", semantic=_n)
+
+_def("imul", "int_mul", arity=(1, 2, 3), writes_flags=True, semantic="imul")
+_def("mul", "int_mul", arity=(1,), writes_flags=True, semantic="mul")
+_def("div", "int_div", arity=(1,), writes_dst=False, writes_flags=True,
+     semantic="div")
+_def("idiv", "int_div", arity=(1,), writes_dst=False, writes_flags=True,
+     semantic="idiv")
+
+for _n in ("shl", "shr", "sar", "sal", "rol", "ror"):
+    _def(_n, "shift", arity=(1, 2), writes_flags=True, semantic=_n)
+for _n in ("shld", "shrd"):
+    _def(_n, "shift_double", arity=(3,), writes_flags=True, semantic=_n)
+
+for _n in ("bsf", "bsr"):
+    _def(_n, "bitscan", reads_dst=False, writes_flags=True, semantic=_n)
+for _n in ("popcnt", "lzcnt", "tzcnt"):
+    _def(_n, "bitscan", reads_dst=False, writes_flags=True, semantic=_n)
+_def("bt", "int_alu", writes_dst=False, writes_flags=True, semantic="bt")
+_def("bswap", "int_alu", arity=(1,), semantic="bswap")
+
+_def("cdq", "widen", arity=(0,), reads_dst=False, semantic="cdq")
+_def("cqo", "widen", arity=(0,), reads_dst=False, semantic="cqo")
+_def("cdqe", "widen", arity=(0,), reads_dst=False, semantic="cdqe")
+
+for _cc in CONDITION_CODES:
+    _def(f"cmov{_cc}", "cmov", reads_flags=True, cc=_cc, semantic="cmov")
+    _def(f"set{_cc}", "setcc", arity=(1,), reads_dst=False,
+         reads_flags=True, cc=_cc, semantic="setcc")
+
+_def("push", "push", arity=(1,), writes_dst=False)
+_def("pop", "pop", arity=(1,), reads_dst=False)
+_def("nop", "nop", arity=(0, 1), reads_dst=False, writes_dst=False)
+
+# --------------------------------------------------------------------------
+# SSE/AVX moves
+# --------------------------------------------------------------------------
+
+for _n, _fp in (("movss", "f32"), ("movsd", "f64")):
+    _def(_n, "vec_mov", fp=_fp, vec=True, reads_dst=False, feature="sse")
+for _n, _fp in (("movaps", "f32"), ("movups", "f32"), ("movapd", "f64"),
+                ("movupd", "f64"), ("movdqa", None), ("movdqu", None)):
+    _def(_n, "vec_mov", fp=_fp, vec=True, reads_dst=False, feature="sse")
+_def("movd", "vec_xfer", vec=True, reads_dst=False, feature="sse")
+_def("movq", "vec_xfer", vec=True, reads_dst=False, feature="sse")
+_def("movmskps", "vec_xfer", vec=True, reads_dst=False, feature="sse",
+     semantic="movmsk")
+_def("movmskpd", "vec_xfer", vec=True, reads_dst=False, feature="sse",
+     semantic="movmsk")
+_def("pmovmskb", "vec_xfer", vec=True, reads_dst=False, feature="sse",
+     semantic="movmsk")
+
+# --------------------------------------------------------------------------
+# SSE/AVX floating-point arithmetic
+# --------------------------------------------------------------------------
+
+for _n in ("addss", "addps", "subss", "subps", "minss", "minps",
+           "maxss", "maxps"):
+    _def_fp(_n, "fp_add", "f32", feature="sse")
+for _n in ("addsd", "addpd", "subsd", "subpd", "minsd", "minpd",
+           "maxsd", "maxpd"):
+    _def_fp(_n, "fp_add", "f64", feature="sse")
+for _n in ("mulss", "mulps"):
+    _def_fp(_n, "fp_mul", "f32", feature="sse")
+for _n in ("mulsd", "mulpd"):
+    _def_fp(_n, "fp_mul", "f64", feature="sse")
+for _n in ("divss", "divps"):
+    _def_fp(_n, "fp_div", "f32", feature="sse")
+for _n in ("divsd", "divpd"):
+    _def_fp(_n, "fp_div", "f64", feature="sse")
+for _n in ("sqrtss", "sqrtps"):
+    _def_fp(_n, "fp_sqrt", "f32", feature="sse", reads_dst=False)
+for _n in ("sqrtsd", "sqrtpd"):
+    _def_fp(_n, "fp_sqrt", "f64", feature="sse", reads_dst=False)
+for _n in ("rcpps", "rsqrtps"):
+    _def_fp(_n, "fp_rcp", "f32", feature="sse", reads_dst=False)
+_def_fp("haddps", "fp_add", "f32", feature="sse", semantic="hadd")
+_def_fp("haddpd", "fp_add", "f64", feature="sse", semantic="hadd")
+for _n in ("roundps", "roundss", "roundpd", "roundsd"):
+    _def_fp(_n, "fp_round", _n.endswith("d") and "f64" or "f32",
+            feature="sse", arity=(2, 3), reads_dst=False)
+for _n in ("cmpps", "cmpss", "cmppd", "cmpsd_fp"):
+    _def_fp(_n, "fp_cmp", _n.endswith(("pd", "sd_fp")) and "f64" or "f32",
+            feature="sse", arity=(3,))
+for _n in ("ucomiss", "comiss"):
+    _def(_n, "fp_comi", fp="f32", vec=True, writes_dst=False,
+         writes_flags=True, feature="sse", semantic="comi")
+for _n in ("ucomisd", "comisd"):
+    _def(_n, "fp_comi", fp="f64", vec=True, writes_dst=False,
+         writes_flags=True, feature="sse", semantic="comi")
+
+# --------------------------------------------------------------------------
+# SSE/AVX logic, integer vector, shuffles
+# --------------------------------------------------------------------------
+
+for _n in ("xorps", "xorpd", "pxor"):
+    _def(_n, "vec_logic", vec=True, feature="sse", zero_idiom=True,
+         semantic="vxor")
+for _n in ("andps", "andpd", "pand"):
+    _def(_n, "vec_logic", vec=True, feature="sse", semantic="vand")
+for _n in ("orps", "orpd", "por"):
+    _def(_n, "vec_logic", vec=True, feature="sse", semantic="vor")
+for _n in ("andnps", "andnpd", "pandn"):
+    _def(_n, "vec_logic", vec=True, feature="sse", semantic="vandn")
+_def("ptest", "vec_logic", vec=True, writes_dst=False, writes_flags=True,
+     feature="sse", semantic="ptest")
+
+for _n in ("paddb", "paddw", "paddd", "paddq",
+           "psubb", "psubw", "psubd", "psubq"):
+    _def(_n, "vec_int", vec=True, feature="sse", semantic="vec_int",
+         zero_idiom=_n.startswith("psub"))
+for _n in ("pmulld", "pmullw", "pmuludq", "pmaddwd"):
+    _def(_n, "vec_imul", vec=True, feature="sse", semantic="vec_imul")
+for _n in ("pcmpeqb", "pcmpeqw", "pcmpeqd", "pcmpeqq",
+           "pcmpgtb", "pcmpgtw", "pcmpgtd"):
+    _def(_n, "vec_int", vec=True, feature="sse", semantic="vec_cmp")
+for _n in ("pmaxsd", "pminsd", "pmaxub", "pminub", "pabsd", "pavgb"):
+    _def(_n, "vec_int", vec=True, feature="sse", semantic="vec_int",
+         reads_dst=_n != "pabsd")
+for _n in ("pslld", "psrld", "psllq", "psrlq", "psllw", "psrlw", "psrad",
+           "psraw"):
+    _def(_n, "vec_shift", vec=True, feature="sse", semantic="vec_shift")
+
+for _n in ("shufps", "shufpd"):
+    _def(_n, "shuffle", vec=True, feature="sse", arity=(3,),
+         semantic="shuffle")
+for _n in ("pshufd", "pshufb", "pshuflw", "pshufhw"):
+    _def(_n, "shuffle", vec=True, feature="sse",
+         arity=(3,) if _n == "pshufd" else (2, 3), reads_dst=False,
+         semantic="shuffle")
+for _n in ("punpcklbw", "punpckhbw", "punpckldq", "punpckhdq",
+           "punpcklqdq", "punpckhqdq", "unpcklps", "unpckhps",
+           "unpcklpd", "unpckhpd"):
+    _def(_n, "shuffle", vec=True, feature="sse", semantic="unpack")
+_def("palignr", "shuffle", vec=True, feature="sse", arity=(3,),
+     semantic="shuffle")
+for _n in ("blendps", "blendpd", "pblendw"):
+    _def(_n, "shuffle", vec=True, feature="sse", arity=(3,),
+         semantic="shuffle")
+for _n in ("pextrb", "pextrw", "pextrd", "pextrq"):
+    _def(_n, "vec_xfer", vec=True, feature="sse", arity=(3,),
+         reads_dst=False, semantic="extract")
+for _n in ("pinsrb", "pinsrw", "pinsrd", "pinsrq"):
+    _def(_n, "vec_xfer", vec=True, feature="sse", arity=(3,),
+         semantic="insert")
+
+# --------------------------------------------------------------------------
+# Conversions
+# --------------------------------------------------------------------------
+
+for _n in ("cvtsi2ss", "cvtsi2sd", "cvtss2sd", "cvtsd2ss",
+           "cvttss2si", "cvttsd2si", "cvtss2si", "cvtsd2si",
+           "cvtdq2ps", "cvtps2dq", "cvttps2dq", "cvtdq2pd", "cvtpd2dq"):
+    _def(_n, "fp_cvt", vec=True, reads_dst=False, feature="sse",
+         fp="f64" if "sd" in _n or "pd" in _n else "f32",
+         semantic="cvt")
+
+# --------------------------------------------------------------------------
+# AVX (VEX) forms — generated from the legacy names, plus AVX-only ops.
+# --------------------------------------------------------------------------
+
+_AVX2_GROUPS = {"vec_int", "vec_imul", "vec_shift", "vec_logic"}
+
+
+def _vex_variant(info: OpcodeInfo) -> OpcodeInfo:
+    """Build the ``v``-prefixed VEX form of a legacy SSE opcode.
+
+    VEX forms of two-operand RMW instructions become three-operand
+    non-destructive (``vaddps ymm, ymm, ymm``); the extra source is
+    handled by arity widening here and operand policy in the executor.
+    """
+    arity = tuple(sorted({a + (1 if info.reads_dst and a == 2 else 0)
+                          for a in info.arity} | set(info.arity)))
+    return OpcodeInfo(
+        name="v" + info.name,
+        group=info.group,
+        arity=arity,
+        reads_dst=False,
+        writes_dst=info.writes_dst,
+        reads_flags=info.reads_flags,
+        writes_flags=info.writes_flags,
+        vec=True,
+        fp=info.fp,
+        feature="avx",
+        zero_idiom=info.zero_idiom,
+        cc=info.cc,
+        semantic=info.semantic,
+    )
+
+
+for _name in list(_REGISTRY):
+    _info = _REGISTRY[_name]
+    if _info.feature == "sse" and not _name.startswith("v"):
+        _REGISTRY["v" + _name] = _vex_variant(_info)
+
+for _n, _fp in (("vbroadcastss", "f32"), ("vbroadcastsd", "f64")):
+    _def(_n, "shuffle", vec=True, reads_dst=False, fp=_fp, feature="avx",
+         semantic="broadcast")
+for _n in ("vpbroadcastb", "vpbroadcastd", "vpbroadcastq"):
+    _def(_n, "shuffle", vec=True, reads_dst=False, feature="avx2",
+         semantic="broadcast")
+for _n in ("vinsertf128", "vinserti128"):
+    _def(_n, "lane_xfer", vec=True, arity=(4,),
+         feature="avx" if _n[-4] == "f" else "avx2", semantic="insert128")
+for _n in ("vextractf128", "vextracti128"):
+    _def(_n, "lane_xfer", vec=True, arity=(3,), reads_dst=False,
+         feature="avx" if "f128" in _n else "avx2", semantic="extract128")
+_def("vperm2f128", "lane_xfer", vec=True, arity=(4,), reads_dst=False,
+     feature="avx", semantic="perm2")
+_def("vpermilps", "shuffle", vec=True, arity=(3,), reads_dst=False,
+     feature="avx", fp="f32", semantic="shuffle")
+_def("vzeroupper", "vzero", arity=(0,), reads_dst=False, writes_dst=False,
+     vec=True, feature="avx")
+
+for _base in ("132", "213", "231"):
+    for _suffix, _fp in (("ps", "f32"), ("pd", "f64"),
+                         ("ss", "f32"), ("sd", "f64")):
+        for _kind in ("vfmadd", "vfmsub", "vfnmadd", "vfnmsub"):
+            _def(f"{_kind}{_base}{_suffix}", "fma", vec=True, fp=_fp,
+                 arity=(3,), reads_dst=True, feature="fma",
+                 semantic="fma")
+
+# --------------------------------------------------------------------------
+# Recognised but unprofileable (Table I's residual failures)
+# --------------------------------------------------------------------------
+
+for _n in ("syscall", "cpuid", "rdtsc", "rdtscp", "int3", "ud2",
+           "lfence", "mfence", "sfence", "pause", "lock", "xgetbv",
+           "cmpxchg", "xadd", "rep_movsb", "rep_stosb", "rep_movsq",
+           "fldcw", "fnstcw", "stmxcsr", "ldmxcsr", "vmaskmovps",
+           "maskmovdqu", "movnti", "movntps", "movntdq", "clflush",
+           "prefetcht0", "prefetcht1", "prefetchnta"):
+    _def(_n, "unsupported", arity=(0, 1, 2), reads_dst=False,
+         writes_dst=False, unsupported=True)
+
+#: Read-only view of the full registry.
+OPCODES: Dict[str, OpcodeInfo] = dict(_REGISTRY)
+
+
+def opcode_info(mnemonic: str) -> OpcodeInfo:
+    """Look up metadata for ``mnemonic`` (case-insensitive, canonical).
+
+    Raises:
+        UnknownOpcodeError: for mnemonics outside the modelled subset.
+    """
+    info = OPCODES.get(mnemonic.lower())
+    if info is None:
+        raise UnknownOpcodeError(mnemonic)
+    return info
+
+
+def is_known(mnemonic: str) -> bool:
+    return mnemonic.lower() in OPCODES

@@ -1,0 +1,97 @@
+"""Instruction operands: immediates and memory references.
+
+Register operands are represented directly by
+:class:`repro.isa.registers.Register`; this module adds the other two
+operand kinds and a few predicates shared by the parser, the executor
+and the micro-op decomposer.
+
+Memory operands use the full x86-64 addressing form
+``disp(base, index, scale)`` and know their own *access width* (in
+bytes), which the executor needs to compute alignment and the cache
+model needs to detect cache-line splits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.isa.registers import Register
+
+
+@dataclass(frozen=True)
+class Imm:
+    """An immediate operand."""
+
+    value: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.value:#x}" if abs(self.value) > 9 else str(self.value)
+
+
+@dataclass(frozen=True)
+class Mem:
+    """A memory operand ``[base + index*scale + disp]`` of ``width`` bytes.
+
+    ``width`` is the number of bytes moved by the access (1, 2, 4, 8, 16
+    or 32).  It is fixed at parse/synthesis time from the instruction
+    form, e.g. ``xor -1(%rdi), %al`` reads one byte.
+    """
+
+    base: Optional[Register] = None
+    index: Optional[Register] = None
+    scale: int = 1
+    disp: int = 0
+    width: int = 8
+
+    def __post_init__(self) -> None:
+        if self.scale not in (1, 2, 4, 8):
+            raise ValueError(f"invalid scale {self.scale}")
+        if self.width not in (1, 2, 4, 8, 16, 32):
+            raise ValueError(f"invalid access width {self.width}")
+
+    @property
+    def registers(self):
+        """Registers read to form the effective address."""
+        regs = []
+        if self.base is not None:
+            regs.append(self.base)
+        if self.index is not None:
+            regs.append(self.index)
+        return regs
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        parts = []
+        if self.base is not None:
+            parts.append(self.base.name)
+        if self.index is not None:
+            parts.append(f"{self.index.name}*{self.scale}")
+        if self.disp or not parts:
+            parts.append(f"{self.disp:#x}" if self.disp >= 0 else f"-{-self.disp:#x}")
+        return "[" + " + ".join(parts) + "]"
+
+
+Operand = Union[Register, Imm, Mem]
+
+
+def is_reg(op: Operand) -> bool:
+    return isinstance(op, Register)
+
+
+def is_imm(op: Operand) -> bool:
+    return isinstance(op, Imm)
+
+
+def is_mem(op: Operand) -> bool:
+    return isinstance(op, Mem)
+
+
+def operand_kind(op: Operand) -> str:
+    """Short kind tag used in opcode-form signatures: ``r``/``i``/``m``."""
+    if isinstance(op, Register):
+        return "r"
+    if isinstance(op, Imm):
+        return "i"
+    if isinstance(op, Mem):
+        return "m"
+    raise TypeError(f"not an operand: {op!r}")

@@ -1,0 +1,294 @@
+"""Assembly parser for AT&T and Intel syntax.
+
+The corpus generators build :class:`Instruction` objects directly, but
+the paper's example blocks (and user input) arrive as text in either
+syntax — the paper itself mixes both.  ``parse_block`` auto-detects the
+syntax per line: a ``%`` register prefix means AT&T, otherwise Intel.
+
+AT&T operand order (src, dst) is reversed to the canonical Intel order,
+and AT&T size-suffixed mnemonics (``addl``, ``movzbl``...) are folded to
+their canonical names with the suffix recorded as the memory access
+width.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.errors import AsmSyntaxError
+from repro.isa import registers as regs
+from repro.isa.instruction import BasicBlock, Instruction
+from repro.isa.opcodes import is_known
+from repro.isa.operands import Imm, Mem, Operand, is_mem, is_reg
+
+_SUFFIX_WIDTHS = {"b": 1, "w": 2, "l": 4, "q": 8}
+
+#: ``movzbl``-style AT&T widening mnemonics: (src width, canonical name).
+_WIDEN_RE = re.compile(r"^mov([zs])([bw])([wlq])$")
+
+_PTR_WIDTHS = {
+    "byte": 1, "word": 2, "dword": 4, "qword": 8,
+    "xmmword": 16, "oword": 16, "ymmword": 32,
+}
+
+
+def _parse_int(text: str) -> int:
+    text = text.strip()
+    try:
+        return int(text, 0)
+    except ValueError:
+        raise AsmSyntaxError("bad integer", text)
+
+
+# --------------------------------------------------------------------------
+# AT&T syntax
+# --------------------------------------------------------------------------
+
+def _att_register(tok: str) -> regs.Register:
+    name = tok.lstrip("%").lower()
+    if not regs.is_register_name(name):
+        raise AsmSyntaxError("unknown register", tok)
+    return regs.lookup(name)
+
+
+def _split_operands(text: str) -> List[str]:
+    """Split on commas not inside parentheses/brackets."""
+    parts: List[str] = []
+    depth = 0
+    cur = ""
+    for ch in text:
+        if ch in "([":
+            depth += 1
+        elif ch in ")]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append(cur.strip())
+            cur = ""
+        else:
+            cur += ch
+    if cur.strip():
+        parts.append(cur.strip())
+    return parts
+
+
+def _att_operand(tok: str, width: int) -> Operand:
+    tok = tok.strip()
+    if tok.startswith("$"):
+        return Imm(_parse_int(tok[1:]))
+    if tok.startswith("%"):
+        return _att_register(tok)
+    # Memory: disp(base, index, scale) with every part optional.
+    m = re.match(r"^([^(]*)\(([^)]*)\)$", tok)
+    if m:
+        disp = _parse_int(m.group(1)) if m.group(1).strip() else 0
+        inner = [p.strip() for p in m.group(2).split(",")]
+        base = _att_register(inner[0]) if inner and inner[0] else None
+        index = (_att_register(inner[1])
+                 if len(inner) > 1 and inner[1] else None)
+        scale = _parse_int(inner[2]) if len(inner) > 2 and inner[2] else 1
+        return Mem(base=base, index=index, scale=scale, disp=disp,
+                   width=width)
+    # Absolute address.
+    try:
+        return Mem(disp=_parse_int(tok), width=width)
+    except AsmSyntaxError:
+        raise AsmSyntaxError("cannot parse AT&T operand", tok)
+
+
+def _canonical_att_mnemonic(raw: str,
+                            operand_toks: List[str]
+                            ) -> Tuple[str, int, Optional[int]]:
+    """Resolve an AT&T mnemonic.
+
+    Returns (canonical name, memory width in bytes, src width for
+    movzx/movsx or None).
+    """
+    name = raw.lower()
+    widen = _WIDEN_RE.match(name)
+    if widen:
+        kind, src_sfx, _dst_sfx = widen.groups()
+        canonical = "movzx" if kind == "z" else "movsx"
+        return canonical, _SUFFIX_WIDTHS[src_sfx], _SUFFIX_WIDTHS[src_sfx]
+    if name == "movslq":
+        return "movsxd", 4, 4
+    if name and name[-1] in _SUFFIX_WIDTHS and is_known(name[:-1]):
+        # A size-suffixed form of a known mnemonic — but only strip if
+        # the arity fits ("shld" must not become "shl") and no vector
+        # operand claims the full name ("movq %rax, %xmm0" is the SSE
+        # movq, "movq %rax, %rbx" is a suffixed mov).
+        from repro.isa.opcodes import opcode_info
+        base = name[:-1]
+        has_vec = any("%xmm" in t or "%ymm" in t for t in operand_toks)
+        arity_ok = len(operand_toks) in opcode_info(base).arity
+        if arity_ok and not (has_vec and is_known(name)):
+            return base, _SUFFIX_WIDTHS[name[-1]], None
+    if is_known(name):
+        return name, 0, None
+    raise AsmSyntaxError("unknown mnemonic", raw)
+
+
+def _infer_mem_width(mnemonic: str, operands: List[Operand],
+                     hint: int) -> int:
+    """Width of a memory access when no explicit suffix is given."""
+    if hint:
+        return hint
+    reg_widths = [op.width // 8 for op in operands if is_reg(op)]
+    if mnemonic in ("movzx", "movsx"):
+        return 1  # default to byte source without a suffix hint
+    if reg_widths:
+        return max(reg_widths)
+    return 8
+
+
+def _normalize_mem_width(instr: Instruction,
+                         explicit: bool) -> Instruction:
+    """Correct the memory operand's width from the mnemonic.
+
+    Vector instructions move mnemonic-specific amounts (``movsd``
+    moves 8 bytes even though xmm registers are 16 wide); without an
+    explicit size suffix / ``ptr`` annotation, the mnemonic wins.
+    """
+    if explicit or instr.memory_operand is None:
+        return instr
+    width = instr.memory_access_width
+    if not width or width == instr.memory_operand.width:
+        return instr
+    fixed = tuple(
+        Mem(op.base, op.index, op.scale, op.disp, width)
+        if is_mem(op) else op for op in instr.operands)
+    return Instruction(instr.mnemonic, fixed)
+
+
+def parse_att_instruction(line: str) -> Instruction:
+    """Parse one AT&T-syntax instruction."""
+    mnem_raw, _, rest = line.strip().partition(" ")
+    operand_toks = _split_operands(rest) if rest.strip() else []
+    mnemonic, width_hint, _src_w = _canonical_att_mnemonic(
+        mnem_raw, operand_toks)
+    parsed = [_att_operand(t, width_hint or 8) for t in operand_toks]
+    # AT&T order is (src..., dst): reverse to Intel order.
+    parsed.reverse()
+    width = _infer_mem_width(mnemonic, parsed, width_hint)
+    parsed = [Mem(op.base, op.index, op.scale, op.disp, width)
+              if is_mem(op) else op for op in parsed]
+    instr = Instruction(mnemonic, tuple(parsed))
+    return _normalize_mem_width(instr, explicit=bool(width_hint))
+
+
+# --------------------------------------------------------------------------
+# Intel syntax
+# --------------------------------------------------------------------------
+
+def _intel_mem(tok: str, width: int) -> Mem:
+    inner = tok.strip()[1:-1]
+    base = index = None
+    scale = 1
+    disp = 0
+    # Normalise "a - b" to "a + -b" so we can split on '+'.
+    inner = re.sub(r"-\s*", "+-", inner)
+    for term in (t.strip() for t in inner.split("+")):
+        if not term:
+            continue
+        if "*" in term:
+            left, _, right = term.partition("*")
+            left, right = left.strip(), right.strip()
+            if regs.is_register_name(left):
+                index, scale = regs.lookup(left), _parse_int(right)
+            elif regs.is_register_name(right):
+                index, scale = regs.lookup(right), _parse_int(left)
+            else:
+                raise AsmSyntaxError("bad scaled index", term)
+        elif regs.is_register_name(term.lstrip("-")):
+            if term.startswith("-"):
+                raise AsmSyntaxError("negative register", term)
+            if base is None:
+                base = regs.lookup(term)
+            elif index is None:
+                index = regs.lookup(term)
+            else:
+                raise AsmSyntaxError("too many registers", tok)
+        else:
+            disp += _parse_int(term)
+    return Mem(base=base, index=index, scale=scale, disp=disp, width=width)
+
+
+def _intel_operand(tok: str, width: int) -> Operand:
+    tok = tok.strip()
+    m = re.match(r"^(\w+)\s+ptr\s+(\[.*\])$", tok, re.IGNORECASE)
+    if m:
+        return _intel_mem(m.group(2), _PTR_WIDTHS[m.group(1).lower()])
+    if tok.startswith("["):
+        return _intel_mem(tok, width)
+    if regs.is_register_name(tok):
+        return regs.lookup(tok)
+    try:
+        return Imm(_parse_int(tok))
+    except AsmSyntaxError:
+        raise AsmSyntaxError("cannot parse Intel operand", tok)
+
+
+def parse_intel_instruction(line: str) -> Instruction:
+    """Parse one Intel-syntax instruction."""
+    mnem, _, rest = line.strip().partition(" ")
+    mnemonic = mnem.lower()
+    if mnemonic == "cmpsd" and len(_split_operands(rest)) == 3:
+        mnemonic = "cmpsd_fp"
+    if not is_known(mnemonic):
+        raise AsmSyntaxError("unknown mnemonic", mnem)
+    toks = _split_operands(rest) if rest.strip() else []
+    operands = [_intel_operand(t, 8) for t in toks]
+    # Fix memory widths from sibling register operands.
+    reg_widths = [op.width // 8 for op in operands if is_reg(op)]
+    default = 1 if mnemonic in ("movzx", "movsx") else \
+        (max(reg_widths) if reg_widths else 8)
+    fixed = []
+    explicit = False
+    for tok, op in zip(toks, operands):
+        if is_mem(op):
+            if "ptr" in tok.lower():
+                explicit = True
+            else:
+                op = Mem(op.base, op.index, op.scale, op.disp, default)
+        fixed.append(op)
+    instr = Instruction(mnemonic, tuple(fixed))
+    return _normalize_mem_width(instr, explicit=explicit)
+
+
+# --------------------------------------------------------------------------
+# Entry points
+# --------------------------------------------------------------------------
+
+def parse_instruction(line: str) -> Instruction:
+    """Parse a single instruction, auto-detecting the syntax."""
+    stripped = line.strip()
+    if not stripped:
+        raise AsmSyntaxError("empty instruction")
+    if "%" in stripped:
+        return parse_att_instruction(stripped)
+    return parse_intel_instruction(stripped)
+
+
+def _strip_comment(line: str) -> str:
+    for marker in ("#", ";", "//"):
+        idx = line.find(marker)
+        if idx >= 0:
+            line = line[:idx]
+    return line.strip()
+
+
+def parse_block(text: str, source: str = "text") -> BasicBlock:
+    """Parse a multi-line assembly listing into a :class:`BasicBlock`.
+
+    Blank lines, comments (``#``, ``;``, ``//``) and label lines
+    (``foo:``) are skipped.
+    """
+    instructions = []
+    for raw in text.splitlines():
+        line = _strip_comment(raw)
+        if not line or line.endswith(":"):
+            continue
+        instructions.append(parse_instruction(line))
+    if not instructions:
+        raise AsmSyntaxError("no instructions in block")
+    return BasicBlock(instructions, source=source)

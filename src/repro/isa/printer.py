@@ -1,0 +1,111 @@
+"""Render instructions and blocks back to assembly text.
+
+Supports both AT&T (default, matching the paper's figures) and Intel
+syntax.  ``parse_block(format_block(b))`` round-trips for every
+instruction the library produces; the property tests rely on this.
+"""
+
+from __future__ import annotations
+
+from repro.isa.operands import Imm, Mem, Operand, is_imm, is_mem, is_reg
+
+_PTR_NAMES = {1: "byte", 2: "word", 4: "dword", 8: "qword",
+              16: "xmmword", 32: "ymmword"}
+
+
+def _att_operand(op: Operand) -> str:
+    if is_reg(op):
+        return f"%{op.name}"
+    if is_imm(op):
+        return f"${op.value:#x}" if abs(op.value) > 9 else f"${op.value}"
+    assert is_mem(op)
+    disp = ""
+    if op.disp:
+        disp = f"{op.disp:#x}" if op.disp > 9 else str(op.disp)
+        if op.disp < 0:
+            disp = f"-{-op.disp:#x}" if op.disp < -9 else str(op.disp)
+    inner = ""
+    if op.base is not None and op.index is not None:
+        inner = f"(%{op.base.name}, %{op.index.name}, {op.scale})"
+    elif op.base is not None:
+        inner = f"(%{op.base.name})"
+    elif op.index is not None:
+        inner = f"(, %{op.index.name}, {op.scale})"
+    return f"{disp}{inner}" if inner else disp or "0"
+
+
+def _intel_operand(op: Operand, explicit_width: bool) -> str:
+    if is_reg(op):
+        return op.name
+    if is_imm(op):
+        return f"{op.value:#x}" if abs(op.value) > 9 else str(op.value)
+    assert is_mem(op)
+    parts = []
+    if op.base is not None:
+        parts.append(op.base.name)
+    if op.index is not None:
+        parts.append(f"{op.index.name}*{op.scale}" if op.scale != 1
+                     else op.index.name)
+    if op.disp or not parts:
+        if op.disp >= 0:
+            parts.append(f"{op.disp:#x}" if op.disp > 9 else str(op.disp))
+        else:
+            mag = -op.disp
+            parts[-1:] = [parts[-1] + (f" - {mag:#x}" if mag > 9
+                                       else f" - {mag}")] \
+                if parts else [str(op.disp)]
+    body = "[" + " + ".join(parts) + "]"
+    if explicit_width:
+        return f"{_PTR_NAMES[op.width]} ptr {body}"
+    return body
+
+
+_SUFFIX = {1: "b", 2: "w", 4: "l", 8: "q"}
+
+#: Mnemonics that take AT&T size suffixes when operand width is
+#: otherwise ambiguous (memory destination, immediate source).
+_SUFFIXABLE = frozenset({
+    "mov", "add", "sub", "and", "or", "xor", "cmp", "test",
+    "inc", "dec", "neg", "not", "shl", "shr", "sar", "rol", "ror",
+})
+
+
+def _att_mnemonic(instr) -> str:
+    """AT&T spelling; widening loads need explicit size suffixes."""
+    if instr.mnemonic in ("movzx", "movsx") and is_mem(instr.operands[1]):
+        src = {1: "b", 2: "w"}[instr.operands[1].width]
+        dst = {4: "l", 8: "q", 2: "w"}[instr.operands[0].width // 8]
+        return f"mov{'z' if instr.mnemonic == 'movzx' else 's'}{src}{dst}"
+    if instr.mnemonic == "movsxd":
+        return "movslq"
+    mem = instr.memory_operand
+    if mem is not None and instr.mnemonic in _SUFFIXABLE and \
+            not any(is_reg(op) for op in instr.operands):
+        # No register operand implies the width: spell it out, exactly
+        # as real assemblers require (``movl $5, (%rax)``).
+        return instr.mnemonic + _SUFFIX[mem.width]
+    return instr.mnemonic
+
+
+def format_instruction(instr, syntax: str = "att") -> str:
+    """Format one instruction in ``"att"`` or ``"intel"`` syntax."""
+    if syntax == "att":
+        ops = [_att_operand(op) for op in reversed(instr.operands)]
+        name = _att_mnemonic(instr)
+        return name if not ops else f"{name} {', '.join(ops)}"
+    if syntax == "intel":
+        reg_widths = {op.width // 8 for op in instr.operands
+                      if is_reg(op)}
+        mem = instr.memory_operand
+        explicit = bool(mem is not None
+                        and (not reg_widths or mem.width not in reg_widths))
+        ops = [_intel_operand(op, explicit) for op in instr.operands]
+        name = ("cmpsd" if instr.mnemonic == "cmpsd_fp"
+                else instr.mnemonic)
+        return name if not ops else f"{name} {', '.join(ops)}"
+    raise ValueError(f"unknown syntax {syntax!r}")
+
+
+def format_block(block, syntax: str = "att") -> str:
+    """Format a block, one instruction per line."""
+    return "\n".join(format_instruction(i, syntax=syntax) for i in block)

@@ -1,0 +1,139 @@
+"""x86-64 register model.
+
+Registers are immutable descriptors; architectural *values* live in
+:class:`repro.runtime.state.MachineState`.  The important piece modelled
+here is aliasing: ``al``, ``ax``, ``eax`` and ``rax`` all name slices of
+the same 64-bit storage location, and ``xmm3`` is the low half of
+``ymm3``.  The timing model needs this to compute dependencies (a write
+to ``eax`` feeds a later read of ``rax``), and the functional executor
+needs it to read/write the right bits.
+
+x86 sub-register write semantics are reproduced faithfully:
+
+* writing an 8- or 16-bit register leaves the remaining bits unchanged;
+* writing a 32-bit register **zero-extends** into the full 64 bits;
+* writing an ``xmm`` register with a VEX-encoded (``v``-prefixed)
+  instruction zeroes the upper ``ymm`` lane, while legacy SSE writes
+  leave it unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+GPR_BASES: Tuple[str, ...] = (
+    "rax", "rbx", "rcx", "rdx", "rsi", "rdi", "rbp", "rsp",
+    "r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+)
+
+VEC_BASES: Tuple[str, ...] = tuple(f"ymm{i}" for i in range(16))
+
+#: Canonical flag names tracked by the functional executor.
+FLAG_NAMES: Tuple[str, ...] = ("cf", "pf", "af", "zf", "sf", "of")
+
+
+@dataclass(frozen=True)
+class Register:
+    """A named architectural register (possibly a slice of a wider one).
+
+    Attributes:
+        name: the programmer-visible name (``"eax"``, ``"xmm5"``...).
+        kind: ``"gpr"``, ``"vec"``, ``"ip"``, ``"flags"`` or ``"mxcsr"``.
+        base: the canonical full-width register this aliases
+            (``"rax"`` for ``"eax"``, ``"ymm5"`` for ``"xmm5"``).
+        width: width in bits of this view.
+        bit_offset: where this view starts within the base register
+            (8 for the legacy high-byte registers ``ah``..``dh``).
+    """
+
+    name: str
+    kind: str
+    base: str
+    width: int
+    bit_offset: int = 0
+
+    @property
+    def is_gpr(self) -> bool:
+        return self.kind == "gpr"
+
+    @property
+    def is_vector(self) -> bool:
+        return self.kind == "vec"
+
+    @property
+    def mask(self) -> int:
+        """Bit mask of this view within its base register."""
+        return ((1 << self.width) - 1) << self.bit_offset
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+def _gpr_views(base: str) -> Dict[str, Register]:
+    """All programmer-visible views of one 64-bit GPR."""
+    views: Dict[str, Register] = {base: Register(base, "gpr", base, 64)}
+    if base.startswith("r") and base[1:].isdigit():
+        n = base  # r8..r15 use suffix naming
+        names_32_16_8 = (f"{n}d", f"{n}w", f"{n}b")
+    else:
+        tail = base[1:]  # "ax", "bx", "si", "di", "bp", "sp"
+        if tail in ("ax", "bx", "cx", "dx"):
+            names_32_16_8 = (f"e{tail}", tail, f"{tail[0]}l")
+            high = f"{tail[0]}h"
+            views[high] = Register(high, "gpr", base, 8, bit_offset=8)
+        else:
+            names_32_16_8 = (f"e{tail}", tail, f"{tail}l")
+    name32, name16, name8 = names_32_16_8
+    views[name32] = Register(name32, "gpr", base, 32)
+    views[name16] = Register(name16, "gpr", base, 16)
+    views[name8] = Register(name8, "gpr", base, 8)
+    return views
+
+
+def _build_registry() -> Dict[str, Register]:
+    registry: Dict[str, Register] = {}
+    for base in GPR_BASES:
+        registry.update(_gpr_views(base))
+    for i in range(16):
+        ymm = f"ymm{i}"
+        xmm = f"xmm{i}"
+        registry[ymm] = Register(ymm, "vec", ymm, 256)
+        registry[xmm] = Register(xmm, "vec", ymm, 128)
+    registry["rip"] = Register("rip", "ip", "rip", 64)
+    registry["rflags"] = Register("rflags", "flags", "rflags", 64)
+    registry["mxcsr"] = Register("mxcsr", "mxcsr", "mxcsr", 32)
+    return registry
+
+
+#: Global registry of every register name the parser accepts.
+REGISTERS: Dict[str, Register] = _build_registry()
+
+
+def lookup(name: str) -> Register:
+    """Return the :class:`Register` for ``name`` (case-insensitive).
+
+    Raises:
+        KeyError: if ``name`` is not an x86-64 register we model.
+    """
+    return REGISTERS[name.lower()]
+
+
+def is_register_name(name: str) -> bool:
+    """True if ``name`` names a register we model."""
+    return name.lower() in REGISTERS
+
+
+def gpr(name_or_index) -> Register:
+    """Convenience accessor: ``gpr("rax")`` or ``gpr(0)``."""
+    if isinstance(name_or_index, int):
+        return REGISTERS[GPR_BASES[name_or_index]]
+    return lookup(name_or_index)
+
+
+def xmm(index: int) -> Register:
+    return REGISTERS[f"xmm{index}"]
+
+
+def ymm(index: int) -> Register:
+    return REGISTERS[f"ymm{index}"]

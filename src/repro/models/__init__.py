@@ -1,0 +1,29 @@
+"""Cost models evaluated by the benchmark suite.
+
+Four predictors mirroring the paper's line-up: :class:`IacaModel`,
+:class:`LlvmMcaModel`, :class:`OsacaModel` (static analysers) and
+:class:`IthemalModel` (learned from measured data — call ``fit`` with
+profiler output before predicting).
+"""
+
+from repro.models.additive import AdditiveCostModel
+from repro.models.base import CostModel, Prediction, predictions_table
+from repro.models.features import FEATURE_DIM, block_features
+from repro.models.iaca import IacaModel
+from repro.models.ithemal import IthemalModel
+from repro.models.llvm_mca import LlvmMcaModel
+from repro.models.osaca import OsacaModel
+from repro.models.portsim import PortSimulatorModel
+from repro.models.training import MlpRegressor, TrainingConfig
+
+__all__ = [
+    "CostModel", "Prediction", "predictions_table", "AdditiveCostModel",
+    "IacaModel", "LlvmMcaModel", "OsacaModel", "IthemalModel",
+    "PortSimulatorModel", "MlpRegressor", "TrainingConfig",
+    "FEATURE_DIM", "block_features",
+]
+
+
+def simulator_models():
+    """The three static analysers (no training required)."""
+    return [IacaModel(), LlvmMcaModel(), OsacaModel()]

@@ -1,0 +1,65 @@
+"""Additive per-instruction cost model (LLVM's IR-level family).
+
+§II of the paper notes that production compilers also carry simple
+per-instruction cost models (LLVM's generic IR cost model, GCC's
+analogues) and that per-instruction tables "do not lead directly to
+validating performance models at basic block level" — they ignore
+ports, parallelism and dependences entirely.
+
+This model makes that argument concrete: it sums a per-instruction
+reciprocal-throughput table (as an IR-level cost model effectively
+does) and divides by the issue width.  The suite then quantifies how
+far that gets you (`benchmarks/bench_additive_model.py`): fine on
+homogeneous straight-line code, hopeless wherever ILP or a dependence
+chain dominates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.isa.instruction import BasicBlock
+from repro.models.base import CostModel, Prediction
+from repro.uarch.tables import get_uarch
+from repro.uarch.uops import Decomposer
+
+
+class AdditiveCostModel(CostModel):
+    """Sum-of-per-instruction-costs, no ports, no dependences."""
+
+    name = "additive"
+
+    def __init__(self, calibration: float = 1.0):
+        #: Global fudge factor compiler maintainers tweak (the paper
+        #: quotes LLVM's "multiplying the vector costs x20" commit).
+        self.calibration = calibration
+        self._costs: Dict[str, Dict] = {}
+
+    def _decomposer(self, uarch: str) -> Decomposer:
+        entry = self._costs.get(uarch)
+        if entry is None:
+            desc, table, div = get_uarch(uarch)
+            entry = Decomposer(desc, table, div)
+            self._costs[uarch] = entry
+        return entry
+
+    def instruction_cost(self, instr, uarch: str) -> float:
+        """Reciprocal-throughput-style cost of one instruction.
+
+        Micro-op count scaled by each uop's port choice — what a
+        per-instruction table distils an instruction down to.
+        """
+        decomposer = self._decomposer(uarch)
+        decomposed = decomposer.decompose(instr)
+        cost = 0.0
+        for uop in decomposed.uops:
+            cost += uop.occupancy / max(len(uop.ports), 1)
+        # Even eliminated/idiom instructions occupy a decode slot.
+        return max(cost, 0.25)
+
+    def predict(self, block: BasicBlock, uarch: str) -> Prediction:
+        total = sum(self.instruction_cost(instr, uarch)
+                    for instr in block
+                    if not instr.info.unsupported)
+        return Prediction(self.name, uarch,
+                          round(max(total * self.calibration, 0.25), 2))

@@ -1,0 +1,62 @@
+"""llvm-mca analogue.
+
+llvm-mca deliberately reuses LLVM's backend scheduling model, so its
+accuracy measures LLVM's cost model.  Differences from hardware that
+the paper documents, all reproduced here:
+
+* **No zero idioms** — ``vxorps %xmm2, %xmm2, %xmm2`` is priced as a
+  regular vector XOR (1.0 vs. the measured 0.25; case study 2).
+* **Fused load-op scheduling** — a load-op micro-op pair is dispatched
+  as one unit once *all* operands are ready, so the independent load of
+  ``xor -1(%rdi), %al`` cannot be hoisted; llvm-mca over-predicts the
+  gzip CRC block 13.04 vs. 8.25 (case study 3).
+* **Division-width confusion** — same table bug as IACA (99.04).
+* **Stale Skylake model** — the paper attributes llvm-mca's Skylake
+  regression (0.23 avg error vs. 0.18 on Haswell) to the newer
+  scheduling model having had less tuning time; our Skylake table is
+  perturbed harder and inherits Haswell FP latencies.
+"""
+
+from __future__ import annotations
+
+from repro.models.portsim import PortSimulatorModel
+from repro.models.residual import ResidualSpec
+from repro.models.tables import confused_div_table, perturbed_table
+from repro.uarch.tables.haswell import TABLE as HASWELL_TABLE
+
+_RESIDUALS = {
+    "ivybridge": ResidualSpec(base=0.165, store=0.10, load=0.25,
+                              vector=0.42, bitmanip=0.13),
+    "haswell": ResidualSpec(base=0.155, store=0.10, load=0.24,
+                            vector=0.42, bitmanip=0.13),
+    # Skylake: scalar arithmetic is notably worse (stale model).
+    "skylake": ResidualSpec(base=0.215, store=0.13, load=0.29,
+                            vector=0.48, bitmanip=0.20),
+}
+
+_TABLE_SIGMA = {"ivybridge": 0.06, "haswell": 0.06, "skylake": 0.12}
+
+#: FP classes copied from the Haswell model into the Skylake table —
+#: the "not yet retuned for the new uarch" failure mode.
+_STALE_SKYLAKE_CLASSES = ("fp_add", "fp_mul", "fma", "fp_div_f32",
+                          "fp_div_f64", "cmov", "vec_int")
+
+
+class LlvmMcaModel(PortSimulatorModel):
+    """Out-of-order simulator driven by LLVM's scheduling model."""
+
+    name = "llvm-mca"
+
+    def __init__(self) -> None:
+        super().__init__(recognize_zero_idioms=False,
+                         split_load_op=False,
+                         move_elimination=False,
+                         residuals=_RESIDUALS)
+
+    def build_table(self, uarch, base_table, base_div):
+        table = perturbed_table(base_table, self.name, uarch,
+                                sigma=_TABLE_SIGMA[uarch])
+        if uarch == "skylake":
+            for cls in _STALE_SKYLAKE_CLASSES:
+                table[cls] = HASWELL_TABLE[cls]
+        return table, confused_div_table(base_div)

@@ -1,0 +1,115 @@
+"""A small numpy MLP regressor + Adam optimiser.
+
+Used to train the Ithemal-style learned throughput predictor on
+measured data.  Deterministic given a seed; no external ML framework
+(the offline environment ships only numpy/scipy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+
+@dataclass
+class TrainingConfig:
+    hidden: int = 64
+    epochs: int = 500
+    batch_size: int = 64
+    learning_rate: float = 2e-3
+    weight_decay: float = 5e-4
+    seed: int = 0
+
+
+@dataclass
+class _Standardizer:
+    mean: np.ndarray = field(default_factory=lambda: np.zeros(1))
+    std: np.ndarray = field(default_factory=lambda: np.ones(1))
+
+    def fit(self, x: np.ndarray) -> None:
+        self.mean = x.mean(axis=0)
+        self.std = x.std(axis=0)
+        self.std[self.std < 1e-9] = 1.0
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        return (x - self.mean) / self.std
+
+
+class MlpRegressor:
+    """Two-layer MLP: standardize → ReLU hidden → linear output."""
+
+    def __init__(self, config: Optional[TrainingConfig] = None):
+        self.config = config if config is not None else TrainingConfig()
+        self._scaler = _Standardizer()
+        self._w1: Optional[np.ndarray] = None
+        self._losses: List[float] = []
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._w1 is not None
+
+    @property
+    def training_losses(self) -> List[float]:
+        return list(self._losses)
+
+    # ------------------------------------------------------------------
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "MlpRegressor":
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        self._scaler.fit(x)
+        xs = self._scaler.transform(x)
+        n, d = xs.shape
+        h = cfg.hidden
+        self._w1 = rng.normal(0, np.sqrt(2.0 / d), size=(d, h))
+        self._b1 = np.zeros(h)
+        self._w2 = rng.normal(0, np.sqrt(1.0 / h), size=(h, 1))
+        self._b2 = np.zeros(1)
+
+        params = [self._w1, self._b1, self._w2, self._b2]
+        m = [np.zeros_like(p) for p in params]
+        v = [np.zeros_like(p) for p in params]
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        step = 0
+        target = y.reshape(-1, 1)
+        self._losses = []
+        for epoch in range(cfg.epochs):
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            for start in range(0, n, cfg.batch_size):
+                idx = order[start:start + cfg.batch_size]
+                xb, yb = xs[idx], target[idx]
+                # Forward.
+                z1 = xb @ self._w1 + self._b1
+                a1 = np.maximum(z1, 0.0)
+                out = a1 @ self._w2 + self._b2
+                err = out - yb
+                epoch_loss += float((err ** 2).sum())
+                # Backward.
+                g_out = 2.0 * err / len(idx)
+                g_w2 = a1.T @ g_out + cfg.weight_decay * self._w2
+                g_b2 = g_out.sum(axis=0)
+                g_a1 = g_out @ self._w2.T
+                g_z1 = g_a1 * (z1 > 0)
+                g_w1 = xb.T @ g_z1 + cfg.weight_decay * self._w1
+                g_b1 = g_z1.sum(axis=0)
+                grads = [g_w1, g_b1, g_w2, g_b2]
+                step += 1
+                for i, (p, g) in enumerate(zip(params, grads)):
+                    m[i] = beta1 * m[i] + (1 - beta1) * g
+                    v[i] = beta2 * v[i] + (1 - beta2) * g * g
+                    m_hat = m[i] / (1 - beta1 ** step)
+                    v_hat = v[i] / (1 - beta2 ** step)
+                    p -= cfg.learning_rate * m_hat \
+                        / (np.sqrt(v_hat) + eps)
+            self._losses.append(epoch_loss / n)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if not self.is_fitted:
+            raise RuntimeError("model is not fitted")
+        xs = self._scaler.transform(np.atleast_2d(x))
+        a1 = np.maximum(xs @ self._w1 + self._b1, 0.0)
+        return (a1 @ self._w2 + self._b2).ravel()

@@ -1,0 +1,31 @@
+"""The BHive measurement framework (the paper's core contribution).
+
+Quickstart::
+
+    from repro.profiler import profile_block
+    result = profile_block("xor %edx, %edx\\ndiv %ecx\\ntest %edx, %edx")
+    print(result.throughput)
+"""
+
+from repro.profiler.ablation import (STAGE_LABELS, STAGES, TABLE1_LABELS,
+                                     TABLE1_STAGES, AblationStage,
+                                     config_for_stage, relaxed)
+from repro.profiler.environment import Environment, EnvironmentConfig
+from repro.profiler.filters import AcceptancePolicy
+from repro.profiler.harness import (BasicBlockProfiler, ProfilerConfig,
+                                    profile_block)
+from repro.profiler.mapping import MappingOutcome, map_pages
+from repro.profiler.result import (FailureReason, Measurement,
+                                   ProfileResult)
+from repro.profiler.unroll import (UnrollPlan, naive_plan,
+                                   two_factor_plan)
+
+__all__ = [
+    "BasicBlockProfiler", "ProfilerConfig", "profile_block",
+    "Environment", "EnvironmentConfig", "AcceptancePolicy",
+    "MappingOutcome", "map_pages",
+    "FailureReason", "Measurement", "ProfileResult",
+    "UnrollPlan", "naive_plan", "two_factor_plan",
+    "AblationStage", "config_for_stage", "relaxed",
+    "STAGES", "STAGE_LABELS", "TABLE1_STAGES", "TABLE1_LABELS",
+]

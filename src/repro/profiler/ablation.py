@@ -1,0 +1,107 @@
+"""Ablation configurations for Tables I and II.
+
+Each stage adds one of the paper's measurement techniques:
+
+=====================  =============================================
+Stage                  Technique added
+=====================  =============================================
+``NONE``               nothing: Agner-Fog-style unrolled timing
+``PAGE_MAPPING``       map faulting pages (one frame per page)
+``SINGLE_PHYS_PAGE``   map every page to a *single* physical frame
+``FTZ``                disable gradual underflow via MXCSR
+``SMALL_UNROLL``       two-unroll-factor derivation (full technique)
+=====================  =============================================
+
+Table I aggregates the fraction of a corpus successfully profiled at
+stages NONE / SINGLE_PHYS_PAGE / SMALL_UNROLL; Table II reports the raw
+measured throughput of one large TensorFlow block at every stage (with
+invariant enforcement off, so the *wrong* numbers are visible).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import replace
+from typing import Tuple
+
+from repro.profiler.environment import EnvironmentConfig
+from repro.profiler.filters import AcceptancePolicy
+from repro.profiler.harness import ProfilerConfig
+
+
+class AblationStage(enum.Enum):
+    NONE = "none"
+    PAGE_MAPPING = "page_mapping"
+    SINGLE_PHYS_PAGE = "single_phys_page"
+    FTZ = "ftz"
+    SMALL_UNROLL = "small_unroll"
+
+
+#: Stage order used by the benches.
+STAGES: Tuple[AblationStage, ...] = tuple(AblationStage)
+
+#: Human-readable labels matching the paper's table rows.
+STAGE_LABELS = {
+    AblationStage.NONE: "None",
+    AblationStage.PAGE_MAPPING: "Page mapping",
+    AblationStage.SINGLE_PHYS_PAGE: "Single physical page",
+    AblationStage.FTZ: "Disabling gradual underflow",
+    AblationStage.SMALL_UNROLL: "Using smaller unroll factor",
+}
+
+
+def config_for_stage(stage: AblationStage,
+                     enforce_invariants: bool = True) -> ProfilerConfig:
+    """Build the profiler configuration for one ablation stage."""
+    acceptance = AcceptancePolicy(
+        enforce_invariants=enforce_invariants,
+        reject_misaligned=enforce_invariants)
+    if stage is AblationStage.NONE:
+        return ProfilerConfig(
+            environment=EnvironmentConfig(ftz=False),
+            acceptance=acceptance,
+            unroll_strategy="naive",
+            mapping_enabled=False)
+    if stage is AblationStage.PAGE_MAPPING:
+        return ProfilerConfig(
+            environment=EnvironmentConfig(single_physical_page=False,
+                                          ftz=False),
+            acceptance=acceptance,
+            unroll_strategy="naive")
+    if stage is AblationStage.SINGLE_PHYS_PAGE:
+        return ProfilerConfig(
+            environment=EnvironmentConfig(ftz=False),
+            acceptance=acceptance,
+            unroll_strategy="naive")
+    if stage is AblationStage.FTZ:
+        return ProfilerConfig(
+            environment=EnvironmentConfig(ftz=True),
+            acceptance=acceptance,
+            unroll_strategy="naive")
+    if stage is AblationStage.SMALL_UNROLL:
+        return ProfilerConfig(
+            environment=EnvironmentConfig(ftz=True),
+            acceptance=acceptance,
+            unroll_strategy="two_factor")
+    raise ValueError(stage)
+
+
+#: The three stages reported in Table I.
+TABLE1_STAGES: Tuple[AblationStage, ...] = (
+    AblationStage.NONE,
+    AblationStage.SINGLE_PHYS_PAGE,
+    AblationStage.SMALL_UNROLL,
+)
+
+TABLE1_LABELS = {
+    AblationStage.NONE: "None",
+    AblationStage.SINGLE_PHYS_PAGE: "Mapping all accessed pages",
+    AblationStage.SMALL_UNROLL: "More intelligent unrolling",
+}
+
+
+def relaxed(config: ProfilerConfig) -> ProfilerConfig:
+    """Copy of ``config`` with invariant enforcement off (Table II)."""
+    return replace(config,
+                   acceptance=AcceptancePolicy(enforce_invariants=False,
+                                               reject_misaligned=False))

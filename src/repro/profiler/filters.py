@@ -1,0 +1,64 @@
+"""Invariant enforcement and measurement acceptance (§III-C, §III-D).
+
+Each unrolled block is timed 16 times; a measurement is accepted only
+if at least 8 runs are *clean* (no L1 data/instruction miss, no
+context switch) **and** identical.  Blocks with any line-crossing
+access are dropped via the ``MISALIGNED_MEM_REFERENCE`` counter, and
+subnormal traffic is neutralised by MXCSR FTZ at environment level.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.profiler.result import FailureReason
+from repro.uarch.counters import CounterSample
+
+#: §III-C: "timed 16 times by default".
+DEFAULT_REPS = 16
+#: §III-C: "at least 8 clean, identical timings".
+DEFAULT_REQUIRED_IDENTICAL = 8
+
+
+@dataclass(frozen=True)
+class AcceptancePolicy:
+    """How raw counter samples become an accepted cycle count."""
+
+    reps: int = DEFAULT_REPS
+    required_identical: int = DEFAULT_REQUIRED_IDENTICAL
+    #: Enforce the §III-C invariants.  The per-block ablation study
+    #: (Table II) reports raw throughput with enforcement off.
+    enforce_invariants: bool = True
+    #: Drop blocks with line-crossing accesses (§III-D filter).
+    reject_misaligned: bool = True
+
+    def accept(self, samples: Sequence[CounterSample]
+               ) -> Tuple[Optional[int], Optional[FailureReason], int]:
+        """Returns (accepted cycles, failure reason, clean run count)."""
+        clean = [s for s in samples if s.is_clean]
+        if self.reject_misaligned and samples \
+                and samples[0].misaligned_mem_refs > 0:
+            return None, FailureReason.MISALIGNED, len(clean)
+        if not self.enforce_invariants:
+            # Ablation mode: report the most common timing regardless.
+            counts = Counter(s.cycles for s in samples)
+            return counts.most_common(1)[0][0], None, len(clean)
+        if not clean:
+            worst = samples[0]
+            reason = self._violation_reason(worst)
+            return None, reason, 0
+        counts = Counter(s.cycles for s in clean)
+        cycles, occurrences = counts.most_common(1)[0]
+        if occurrences < self.required_identical:
+            return None, FailureReason.UNSTABLE, len(clean)
+        return cycles, None, len(clean)
+
+    @staticmethod
+    def _violation_reason(sample: CounterSample) -> FailureReason:
+        if sample.l1d_read_misses or sample.l1d_write_misses:
+            return FailureReason.L1D_MISS
+        if sample.l1i_misses:
+            return FailureReason.L1I_MISS
+        return FailureReason.UNSTABLE

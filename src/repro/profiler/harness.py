@@ -1,0 +1,158 @@
+"""Top-level profiling harness.
+
+:class:`BasicBlockProfiler` wires together the environment, the
+monitor/measure mapping loop, unroll planning, the machine's counter
+interface, and invariant enforcement — the full pipeline the paper
+uses to profile 2M+ basic blocks without user intervention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Union
+
+from repro.errors import (ArithmeticFault, MemoryFault,
+                          UnsupportedInstructionError)
+from repro.isa.instruction import BasicBlock
+from repro.isa.parser import parse_block
+from repro.profiler.environment import Environment, EnvironmentConfig
+from repro.profiler.filters import AcceptancePolicy
+from repro.profiler.mapping import DEFAULT_MAX_FAULTS, map_pages
+from repro.profiler.result import (FailureReason, Measurement,
+                                   ProfileResult)
+from repro.profiler.unroll import (NAIVE_UNROLL, UnrollPlan, naive_plan,
+                                   two_factor_plan)
+from repro.runtime.executor import Executor
+from repro.uarch.machine import Machine
+
+
+@dataclass(frozen=True)
+class ProfilerConfig:
+    """Everything that varies between profiling modes.
+
+    The defaults are the paper's full technique: page mapping onto a
+    single physical page, FTZ enabled, two-unroll-factor derivation,
+    invariants enforced.  The ablation presets in
+    :mod:`repro.profiler.ablation` disable pieces selectively.
+    """
+
+    environment: EnvironmentConfig = field(
+        default_factory=EnvironmentConfig)
+    acceptance: AcceptancePolicy = field(default_factory=AcceptancePolicy)
+    unroll_strategy: str = "two_factor"  # or "naive"
+    naive_unroll: int = NAIVE_UNROLL
+    mapping_enabled: bool = True
+    max_faults: int = DEFAULT_MAX_FAULTS
+
+    def plan_for(self, block: BasicBlock,
+                 icache_bytes: int) -> UnrollPlan:
+        if self.unroll_strategy == "two_factor":
+            return two_factor_plan(block, icache_bytes=icache_bytes)
+        if self.unroll_strategy == "naive":
+            return naive_plan(self.naive_unroll)
+        raise ValueError(f"unknown strategy {self.unroll_strategy!r}")
+
+
+class BasicBlockProfiler:
+    """Profiles arbitrary basic blocks on one simulated machine."""
+
+    def __init__(self, machine: Machine,
+                 config: Optional[ProfilerConfig] = None):
+        self.machine = machine
+        self.config = config if config is not None else ProfilerConfig()
+
+    # ------------------------------------------------------------------
+
+    def profile(self, block: Union[BasicBlock, str]) -> ProfileResult:
+        """Profile one basic block; never raises on bad blocks."""
+        if isinstance(block, str):
+            block = parse_block(block)
+        text = block.text()
+        uarch = self.machine.name
+
+        if not self.machine.supports(block):
+            return ProfileResult(text, uarch,
+                                 failure=FailureReason.UNSUPPORTED_ISA)
+        if not block.is_supported:
+            return ProfileResult(text, uarch,
+                                 failure=FailureReason.UNSUPPORTED)
+
+        plan = self.config.plan_for(
+            block, icache_bytes=self.machine.desc.l1i.size)
+        env = Environment(self.config.environment)
+        env.reset()
+
+        mapping = map_pages(env, block, unroll=plan.max_factor,
+                            max_faults=self.config.max_faults,
+                            enable_mapping=self.config.mapping_enabled)
+        if not mapping.success:
+            return ProfileResult(text, uarch, failure=mapping.failure,
+                                 num_faults=mapping.num_faults,
+                                 pages_mapped=mapping.pages_mapped,
+                                 detail=mapping.detail)
+
+        executor = Executor(env.state, env.memory)
+        measurements: List[Measurement] = []
+        accepted_cycles: List[int] = []
+        subnormal_events = 0
+        for unroll in plan.factors:
+            env.reinitialize()
+            try:
+                trace = executor.execute_block(block, unroll=unroll)
+            except MemoryFault as fault:
+                return ProfileResult(text, uarch,
+                                     failure=FailureReason.SEGFAULT,
+                                     detail=f"{fault.address:#x}")
+            except ArithmeticFault:
+                return ProfileResult(text, uarch,
+                                     failure=FailureReason.SIGFPE)
+            except UnsupportedInstructionError as exc:
+                return ProfileResult(text, uarch,
+                                     failure=FailureReason.UNSUPPORTED,
+                                     detail=str(exc))
+            subnormal_events += trace.subnormal_count
+            run = self.machine.run(block, unroll, trace, env.memory,
+                                   reps=self.config.acceptance.reps)
+            cycles, failure, clean = \
+                self.config.acceptance.accept(run.samples)
+            base = run.samples[0]
+            if failure is not None:
+                return ProfileResult(
+                    text, uarch, failure=failure,
+                    num_faults=mapping.num_faults,
+                    pages_mapped=env.pages_mapped,
+                    measurements=tuple(measurements),
+                    detail=f"unroll={unroll}")
+            measurements.append(Measurement(
+                unroll=unroll, cycles=cycles, clean_runs=clean,
+                total_runs=len(run.samples),
+                l1d_read_misses=base.l1d_read_misses,
+                l1d_write_misses=base.l1d_write_misses,
+                l1i_misses=base.l1i_misses,
+                misaligned_refs=base.misaligned_mem_refs))
+            accepted_cycles.append(cycles)
+
+        throughput = plan.derive_throughput(tuple(accepted_cycles))
+        return ProfileResult(
+            text, uarch,
+            throughput=max(throughput, 0.0),
+            measurements=tuple(measurements),
+            pages_mapped=env.pages_mapped,
+            num_faults=mapping.num_faults,
+            subnormal_events=subnormal_events)
+
+    # ------------------------------------------------------------------
+
+    def profile_many(self, blocks: Iterable[Union[BasicBlock, str]]
+                     ) -> List[ProfileResult]:
+        """Profile a corpus; order of results matches the input."""
+        return [self.profile(block) for block in blocks]
+
+
+def profile_block(block: Union[BasicBlock, str],
+                  uarch: str = "haswell",
+                  config: Optional[ProfilerConfig] = None,
+                  seed: int = 0) -> ProfileResult:
+    """One-shot convenience: profile a block on a fresh machine."""
+    return BasicBlockProfiler(Machine(uarch, seed=seed), config) \
+        .profile(block)

@@ -1,0 +1,149 @@
+"""Per-instruction latency and reciprocal-throughput measurement.
+
+The paper's background surveys llvm-exegesis: a tool that measures one
+*opcode's* latency by generating a micro-benchmark around it.  This
+module provides the same capability on our simulated machines, using
+the classic two-benchmark construction:
+
+* **latency**: a serial chain — each instance consumes the previous
+  instance's result, so steady-state cycles/instruction = latency;
+* **reciprocal throughput**: independent instances spread over many
+  registers, so steady-state cycles/instruction = port-pressure bound.
+
+Both are measured through the ordinary block profiler, so the numbers
+come out of the same pipeline the suite uses (and inherit its
+invariant enforcement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import ReproError, UnknownOpcodeError
+from repro.isa.instruction import BasicBlock, Instruction
+from repro.isa.opcodes import opcode_info
+from repro.isa.operands import Imm
+from repro.isa.registers import lookup
+from repro.profiler.harness import BasicBlockProfiler
+from repro.uarch.machine import Machine
+
+#: GPR pool for the throughput benchmark (no rsp: keep it simple).
+_GPRS = ("rax", "rbx", "rcx", "rdx", "rsi", "rdi", "r8", "r9",
+         "r10", "r11", "r12", "r13", "r14")
+_XMMS = tuple(f"xmm{i}" for i in range(13))
+
+
+@dataclass(frozen=True)
+class InstructionTimings:
+    """Measured timings for one opcode form."""
+
+    mnemonic: str
+    latency: Optional[float]
+    reciprocal_throughput: Optional[float]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        lat = "-" if self.latency is None else f"{self.latency:.2f}"
+        rtp = "-" if self.reciprocal_throughput is None \
+            else f"{self.reciprocal_throughput:.2f}"
+        return f"{self.mnemonic}: lat={lat} rthru={rtp}"
+
+
+def _operand_template(mnemonic: str) -> Tuple[str, bool]:
+    """(operand kind, is_vector) the benchmark should use."""
+    info = opcode_info(mnemonic)
+    if info.unsupported:
+        raise ReproError(f"{mnemonic} cannot be benchmarked")
+    return ("vec" if info.vec else "gpr"), info.vec
+
+
+def _chain_block(mnemonic: str, length: int = 8) -> BasicBlock:
+    """Serial chain: inst(reg, reg) with a single register."""
+    kind, _ = _operand_template(mnemonic)
+    reg = lookup("xmm0") if kind == "vec" else lookup("rax")
+    other = lookup("xmm1") if kind == "vec" else lookup("rbx")
+    info = opcode_info(mnemonic)
+    instrs: List[Instruction] = []
+    for _ in range(length):
+        instrs.append(_build(mnemonic, info, dst=reg, src=reg))
+    # Avoid zero idioms hiding the chain (xor r,r breaks deps).
+    if instrs[0].is_zero_idiom:
+        instrs = [_build(mnemonic, info, dst=reg, src=other)
+                  for _ in range(length)]
+        # Chain through alternation: dst must also be a source.
+        if not info.reads_dst:
+            raise ReproError(
+                f"{mnemonic} has no serial-chain form")
+    return BasicBlock(instrs, source="latency-bench")
+
+
+def _throughput_block(mnemonic: str, width: int = 10) -> BasicBlock:
+    """Independent instances across ``width`` registers."""
+    kind, _ = _operand_template(mnemonic)
+    pool = _XMMS if kind == "vec" else _GPRS
+    info = opcode_info(mnemonic)
+    instrs = []
+    for i in range(width):
+        dst = lookup(pool[i % len(pool)])
+        src = lookup(pool[(i + 1) % len(pool)])
+        instrs.append(_build(mnemonic, info, dst=dst, src=src))
+    return BasicBlock(instrs, source="throughput-bench")
+
+
+def _build(mnemonic: str, info, dst, src) -> Instruction:
+    if 1 in info.arity and 2 not in info.arity:
+        return Instruction(mnemonic, (dst,))
+    if info.arity and min(a for a in info.arity if a > 0) >= 3 \
+            and not info.reads_dst:
+        return Instruction(mnemonic, (dst, dst, src))
+    if mnemonic.startswith("v") and 3 in info.arity:
+        return Instruction(mnemonic, (dst, dst, src))
+    if info.group in ("shift",):
+        return Instruction(mnemonic, (dst, Imm(3)))
+    return Instruction(mnemonic, (dst, src))
+
+
+class InstructionBenchmark:
+    """llvm-exegesis-style opcode timing on a simulated machine."""
+
+    def __init__(self, uarch: str = "haswell", seed: int = 0):
+        self.machine = Machine(uarch, seed=seed)
+        self.profiler = BasicBlockProfiler(self.machine)
+
+    def latency(self, mnemonic: str) -> Optional[float]:
+        """Serial-chain cycles per instruction (None if unmeasurable).
+
+        Unknown mnemonics raise (a typo is not a measurement result).
+        """
+        try:
+            block = _chain_block(mnemonic)
+        except UnknownOpcodeError:
+            raise
+        except ReproError:
+            return None
+        result = self.profiler.profile(block)
+        if not result.ok:
+            return None
+        return result.throughput / len(block)
+
+    def reciprocal_throughput(self, mnemonic: str) -> Optional[float]:
+        """Independent-instance cycles per instruction."""
+        try:
+            block = _throughput_block(mnemonic)
+        except UnknownOpcodeError:
+            raise
+        except ReproError:
+            return None
+        result = self.profiler.profile(block)
+        if not result.ok:
+            return None
+        return result.throughput / len(block)
+
+    def measure(self, mnemonic: str) -> InstructionTimings:
+        return InstructionTimings(
+            mnemonic=mnemonic,
+            latency=self.latency(mnemonic),
+            reciprocal_throughput=self.reciprocal_throughput(mnemonic))
+
+    def measure_many(self, mnemonics) -> List[InstructionTimings]:
+        return [self.measure(m) for m in mnemonics]

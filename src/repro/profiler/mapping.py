@@ -1,0 +1,87 @@
+"""The monitor/measure page-mapping protocol of Fig. 2.
+
+The paper forks a child (``measure``) under ``ptrace`` and has the
+parent (``monitor``) intercept each SIGSEGV: if the faulting address is
+mappable, the monitor maps its page onto the chosen physical page,
+rewinds the child to the start with registers and memory re-initialised,
+and resumes; after ``maxNumFaults`` it gives up.
+
+Here the child is the functional executor and SIGSEGV is
+:class:`~repro.errors.MemoryFault`; the control flow is identical,
+including the full restart (re-initialisation guarantees that the
+final measurement run reproduces the mapping run's address trace).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import (ArithmeticFault, InvalidAddressFault, MemoryFault,
+                          UnsupportedInstructionError)
+from repro.isa.instruction import BasicBlock
+from repro.profiler.environment import Environment
+from repro.profiler.result import FailureReason
+from repro.runtime.executor import Executor
+from repro.runtime.memory import is_valid_address
+from repro.runtime.trace import ExecutionTrace
+
+#: Fig. 2's ``maxNumFaults``.
+DEFAULT_MAX_FAULTS = 64
+
+
+@dataclass
+class MappingOutcome:
+    """Result of the monitor loop."""
+
+    success: bool
+    num_faults: int = 0
+    pages_mapped: int = 0
+    failure: Optional[FailureReason] = None
+    detail: str = ""
+    #: Trace of the first complete (post-mapping) execution.
+    trace: Optional[ExecutionTrace] = None
+
+
+def map_pages(env: Environment, block: BasicBlock, unroll: int,
+              max_faults: int = DEFAULT_MAX_FAULTS,
+              enable_mapping: bool = True) -> MappingOutcome:
+    """Run the monitor loop until the unrolled block executes cleanly.
+
+    With ``enable_mapping=False`` (the "None" row of Table I) faults
+    are fatal, exactly like running Agner Fog's script on an arbitrary
+    block.
+    """
+    executor = Executor(env.state, env.memory)
+    num_faults = 0
+    while True:
+        env.reinitialize()
+        try:
+            trace = executor.execute_block(block, unroll=unroll)
+        except InvalidAddressFault as fault:
+            return MappingOutcome(False, num_faults, env.pages_mapped,
+                                  FailureReason.INVALID_ADDRESS,
+                                  f"address {fault.address:#x}")
+        except MemoryFault as fault:
+            if not enable_mapping:
+                return MappingOutcome(False, num_faults, env.pages_mapped,
+                                      FailureReason.SEGFAULT,
+                                      f"address {fault.address:#x}")
+            if not is_valid_address(fault.address):
+                return MappingOutcome(False, num_faults, env.pages_mapped,
+                                      FailureReason.INVALID_ADDRESS,
+                                      f"address {fault.address:#x}")
+            num_faults += 1
+            if num_faults > max_faults:
+                return MappingOutcome(False, num_faults, env.pages_mapped,
+                                      FailureReason.TOO_MANY_FAULTS)
+            env.map_faulting_address(fault.address)
+            continue
+        except ArithmeticFault as fault:
+            return MappingOutcome(False, num_faults, env.pages_mapped,
+                                  FailureReason.SIGFPE, str(fault))
+        except UnsupportedInstructionError as exc:
+            return MappingOutcome(False, num_faults, env.pages_mapped,
+                                  FailureReason.UNSUPPORTED, str(exc))
+        return MappingOutcome(True, num_faults, env.pages_mapped,
+                              trace=trace)

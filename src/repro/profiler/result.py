@@ -1,0 +1,75 @@
+"""Profiling results and failure taxonomy."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+
+class FailureReason(enum.Enum):
+    """Why a basic block could not be successfully profiled.
+
+    The ablation benches aggregate these to reproduce Table I; the
+    taxonomy mirrors the failure modes the paper describes.
+    """
+
+    SEGFAULT = "segfault"                # unmapped access, no mapping stage
+    INVALID_ADDRESS = "invalid_address"  # isValidAddr() failed (Fig. 2)
+    TOO_MANY_FAULTS = "too_many_faults"  # maxNumFaults exceeded (Fig. 2)
+    SIGFPE = "sigfpe"                    # divide error under canonical init
+    UNSUPPORTED = "unsupported_instruction"
+    L1D_MISS = "l1d_cache_miss"          # invariant violated (§III-C)
+    L1I_MISS = "l1i_cache_miss"          # invariant violated (§III-C)
+    MISALIGNED = "misaligned_access"     # MISALIGNED_MEM_REFERENCE filter
+    UNSTABLE = "unstable_timing"         # <8 of 16 identical clean runs
+    UNSUPPORTED_ISA = "isa_not_supported"  # e.g. AVX2 block on Ivy Bridge
+
+
+@dataclass
+class Measurement:
+    """One accepted timing of an unrolled block."""
+
+    unroll: int
+    cycles: int
+    clean_runs: int
+    total_runs: int
+    l1d_read_misses: int = 0
+    l1d_write_misses: int = 0
+    l1i_misses: int = 0
+    misaligned_refs: int = 0
+
+
+@dataclass
+class ProfileResult:
+    """Outcome of profiling one basic block on one machine.
+
+    ``throughput`` follows IACA's convention (the paper's §III-B):
+    average cycles per basic-block iteration at steady state — the
+    *inverse* of the textbook meaning.
+    """
+
+    block_text: str
+    uarch: str
+    throughput: Optional[float] = None
+    failure: Optional[FailureReason] = None
+    measurements: Tuple[Measurement, ...] = ()
+    pages_mapped: int = 0
+    num_faults: int = 0
+    subnormal_events: int = 0
+    detail: str = ""
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        """Was the block *successfully profiled* in the paper's sense?
+
+        Executed without crashing, no cache misses, reproducible.
+        """
+        return self.failure is None and self.throughput is not None
+
+    def __repr__(self) -> str:
+        if self.ok:
+            return (f"ProfileResult({self.uarch}, "
+                    f"throughput={self.throughput:.2f})")
+        return f"ProfileResult({self.uarch}, failure={self.failure})"

@@ -1,0 +1,67 @@
+"""Unroll-factor selection and throughput derivation (§III-B).
+
+Two strategies:
+
+* **Naive** (Eq. 1): unroll ``u`` times (typically 100, as in Ithemal
+  and uops.info), measure once, divide — simple, but the footprint of
+  a large block unrolled 100x overflows L1I, violating the modeling
+  assumptions.
+* **Two-factor** (Eq. 2, the paper's contribution): measure at two
+  smaller factors ``u < u'`` that both reach steady state and report
+  ``(cycles(u') - cycles(u)) / (u' - u)``.  Warm-up cost cancels in the
+  difference, so the factors only need to reach steady state, not to
+  amortise it — which is what lets large numerical kernels fit in the
+  instruction cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.isa.instruction import BasicBlock
+
+#: The unroll factor the naive strategy uses (the paper: "a typical
+#: unroll factor is 100").
+NAIVE_UNROLL = 100
+
+
+@dataclass(frozen=True)
+class UnrollPlan:
+    """The unroll factors to measure and how to derive throughput."""
+
+    factors: Tuple[int, ...]
+
+    @property
+    def max_factor(self) -> int:
+        return max(self.factors)
+
+    def derive_throughput(self, cycles: Tuple[int, ...]) -> float:
+        """Apply Eq. 1 or Eq. 2 to the measured cycle counts."""
+        if len(self.factors) == 1:
+            return cycles[0] / self.factors[0]
+        (u1, u2), (c1, c2) = self.factors, cycles
+        return (c2 - c1) / (u2 - u1)
+
+
+def naive_plan(unroll: int = NAIVE_UNROLL) -> UnrollPlan:
+    return UnrollPlan(factors=(unroll,))
+
+
+def two_factor_plan(block: BasicBlock,
+                    icache_bytes: int = 32 * 1024,
+                    base_factor: int = 16,
+                    headroom: float = 0.75) -> UnrollPlan:
+    """Pick (u, 2u) such that 2u copies fit comfortably in L1I.
+
+    ``headroom`` leaves room for the harness's own code, mirroring the
+    real suite.  Factors are floored at 2/4 so even enormous blocks get
+    two distinct measurements.
+    """
+    budget = int(icache_bytes * headroom)
+    per_copy = max(block.byte_length, 1)
+    u2 = min(2 * base_factor, max(4, budget // per_copy))
+    u1 = max(2, u2 // 2)
+    if u1 == u2:
+        u2 = u1 + 1
+    return UnrollPlan(factors=(u1, u2))

@@ -1,0 +1,17 @@
+"""Simulated process substrate: state, memory, functional execution."""
+
+from repro.runtime.executor import Executor, evaluate_condition
+from repro.runtime.memory import (MAX_USER_ADDRESS, MIN_USER_ADDRESS,
+                                  PAGE_SIZE, PhysicalPage, VirtualMemory,
+                                  is_valid_address, page_base, page_of)
+from repro.runtime.state import INIT_CONSTANT, MachineState, state_equal
+from repro.runtime.trace import ExecutionTrace, InstrEvent, MemAccess
+
+__all__ = [
+    "Executor", "evaluate_condition",
+    "VirtualMemory", "PhysicalPage", "PAGE_SIZE",
+    "MIN_USER_ADDRESS", "MAX_USER_ADDRESS",
+    "is_valid_address", "page_base", "page_of",
+    "MachineState", "INIT_CONSTANT", "state_equal",
+    "ExecutionTrace", "InstrEvent", "MemAccess",
+]

@@ -1,0 +1,1334 @@
+"""Functional executor: runs basic blocks against state + memory.
+
+This is the simulated analogue of the child process in the paper's
+Fig. 2 pseudocode (``executeUnrolledBasicBlock``).  It computes real
+values — the CRC example's pointer chain through the lookup table
+behaves exactly as on hardware — so the page-mapping loop discovers
+the same virtual pages a real run would.
+
+Faults propagate as :class:`repro.errors.MemoryFault` /
+:class:`InvalidAddressFault` / :class:`ArithmeticFault`;
+:mod:`repro.profiler.mapping` plays the monitor role and intercepts
+them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import ArithmeticFault, UnsupportedInstructionError
+from repro.isa.instruction import BasicBlock, Instruction
+from repro.isa.operands import Imm, Mem, is_imm, is_mem, is_reg
+from repro.isa.registers import Register, lookup
+from repro.runtime import fpmath
+from repro.runtime.memory import VirtualMemory
+from repro.runtime.state import MachineState
+from repro.runtime.trace import ExecutionTrace, InstrEvent, MemAccess
+
+_MASK = {1: 0xFF, 2: 0xFFFF, 4: 0xFFFFFFFF, 8: (1 << 64) - 1,
+         16: (1 << 128) - 1, 32: (1 << 256) - 1}
+
+_LANE_BITS = {"b": 8, "w": 16, "d": 32, "q": 64}
+
+
+def _sext(value: int, width_bytes: int) -> int:
+    bits = width_bytes * 8
+    value &= (1 << bits) - 1
+    if value >= (1 << (bits - 1)):
+        value -= 1 << bits
+    return value
+
+
+def _parity(byte: int) -> bool:
+    return bin(byte & 0xFF).count("1") % 2 == 0
+
+
+def evaluate_condition(cc: str, flags: Dict[str, bool]) -> bool:
+    """Evaluate a condition-code suffix against the flags."""
+    cf, zf, sf, of, pf = (flags["cf"], flags["zf"], flags["sf"],
+                          flags["of"], flags["pf"])
+    table: Dict[str, bool] = {
+        "e": zf, "z": zf, "ne": not zf, "nz": not zf,
+        "l": sf != of, "ge": sf == of,
+        "le": zf or sf != of, "g": not zf and sf == of,
+        "b": cf, "c": cf, "ae": not cf, "nc": not cf,
+        "be": cf or zf, "a": not cf and not zf,
+        "s": sf, "ns": not sf, "o": of, "no": not of,
+        "p": pf, "np": not pf,
+    }
+    return table[cc]
+
+
+class Executor:
+    """Executes instructions, recording an :class:`ExecutionTrace`."""
+
+    def __init__(self, state: MachineState, memory: VirtualMemory):
+        self.state = state
+        self.memory = memory
+        self._event: InstrEvent = InstrEvent(index=-1, slot=-1)
+
+    # ------------------------------------------------------------------
+    # Top level
+    # ------------------------------------------------------------------
+
+    def execute_block(self, block: BasicBlock,
+                      unroll: int = 1) -> ExecutionTrace:
+        """Execute ``unroll`` back-to-back copies of ``block``.
+
+        Raises on faults; the caller (monitor) handles them.
+        """
+        trace = ExecutionTrace(block_len=len(block), unroll=unroll)
+        index = 0
+        for _ in range(unroll):
+            for slot, instr in enumerate(block.instructions):
+                event = InstrEvent(index=index, slot=slot)
+                self._event = event
+                self.execute_instruction(instr)
+                trace.append(event)
+                index += 1
+        return trace
+
+    def execute_instruction(self, instr: Instruction) -> InstrEvent:
+        info = instr.info
+        if info.unsupported:
+            raise UnsupportedInstructionError(instr.mnemonic)
+        handler = _SEMANTICS.get(info.semantic)
+        if handler is None:
+            raise UnsupportedInstructionError(
+                f"{instr.mnemonic} (no semantics for {info.semantic})")
+        handler(self, instr)
+        return self._event
+
+    # ------------------------------------------------------------------
+    # Operand plumbing
+    # ------------------------------------------------------------------
+
+    def effective_address(self, mem: Mem) -> int:
+        addr = mem.disp
+        if mem.base is not None:
+            addr += self.state.read(mem.base)
+        if mem.index is not None:
+            addr += self.state.read(mem.index) * mem.scale
+        return addr & _MASK[8]
+
+    def _mem_width(self, instr: Instruction, op: Mem,
+                   width: Optional[int]) -> int:
+        if width is not None:
+            return width
+        w = instr.memory_access_width
+        return w or op.width
+
+    def load(self, address: int, width: int) -> int:
+        value = self.memory.read_int(address, width)
+        self._event.accesses.append(MemAccess(address, width, False))
+        return value
+
+    def store(self, address: int, width: int, value: int) -> None:
+        self.memory.write_int(address, width, value)
+        self._event.accesses.append(MemAccess(address, width, True))
+
+    def read_op(self, instr: Instruction, op, width: Optional[int] = None
+                ) -> int:
+        """Read an operand as an unsigned integer of ``width`` bytes."""
+        if is_reg(op):
+            return self.state.read(op)
+        if is_imm(op):
+            w = width or instr.operand_width
+            return op.value & _MASK[min(w, 8)]
+        assert is_mem(op)
+        w = self._mem_width(instr, op, width)
+        return self.load(self.effective_address(op), w)
+
+    def write_op(self, instr: Instruction, op, value: int,
+                 width: Optional[int] = None) -> None:
+        if is_reg(op):
+            vex = instr.mnemonic.startswith("v")
+            self.state.write(op, value, vex=vex)
+            return
+        assert is_mem(op)
+        w = self._mem_width(instr, op, width)
+        self.store(self.effective_address(op), w, value)
+
+    def op_width(self, instr: Instruction, op) -> int:
+        if is_reg(op):
+            return op.width // 8
+        if is_mem(op):
+            return self._mem_width(instr, op, None)
+        return instr.operand_width
+
+    # -- flags ----------------------------------------------------------
+
+    def _set_logic_flags(self, result: int, width: int) -> None:
+        bits = width * 8
+        result &= (1 << bits) - 1
+        self.state.set_flags(
+            cf=False, of=False,
+            zf=result == 0,
+            sf=bool(result >> (bits - 1)),
+            pf=_parity(result),
+            af=False,
+        )
+
+    def _set_add_flags(self, a: int, b: int, carry_in: int,
+                       width: int) -> int:
+        bits = width * 8
+        mask = (1 << bits) - 1
+        raw = (a & mask) + (b & mask) + carry_in
+        result = raw & mask
+        sa, sb, sr = a >> (bits - 1) & 1, b >> (bits - 1) & 1, \
+            result >> (bits - 1) & 1
+        self.state.set_flags(
+            cf=raw > mask,
+            zf=result == 0,
+            sf=bool(sr),
+            of=(sa == sb) and (sr != sa),
+            pf=_parity(result),
+            af=((a & 0xF) + (b & 0xF) + carry_in) > 0xF,
+        )
+        return result
+
+    def _set_sub_flags(self, a: int, b: int, borrow_in: int,
+                       width: int) -> int:
+        bits = width * 8
+        mask = (1 << bits) - 1
+        a &= mask
+        b &= mask
+        result = (a - b - borrow_in) & mask
+        sa, sb, sr = a >> (bits - 1), b >> (bits - 1), result >> (bits - 1)
+        self.state.set_flags(
+            cf=a < b + borrow_in,
+            zf=result == 0,
+            sf=bool(sr),
+            of=(sa != sb) and (sr != sa),
+            pf=_parity(result),
+            af=(a & 0xF) < (b & 0xF) + borrow_in,
+        )
+        return result
+
+    # -- vector plumbing --------------------------------------------------
+
+    def vec_width_bits(self, instr: Instruction) -> int:
+        widths = [op.width for op in instr.operands
+                  if is_reg(op) and op.is_vector]
+        return max(widths) if widths else 128
+
+    def read_vec(self, instr: Instruction, op, total_bits: int) -> int:
+        if is_reg(op):
+            return self.state.read(op) & _MASK[total_bits // 8]
+        if is_imm(op):
+            return op.value
+        assert is_mem(op)
+        w = instr.memory_access_width or total_bits // 8
+        value = self.load(self.effective_address(op), w)
+        return value  # zero-extended into the vector
+
+    def fp_sources(self, instr: Instruction) -> List:
+        """Data sources for an FP/vector op (VEX 3-op aware)."""
+        ops = list(instr.operands)
+        if len(ops) == 3 and not is_imm(ops[2]):
+            return ops[1:]
+        if len(ops) >= 2:
+            srcs = [ops[0], ops[1]] if instr.info.reads_dst else [ops[1]]
+            return srcs
+        return ops
+
+
+# ----------------------------------------------------------------------
+# Semantics handlers
+# ----------------------------------------------------------------------
+
+_SEMANTICS: Dict[str, Callable[[Executor, Instruction], None]] = {}
+
+
+def _semantic(name: str):
+    def register(fn):
+        _SEMANTICS[name] = fn
+        return fn
+    return register
+
+
+def _names(*aliases: str):
+    def register(fn):
+        for alias in aliases:
+            _SEMANTICS[alias] = fn
+        return fn
+    return register
+
+
+# -- data movement ------------------------------------------------------
+
+@_semantic("mov")
+def _mov(ex: Executor, instr: Instruction) -> None:
+    dst, src = instr.operands
+    width = ex.op_width(instr, dst)
+    ex.write_op(instr, dst, ex.read_op(instr, src, width), width)
+
+
+@_semantic("movzx")
+def _movzx(ex: Executor, instr: Instruction) -> None:
+    dst, src = instr.operands
+    src_w = ex.op_width(instr, src)
+    ex.write_op(instr, dst, ex.read_op(instr, src, src_w))
+
+
+@_semantic("movsx")
+def _movsx(ex: Executor, instr: Instruction) -> None:
+    dst, src = instr.operands
+    src_w = ex.op_width(instr, src)
+    value = _sext(ex.read_op(instr, src, src_w), src_w)
+    ex.write_op(instr, dst, value & _MASK[ex.op_width(instr, dst)])
+
+
+@_semantic("lea")
+def _lea(ex: Executor, instr: Instruction) -> None:
+    dst, src = instr.operands
+    assert is_mem(src)
+    ex.write_op(instr, dst, ex.effective_address(src)
+                & _MASK[dst.width // 8])
+
+
+@_semantic("xchg")
+def _xchg(ex: Executor, instr: Instruction) -> None:
+    a, b = instr.operands
+    width = instr.operand_width
+    va = ex.read_op(instr, a, width)
+    vb = ex.read_op(instr, b, width)
+    ex.write_op(instr, a, vb, width)
+    ex.write_op(instr, b, va, width)
+
+
+# -- scalar integer ALU ---------------------------------------------------
+
+def _binary_alu(ex: Executor, instr: Instruction, compute, flag_kind: str):
+    dst, src = instr.operands
+    width = ex.op_width(instr, dst)
+    a = ex.read_op(instr, dst, width)
+    b = ex.read_op(instr, src, width)
+    if is_imm(src):
+        b = _sext(src.value, min(width, 8)) & _MASK[width]
+    if flag_kind == "add":
+        result = ex._set_add_flags(a, b, 0, width)
+    elif flag_kind == "sub":
+        result = ex._set_sub_flags(a, b, 0, width)
+    else:
+        result = compute(a, b) & _MASK[width]
+        ex._set_logic_flags(result, width)
+    ex.write_op(instr, dst, result, width)
+
+
+@_semantic("add")
+def _add(ex, instr):
+    _binary_alu(ex, instr, None, "add")
+
+
+@_semantic("sub")
+def _sub(ex, instr):
+    _binary_alu(ex, instr, None, "sub")
+
+
+@_semantic("and")
+def _and(ex, instr):
+    _binary_alu(ex, instr, lambda a, b: a & b, "logic")
+
+
+@_semantic("or")
+def _or(ex, instr):
+    _binary_alu(ex, instr, lambda a, b: a | b, "logic")
+
+
+@_semantic("xor")
+def _xor(ex, instr):
+    _binary_alu(ex, instr, lambda a, b: a ^ b, "logic")
+
+
+@_semantic("adc")
+def _adc(ex: Executor, instr: Instruction) -> None:
+    dst, src = instr.operands
+    width = ex.op_width(instr, dst)
+    a = ex.read_op(instr, dst, width)
+    b = ex.read_op(instr, src, width)
+    result = ex._set_add_flags(a, b, int(ex.state.flags["cf"]), width)
+    ex.write_op(instr, dst, result, width)
+
+
+@_semantic("sbb")
+def _sbb(ex: Executor, instr: Instruction) -> None:
+    dst, src = instr.operands
+    width = ex.op_width(instr, dst)
+    a = ex.read_op(instr, dst, width)
+    b = ex.read_op(instr, src, width)
+    result = ex._set_sub_flags(a, b, int(ex.state.flags["cf"]), width)
+    ex.write_op(instr, dst, result, width)
+
+
+@_semantic("cmp")
+def _cmp(ex: Executor, instr: Instruction) -> None:
+    dst, src = instr.operands
+    width = max(ex.op_width(instr, dst), 1)
+    a = ex.read_op(instr, dst, width)
+    b = ex.read_op(instr, src, width)
+    if is_imm(src):
+        b = _sext(src.value, min(width, 8)) & _MASK[width]
+    ex._set_sub_flags(a, b, 0, width)
+
+
+@_semantic("test")
+def _test(ex: Executor, instr: Instruction) -> None:
+    dst, src = instr.operands
+    width = max(ex.op_width(instr, dst), 1)
+    result = ex.read_op(instr, dst, width) & ex.read_op(instr, src, width)
+    ex._set_logic_flags(result, width)
+
+
+@_semantic("inc")
+def _inc(ex: Executor, instr: Instruction) -> None:
+    op = instr.operands[0]
+    width = ex.op_width(instr, op)
+    saved_cf = ex.state.flags["cf"]
+    result = ex._set_add_flags(ex.read_op(instr, op, width), 1, 0, width)
+    ex.state.flags["cf"] = saved_cf  # inc/dec preserve CF
+    ex.write_op(instr, op, result, width)
+
+
+@_semantic("dec")
+def _dec(ex: Executor, instr: Instruction) -> None:
+    op = instr.operands[0]
+    width = ex.op_width(instr, op)
+    saved_cf = ex.state.flags["cf"]
+    result = ex._set_sub_flags(ex.read_op(instr, op, width), 1, 0, width)
+    ex.state.flags["cf"] = saved_cf
+    ex.write_op(instr, op, result, width)
+
+
+@_semantic("neg")
+def _neg(ex: Executor, instr: Instruction) -> None:
+    op = instr.operands[0]
+    width = ex.op_width(instr, op)
+    value = ex.read_op(instr, op, width)
+    result = ex._set_sub_flags(0, value, 0, width)
+    ex.state.flags["cf"] = value != 0
+    ex.write_op(instr, op, result, width)
+
+
+@_semantic("not")
+def _not(ex: Executor, instr: Instruction) -> None:
+    op = instr.operands[0]
+    width = ex.op_width(instr, op)
+    ex.write_op(instr, op, ~ex.read_op(instr, op, width) & _MASK[width],
+                width)
+
+
+@_semantic("bt")
+def _bt(ex: Executor, instr: Instruction) -> None:
+    dst, src = instr.operands
+    width = ex.op_width(instr, dst)
+    bit = ex.read_op(instr, src, width) % (width * 8)
+    ex.state.flags["cf"] = bool(
+        (ex.read_op(instr, dst, width) >> bit) & 1)
+
+
+@_semantic("bswap")
+def _bswap(ex: Executor, instr: Instruction) -> None:
+    op = instr.operands[0]
+    width = ex.op_width(instr, op)
+    value = ex.read_op(instr, op, width)
+    swapped = int.from_bytes(value.to_bytes(width, "little"), "big")
+    ex.write_op(instr, op, swapped, width)
+
+
+# -- multiply / divide ----------------------------------------------------
+
+@_semantic("imul")
+def _imul(ex: Executor, instr: Instruction) -> None:
+    ops = instr.operands
+    rax, rdx = lookup("rax"), lookup("rdx")
+    if len(ops) == 1:
+        width = ex.op_width(instr, ops[0])
+        a = _sext(ex.state.read(rax) & _MASK[width], width)
+        b = _sext(ex.read_op(instr, ops[0], width), width)
+        product = a * b
+        bits = width * 8
+        ex.state.write(rax, product & _MASK[width])
+        ex.state.write(rdx, (product >> bits) & _MASK[width])
+        overflow = product != _sext(product & _MASK[width], width)
+        ex.state.set_flags(cf=overflow, of=overflow)
+        return
+    dst = ops[0]
+    width = ex.op_width(instr, dst)
+    if len(ops) == 2:
+        a = _sext(ex.read_op(instr, dst, width), width)
+        b = _sext(ex.read_op(instr, ops[1], width), width)
+    else:
+        a = _sext(ex.read_op(instr, ops[1], width), width)
+        b = _sext(ex.read_op(instr, ops[2], width), width)
+    product = a * b
+    truncated = product & _MASK[width]
+    overflow = product != _sext(truncated, width)
+    ex.state.set_flags(cf=overflow, of=overflow)
+    ex.write_op(instr, dst, truncated, width)
+
+
+@_semantic("mul")
+def _mul(ex: Executor, instr: Instruction) -> None:
+    op = instr.operands[0]
+    width = ex.op_width(instr, op)
+    rax, rdx = lookup("rax"), lookup("rdx")
+    a = ex.state.read(rax) & _MASK[width]
+    b = ex.read_op(instr, op, width)
+    product = a * b
+    bits = width * 8
+    high = (product >> bits) & _MASK[width]
+    ex.state.write(rax, product & _MASK[width])
+    ex.state.write(rdx, high)
+    ex.state.set_flags(cf=high != 0, of=high != 0)
+
+
+def _divide(ex: Executor, instr: Instruction, signed: bool) -> None:
+    op = instr.operands[0]
+    width = ex.op_width(instr, op)
+    bits = width * 8
+    rax, rdx = lookup("rax"), lookup("rdx")
+    low = ex.state.read(rax) & _MASK[width]
+    high = ex.state.read(rdx) & _MASK[width]
+    dividend = (high << bits) | low
+    divisor = ex.read_op(instr, op, width)
+    # Record the latency class BEFORE faulting: the div's timing depends
+    # on operand width and on the zeroed-high-half fast path the paper's
+    # case study discusses.
+    ex._event.div_class = (bits, high == 0)
+    if signed:
+        dividend = _sext(low, width) if high in (0, _MASK[width]) \
+            else dividend - (1 << (2 * bits)) \
+            * ((dividend >> (2 * bits - 1)) & 1)
+        divisor = _sext(divisor, width)
+    if divisor == 0:
+        raise ArithmeticFault("divide by zero")
+    quotient = int(dividend / divisor) if signed else dividend // divisor
+    remainder = dividend - quotient * divisor
+    limit = 1 << (bits - 1) if signed else 1 << bits
+    if not (-limit <= quotient < limit):
+        raise ArithmeticFault("divide overflow")
+    ex.state.write(rax, quotient & _MASK[width])
+    ex.state.write(rdx, remainder & _MASK[width])
+
+
+@_semantic("div")
+def _div(ex, instr):
+    _divide(ex, instr, signed=False)
+
+
+@_semantic("idiv")
+def _idiv(ex, instr):
+    _divide(ex, instr, signed=True)
+
+
+# -- shifts ---------------------------------------------------------------
+
+def _shift_count(ex: Executor, instr: Instruction, width: int) -> int:
+    if len(instr.operands) == 1:
+        return 1
+    count = ex.read_op(instr, instr.operands[1], 1)
+    return count & (0x3F if width == 8 else 0x1F)
+
+
+def _shift_op(ex: Executor, instr: Instruction, compute) -> None:
+    dst = instr.operands[0]
+    width = ex.op_width(instr, dst)
+    count = _shift_count(ex, instr, width)
+    value = ex.read_op(instr, dst, width)
+    if count:
+        result, cf = compute(value, count, width * 8)
+        result &= _MASK[width]
+        ex.state.set_flags(cf=cf, zf=result == 0,
+                           sf=bool(result >> (width * 8 - 1)),
+                           pf=_parity(result), of=False, af=False)
+        ex.write_op(instr, dst, result, width)
+
+
+@_names("shl", "sal")
+def _shl(ex, instr):
+    _shift_op(ex, instr, lambda v, c, bits:
+              (v << c, bool((v >> (bits - c)) & 1) if c <= bits else False))
+
+
+@_semantic("shr")
+def _shr(ex, instr):
+    _shift_op(ex, instr, lambda v, c, bits:
+              (v >> c, bool((v >> (c - 1)) & 1)))
+
+
+@_semantic("sar")
+def _sar(ex, instr):
+    def compute(v, c, bits):
+        signed = _sext(v, bits // 8)
+        return (signed >> c, bool((signed >> (c - 1)) & 1))
+    _shift_op(ex, instr, compute)
+
+
+@_semantic("rol")
+def _rol(ex, instr):
+    def compute(v, c, bits):
+        c %= bits
+        rotated = ((v << c) | (v >> (bits - c))) if c else v
+        return rotated, bool(rotated & 1)
+    _shift_op(ex, instr, compute)
+
+
+@_semantic("ror")
+def _ror(ex, instr):
+    def compute(v, c, bits):
+        c %= bits
+        rotated = ((v >> c) | (v << (bits - c))) if c else v
+        return rotated, bool((rotated >> (bits - 1)) & 1)
+    _shift_op(ex, instr, compute)
+
+
+@_names("shld", "shrd")
+def _shift_double(ex: Executor, instr: Instruction) -> None:
+    dst, src, cnt = instr.operands
+    width = ex.op_width(instr, dst)
+    bits = width * 8
+    count = ex.read_op(instr, cnt, 1) & (0x3F if width == 8 else 0x1F)
+    if not count:
+        return
+    a = ex.read_op(instr, dst, width)
+    b = ex.read_op(instr, src, width)
+    if instr.mnemonic == "shld":
+        combined = (a << bits) | b
+        result = (combined >> (bits - count)) & _MASK[width]
+    else:
+        combined = (b << bits) | a
+        result = (combined >> count) & _MASK[width]
+    ex._set_logic_flags(result, width)
+    ex.write_op(instr, dst, result, width)
+
+
+# -- bit scans ------------------------------------------------------------
+
+@_names("bsf", "tzcnt")
+def _bsf(ex: Executor, instr: Instruction) -> None:
+    dst, src = instr.operands
+    width = ex.op_width(instr, dst)
+    value = ex.read_op(instr, src, width)
+    if value == 0:
+        ex.state.flags["zf"] = True
+        if instr.mnemonic == "tzcnt":
+            ex.write_op(instr, dst, width * 8, width)
+        return
+    ex.state.flags["zf"] = False
+    ex.write_op(instr, dst, (value & -value).bit_length() - 1, width)
+
+
+@_names("bsr", "lzcnt")
+def _bsr(ex: Executor, instr: Instruction) -> None:
+    dst, src = instr.operands
+    width = ex.op_width(instr, dst)
+    value = ex.read_op(instr, src, width)
+    if value == 0:
+        ex.state.flags["zf"] = True
+        if instr.mnemonic == "lzcnt":
+            ex.write_op(instr, dst, width * 8, width)
+        return
+    ex.state.flags["zf"] = False
+    top = value.bit_length() - 1
+    result = top if instr.mnemonic == "bsr" else width * 8 - 1 - top
+    ex.write_op(instr, dst, result, width)
+
+
+@_semantic("popcnt")
+def _popcnt(ex: Executor, instr: Instruction) -> None:
+    dst, src = instr.operands
+    width = ex.op_width(instr, dst)
+    value = ex.read_op(instr, src, width)
+    ex._set_logic_flags(value, width)
+    ex.write_op(instr, dst, bin(value).count("1"), width)
+
+
+# -- widening / flags-driven ----------------------------------------------
+
+@_semantic("cdq")
+def _cdq(ex: Executor, instr: Instruction) -> None:
+    eax = ex.state.read(lookup("eax"))
+    ex.state.write(lookup("edx"),
+                   0xFFFFFFFF if eax & 0x80000000 else 0)
+
+
+@_semantic("cqo")
+def _cqo(ex: Executor, instr: Instruction) -> None:
+    rax = ex.state.read(lookup("rax"))
+    ex.state.write(lookup("rdx"),
+                   _MASK[8] if rax >> 63 else 0)
+
+
+@_semantic("cdqe")
+def _cdqe(ex: Executor, instr: Instruction) -> None:
+    eax = ex.state.read(lookup("eax"))
+    ex.state.write(lookup("rax"), _sext(eax, 4) & _MASK[8])
+
+
+@_semantic("cmov")
+def _cmov(ex: Executor, instr: Instruction) -> None:
+    dst, src = instr.operands
+    width = ex.op_width(instr, dst)
+    value = ex.read_op(instr, src, width)  # source is always read
+    if evaluate_condition(instr.info.cc, ex.state.flags):
+        ex.write_op(instr, dst, value, width)
+    elif width == 4 and is_reg(dst):
+        # 32-bit cmov still zero-extends the destination.
+        ex.write_op(instr, dst, ex.read_op(instr, dst, width), width)
+
+
+@_semantic("setcc")
+def _setcc(ex: Executor, instr: Instruction) -> None:
+    taken = evaluate_condition(instr.info.cc, ex.state.flags)
+    ex.write_op(instr, instr.operands[0], int(taken), 1)
+
+
+# -- stack ---------------------------------------------------------------
+
+@_semantic("push")
+def _push(ex: Executor, instr: Instruction) -> None:
+    rsp = lookup("rsp")
+    width = max(instr.operand_width, 8)
+    sp = (ex.state.read(rsp) - width) & _MASK[8]
+    ex.state.write(rsp, sp)
+    ex.store(sp, width, ex.read_op(instr, instr.operands[0], width))
+
+
+@_semantic("pop")
+def _pop(ex: Executor, instr: Instruction) -> None:
+    rsp = lookup("rsp")
+    width = max(instr.operand_width, 8)
+    sp = ex.state.read(rsp)
+    ex.write_op(instr, instr.operands[0], ex.load(sp, width), width)
+    ex.state.write(rsp, (sp + width) & _MASK[8])
+
+
+@_semantic("nop")
+def _nop(ex: Executor, instr: Instruction) -> None:
+    return None
+
+
+@_semantic("vzero")
+def _vzeroupper(ex: Executor, instr: Instruction) -> None:
+    for name in list(ex.state.vec):
+        ex.state.vec[name] &= _MASK[16]
+
+
+# -- vector moves / transfers ----------------------------------------------
+
+@_semantic("vec_mov")
+def _vec_mov(ex: Executor, instr: Instruction) -> None:
+    dst, src = instr.operands
+    scalar_w = {"movss": 4, "movsd": 8}.get(instr.mnemonic.lstrip("v"))
+    if scalar_w is not None:
+        if is_reg(dst) and is_reg(src):
+            # Merge the low lane, keep the rest of dst.
+            old = ex.state.read(dst)
+            value = ex.state.read(src) & _MASK[scalar_w]
+            merged = (old & ~_MASK[scalar_w]) | value
+            ex.state.write(dst, merged,
+                           vex=instr.mnemonic.startswith("v"))
+        elif is_reg(dst):
+            value = ex.read_op(instr, src, scalar_w)
+            ex.state.write(dst, value, vex=True)  # load zero-extends
+        else:
+            value = ex.state.read(src) & _MASK[scalar_w]
+            ex.write_op(instr, dst, value, scalar_w)
+        return
+    width_bits = ex.vec_width_bits(instr)
+    value = ex.read_vec(instr, src, width_bits)
+    if is_reg(dst):
+        ex.state.write(dst, value, vex=instr.mnemonic.startswith("v"))
+    else:
+        ex.write_op(instr, dst, value, width_bits // 8)
+
+
+@_semantic("vec_xfer")
+def _vec_xfer(ex: Executor, instr: Instruction) -> None:
+    dst, src = instr.operands
+    width = instr.memory_access_width or \
+        (8 if instr.mnemonic.endswith("q") else 4)
+    value = ex.read_op(instr, src, width) & _MASK[width]
+    if is_reg(dst) and dst.is_vector:
+        ex.state.write(dst, value, vex=True)
+    else:
+        ex.write_op(instr, dst, value, width)
+
+
+@_semantic("movmsk")
+def _movmsk(ex: Executor, instr: Instruction) -> None:
+    dst, src = instr.operands
+    lane_bits = {"movmskps": 32, "movmskpd": 64, "pmovmskb": 8}[
+        instr.mnemonic.lstrip("v")]
+    value = ex.state.read(src)
+    lanes = fpmath.lanes_of(value, src.width, lane_bits)
+    mask = 0
+    for i, lane in enumerate(lanes):
+        if lane >> (lane_bits - 1):
+            mask |= 1 << i
+    ex.write_op(instr, dst, mask, 4)
+
+
+@_semantic("extract")
+def _extract(ex: Executor, instr: Instruction) -> None:
+    dst, src, sel = instr.operands
+    width = instr.memory_access_width or 4
+    lane = sel.value if is_imm(sel) else 0
+    value = ex.state.read(src)
+    lanes = fpmath.lanes_of(value, src.width, width * 8)
+    ex.write_op(instr, dst, lanes[lane % len(lanes)], width)
+
+
+@_semantic("insert")
+def _insert(ex: Executor, instr: Instruction) -> None:
+    if len(instr.operands) == 4:  # VEX: dst, src1, src2, imm
+        dst, src1, src2, sel = instr.operands
+        base = ex.state.read(src1)
+    else:
+        dst, src2, sel = instr.operands
+        src1 = dst
+        base = ex.state.read(dst)
+    width = instr.memory_access_width or 4
+    lane = (sel.value if is_imm(sel) else 0)
+    value = ex.read_op(instr, src2, width) & _MASK[width]
+    lane_bits = width * 8
+    n_lanes = dst.width // lane_bits
+    lane %= n_lanes
+    mask = _MASK[width] << (lane * lane_bits)
+    result = (base & ~mask) | (value << (lane * lane_bits))
+    ex.state.write(dst, result, vex=instr.mnemonic.startswith("v"))
+
+
+# -- vector logic -----------------------------------------------------------
+
+def _vec_bitwise(ex: Executor, instr: Instruction, compute) -> None:
+    dst = instr.operands[0]
+    width_bits = ex.vec_width_bits(instr)
+    srcs = ex.fp_sources(instr)
+    values = [ex.read_vec(instr, s, width_bits) for s in srcs]
+    if len(values) == 1:
+        values.insert(0, ex.state.read(dst))
+    result = compute(values[0], values[1]) & _MASK[width_bits // 8]
+    ex.state.write(dst, result, vex=instr.mnemonic.startswith("v"))
+
+
+@_semantic("vxor")
+def _vxor(ex, instr):
+    _vec_bitwise(ex, instr, lambda a, b: a ^ b)
+
+
+@_semantic("vand")
+def _vand(ex, instr):
+    _vec_bitwise(ex, instr, lambda a, b: a & b)
+
+
+@_semantic("vor")
+def _vor(ex, instr):
+    _vec_bitwise(ex, instr, lambda a, b: a | b)
+
+
+@_semantic("vandn")
+def _vandn(ex, instr):
+    _vec_bitwise(ex, instr, lambda a, b: ~a & b)
+
+
+@_semantic("ptest")
+def _ptest(ex: Executor, instr: Instruction) -> None:
+    a, b = instr.operands[-2:]
+    width_bits = ex.vec_width_bits(instr)
+    va = ex.read_vec(instr, a, width_bits)
+    vb = ex.read_vec(instr, b, width_bits)
+    ex.state.set_flags(zf=(va & vb) == 0, cf=(~va & vb) == 0,
+                       sf=False, of=False, pf=False, af=False)
+
+
+# -- vector integer ---------------------------------------------------------
+
+def _mnemonic_lane_bits(mnemonic: str) -> int:
+    name = mnemonic.lstrip("v")
+    for suffix, bits in (("b", 8), ("w", 16), ("d", 32), ("q", 64)):
+        if name.endswith(suffix):
+            return bits
+    return 32
+
+
+def _vec_int_lanes(ex: Executor, instr: Instruction, compute) -> None:
+    dst = instr.operands[0]
+    width_bits = ex.vec_width_bits(instr)
+    lane_bits = _mnemonic_lane_bits(instr.mnemonic)
+    srcs = ex.fp_sources(instr)
+    values = [ex.read_vec(instr, s, width_bits) for s in srcs]
+    if len(values) == 1:
+        values.insert(0, ex.state.read(dst) & _MASK[width_bits // 8])
+    lanes = [fpmath.lanes_of(v, width_bits, lane_bits) for v in values]
+    out = [compute(*vals) & ((1 << lane_bits) - 1)
+           for vals in zip(*lanes)]
+    ex.state.write(dst, fpmath.lanes_to_int(out, lane_bits),
+                   vex=instr.mnemonic.startswith("v"))
+
+
+@_semantic("vec_int")
+def _vec_int(ex: Executor, instr: Instruction) -> None:
+    name = instr.mnemonic.lstrip("v")
+    lane_bits = _mnemonic_lane_bits(instr.mnemonic)
+    half = 1 << (lane_bits - 1)
+
+    def signed(x):
+        return x - (1 << lane_bits) if x >= half else x
+
+    ops = {
+        "padd": lambda a, b: a + b,
+        "psub": lambda a, b: a - b,
+        "pmaxs": lambda a, b: a if signed(a) >= signed(b) else b,
+        "pmins": lambda a, b: a if signed(a) <= signed(b) else b,
+        "pmaxu": max, "pminu": min,
+        "pavg": lambda a, b: (a + b + 1) >> 1,
+    }
+    if name.startswith("pabs"):
+        _vec_int_lanes(ex, instr, lambda a: abs(signed(a)))
+        return
+    for prefix, fn in ops.items():
+        if name.startswith(prefix):
+            _vec_int_lanes(ex, instr, fn)
+            return
+    raise UnsupportedInstructionError(instr.mnemonic)
+
+
+@_semantic("vec_cmp")
+def _vec_cmp(ex: Executor, instr: Instruction) -> None:
+    name = instr.mnemonic.lstrip("v")
+    lane_bits = _mnemonic_lane_bits(instr.mnemonic)
+    ones = (1 << lane_bits) - 1
+    half = 1 << (lane_bits - 1)
+
+    def signed(x):
+        return x - (1 << lane_bits) if x >= half else x
+
+    if name.startswith("pcmpeq"):
+        _vec_int_lanes(ex, instr, lambda a, b: ones if a == b else 0)
+    else:
+        _vec_int_lanes(ex, instr,
+                       lambda a, b: ones if signed(a) > signed(b) else 0)
+
+
+@_semantic("vec_imul")
+def _vec_imul(ex: Executor, instr: Instruction) -> None:
+    name = instr.mnemonic.lstrip("v")
+    if name == "pmuludq":
+        _vec_int_lanes(ex, instr, lambda a, b: a * b)  # approximate lanes
+    elif name == "pmaddwd":
+        _vec_int_lanes(ex, instr, lambda a, b: a * b)  # approximation
+    else:
+        _vec_int_lanes(ex, instr, lambda a, b: a * b)
+
+
+@_semantic("vec_shift")
+def _vec_shift(ex: Executor, instr: Instruction) -> None:
+    dst = instr.operands[0]
+    width_bits = ex.vec_width_bits(instr)
+    lane_bits = _mnemonic_lane_bits(instr.mnemonic)
+    srcs = ex.fp_sources(instr)
+    count_op = srcs[-1]
+    if is_imm(count_op):
+        count = count_op.value
+    else:
+        count = ex.read_vec(instr, count_op, 128) & _MASK[8]
+    data_src = srcs[0] if len(srcs) > 1 else dst
+    value = ex.read_vec(instr, data_src, width_bits)
+    lanes = fpmath.lanes_of(value, width_bits, lane_bits)
+    name = instr.mnemonic.lstrip("v")
+    if count >= lane_bits:
+        out = [0] * len(lanes)
+    elif name.startswith("psll"):
+        out = [(lane << count) & ((1 << lane_bits) - 1) for lane in lanes]
+    elif name.startswith("psrl"):
+        out = [lane >> count for lane in lanes]
+    else:  # psra*
+        half = 1 << (lane_bits - 1)
+        out = [((lane - (1 << lane_bits)) >> count) & ((1 << lane_bits) - 1)
+               if lane >= half else lane >> count for lane in lanes]
+    ex.state.write(dst, fpmath.lanes_to_int(out, lane_bits),
+                   vex=instr.mnemonic.startswith("v"))
+
+
+# -- shuffles ----------------------------------------------------------------
+
+@_semantic("shuffle")
+def _shuffle(ex: Executor, instr: Instruction) -> None:
+    """Generic shuffle family (shufps, pshufd, palignr, blends...).
+
+    Lane routing is implemented for the common members; rarely-used
+    members fall back to a deterministic byte rotation — the timing
+    model only needs the dataflow, which is identical.
+    """
+    ops = list(instr.operands)
+    imm = ops.pop().value if is_imm(ops[-1]) else 0
+    dst = ops[0]
+    width_bits = ex.vec_width_bits(instr)
+    srcs = ops[1:] if len(ops) > 1 else [dst]
+    values = [ex.read_vec(instr, s, width_bits) for s in srcs]
+    name = instr.mnemonic.lstrip("v")
+    if name == "pshufd":
+        lanes = fpmath.lanes_of(values[0], width_bits, 32)
+        out = [lanes[(imm >> (2 * i)) & 3] for i in range(len(lanes))]
+        result = fpmath.lanes_to_int(out, 32)
+    elif name == "shufps":
+        a = fpmath.lanes_of(ex.state.read(dst), width_bits, 32)
+        b = fpmath.lanes_of(values[-1], width_bits, 32)
+        out = [a[imm & 3], a[(imm >> 2) & 3],
+               b[(imm >> 4) & 3], b[(imm >> 6) & 3]]
+        out += [0] * (width_bits // 32 - 4)
+        result = fpmath.lanes_to_int(out, 32)
+    elif name.startswith("pshufb"):
+        data = values[0] if len(values) == 1 else values[0]
+        mask_v = values[-1]
+        data_b = fpmath.lanes_of(ex.state.read(dst)
+                                 if len(values) == 1 else values[0],
+                                 width_bits, 8)
+        mask_b = fpmath.lanes_of(mask_v, width_bits, 8)
+        out = [0 if m & 0x80 else data_b[m & 0x0F]
+               for m in mask_b]
+        result = fpmath.lanes_to_int(out, 8)
+    else:
+        # Deterministic fallback: byte-rotate the xor of the sources.
+        mixed = 0
+        for v in values:
+            mixed ^= v
+        rot = (imm % 16 + 1) * 8
+        total = width_bits
+        mixed &= (1 << total) - 1
+        result = ((mixed << rot) | (mixed >> (total - rot))) \
+            & ((1 << total) - 1)
+    ex.state.write(dst, result, vex=instr.mnemonic.startswith("v"))
+
+
+@_semantic("unpack")
+def _unpack(ex: Executor, instr: Instruction) -> None:
+    dst = instr.operands[0]
+    width_bits = ex.vec_width_bits(instr)
+    name = instr.mnemonic.lstrip("v")
+    lane_bits = {"bw": 8, "dq": 32, "qdq": 64, "ps": 32, "pd": 64}
+    for suffix, bits in lane_bits.items():
+        if name.endswith(suffix):
+            lb = bits
+            break
+    else:
+        lb = 32
+    srcs = ex.fp_sources(instr)
+    values = [ex.read_vec(instr, s, width_bits) for s in srcs]
+    if len(values) == 1:
+        values.insert(0, ex.state.read(dst))
+    a = fpmath.lanes_of(values[0], width_bits, lb)
+    b = fpmath.lanes_of(values[1], width_bits, lb)
+    n = len(a)
+    take_high = "h" in name[:7]
+    half = a[n // 2:] if take_high else a[:n // 2]
+    other = b[n // 2:] if take_high else b[:n // 2]
+    out = []
+    for x, y in zip(half, other):
+        out.extend((x, y))
+    ex.state.write(dst, fpmath.lanes_to_int(out, lb),
+                   vex=instr.mnemonic.startswith("v"))
+
+
+@_semantic("broadcast")
+def _broadcast(ex: Executor, instr: Instruction) -> None:
+    dst, src = instr.operands
+    width = instr.memory_access_width or 4
+    value = ex.read_op(instr, src, width) & _MASK[width]
+    n = dst.width // (width * 8)
+    ex.state.write(dst, fpmath.lanes_to_int([value] * n, width * 8),
+                   vex=True)
+
+
+@_semantic("insert128")
+def _insert128(ex: Executor, instr: Instruction) -> None:
+    dst, src1, src2, sel = instr.operands
+    base = ex.state.read(src1)
+    value = ex.read_vec(instr, src2, 128) & _MASK[16]
+    if sel.value & 1:
+        result = (base & _MASK[16]) | (value << 128)
+    else:
+        result = (base & ~_MASK[16]) | value
+    ex.state.write(dst, result, vex=True)
+
+
+@_semantic("extract128")
+def _extract128(ex: Executor, instr: Instruction) -> None:
+    dst, src, sel = instr.operands
+    value = ex.state.read(src)
+    lane = (value >> 128) if sel.value & 1 else value & _MASK[16]
+    if is_reg(dst):
+        ex.state.write(dst, lane & _MASK[16], vex=True)
+    else:
+        ex.write_op(instr, dst, lane & _MASK[16], 16)
+
+
+@_semantic("perm2")
+def _perm2(ex: Executor, instr: Instruction) -> None:
+    dst, src1, src2, sel = instr.operands
+    halves = [ex.state.read(src1) & _MASK[16],
+              ex.state.read(src1) >> 128,
+              ex.read_vec(instr, src2, 256) & _MASK[16],
+              ex.read_vec(instr, src2, 256) >> 128]
+    lo = halves[sel.value & 3] if not (sel.value & 0x08) else 0
+    hi = halves[(sel.value >> 4) & 3] if not (sel.value & 0x80) else 0
+    ex.state.write(dst, (hi << 128) | lo, vex=True)
+
+
+# -- floating point ----------------------------------------------------------
+
+def _fp_lane_bits(instr: Instruction) -> int:
+    return 64 if instr.info.fp == "f64" else 32
+
+
+def _fp_is_scalar(instr: Instruction) -> bool:
+    return instr.mnemonic.lstrip("v").endswith(("ss", "sd"))
+
+
+def _fp_op(ex: Executor, instr: Instruction, op) -> None:
+    """Shared body of packed/scalar FP arithmetic with assist tracking."""
+    dst = instr.operands[0]
+    lane_bits = _fp_lane_bits(instr)
+    width_bits = ex.vec_width_bits(instr)
+    srcs = ex.fp_sources(instr)
+    values = [ex.read_vec(instr, s,
+                          lane_bits if _fp_is_scalar(instr) and is_mem(s)
+                          else width_bits)
+              for s in srcs]
+    if instr.info.reads_dst and len(values) == 1:
+        values.insert(0, ex.state.read(dst) & _MASK[width_bits // 8])
+    if _fp_is_scalar(instr):
+        lane_sets = [[v & ((1 << lane_bits) - 1)] for v in values]
+        out, assist = fpmath.lanewise_fp(lane_sets, lane_bits, op,
+                                         ex.state.ftz)
+        # Scalar ops merge into the untouched upper bits: legacy SSE
+        # keeps the destination's, VEX 3-op forms take src1's.
+        if instr.mnemonic.startswith("v") or instr.info.reads_dst:
+            base = values[0]
+        else:
+            base = ex.state.read(dst) & _MASK[width_bits // 8]
+        result = (base & ~((1 << lane_bits) - 1)) | out[0]
+    else:
+        lane_sets = [fpmath.lanes_of(v, width_bits, lane_bits)
+                     for v in values]
+        out, assist = fpmath.lanewise_fp(lane_sets, lane_bits, op,
+                                         ex.state.ftz)
+        result = fpmath.lanes_to_int(out, lane_bits)
+    if assist:
+        ex._event.subnormal = True
+    ex.state.write(dst, result, vex=instr.mnemonic.startswith("v"))
+
+
+@_semantic("fp_add")
+def _fp_add(ex: Executor, instr: Instruction) -> None:
+    name = instr.mnemonic.lstrip("v")
+    if name.startswith("add"):
+        op = lambda a, b: a + b  # noqa: E731
+    elif name.startswith("sub"):
+        op = lambda a, b: a - b  # noqa: E731
+    elif name.startswith("min"):
+        op = min
+    else:
+        op = max
+    _fp_op(ex, instr, op)
+
+
+@_semantic("fp_mul")
+def _fp_mul(ex, instr):
+    _fp_op(ex, instr, lambda a, b: a * b)
+
+
+@_semantic("fp_div")
+def _fp_div(ex, instr):
+    def div(a, b):
+        if b == 0.0:
+            return math.inf if a > 0 else (-math.inf if a < 0 else math.nan)
+        return a / b
+    _fp_op(ex, instr, div)
+
+
+@_semantic("fp_sqrt")
+def _fp_sqrt(ex, instr):
+    _fp_op(ex, instr, lambda a, *rest:
+           math.sqrt(a) if a >= 0 else math.nan)
+
+
+@_semantic("fp_rcp")
+def _fp_rcp(ex, instr):
+    name = instr.mnemonic.lstrip("v")
+    if name.startswith("rsqrt"):
+        _fp_op(ex, instr, lambda a, *rest:
+               1.0 / math.sqrt(a) if a > 0 else math.inf)
+    else:
+        _fp_op(ex, instr, lambda a, *rest:
+               1.0 / a if a != 0 else math.inf)
+
+
+@_semantic("hadd")
+def _hadd(ex: Executor, instr: Instruction) -> None:
+    dst = instr.operands[0]
+    lane_bits = _fp_lane_bits(instr)
+    width_bits = ex.vec_width_bits(instr)
+    srcs = ex.fp_sources(instr)
+    values = [ex.read_vec(instr, s, width_bits) for s in srcs]
+    if len(values) == 1:
+        values.insert(0, ex.state.read(dst))
+    a = fpmath.lanes_of(values[0], width_bits, lane_bits)
+    b = fpmath.lanes_of(values[1], width_bits, lane_bits)
+    pairs = [(a[i], a[i + 1]) for i in range(0, len(a), 2)] + \
+            [(b[i], b[i + 1]) for i in range(0, len(b), 2)]
+    lane_sets = [[p[0] for p in pairs], [p[1] for p in pairs]]
+    out, assist = fpmath.lanewise_fp(lane_sets, lane_bits,
+                                     lambda x, y: x + y, ex.state.ftz)
+    if assist:
+        ex._event.subnormal = True
+    ex.state.write(dst, fpmath.lanes_to_int(out, lane_bits),
+                   vex=instr.mnemonic.startswith("v"))
+
+
+@_semantic("fp_round")
+def _fp_round(ex, instr):
+    _fp_op(ex, instr, lambda a, *rest: float(round(a)))
+
+
+@_semantic("fp_cmp")
+def _fp_cmp(ex: Executor, instr: Instruction) -> None:
+    lane_bits = _fp_lane_bits(instr)
+    ones = (1 << lane_bits) - 1
+    _fp_op(ex, instr, lambda a, b: -1.0 if a == b else 0.0)
+    # Rewrite result lanes to all-ones/zero masks (approximation).
+    dst = instr.operands[0]
+    value = ex.state.read(dst)
+    width_bits = dst.width
+    lanes = fpmath.lanes_of(value, width_bits, lane_bits)
+    out = [ones if lane else 0 for lane in lanes]
+    ex.state.write(dst, fpmath.lanes_to_int(out, lane_bits),
+                   vex=instr.mnemonic.startswith("v"))
+
+
+@_semantic("comi")
+def _comi(ex: Executor, instr: Instruction) -> None:
+    a, b = instr.operands[-2:]
+    lane_bits = _fp_lane_bits(instr)
+    va = fpmath.bits_to_float(
+        ex.read_vec(instr, a, 128) & ((1 << lane_bits) - 1), lane_bits)
+    vb = fpmath.bits_to_float(
+        ex.read_vec(instr, b, 128) & ((1 << lane_bits) - 1), lane_bits)
+    if math.isnan(va) or math.isnan(vb):
+        ex.state.set_flags(zf=True, pf=True, cf=True,
+                           sf=False, of=False, af=False)
+    else:
+        ex.state.set_flags(zf=va == vb, pf=False, cf=va < vb,
+                           sf=False, of=False, af=False)
+
+
+@_semantic("cvt")
+def _cvt(ex: Executor, instr: Instruction) -> None:
+    dst, src = instr.operands[:2]
+    name = instr.mnemonic.lstrip("v")
+    if name.startswith("cvtsi2"):
+        lane_bits = 32 if name.endswith("ss") else 64
+        src_w = ex.op_width(instr, src) if not is_reg(src) \
+            else src.width // 8
+        value = float(_sext(ex.read_op(instr, src, src_w), src_w))
+        bits = fpmath.float_to_bits(value, lane_bits)
+        old = ex.state.read(dst)
+        merged = (old & ~((1 << lane_bits) - 1)) | bits
+        ex.state.write(dst, merged, vex=instr.mnemonic.startswith("v"))
+        return
+    if name.startswith(("cvttss2si", "cvttsd2si", "cvtss2si", "cvtsd2si")):
+        lane_bits = 64 if "sd" in name else 32
+        value = fpmath.bits_to_float(
+            ex.read_vec(instr, src, 128) & ((1 << lane_bits) - 1),
+            lane_bits)
+        if math.isnan(value) or math.isinf(value):
+            result = 1 << (dst.width - 1)
+        else:
+            result = int(value) & ((1 << dst.width) - 1)
+        ex.write_op(instr, dst, result)
+        return
+    if name in ("cvtss2sd", "cvtsd2ss"):
+        src_bits = 32 if name == "cvtss2sd" else 64
+        dst_bits = 96 - src_bits
+        value = fpmath.bits_to_float(
+            ex.read_vec(instr, src, 128) & ((1 << src_bits) - 1), src_bits)
+        bits = fpmath.float_to_bits(value, dst_bits)
+        old = ex.state.read(dst)
+        merged = (old & ~((1 << dst_bits) - 1)) | bits
+        if fpmath.is_subnormal(value, dst_bits) and not ex.state.ftz:
+            ex._event.subnormal = True
+        ex.state.write(dst, merged, vex=instr.mnemonic.startswith("v"))
+        return
+    # Packed conversions.
+    width_bits = ex.vec_width_bits(instr)
+    value = ex.read_vec(instr, src, width_bits)
+    if name == "cvtdq2ps":
+        lanes = fpmath.lanes_of(value, width_bits, 32)
+        out = [fpmath.float_to_bits(float(_sext(v, 4)), 32) for v in lanes]
+        ex.state.write(dst, fpmath.lanes_to_int(out, 32), vex=True)
+    elif name in ("cvtps2dq", "cvttps2dq"):
+        lanes = fpmath.lanes_of(value, width_bits, 32)
+        out = []
+        for v in lanes:
+            f = fpmath.bits_to_float(v, 32)
+            out.append(0x80000000 if math.isnan(f) or math.isinf(f)
+                       else int(f) & 0xFFFFFFFF)
+        ex.state.write(dst, fpmath.lanes_to_int(out, 32), vex=True)
+    elif name == "cvtdq2pd":
+        lanes = fpmath.lanes_of(value & 0xFFFFFFFFFFFFFFFF, 64, 32)
+        out = [fpmath.float_to_bits(float(_sext(v, 4)), 64) for v in lanes]
+        ex.state.write(dst, fpmath.lanes_to_int(out, 64), vex=True)
+    else:  # cvtpd2dq
+        lanes = fpmath.lanes_of(value, width_bits, 64)
+        out = []
+        for v in lanes:
+            f = fpmath.bits_to_float(v, 64)
+            out.append(0x80000000 if math.isnan(f) or math.isinf(f)
+                       else int(f) & 0xFFFFFFFF)
+        out += [0] * len(out)
+        ex.state.write(dst, fpmath.lanes_to_int(out, 32), vex=True)
+
+
+@_semantic("fma")
+def _fma(ex: Executor, instr: Instruction) -> None:
+    dst, src2, src3 = instr.operands
+    lane_bits = _fp_lane_bits(instr)
+    width_bits = ex.vec_width_bits(instr)
+    name = instr.mnemonic
+    order = name[len(name.rstrip("0123456789" + "psd")) - 0:]
+    digits = "".join(ch for ch in name if ch.isdigit())
+    a = ex.state.read(dst) & _MASK[width_bits // 8]
+    b = ex.read_vec(instr, src2, width_bits)
+    c = ex.read_vec(instr, src3, width_bits)
+    if digits == "132":
+        mul1, mul2, addend = a, c, b
+    elif digits == "213":
+        mul1, mul2, addend = b, a, c
+    else:  # 231
+        mul1, mul2, addend = b, c, a
+    negate_product = name.startswith("vfnm")
+    subtract = "sub" in name
+
+    def fma_op(x, y, z):
+        product = x * y
+        if negate_product:
+            product = -product
+        return product - z if subtract else product + z
+
+    scalar = _fp_is_scalar(instr)
+    if scalar:
+        sets = [[v & ((1 << lane_bits) - 1)] for v in (mul1, mul2, addend)]
+    else:
+        sets = [fpmath.lanes_of(v, width_bits, lane_bits)
+                for v in (mul1, mul2, addend)]
+    out, assist = fpmath.lanewise_fp(sets, lane_bits, fma_op, ex.state.ftz)
+    if assist:
+        ex._event.subnormal = True
+    if scalar:
+        result = (a & ~((1 << lane_bits) - 1)) | out[0]
+    else:
+        result = fpmath.lanes_to_int(out, lane_bits)
+    ex.state.write(dst, result, vex=True)

@@ -1,0 +1,105 @@
+"""IEEE-754 lane helpers for the vector/FP semantics.
+
+Vector register values are plain Python ints (bit vectors).  These
+helpers split them into lanes, run float math through ``struct`` (so
+f32 results are correctly rounded to single precision), and detect
+subnormal inputs/outputs — the events behind the paper's 20x
+"gradual underflow" slowdowns and the MXCSR FTZ/DAZ mitigation.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from typing import Callable, List, Tuple
+
+F32_MIN_NORMAL = 2.0 ** -126
+F64_MIN_NORMAL = 2.0 ** -1022
+
+
+def lanes_of(value: int, total_bits: int, lane_bits: int) -> List[int]:
+    """Split an integer bit-vector into little-endian lanes."""
+    mask = (1 << lane_bits) - 1
+    return [(value >> (i * lane_bits)) & mask
+            for i in range(total_bits // lane_bits)]
+
+
+def lanes_to_int(lanes: List[int], lane_bits: int) -> int:
+    value = 0
+    for i, lane in enumerate(lanes):
+        value |= (lane & ((1 << lane_bits) - 1)) << (i * lane_bits)
+    return value
+
+
+def bits_to_float(bits: int, lane_bits: int) -> float:
+    if lane_bits == 32:
+        return struct.unpack("<f", bits.to_bytes(4, "little"))[0]
+    return struct.unpack("<d", bits.to_bytes(8, "little"))[0]
+
+
+def float_to_bits(value: float, lane_bits: int) -> int:
+    try:
+        if lane_bits == 32:
+            packed = struct.pack("<f", value)
+        else:
+            packed = struct.pack("<d", value)
+    except (OverflowError, ValueError):
+        # Overflow to infinity with the right sign, like the hardware.
+        inf = math.inf if value > 0 else -math.inf
+        packed = struct.pack("<f" if lane_bits == 32 else "<d", inf)
+    return int.from_bytes(packed, "little")
+
+
+def is_subnormal(value: float, lane_bits: int) -> bool:
+    if value == 0.0 or math.isnan(value) or math.isinf(value):
+        return False
+    limit = F32_MIN_NORMAL if lane_bits == 32 else F64_MIN_NORMAL
+    return abs(value) < limit
+
+
+def flush_if_subnormal(value: float, lane_bits: int, ftz: bool) -> float:
+    if ftz and is_subnormal(value, lane_bits):
+        return math.copysign(0.0, value)
+    return value
+
+
+def lanewise_fp(src_lanes: List[List[int]], lane_bits: int,
+                op: Callable[..., float], ftz: bool
+                ) -> Tuple[List[int], bool]:
+    """Apply ``op`` lane-by-lane across the given source bit-vectors.
+
+    Returns (result lanes, subnormal_event).  ``subnormal_event`` is
+    True when, with FTZ/DAZ *off*, any input or un-flushed output lane
+    is subnormal — i.e. the hardware would have taken a microcode
+    assist.  With FTZ on, inputs/outputs are flushed and no assist
+    fires (the paper's "disable gradual underflow" configuration).
+    """
+    n = len(src_lanes[0])
+    out: List[int] = []
+    assist = False
+    for i in range(n):
+        inputs = [bits_to_float(src[i], lane_bits) for src in src_lanes]
+        if any(is_subnormal(x, lane_bits) for x in inputs):
+            if ftz:
+                inputs = [flush_if_subnormal(x, lane_bits, True)
+                          for x in inputs]
+            else:
+                assist = True
+        try:
+            result = op(*inputs)
+        except (ZeroDivisionError, ValueError):
+            result = math.nan if any(x == 0 for x in inputs) else math.inf
+        # Assist detection must look at the *rounded* target-precision
+        # value: a product like 1e-55 underflows straight to zero in
+        # f32 (no assist on real hardware), while 4e-45 rounds to a
+        # representable subnormal (assist unless FTZ).
+        bits = float_to_bits(result, lane_bits)
+        rounded = bits_to_float(bits, lane_bits)
+        if is_subnormal(rounded, lane_bits):
+            if ftz:
+                result = math.copysign(0.0, result)
+                bits = float_to_bits(result, lane_bits)
+            else:
+                assist = True
+        out.append(bits)
+    return out, assist

@@ -1,0 +1,158 @@
+"""Simulated virtual memory with page-table remapping.
+
+This is the substrate for the paper's central measurement trick:
+``mmapToChosenPhysPage`` — mapping *every* virtual page a basic block
+touches onto a *single* physical page, so that
+
+* no access ever faults once mapping is complete, and
+* the L1 data cache (virtually indexed, physically tagged on the Intel
+  parts the paper measures) sees one page's worth of lines → perfect
+  hits.
+
+A :class:`PhysicalPage` is a real byte buffer; a
+:class:`VirtualMemory` maps 4 KiB-aligned virtual page numbers onto
+physical pages.  Accessing an unmapped page raises
+:class:`repro.errors.MemoryFault` (the simulated SIGSEGV), or
+:class:`repro.errors.InvalidAddressFault` when the address can never be
+mapped (Fig. 2's ``isValidAddr`` failing).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import InvalidAddressFault, MemoryFault
+
+PAGE_SIZE = 4096
+PAGE_SHIFT = 12
+
+#: Lowest mappable user address (the zero page is never mappable).
+MIN_USER_ADDRESS = 0x1000
+#: One past the highest canonical user-space address (47-bit).
+MAX_USER_ADDRESS = 1 << 47
+
+
+def page_of(address: int) -> int:
+    """Virtual page number containing ``address``."""
+    return address >> PAGE_SHIFT
+
+
+def page_base(address: int) -> int:
+    """Base address of the page containing ``address``."""
+    return (address >> PAGE_SHIFT) << PAGE_SHIFT
+
+
+def is_valid_address(address: int) -> bool:
+    """Can this address ever be mapped by a user-space process?"""
+    return MIN_USER_ADDRESS <= address < MAX_USER_ADDRESS
+
+
+class PhysicalPage:
+    """One 4 KiB physical frame."""
+
+    __slots__ = ("frame", "data")
+    _next_frame = 0
+
+    def __init__(self) -> None:
+        PhysicalPage._next_frame += 1
+        #: Frame number — the cache model tags lines with it.
+        self.frame: int = PhysicalPage._next_frame
+        self.data = bytearray(PAGE_SIZE)
+
+    def fill(self, constant: int) -> None:
+        """Fill with the repeating 4-byte pattern of ``constant``.
+
+        The paper fills the measurement page with a "moderately sized"
+        constant so loaded values are themselves valid, mappable
+        pointers.  The 4-byte repeat means dword loads yield the
+        constant exactly and every f32/f64 lane reads as a small but
+        *normal* float (no spurious denormal assists) — while qword
+        loads yield ``0x1234560012345600``, beyond the 47-bit user
+        space, so a block that dereferences a qword-loaded pointer
+        fails ``isValidAddr`` and counts as unprofileable, exactly as
+        with the real suite's fill.
+        """
+        pattern = (constant & 0xFFFFFFFF).to_bytes(4, "little")
+        self.data = bytearray(pattern * (PAGE_SIZE // 4))
+
+
+class VirtualMemory:
+    """Page-table from virtual page numbers to physical pages."""
+
+    def __init__(self) -> None:
+        self._table: Dict[int, PhysicalPage] = {}
+
+    # -- mapping management -------------------------------------------------
+
+    def map_page(self, vpage: int, phys: PhysicalPage) -> None:
+        self._table[vpage] = phys
+
+    def map_address(self, address: int, phys: PhysicalPage) -> None:
+        if not is_valid_address(address):
+            raise InvalidAddressFault(address)
+        self.map_page(page_of(address), phys)
+
+    def unmap_all(self) -> None:
+        """The profiler's pre-run teardown ("unmap all pages")."""
+        self._table.clear()
+
+    def is_mapped(self, address: int) -> bool:
+        return page_of(address) in self._table
+
+    @property
+    def mapped_pages(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._table))
+
+    @property
+    def physical_pages(self) -> List[PhysicalPage]:
+        """Distinct physical frames currently mapped."""
+        seen: Dict[int, PhysicalPage] = {}
+        for phys in self._table.values():
+            seen[phys.frame] = phys
+        return list(seen.values())
+
+    def physical_address(self, address: int) -> int:
+        """Translate to a (synthetic) physical address for cache tagging."""
+        phys = self._page_for(address, is_write=False)
+        return (phys.frame << PAGE_SHIFT) | (address & (PAGE_SIZE - 1))
+
+    # -- data access ---------------------------------------------------------
+
+    def _page_for(self, address: int, is_write: bool) -> PhysicalPage:
+        if not is_valid_address(address):
+            raise InvalidAddressFault(address, is_write=is_write)
+        phys = self._table.get(page_of(address))
+        if phys is None:
+            raise MemoryFault(address, is_write=is_write)
+        return phys
+
+    def read_bytes(self, address: int, width: int) -> bytes:
+        """Read ``width`` bytes, possibly spanning two pages."""
+        end = address + width - 1
+        first = self._page_for(address, is_write=False)
+        offset = address & (PAGE_SIZE - 1)
+        if page_of(address) == page_of(end):
+            return bytes(first.data[offset:offset + width])
+        split = PAGE_SIZE - offset
+        second = self._page_for(page_base(end), is_write=False)
+        return bytes(first.data[offset:]) + \
+            bytes(second.data[:width - split])
+
+    def write_bytes(self, address: int, data: bytes) -> None:
+        end = address + len(data) - 1
+        first = self._page_for(address, is_write=True)
+        offset = address & (PAGE_SIZE - 1)
+        if page_of(address) == page_of(end):
+            first.data[offset:offset + len(data)] = data
+            return
+        split = PAGE_SIZE - offset
+        second = self._page_for(page_base(end), is_write=True)
+        first.data[offset:] = data[:split]
+        second.data[:len(data) - split] = data[split:]
+
+    def read_int(self, address: int, width: int) -> int:
+        return int.from_bytes(self.read_bytes(address, width), "little")
+
+    def write_int(self, address: int, width: int, value: int) -> None:
+        value &= (1 << (8 * width)) - 1
+        self.write_bytes(address, value.to_bytes(width, "little"))

@@ -1,0 +1,144 @@
+"""Architectural state: register values, flags, MXCSR.
+
+Values are stored per *base* register (64-bit int for GPRs, 256-bit int
+for the ymm file); reads and writes through any alias view apply x86's
+merge/zero-extend rules (see :mod:`repro.isa.registers`).
+
+The profiler re-initialises this state between the mapping run and the
+measurement run so both runs compute the identical address trace —
+the linchpin of the paper's page-mapping technique (Fig. 2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.isa.registers import (FLAG_NAMES, GPR_BASES, VEC_BASES, Register)
+
+_MASK64 = (1 << 64) - 1
+_MASK256 = (1 << 256) - 1
+
+#: The paper initialises registers and memory with this "moderately
+#: sized" constant so indirect loads produce mappable pointers.
+INIT_CONSTANT = 0x12345600
+
+
+class MachineState:
+    """Register file + flags + MXCSR of the simulated core."""
+
+    __slots__ = ("gpr", "vec", "flags", "ftz", "rip")
+
+    def __init__(self) -> None:
+        self.gpr: Dict[str, int] = {name: 0 for name in GPR_BASES}
+        self.vec: Dict[str, int] = {name: 0 for name in VEC_BASES}
+        self.flags: Dict[str, bool] = {f: False for f in FLAG_NAMES}
+        #: MXCSR FTZ+DAZ ("disable gradual underflow" in the paper).
+        self.ftz: bool = False
+        self.rip: int = 0
+
+    # -- initialisation ----------------------------------------------------
+
+    def initialize(self, constant: int = INIT_CONSTANT,
+                   ftz: Optional[bool] = None) -> None:
+        """Reset to the profiler's canonical starting state.
+
+        Every GPR gets the init constant (so any register used as a
+        pointer points at a mappable page); vector registers get 1.0f
+        splatted across 32-bit lanes — the paper specifies the
+        "moderately sized" constant for pointers and memory, and a
+        benign FP value keeps synthetic arithmetic chains from
+        wandering into the subnormal range on their own (real
+        application data stays near unity too).  Flags are cleared;
+        ``ftz`` preserves the current MXCSR setting unless given.
+        """
+        for name in GPR_BASES:
+            self.gpr[name] = constant & _MASK64
+        lane = 0x3F800000  # 1.0f
+        splat = 0
+        for i in range(8):
+            splat |= lane << (32 * i)
+        for name in VEC_BASES:
+            self.vec[name] = splat
+        for f in FLAG_NAMES:
+            self.flags[f] = False
+        if ftz is not None:
+            self.ftz = ftz
+        self.rip = 0
+
+    def copy(self) -> "MachineState":
+        clone = MachineState()
+        clone.gpr = dict(self.gpr)
+        clone.vec = dict(self.vec)
+        clone.flags = dict(self.flags)
+        clone.ftz = self.ftz
+        clone.rip = self.rip
+        return clone
+
+    def snapshot(self) -> tuple:
+        """Hashable snapshot for reproducibility checks."""
+        return (tuple(sorted(self.gpr.items())),
+                tuple(sorted(self.vec.items())),
+                tuple(sorted(self.flags.items())),
+                self.ftz)
+
+    # -- register access ---------------------------------------------------
+
+    def read(self, reg: Register) -> int:
+        """Read the unsigned value of any register view."""
+        if reg.kind == "gpr":
+            return (self.gpr[reg.base] >> reg.bit_offset) \
+                & ((1 << reg.width) - 1)
+        if reg.kind == "vec":
+            return self.vec[reg.base] & ((1 << reg.width) - 1)
+        if reg.kind == "ip":
+            return self.rip
+        raise ValueError(f"cannot read {reg.name} as data")
+
+    def write(self, reg: Register, value: int, *, vex: bool = False) -> None:
+        """Write ``value`` through a register view.
+
+        Applies x86 merge rules: 8/16-bit writes merge, 32-bit writes
+        zero-extend to 64 bits, legacy xmm writes preserve the upper ymm
+        lane while VEX (``vex=True``) writes zero it.
+        """
+        value &= (1 << reg.width) - 1
+        if reg.kind == "gpr":
+            old = self.gpr[reg.base]
+            if reg.width == 64:
+                self.gpr[reg.base] = value
+            elif reg.width == 32:
+                self.gpr[reg.base] = value  # implicit zero-extend
+            else:
+                mask = reg.mask
+                self.gpr[reg.base] = (old & ~mask & _MASK64) \
+                    | (value << reg.bit_offset)
+        elif reg.kind == "vec":
+            if reg.width == 256 or vex:
+                self.vec[reg.base] = value
+            else:
+                old = self.vec[reg.base]
+                self.vec[reg.base] = (old & ~((1 << reg.width) - 1)) | value
+        elif reg.kind == "ip":
+            self.rip = value & _MASK64
+        else:
+            raise ValueError(f"cannot write {reg.name} as data")
+
+    # -- flags ---------------------------------------------------------------
+
+    def read_flag(self, name: str) -> bool:
+        return self.flags[name]
+
+    def set_flags(self, **values: bool) -> None:
+        for name, value in values.items():
+            if name not in self.flags:
+                raise KeyError(name)
+            self.flags[name] = bool(value)
+
+
+def state_equal(a: MachineState, b: MachineState,
+                registers: Optional[Iterable[str]] = None) -> bool:
+    """Compare two states (optionally restricted to named GPRs)."""
+    if registers is None:
+        return a.snapshot() == b.snapshot()
+    from repro.isa.registers import lookup
+    return all(a.read(lookup(r)) == b.read(lookup(r)) for r in registers)

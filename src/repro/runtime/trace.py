@@ -1,0 +1,80 @@
+"""Execution traces: the record of one functional run.
+
+The timing model is *trace-driven*: the functional executor runs the
+unrolled block once and records, per dynamic instruction, the memory
+addresses touched, whether an FP microcode assist (subnormal) fired,
+and the division latency class.  The micro-architectural model then
+prices that trace for a given machine — which is why the mapping run
+and the measurement run must produce identical traces (the paper's
+re-initialisation argument).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class MemAccess:
+    """One dynamic memory access."""
+
+    address: int
+    width: int
+    is_write: bool
+
+    def crosses_line(self, line_size: int = 64) -> bool:
+        """Does this access span a cache-line boundary?
+
+        These are the accesses the paper's ``MISALIGNED_MEM_REFERENCE``
+        filter drops blocks for (an order-of-magnitude slowdown risk).
+        """
+        return (self.address % line_size) + self.width > line_size
+
+
+@dataclass
+class InstrEvent:
+    """Dynamic record for one executed instruction."""
+
+    index: int
+    slot: int  # static position within the basic block
+    accesses: List[MemAccess] = field(default_factory=list)
+    #: FP microcode assist fired (subnormal input/output, FTZ off).
+    subnormal: bool = False
+    #: (operand bits, high-half-was-zero) for div/idiv, else None.
+    div_class: Optional[Tuple[int, bool]] = None
+
+
+class ExecutionTrace:
+    """All events from one (possibly unrolled) functional run."""
+
+    def __init__(self, block_len: int, unroll: int):
+        self.block_len = block_len
+        self.unroll = unroll
+        self.events: List[InstrEvent] = []
+
+    def append(self, event: InstrEvent) -> None:
+        self.events.append(event)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[InstrEvent]:
+        return iter(self.events)
+
+    @property
+    def accesses(self) -> Iterator[MemAccess]:
+        for event in self.events:
+            yield from event.accesses
+
+    def misaligned_count(self, line_size: int = 64) -> int:
+        return sum(1 for a in self.accesses if a.crosses_line(line_size))
+
+    @property
+    def subnormal_count(self) -> int:
+        return sum(1 for e in self.events if e.subnormal)
+
+    def address_signature(self) -> Tuple[Tuple[int, int, bool], ...]:
+        """Hashable address trace, for reproducibility assertions."""
+        return tuple((a.address, a.width, a.is_write)
+                     for a in self.accesses)

@@ -1,0 +1,22 @@
+"""Micro-architectural ground truth: the simulated CPU.
+
+:class:`Machine` is the stand-in for the paper's physical test boxes.
+The profiler drives it through the same narrow interface hardware
+offers — run code, read performance counters.
+"""
+
+from repro.uarch.counters import CounterSample
+from repro.uarch.descriptor import CacheGeometry, UarchDescriptor
+from repro.uarch.machine import Machine, NoiseParameters, RunResult
+from repro.uarch.scheduler import (DataflowScheduler, InstrAnnotation,
+                                   ScheduleResult, UopRecord)
+from repro.uarch.tables import MICROARCHITECTURES, get_uarch
+from repro.uarch.uops import Decomposer, Uop, timing_class
+
+__all__ = [
+    "Machine", "NoiseParameters", "RunResult", "CounterSample",
+    "UarchDescriptor", "CacheGeometry", "DataflowScheduler",
+    "InstrAnnotation", "ScheduleResult", "UopRecord",
+    "Decomposer", "Uop", "timing_class",
+    "MICROARCHITECTURES", "get_uarch",
+]

@@ -1,0 +1,48 @@
+"""Hardware performance counters (simulated).
+
+These mirror the counters the paper's harness programs: the core cycle
+counter (invariant to frequency scaling, unlike TSC), the four
+"invariant enforcement" counters of §III-C, and the
+``MISALIGNED_MEM_REFERENCE`` counter used by the unaligned-access
+filter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CounterSample:
+    """One timed run's counter deltas (end - begin reads)."""
+
+    cycles: int
+    l1d_read_misses: int = 0
+    l1d_write_misses: int = 0
+    l1i_misses: int = 0
+    context_switches: int = 0
+    misaligned_mem_refs: int = 0
+
+    @property
+    def is_clean(self) -> bool:
+        """Does this run satisfy the paper's modeling invariants?
+
+        A measurement is rejected if any L1 miss or context switch
+        occurred (§III-C).  Misaligned references are filtered at block
+        granularity rather than per run.
+        """
+        return (self.l1d_read_misses == 0
+                and self.l1d_write_misses == 0
+                and self.l1i_misses == 0
+                and self.context_switches == 0)
+
+    def with_noise(self, extra_cycles: int,
+                   context_switches: int = 0) -> "CounterSample":
+        return CounterSample(
+            cycles=self.cycles + extra_cycles,
+            l1d_read_misses=self.l1d_read_misses,
+            l1d_write_misses=self.l1d_write_misses,
+            l1i_misses=self.l1i_misses,
+            context_switches=self.context_switches + context_switches,
+            misaligned_mem_refs=self.misaligned_mem_refs,
+        )

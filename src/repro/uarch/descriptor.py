@@ -1,0 +1,78 @@
+"""Micro-architecture descriptors.
+
+A :class:`UarchDescriptor` bundles everything that differs between Ivy
+Bridge, Haswell and Skylake in our model: execution ports, issue width,
+cache geometry, memory latencies and the feature set (AVX2/FMA).  The
+ground-truth machine, the classifier's port mapping and the cost models
+all consume the same descriptor, parameterised by their own tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """One cache level's shape (sizes in bytes)."""
+
+    size: int
+    line_size: int
+    ways: int
+
+    @property
+    def sets(self) -> int:
+        return self.size // (self.line_size * self.ways)
+
+
+@dataclass(frozen=True)
+class UarchDescriptor:
+    """Static description of a modelled microarchitecture."""
+
+    name: str
+    #: Execution ports, e.g. ``(0, 1, 2, 3, 4, 5, 6, 7)`` on Haswell.
+    ports: Tuple[int, ...]
+    #: Rename/allocate width (fused-domain micro-ops per cycle).
+    issue_width: int
+    #: Ports able to execute load micro-ops.
+    load_ports: Tuple[int, ...]
+    #: Ports able to compute store addresses.
+    store_addr_ports: Tuple[int, ...]
+    #: Port(s) accepting store-data micro-ops.
+    store_data_ports: Tuple[int, ...]
+    l1d: CacheGeometry = CacheGeometry(32 * 1024, 64, 8)
+    l1i: CacheGeometry = CacheGeometry(32 * 1024, 64, 8)
+    #: L1 load-to-use latency for simple addressing; +1 when indexed.
+    load_latency: int = 4
+    indexed_load_extra: int = 1
+    #: Store-to-load forwarding latency.
+    store_forward_latency: int = 5
+    #: Extra cycles for an L1 miss (L2 hit).
+    l1_miss_penalty: int = 11
+    #: Extra cycles when a load/store splits a cache line.
+    split_line_penalty: int = 4
+    #: Cycles of microcode assist on a subnormal FP event.
+    subnormal_penalty: int = 124
+    #: Cycles per L1I miss charged to the front end.
+    l1i_miss_penalty: int = 9
+    #: Register move elimination at rename (Ivy Bridge introduced it
+    #: for GPRs; ours models it from Haswell on for both files).
+    move_elimination: bool = True
+    #: ISA features available.
+    has_avx2: bool = False
+    has_fma: bool = False
+    #: Micro-fused load-op with an indexed address un-laminates at
+    #: issue on pre-Haswell cores (costs an extra fused-domain slot).
+    unlaminates_indexed: bool = False
+    #: Free-form knobs for the timing tables.
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    def supports_block(self, block) -> bool:
+        """Can this uarch execute the block's ISA extensions?
+
+        The paper excludes AVX2 blocks from Ivy Bridge validation.
+        """
+        if block.uses_avx2_or_fma:
+            return self.has_avx2 or self.has_fma
+        return True

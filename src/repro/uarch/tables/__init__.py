@@ -1,0 +1,26 @@
+"""Per-microarchitecture descriptors and ground-truth timing tables."""
+
+from repro.uarch.tables.haswell import (DIV_TABLE as HASWELL_DIV,
+                                        HASWELL, TABLE as HASWELL_TABLE)
+from repro.uarch.tables.ivybridge import (DIV_TABLE as IVYBRIDGE_DIV,
+                                          IVYBRIDGE,
+                                          TABLE as IVYBRIDGE_TABLE)
+from repro.uarch.tables.skylake import (DIV_TABLE as SKYLAKE_DIV,
+                                        SKYLAKE, TABLE as SKYLAKE_TABLE)
+
+#: name -> (descriptor, timing table, division table)
+MICROARCHITECTURES = {
+    "ivybridge": (IVYBRIDGE, IVYBRIDGE_TABLE, IVYBRIDGE_DIV),
+    "haswell": (HASWELL, HASWELL_TABLE, HASWELL_DIV),
+    "skylake": (SKYLAKE, SKYLAKE_TABLE, SKYLAKE_DIV),
+}
+
+
+def get_uarch(name: str):
+    """Return (descriptor, table, div_table) for a uarch name."""
+    try:
+        return MICROARCHITECTURES[name.lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown microarchitecture {name!r}; "
+            f"choose from {sorted(MICROARCHITECTURES)}") from None

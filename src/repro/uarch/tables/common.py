@@ -1,0 +1,81 @@
+"""Timing-table building blocks shared by all microarchitectures.
+
+A :class:`TimingEntry` lists the *compute* micro-ops of one timing
+class (load/store micro-ops are synthesised separately by the
+decomposer from the operand shapes).  Each :class:`UopSpec` names the
+ports that can execute the micro-op, its result latency, and how many
+cycles it occupies the port (``occupancy > 1`` models unpipelined
+units such as dividers — the source of the paper's div case study).
+
+Port-combination strings ("p0156", "p23", ...) in the Abel & Reineke
+notation used by the paper's classifier are derived from the port
+tuples via :func:`port_combo_name`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class UopSpec:
+    """One compute micro-op of a timing class."""
+
+    ports: Tuple[int, ...]
+    latency: int
+    occupancy: int = 1
+
+
+@dataclass(frozen=True)
+class TimingEntry:
+    """All compute micro-ops of one timing class."""
+
+    uops: Tuple[UopSpec, ...]
+
+    @property
+    def latency(self) -> int:
+        return max((u.latency for u in self.uops), default=0)
+
+
+def entry(*uops: UopSpec) -> TimingEntry:
+    return TimingEntry(tuple(uops))
+
+
+def u(ports: Tuple[int, ...], latency: int, occupancy: int = 1) -> UopSpec:
+    return UopSpec(tuple(sorted(ports)), latency, occupancy)
+
+
+def port_combo_name(ports: Tuple[int, ...]) -> str:
+    """Abel & Reineke-style combo label, e.g. ``(0,1,5,6) -> "p0156"``."""
+    if not ports:
+        return "none"
+    return "p" + "".join(str(p) for p in sorted(ports))
+
+
+#: Division timing classes, keyed by (operand bits, high-half-zero).
+#: The 64-bit full-width divide is the slow path the paper's case study
+#: shows IACA/llvm-mca confusing with the 32-bit form.
+DivTable = Dict[Tuple[int, bool], UopSpec]
+
+
+def check_table(table: Dict[str, TimingEntry],
+                required: Tuple[str, ...]) -> None:
+    """Validate a uarch table covers every timing class (fail fast)."""
+    missing = [key for key in required if key not in table]
+    if missing:
+        raise KeyError(f"timing table missing classes: {missing}")
+
+
+#: Every timing class the decomposer can emit.
+TIMING_CLASSES: Tuple[str, ...] = (
+    "int_alu", "mov", "mov_imm", "movzx", "lea_simple", "lea_complex",
+    "shift_imm", "shift_cl", "shift_double", "bitscan", "int_mul",
+    "int_mul_wide", "cmov", "setcc", "widen", "xchg",
+    "vec_logic", "vec_int", "vec_imul", "vec_shift",
+    "shuffle", "shuffle_256", "lane_xfer", "vec_mov", "vec_xfer",
+    "movmsk", "fp_add", "fp_mul", "fma",
+    "fp_div_f32", "fp_div_f32_256", "fp_div_f64", "fp_div_f64_256",
+    "fp_sqrt_f32", "fp_sqrt_f64", "fp_rcp", "fp_cvt", "fp_cmp",
+    "fp_comi", "hadd", "fp_round",
+)

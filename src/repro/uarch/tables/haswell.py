@@ -1,0 +1,100 @@
+"""Haswell (HSW) ground-truth timing tables.
+
+Port layout: 0/1/5/6 integer ALU, 0/1 FP mul+FMA, 1 FP add, 5 shuffle,
+6 shifts+branch, 2/3 load AGU, 7 store AGU, 4 store data — the
+configuration under which the paper reports its 13 port combinations.
+
+Latency/occupancy values follow the public measurements (Agner Fog /
+uops.info) closely enough to reproduce the paper's effects: the
+unpipelined divider, the 5-cycle FP multiply, the 2-uop ``cmov``, the
+cross-lane shuffle penalty.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.uarch.descriptor import CacheGeometry, UarchDescriptor
+from repro.uarch.tables.common import (DivTable, TimingEntry, check_table,
+                                       entry, u, TIMING_CLASSES)
+
+HASWELL = UarchDescriptor(
+    name="haswell",
+    ports=(0, 1, 2, 3, 4, 5, 6, 7),
+    issue_width=4,
+    load_ports=(2, 3),
+    store_addr_ports=(2, 3, 7),
+    store_data_ports=(4,),
+    l1d=CacheGeometry(32 * 1024, 64, 8),
+    l1i=CacheGeometry(32 * 1024, 64, 8),
+    load_latency=4,
+    indexed_load_extra=1,
+    store_forward_latency=5,
+    move_elimination=True,
+    has_avx2=True,
+    has_fma=True,
+    unlaminates_indexed=False,
+)
+
+_ALU = (0, 1, 5, 6)
+_SHIFT = (0, 6)
+_VLOGIC = (0, 1, 5)
+_VINT = (1, 5)
+
+TABLE: Dict[str, TimingEntry] = {
+    "int_alu": entry(u(_ALU, 1)),
+    "mov": entry(u(_ALU, 1)),
+    "mov_imm": entry(u(_ALU, 1)),
+    "movzx": entry(u(_ALU, 1)),
+    "lea_simple": entry(u((1, 5), 1)),
+    "lea_complex": entry(u((1,), 3)),
+    "shift_imm": entry(u(_SHIFT, 1)),
+    "shift_cl": entry(u(_SHIFT, 1), u(_SHIFT, 1)),
+    "shift_double": entry(u((1,), 3)),
+    "bitscan": entry(u((1,), 3)),
+    "int_mul": entry(u((1,), 3)),
+    "int_mul_wide": entry(u((1,), 4), u(_ALU, 1)),
+    "cmov": entry(u(_ALU, 1), u(_ALU, 1)),
+    "setcc": entry(u(_SHIFT, 1)),
+    "widen": entry(u(_SHIFT, 1)),
+    "xchg": entry(u(_ALU, 1), u(_ALU, 1), u(_ALU, 1)),
+    "vec_logic": entry(u(_VLOGIC, 1)),
+    "vec_int": entry(u(_VINT, 1)),
+    "vec_imul": entry(u((0,), 10, occupancy=2)),
+    "vec_shift": entry(u((0,), 1)),
+    "shuffle": entry(u((5,), 1)),
+    "shuffle_256": entry(u((5,), 1)),
+    "lane_xfer": entry(u((5,), 3)),
+    "vec_mov": entry(u(_VLOGIC, 1)),
+    "vec_xfer": entry(u((0,), 2)),
+    "movmsk": entry(u((0,), 3)),
+    "fp_add": entry(u((1,), 3)),
+    "fp_mul": entry(u((0, 1), 5)),
+    "fma": entry(u((0, 1), 5)),
+    "fp_div_f32": entry(u((0,), 13, occupancy=7)),
+    "fp_div_f32_256": entry(u((0,), 21, occupancy=14)),
+    "fp_div_f64": entry(u((0,), 20, occupancy=14)),
+    "fp_div_f64_256": entry(u((0,), 35, occupancy=28)),
+    "fp_sqrt_f32": entry(u((0,), 19, occupancy=13)),
+    "fp_sqrt_f64": entry(u((0,), 27, occupancy=20)),
+    "fp_rcp": entry(u((0,), 5)),
+    "fp_cvt": entry(u((1,), 4)),
+    "fp_cmp": entry(u((1,), 3)),
+    "fp_comi": entry(u((1,), 2)),
+    "hadd": entry(u((5,), 1), u((5,), 1), u((1,), 3)),
+    "fp_round": entry(u((1,), 6)),
+}
+
+check_table(TABLE, TIMING_CLASSES)
+
+#: Integer division: (bits, high-half-zero) -> divider micro-op.
+DIV_TABLE: DivTable = {
+    (8, True): u((0,), 17, occupancy=17),
+    (8, False): u((0,), 17, occupancy=17),
+    (16, True): u((0,), 19, occupancy=19),
+    (16, False): u((0,), 21, occupancy=21),
+    (32, True): u((0,), 22, occupancy=22),
+    (32, False): u((0,), 25, occupancy=25),
+    (64, True): u((0,), 36, occupancy=36),
+    (64, False): u((0,), 90, occupancy=90),
+}

@@ -1,0 +1,93 @@
+"""Ivy Bridge (IVB) ground-truth timing tables.
+
+Six-port core: 0/1/5 execution, 2/3 combined load + store-address AGUs,
+4 store data.  No port 6/7, no AVX2, no FMA (the paper excludes AVX2
+blocks from Ivy Bridge validation), micro-fused indexed loads
+un-laminate at issue, and the divider is slower than Haswell's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.uarch.descriptor import CacheGeometry, UarchDescriptor
+from repro.uarch.tables.common import (DivTable, TimingEntry, check_table,
+                                       entry, u, TIMING_CLASSES)
+
+IVYBRIDGE = UarchDescriptor(
+    name="ivybridge",
+    ports=(0, 1, 2, 3, 4, 5),
+    issue_width=4,
+    load_ports=(2, 3),
+    store_addr_ports=(2, 3),
+    store_data_ports=(4,),
+    l1d=CacheGeometry(32 * 1024, 64, 8),
+    l1i=CacheGeometry(32 * 1024, 64, 8),
+    load_latency=4,
+    indexed_load_extra=1,
+    store_forward_latency=6,
+    move_elimination=True,  # introduced with Ivy Bridge (GPR only IRL)
+    has_avx2=False,
+    has_fma=False,
+    unlaminates_indexed=True,
+)
+
+_ALU = (0, 1, 5)
+_SHIFT = (0, 5)
+
+TABLE: Dict[str, TimingEntry] = {
+    "int_alu": entry(u(_ALU, 1)),
+    "mov": entry(u(_ALU, 1)),
+    "mov_imm": entry(u(_ALU, 1)),
+    "movzx": entry(u(_ALU, 1)),
+    "lea_simple": entry(u((0, 1), 1)),
+    "lea_complex": entry(u((1,), 3)),
+    "shift_imm": entry(u(_SHIFT, 1)),
+    "shift_cl": entry(u(_SHIFT, 1), u(_SHIFT, 1)),
+    "shift_double": entry(u((1,), 4)),
+    "bitscan": entry(u((1,), 3)),
+    "int_mul": entry(u((1,), 3)),
+    "int_mul_wide": entry(u((1,), 4), u(_ALU, 1)),
+    "cmov": entry(u(_ALU, 1), u(_ALU, 1)),
+    "setcc": entry(u(_SHIFT, 1)),
+    "widen": entry(u(_SHIFT, 1)),
+    "xchg": entry(u(_ALU, 1), u(_ALU, 1), u(_ALU, 1)),
+    "vec_logic": entry(u((0, 1, 5), 1)),
+    "vec_int": entry(u((1, 5), 1)),
+    "vec_imul": entry(u((0,), 10, occupancy=2)),
+    "vec_shift": entry(u((0,), 1)),
+    "shuffle": entry(u((5,), 1)),
+    "shuffle_256": entry(u((5,), 2)),
+    "lane_xfer": entry(u((5,), 3)),
+    "vec_mov": entry(u((0, 1, 5), 1)),
+    "vec_xfer": entry(u((0,), 2)),
+    "movmsk": entry(u((0,), 3)),
+    "fp_add": entry(u((1,), 3)),
+    "fp_mul": entry(u((0,), 5)),
+    "fma": entry(u((0,), 5)),  # unreachable: IVB rejects FMA blocks
+    "fp_div_f32": entry(u((0,), 13, occupancy=7)),
+    "fp_div_f32_256": entry(u((0,), 21, occupancy=14)),
+    "fp_div_f64": entry(u((0,), 22, occupancy=16)),
+    "fp_div_f64_256": entry(u((0,), 35, occupancy=28)),
+    "fp_sqrt_f32": entry(u((0,), 19, occupancy=14)),
+    "fp_sqrt_f64": entry(u((0,), 29, occupancy=22)),
+    "fp_rcp": entry(u((0,), 5)),
+    "fp_cvt": entry(u((1,), 4)),
+    "fp_cmp": entry(u((1,), 3)),
+    "fp_comi": entry(u((1,), 2)),
+    "hadd": entry(u((5,), 1), u((5,), 1), u((1,), 3)),
+    "fp_round": entry(u((1,), 6)),
+}
+
+check_table(TABLE, TIMING_CLASSES)
+
+DIV_TABLE: DivTable = {
+    (8, True): u((0,), 19, occupancy=19),
+    (8, False): u((0,), 19, occupancy=19),
+    (16, True): u((0,), 21, occupancy=21),
+    (16, False): u((0,), 23, occupancy=23),
+    (32, True): u((0,), 26, occupancy=26),
+    (32, False): u((0,), 28, occupancy=28),
+    (64, True): u((0,), 40, occupancy=40),
+    (64, False): u((0,), 92, occupancy=92),
+}

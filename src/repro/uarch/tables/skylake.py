@@ -1,0 +1,96 @@
+"""Skylake (SKL) ground-truth timing tables.
+
+Same eight-port layout as Haswell but with the unified 4-cycle FP
+add/mul/FMA on ports 0/1, single-uop ``cmov``, a much faster radix
+divider, and integer vector ops spread over ports 0/1/5.  These are the
+behaviours the paper notes LLVM's (then-new) Skylake scheduling model
+lagged behind — our llvm-mca analogue inherits stale Haswell-like
+parameters for exactly these classes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.uarch.descriptor import CacheGeometry, UarchDescriptor
+from repro.uarch.tables.common import (DivTable, TimingEntry, check_table,
+                                       entry, u, TIMING_CLASSES)
+
+SKYLAKE = UarchDescriptor(
+    name="skylake",
+    ports=(0, 1, 2, 3, 4, 5, 6, 7),
+    issue_width=4,
+    load_ports=(2, 3),
+    store_addr_ports=(2, 3, 7),
+    store_data_ports=(4,),
+    l1d=CacheGeometry(32 * 1024, 64, 8),
+    l1i=CacheGeometry(32 * 1024, 64, 8),
+    load_latency=4,
+    indexed_load_extra=1,
+    store_forward_latency=4,
+    move_elimination=True,
+    has_avx2=True,
+    has_fma=True,
+    unlaminates_indexed=False,
+)
+
+_ALU = (0, 1, 5, 6)
+_SHIFT = (0, 6)
+_VEC = (0, 1, 5)
+
+TABLE: Dict[str, TimingEntry] = {
+    "int_alu": entry(u(_ALU, 1)),
+    "mov": entry(u(_ALU, 1)),
+    "mov_imm": entry(u(_ALU, 1)),
+    "movzx": entry(u(_ALU, 1)),
+    "lea_simple": entry(u((1, 5), 1)),
+    "lea_complex": entry(u((1,), 3)),
+    "shift_imm": entry(u(_SHIFT, 1)),
+    "shift_cl": entry(u(_SHIFT, 1), u(_SHIFT, 1)),
+    "shift_double": entry(u((1,), 3)),
+    "bitscan": entry(u((1,), 3)),
+    "int_mul": entry(u((1,), 3)),
+    "int_mul_wide": entry(u((1,), 4), u(_ALU, 1)),
+    "cmov": entry(u(_ALU, 1)),  # single uop on Skylake
+    "setcc": entry(u(_SHIFT, 1)),
+    "widen": entry(u(_SHIFT, 1)),
+    "xchg": entry(u(_ALU, 1), u(_ALU, 1), u(_ALU, 1)),
+    "vec_logic": entry(u(_VEC, 1)),
+    "vec_int": entry(u(_VEC, 1)),
+    "vec_imul": entry(u((0, 1), 10, occupancy=2)),
+    "vec_shift": entry(u((0, 1), 1)),
+    "shuffle": entry(u((5,), 1)),
+    "shuffle_256": entry(u((5,), 1)),
+    "lane_xfer": entry(u((5,), 3)),
+    "vec_mov": entry(u(_VEC, 1)),
+    "vec_xfer": entry(u((0,), 2)),
+    "movmsk": entry(u((0,), 2)),
+    "fp_add": entry(u((0, 1), 4)),
+    "fp_mul": entry(u((0, 1), 4)),
+    "fma": entry(u((0, 1), 4)),
+    "fp_div_f32": entry(u((0,), 11, occupancy=3)),
+    "fp_div_f32_256": entry(u((0,), 11, occupancy=5)),
+    "fp_div_f64": entry(u((0,), 14, occupancy=4)),
+    "fp_div_f64_256": entry(u((0,), 14, occupancy=8)),
+    "fp_sqrt_f32": entry(u((0,), 12, occupancy=3)),
+    "fp_sqrt_f64": entry(u((0,), 18, occupancy=6)),
+    "fp_rcp": entry(u((0,), 4)),
+    "fp_cvt": entry(u((0, 1), 4)),
+    "fp_cmp": entry(u((0, 1), 4)),
+    "fp_comi": entry(u((0,), 2)),
+    "hadd": entry(u((5,), 1), u((5,), 1), u((0, 1), 4)),
+    "fp_round": entry(u((0, 1), 8)),
+}
+
+check_table(TABLE, TIMING_CLASSES)
+
+DIV_TABLE: DivTable = {
+    (8, True): u((0,), 15, occupancy=15),
+    (8, False): u((0,), 15, occupancy=15),
+    (16, True): u((0,), 17, occupancy=17),
+    (16, False): u((0,), 19, occupancy=19),
+    (32, True): u((0,), 21, occupancy=21),
+    (32, False): u((0,), 24, occupancy=24),
+    (64, True): u((0,), 32, occupancy=32),
+    (64, False): u((0,), 85, occupancy=85),
+}

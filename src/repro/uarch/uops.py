@@ -1,0 +1,294 @@
+"""Micro-op decomposition.
+
+Turns one :class:`Instruction` into the micro-ops the scheduler prices:
+compute micro-ops from the timing tables, plus synthesised load /
+store-address / store-data micro-ops from the operand shapes.  Fusion
+and idiom policies are parameters because they are exactly what
+distinguishes the ground-truth machine from each cost model:
+
+* ``recognize_zero_idioms`` — hardware and IACA break ``xor r, r``
+  dependencies and execute nothing; llvm-mca and OSACA do not (the
+  paper's second case study).
+* ``split_load_op`` — hardware and IACA schedule the load micro-op of
+  ``xor -1(%rdi), %al`` independently of its ALU micro-op; llvm-mca
+  treats the pair as one unit, delaying the load behind the ALU
+  operand (the paper's third case study).
+* ``move_elimination`` — reg-reg moves executed at rename.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.instruction import Instruction
+from repro.isa.operands import is_imm, is_mem, is_reg
+from repro.uarch.descriptor import UarchDescriptor
+from repro.uarch.tables.common import TimingEntry, UopSpec, port_combo_name
+
+
+@dataclass
+class Uop:
+    """One schedulable micro-op."""
+
+    ports: Tuple[int, ...]
+    latency: int
+    occupancy: int = 1
+    kind: str = "compute"  # compute | load | store_addr | store_data
+    #: True when this uop is fused with the previous one in the
+    #: front-end (consumes no extra allocation slot).
+    fused_with_prev: bool = False
+
+    @property
+    def combo(self) -> str:
+        return port_combo_name(self.ports)
+
+
+@dataclass
+class DecomposedInstruction:
+    """Micro-ops plus front-end accounting for one instruction."""
+
+    instr: Instruction
+    uops: List[Uop] = field(default_factory=list)
+    #: Fused-domain allocation slots consumed (≥1: even eliminated
+    #: moves and zero idioms pass through rename).
+    fused_slots: int = 1
+    #: Dependency-breaking: destination becomes ready immediately.
+    is_zero_idiom: bool = False
+    #: Register move executed at rename (dst aliases src's producer).
+    is_eliminated_move: bool = False
+
+    @property
+    def n_uops(self) -> int:
+        return len(self.uops)
+
+
+def timing_class(instr: Instruction) -> str:
+    """Map an instruction to its timing-table class."""
+    info = instr.info
+    group = info.group
+    if group == "int_alu":
+        return "int_alu"
+    if group == "mov":
+        return "mov_imm" if any(is_imm(op) for op in instr.operands) \
+            else "mov"
+    if group == "movzx":
+        return "movzx"
+    if group == "lea":
+        mem = instr.operands[1]
+        complex_addr = mem.index is not None and \
+            (mem.base is not None and mem.disp != 0)
+        return "lea_complex" if complex_addr else "lea_simple"
+    if group == "shift":
+        if len(instr.operands) == 2 and is_reg(instr.operands[1]):
+            return "shift_cl"
+        return "shift_imm"
+    if group == "shift_double":
+        return "shift_double"
+    if group == "bitscan":
+        return "bitscan"
+    if group == "int_mul":
+        return "int_mul_wide" if len(instr.operands) == 1 else "int_mul"
+    if group == "int_div":
+        return "int_div"
+    if group == "cmov":
+        return "cmov"
+    if group == "setcc":
+        return "setcc"
+    if group == "widen":
+        return "widen"
+    if group == "xchg":
+        return "xchg"
+    if group in ("push", "pop", "nop", "vzero"):
+        return group
+    if group == "vec_logic":
+        return "vec_logic"
+    if group == "vec_int":
+        return "vec_int"
+    if group == "vec_imul":
+        return "vec_imul"
+    if group == "vec_shift":
+        return "vec_shift"
+    if group == "shuffle":
+        wide = any(is_reg(op) and op.is_vector and op.width == 256
+                   for op in instr.operands)
+        return "shuffle_256" if wide else "shuffle"
+    if group == "lane_xfer":
+        return "lane_xfer"
+    if group == "vec_mov":
+        return "vec_mov"
+    if group == "vec_xfer":
+        return "movmsk" if instr.info.semantic == "movmsk" else "vec_xfer"
+    if group == "fp_add":
+        return "fp_add"
+    if group == "fp_mul":
+        return "fp_mul"
+    if group == "fma":
+        return "fma"
+    if group == "fp_div":
+        wide = any(is_reg(op) and op.is_vector and op.width == 256
+                   for op in instr.operands)
+        suffix = "_256" if wide else ""
+        return f"fp_div_{info.fp}{suffix}"
+    if group == "fp_sqrt":
+        return f"fp_sqrt_{info.fp}"
+    if group == "fp_rcp":
+        return "fp_rcp"
+    if group == "fp_cvt":
+        return "fp_cvt"
+    if group == "fp_cmp":
+        return "fp_cmp"
+    if group == "fp_comi":
+        return "fp_comi"
+    if group == "fp_round":
+        return "fp_round"
+    if group == "hadd" or info.semantic == "hadd":
+        return "hadd"
+    raise KeyError(f"no timing class for {instr.mnemonic} ({group})")
+
+
+def _is_reg_move(instr: Instruction) -> bool:
+    """Reg-to-reg moves eligible for move elimination."""
+    if instr.mnemonic not in ("mov", "movaps", "movapd", "movdqa", "movups",
+                              "vmovaps", "vmovapd", "vmovdqa", "vmovups"):
+        return False
+    if len(instr.operands) != 2:
+        return False
+    dst, src = instr.operands
+    if not (is_reg(dst) and is_reg(src)):
+        return False
+    if dst.kind == "gpr":
+        return dst.width >= 32 and src.width >= 32
+    return True
+
+
+class Decomposer:
+    """Instruction → micro-ops under a given policy + timing table."""
+
+    def __init__(self, desc: UarchDescriptor,
+                 table: Dict[str, TimingEntry],
+                 div_table: Dict[Tuple[int, bool], UopSpec],
+                 *,
+                 recognize_zero_idioms: bool = True,
+                 split_load_op: bool = True,
+                 move_elimination: Optional[bool] = None):
+        self.desc = desc
+        self.table = table
+        self.div_table = div_table
+        self.recognize_zero_idioms = recognize_zero_idioms
+        self.split_load_op = split_load_op
+        self.move_elimination = desc.move_elimination \
+            if move_elimination is None else move_elimination
+        self._cache: Dict[Tuple, DecomposedInstruction] = {}
+
+    # -- public API --------------------------------------------------------
+
+    def decompose(self, instr: Instruction,
+                  div_class: Optional[Tuple[int, bool]] = None
+                  ) -> DecomposedInstruction:
+        """Decompose one instruction (cached per static instruction)."""
+        key = (instr, div_class)
+        hit = self._cache.get(key)
+        if hit is None:
+            hit = self._decompose_uncached(instr, div_class)
+            self._cache[key] = hit
+        return hit
+
+    # -- internals ----------------------------------------------------------
+
+    def _compute_uops(self, instr: Instruction,
+                      div_class: Optional[Tuple[int, bool]]) -> List[Uop]:
+        if instr.info.group == "int_div":
+            spec = self.div_table[div_class or (instr.operand_width * 8,
+                                                True)]
+            return [Uop(spec.ports, spec.latency, spec.occupancy),
+                    Uop(self.table["int_alu"].uops[0].ports, 1)]
+        cls = timing_class(instr)
+        if cls in ("push", "pop", "nop", "vzero"):
+            if cls == "vzero":
+                return [Uop(self.table["vec_logic"].uops[0].ports, 1)]
+            return []
+        spec_entry = self.table[cls]
+        return [Uop(spec.ports, spec.latency, spec.occupancy)
+                for spec in spec_entry.uops]
+
+    @staticmethod
+    def _lacks_forwarding(instr: Instruction) -> bool:
+        """Forms whose load-op pair llvm-mca schedules as one unit.
+
+        LLVM's scheduling models carry ``ReadAdvance`` entries for the
+        common 32/64-bit load-ALU forms (the data operand is only
+        needed at the ALU stage), but the narrow 8/16-bit forms — like
+        the gzip CRC block's ``xor -1(%rdi), %al`` — and
+        read-modify-write memory destinations lacked them, so the
+        whole unit waits for every operand (the paper's case study 3).
+        """
+        if instr.stores_memory:
+            return True
+        return instr.operand_width <= 2
+
+    def _load_uop(self, instr: Instruction) -> Uop:
+        mem = instr.memory_operand
+        latency = self.desc.load_latency
+        if mem is not None and mem.index is not None:
+            latency += self.desc.indexed_load_extra
+        return Uop(self.desc.load_ports, latency, kind="load")
+
+    def _decompose_uncached(self, instr: Instruction,
+                            div_class) -> DecomposedInstruction:
+        info = instr.info
+        if info.group == "nop":
+            return DecomposedInstruction(instr, uops=[], fused_slots=1)
+        if self.recognize_zero_idioms and instr.is_zero_idiom:
+            return DecomposedInstruction(instr, uops=[], fused_slots=1,
+                                         is_zero_idiom=True)
+        if self.move_elimination and _is_reg_move(instr):
+            return DecomposedInstruction(instr, uops=[], fused_slots=1,
+                                         is_eliminated_move=True)
+
+        uops: List[Uop] = []
+        loads = instr.loads_memory or instr.mnemonic == "pop"
+        stores = instr.stores_memory or instr.mnemonic == "push"
+        compute = self._compute_uops(instr, div_class)
+        if stores and not loads and not info.reads_dst:
+            # A pure store (mov-style) has no execution micro-op: the
+            # value travels on the store-data uop.
+            compute = []
+
+        if loads:
+            load = self._load_uop(instr)
+            fuse = (not self.split_load_op and compute
+                    and self._lacks_forwarding(instr))
+            if fuse:
+                # Fold the load into the first compute uop: one unit
+                # that waits for *all* inputs, with summed latency.
+                first = compute[0]
+                compute[0] = Uop(first.ports,
+                                 first.latency + load.latency,
+                                 first.occupancy,
+                                 kind="load_op")
+            else:
+                uops.append(load)
+        uops.extend(compute)
+        if stores:
+            uops.append(Uop(self.desc.store_addr_ports, 1,
+                            kind="store_addr"))
+            uops.append(Uop(self.desc.store_data_ports, 1,
+                            kind="store_data", fused_with_prev=True))
+
+        # Fused-domain slot accounting.
+        mem = instr.memory_operand
+        indexed = mem is not None and mem.index is not None
+        slots = max(1, len(compute))
+        if loads and self.split_load_op and compute:
+            if self.desc.unlaminates_indexed and indexed:
+                slots += 1  # load-op un-laminates on this core
+            # else: micro-fused load-op — no extra slot
+        elif loads and not compute:
+            slots = max(slots, 1)
+        if stores:
+            if compute or loads:
+                slots += 1  # fused store-address + store-data pair
+            else:
+                slots = 1  # a pure store is one fused micro-op
+        return DecomposedInstruction(instr, uops=uops, fused_slots=slots)

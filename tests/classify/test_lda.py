@@ -1,0 +1,72 @@
+"""Numpy LDA: recovers planted topic structure."""
+
+import numpy as np
+import pytest
+
+from repro.classify.lda import LatentDirichletAllocation, LdaConfig
+
+
+def planted_corpus(n_docs=300, seed=0):
+    """Documents drawn from two disjoint topics."""
+    rng = np.random.default_rng(seed)
+    vocab = 10
+    topic_a = np.zeros(vocab)
+    topic_a[:5] = 0.2
+    topic_b = np.zeros(vocab)
+    topic_b[5:] = 0.2
+    counts = np.zeros((n_docs, vocab))
+    labels = []
+    for d in range(n_docs):
+        topic = topic_a if d % 2 == 0 else topic_b
+        labels.append(d % 2)
+        words = rng.choice(vocab, size=30, p=topic)
+        for w in words:
+            counts[d, w] += 1
+    return counts, labels
+
+
+class TestRecovery:
+    def test_separates_planted_topics(self):
+        counts, labels = planted_corpus()
+        lda = LatentDirichletAllocation(LdaConfig(n_topics=2, seed=1))
+        doc_topics = lda.fit_transform(counts)
+        assignment = doc_topics.argmax(1)
+        # All even docs in one cluster, all odd docs in the other.
+        even = set(assignment[::2])
+        odd = set(assignment[1::2])
+        assert len(even) == 1 and len(odd) == 1 and even != odd
+
+    def test_topic_word_distributions_disjoint(self):
+        counts, _ = planted_corpus()
+        lda = LatentDirichletAllocation(LdaConfig(n_topics=2, seed=1))
+        lda.fit(counts)
+        tw = lda.topic_word_
+        top_words = {tuple(sorted(np.argsort(tw[k])[-5:]))
+                     for k in range(2)}
+        assert top_words == {(0, 1, 2, 3, 4), (5, 6, 7, 8, 9)}
+
+    def test_doc_topics_are_distributions(self):
+        counts, _ = planted_corpus(n_docs=50)
+        lda = LatentDirichletAllocation(LdaConfig(n_topics=3))
+        doc_topics = lda.fit_transform(counts)
+        assert np.allclose(doc_topics.sum(1), 1.0)
+        assert (doc_topics >= 0).all()
+
+    def test_deterministic_given_seed(self):
+        counts, _ = planted_corpus(n_docs=60)
+        a = LatentDirichletAllocation(LdaConfig(seed=3)) \
+            .fit_transform(counts)
+        b = LatentDirichletAllocation(LdaConfig(seed=3)) \
+            .fit_transform(counts)
+        assert np.allclose(a, b)
+
+    def test_paper_hyperparameters(self):
+        config = LdaConfig()
+        assert config.n_topics == 6
+        assert config.alpha == pytest.approx(1 / 6)
+        assert config.beta == pytest.approx(1 / 13)
+
+    def test_transform_before_fit_raises(self):
+        lda = LatentDirichletAllocation()
+        with pytest.raises(RuntimeError):
+            lda.transform(np.ones((2, 3)))

@@ -1,0 +1,38 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.corpus import build_application
+from repro.profiler import BasicBlockProfiler
+from repro.uarch import Machine
+
+
+@pytest.fixture(scope="session")
+def haswell():
+    return Machine("haswell", seed=7)
+
+
+@pytest.fixture(scope="session")
+def ivybridge():
+    return Machine("ivybridge", seed=7)
+
+
+@pytest.fixture(scope="session")
+def skylake():
+    return Machine("skylake", seed=7)
+
+
+@pytest.fixture(scope="session")
+def profiler(haswell):
+    return BasicBlockProfiler(haswell)
+
+
+@pytest.fixture(scope="session")
+def small_corpus():
+    """A small but diverse corpus (fast enough for unit tests)."""
+    return build_application("llvm", count=120, seed=3)
+
+
+@pytest.fixture(scope="session")
+def vector_corpus():
+    return build_application("openblas", count=60, seed=3)

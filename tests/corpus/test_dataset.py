@@ -1,0 +1,117 @@
+"""Corpus assembly, scaling, frequencies."""
+
+import pytest
+
+from repro.corpus import (DEFAULT_APPS, GOOGLE_APPS, TABLE3_APPS,
+                          build_application, build_corpus,
+                          build_google_corpus, get_spec)
+from repro.corpus.dataset import Corpus
+from repro.corpus.tracing import assign_frequencies
+
+
+class TestTable3Proportions:
+    #: Paper Table III counts.
+    PAPER = {
+        "openblas": 19032, "redis": 9343, "sqlite": 8871,
+        "gzip": 2272, "tensorflow": 71988, "llvm": 212758,
+        "eigen": 4545, "embree": 12602, "ffmpeg": 17150,
+    }
+
+    def test_paper_counts_recorded(self):
+        for app, count in self.PAPER.items():
+            assert get_spec(app).paper_blocks == count
+
+    def test_paper_total(self):
+        assert sum(self.PAPER.values()) == 358561
+
+    def test_scaled_counts_proportional(self):
+        corpus = build_corpus(scale=0.002, applications=TABLE3_APPS)
+        counts = corpus.counts()
+        for app, paper in self.PAPER.items():
+            assert counts[app] == max(8, round(paper * 0.002))
+
+    def test_default_corpus_includes_openssl(self):
+        corpus = build_corpus(scale=0.002)
+        assert "openssl" in corpus.counts()
+        assert set(TABLE3_APPS) <= set(corpus.counts())
+
+
+class TestCorpusApi:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return build_corpus(scale=0.001)
+
+    def test_block_ids_unique_and_ordered(self, corpus):
+        ids = [r.block_id for r in corpus]
+        assert ids == sorted(set(ids))
+
+    def test_by_application(self, corpus):
+        grouped = corpus.by_application()
+        assert sum(len(v) for v in grouped.values()) == len(corpus)
+
+    def test_subset(self, corpus):
+        sub = corpus.subset(["gzip", "redis"])
+        assert set(sub.counts()) == {"gzip", "redis"}
+
+    def test_top_by_frequency(self, corpus):
+        top = corpus.top_by_frequency(10)
+        assert len(top) == 10
+        freqs = [r.frequency for r in top]
+        assert freqs == sorted(freqs, reverse=True)
+        assert freqs[0] == max(r.frequency for r in corpus)
+
+    def test_blocks_property(self, corpus):
+        assert len(corpus.blocks) == len(corpus)
+
+    def test_reproducible(self):
+        a = build_corpus(scale=0.001, seed=4)
+        b = build_corpus(scale=0.001, seed=4)
+        assert [r.block for r in a] == [r.block for r in b]
+
+
+class TestFrequencies:
+    def test_every_block_executed_at_least_once(self):
+        freqs = assign_frequencies(100, 1.5, seed=0)
+        assert len(freqs) == 100
+        assert min(freqs) >= 1
+
+    def test_zipf_concentration(self):
+        freqs = sorted(assign_frequencies(500, 1.6, seed=1),
+                       reverse=True)
+        top_share = sum(freqs[:25]) / sum(freqs)
+        assert top_share > 0.5  # hot blocks dominate
+
+    def test_deterministic(self):
+        assert assign_frequencies(50, 1.4, seed=2) == \
+            assign_frequencies(50, 1.4, seed=2)
+
+    def test_empty(self):
+        assert assign_frequencies(0, 1.4) == []
+
+    def test_kernel_apps_hot_blocks_are_vectorized(self):
+        """The hot-kernel bias: frequency mass sits on vector blocks."""
+        app = build_application("tensorflow", count=400, seed=0)
+        total = sum(r.frequency for r in app)
+        from repro.models.residual import block_mix
+        vec_mass = sum(r.frequency for r in app
+                       if block_mix(r.block)["vector"] > 0.3)
+        assert vec_mass / total > 0.5
+
+
+class TestGoogleCorpora:
+    def test_both_apps_built(self):
+        corpora = build_google_corpus(scale=0.001)
+        assert set(corpora) == set(GOOGLE_APPS)
+
+    def test_top_frequency_selection(self):
+        corpora = build_google_corpus(scale=0.001)
+        spanner = corpora["spanner"]
+        assert len(spanner) == max(16, round(100_000 * 0.001))
+
+    def test_load_heavy_profile(self):
+        corpora = build_google_corpus(scale=0.002)
+        for name, corpus in corpora.items():
+            loads = sum(1 for r in corpus for i in r.block
+                        if i.loads_memory)
+            total = sum(len(r.block) for r in corpus)
+            assert loads / total > 0.2, name

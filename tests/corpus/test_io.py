@@ -1,0 +1,76 @@
+"""Dataset serialization round-trips."""
+
+import os
+
+import pytest
+
+from repro.corpus import build_application
+from repro.corpus.io import (block_from_field, block_to_field, load_csv,
+                             load_json, save_csv, save_json)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_application("gzip", count=40, seed=7)
+
+
+@pytest.fixture(scope="module")
+def measured(corpus):
+    # Synthetic measurements for half the blocks.
+    return {r.block_id: 1.5 + r.block_id for r in corpus
+            if r.block_id % 2 == 0}
+
+
+class TestFieldEncoding:
+    def test_round_trip(self, corpus):
+        for record in corpus.records[:10]:
+            field = block_to_field(record.block)
+            assert "\n" not in field
+            assert block_from_field(field) == record.block
+
+
+class TestCsv:
+    def test_full_corpus(self, corpus, tmp_path):
+        path = os.path.join(tmp_path, "suite.csv")
+        written = save_csv(path, corpus)
+        assert written == len(corpus)
+        loaded = list(load_csv(path))
+        assert len(loaded) == len(corpus)
+        assert all(tput is None for _, tput in loaded)
+        assert loaded[0][0] == corpus.records[0].block
+
+    def test_measured_only(self, corpus, measured, tmp_path):
+        path = os.path.join(tmp_path, "measured.csv")
+        written = save_csv(path, corpus, measured)
+        assert written == len(measured)
+        loaded = list(load_csv(path))
+        assert all(tput is not None for _, tput in loaded)
+
+    def test_bhive_like_two_columns(self, corpus, measured, tmp_path):
+        path = os.path.join(tmp_path, "m.csv")
+        save_csv(path, corpus, measured)
+        with open(path) as fh:
+            first = fh.readline()
+        assert first.count('"') in (0, 2, 4)
+        assert "," in first
+
+
+class TestJson:
+    def test_lossless_round_trip(self, corpus, measured, tmp_path):
+        path = os.path.join(tmp_path, "suite.json")
+        save_json(path, corpus, measured)
+        loaded, loaded_measured = load_json(path)
+        assert len(loaded) == len(corpus)
+        assert loaded.scale == corpus.scale
+        for a, b in zip(corpus, loaded):
+            assert a.block == b.block
+            assert a.application == b.application
+            assert a.frequency == b.frequency
+            assert a.block_id == b.block_id
+        assert loaded_measured == measured
+
+    def test_without_measurements(self, corpus, tmp_path):
+        path = os.path.join(tmp_path, "plain.json")
+        save_json(path, corpus)
+        _, loaded_measured = load_json(path)
+        assert loaded_measured == {}

@@ -1,0 +1,73 @@
+"""The paper's literal example blocks."""
+
+import pytest
+
+from repro.corpus import (div_block, gzip_crc_block,
+                          tensorflow_ablation_block, zero_idiom_block)
+from repro.profiler import BasicBlockProfiler, FailureReason
+from repro.uarch import Machine
+
+
+class TestGzipCrc:
+    def test_literal_text_matches_paper(self):
+        block = gzip_crc_block(aligned=False)
+        assert len(block) == 7
+        assert block[3].mnemonic == "xor"
+        assert block[5].memory_operand.disp == 0x4110A
+
+    def test_aligned_variant_differs_only_in_displacement(self):
+        literal = gzip_crc_block(aligned=False)
+        aligned = gzip_crc_block(aligned=True)
+        assert len(literal) == len(aligned)
+        assert aligned[5].memory_operand.disp == 0x41108
+
+    def test_literal_variant_trips_misalignment_filter(self, profiler):
+        result = profiler.profile(gzip_crc_block(aligned=False))
+        assert result.failure is FailureReason.MISALIGNED
+
+    def test_aligned_variant_measures_about_eight(self, profiler):
+        result = profiler.profile(gzip_crc_block())
+        assert result.ok
+        assert result.throughput == pytest.approx(8.25, abs=1.0)
+
+
+class TestDivBlock:
+    def test_structure(self):
+        assert [i.mnemonic for i in div_block()] == \
+            ["xor", "div", "test"]
+
+    def test_measures_about_22(self, profiler):
+        result = profiler.profile(div_block())
+        assert result.throughput == pytest.approx(21.62, abs=2.0)
+
+
+class TestZeroIdiom:
+    def test_measures_quarter_cycle(self, profiler):
+        result = profiler.profile(zero_idiom_block())
+        assert result.throughput == pytest.approx(0.25, abs=0.01)
+
+
+class TestTensorflowBlock:
+    def test_shape(self):
+        block = tensorflow_ablation_block()
+        assert len(block) >= 70
+        # 100x unroll must overflow the 32KB L1I.
+        assert block.byte_length * 100 > 32 * 1024
+        # ...but the two-factor plan must fit.
+        assert block.byte_length * 32 < 24 * 1024
+
+    def test_profiles_cleanly_with_full_technique(self):
+        result = BasicBlockProfiler(Machine("haswell")) \
+            .profile(tensorflow_ablation_block())
+        assert result.ok
+
+    def test_subnormal_chain_active_without_ftz(self):
+        from repro.profiler import ProfilerConfig, EnvironmentConfig
+        from repro.profiler.filters import AcceptancePolicy
+        config = ProfilerConfig(
+            environment=EnvironmentConfig(ftz=False),
+            acceptance=AcceptancePolicy(enforce_invariants=False,
+                                        reject_misaligned=False))
+        result = BasicBlockProfiler(Machine("haswell"), config) \
+            .profile(tensorflow_ablation_block())
+        assert result.subnormal_events > 0

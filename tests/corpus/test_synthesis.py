@@ -1,0 +1,122 @@
+"""Block synthesis: validity, determinism, profile adherence."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.corpus import BlockSynthesizer, get_spec
+from repro.corpus.appspec import PATHOLOGICAL, TEMPLATES
+from repro.profiler import BasicBlockProfiler, FailureReason
+from repro.uarch import Machine
+
+
+class TestDeterminism:
+    def test_same_seed_same_blocks(self):
+        a = BlockSynthesizer(get_spec("llvm"), seed=5).blocks(20)
+        b = BlockSynthesizer(get_spec("llvm"), seed=5).blocks(20)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = BlockSynthesizer(get_spec("llvm"), seed=5).blocks(20)
+        b = BlockSynthesizer(get_spec("llvm"), seed=6).blocks(20)
+        assert a != b
+
+    def test_source_tagged(self):
+        blocks = BlockSynthesizer(get_spec("redis"), seed=1).blocks(5)
+        assert all(b.source == "redis" for b in blocks)
+
+
+class TestSpecAdherence:
+    def test_lengths_respect_bounds(self):
+        spec = get_spec("llvm")
+        blocks = BlockSynthesizer(spec, seed=0).blocks(200)
+        ordinary = [b for b in blocks
+                    if len(b) <= spec.max_length + 10]
+        assert len(ordinary) >= 190  # pathologies may add a few instrs
+
+    def test_register_only_share_close_to_spec(self):
+        spec = get_spec("llvm")
+        blocks = BlockSynthesizer(spec, seed=0).blocks(600)
+        share = sum(1 for b in blocks
+                    if not b.has_memory_access) / len(blocks)
+        assert abs(share - spec.register_only_fraction) < 0.06
+
+    def test_memory_blocks_really_have_memory(self):
+        blocks = BlockSynthesizer(get_spec("llvm"), seed=0).blocks(300)
+        for block in blocks:
+            if not block.has_memory_access:
+                # Every no-memory block must be a deliberate one: no
+                # loads/stores at all, not even truncated remnants.
+                assert all(not i.has_memory_access for i in block)
+
+    def test_vector_apps_emit_vector_code(self):
+        blocks = BlockSynthesizer(get_spec("openblas"), seed=0) \
+            .blocks(100)
+        vec_share = sum(1 for b in blocks for i in b if i.info.vec) / \
+            sum(len(b) for b in blocks)
+        assert vec_share > 0.4
+
+    def test_scalar_apps_mostly_scalar(self):
+        blocks = BlockSynthesizer(get_spec("sqlite"), seed=0).blocks(100)
+        vec_share = sum(1 for b in blocks for i in b if i.info.vec) / \
+            sum(len(b) for b in blocks)
+        assert vec_share < 0.1
+
+    def test_long_kernels_present_for_kernel_apps(self):
+        spec = get_spec("openblas")
+        blocks = BlockSynthesizer(spec, seed=0).blocks(300)
+        long_blocks = [b for b in blocks
+                       if len(b) >= spec.long_kernel_length[0]]
+        share = len(long_blocks) / len(blocks)
+        assert abs(share - spec.long_kernel_fraction) < 0.06
+
+
+class TestExecutability:
+    @pytest.mark.parametrize("app", ["llvm", "redis", "gzip",
+                                     "openblas", "ffmpeg"])
+    def test_most_blocks_profile_successfully(self, app):
+        profiler = BasicBlockProfiler(Machine("haswell"))
+        blocks = BlockSynthesizer(get_spec(app), seed=2).blocks(60)
+        results = [profiler.profile(b) for b in blocks]
+        ok = sum(1 for r in results if r.ok)
+        assert ok / len(results) > 0.85
+
+    def test_pathology_rates_are_low_but_nonzero(self):
+        profiler = BasicBlockProfiler(Machine("haswell"))
+        blocks = BlockSynthesizer(get_spec("llvm"), seed=9).blocks(400)
+        failures = [profiler.profile(b).failure for b in blocks]
+        kinds = {f for f in failures if f is not None}
+        assert FailureReason.UNSUPPORTED in kinds
+        share = sum(1 for f in failures if f) / len(failures)
+        assert 0.02 < share < 0.12
+
+
+class TestSpecValidation:
+    def test_all_specs_use_known_templates(self):
+        from repro.corpus.dataset import DEFAULT_APPS, GOOGLE_APPS
+        for app in DEFAULT_APPS + GOOGLE_APPS:
+            spec = get_spec(app)
+            mix = spec.normalized_mix()
+            assert abs(sum(mix.values()) - 1.0) < 1e-9
+            assert set(spec.pathology) <= set(PATHOLOGICAL)
+
+    def test_unknown_template_rejected(self):
+        from repro.corpus.appspec import ApplicationSpec
+        spec = ApplicationSpec(name="bad", domain="x", paper_blocks=1,
+                               mix={"warp_drive": 1.0})
+        with pytest.raises(ValueError):
+            spec.normalized_mix()
+
+    def test_memory_free_mix_has_no_memory_templates(self):
+        mix = get_spec("llvm").memory_free_mix()
+        assert "load" not in mix and "store" not in mix
+        assert abs(sum(mix.values()) - 1.0) < 1e-9
+
+
+@given(st.sampled_from(["llvm", "tensorflow", "embree", "spanner"]),
+       st.integers(min_value=0, max_value=200))
+@settings(max_examples=40, deadline=None)
+def test_every_generated_block_is_parseable_and_nonempty(app, seed):
+    block = BlockSynthesizer(get_spec(app), seed=seed).block()
+    assert len(block) >= 1
+    for instr in block:
+        assert instr.info is not None

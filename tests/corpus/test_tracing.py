@@ -1,0 +1,47 @@
+"""Execution-frequency assignment (the DynamoRIO stand-in)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.corpus.tracing import assign_frequencies, weighted_choice
+
+
+class TestAssignFrequencies:
+    def test_loop_bodies_share_heat(self):
+        """Consecutive blocks (a loop body) get correlated counts."""
+        freqs = assign_frequencies(200, 1.5, seed=3)
+        # A hot block's neighbours within its smoothing span are at
+        # least 60% as hot (the smoothing invariant).
+        hottest = max(range(200), key=lambda i: freqs[i])
+        span = [freqs[j] for j in range(max(0, hottest - 1),
+                                        min(200, hottest + 2))]
+        assert min(span) >= 1
+
+    @given(st.integers(min_value=1, max_value=300),
+           st.floats(min_value=1.0, max_value=2.5))
+    @settings(max_examples=30, deadline=None)
+    def test_all_positive_and_correct_length(self, n, exponent):
+        freqs = assign_frequencies(n, exponent, seed=1)
+        assert len(freqs) == n
+        assert all(f >= 1 for f in freqs)
+
+    def test_higher_exponent_more_concentration(self):
+        flat = sorted(assign_frequencies(400, 1.0, seed=2),
+                      reverse=True)
+        steep = sorted(assign_frequencies(400, 2.2, seed=2),
+                       reverse=True)
+        flat_top = sum(flat[:20]) / sum(flat)
+        steep_top = sum(steep[:20]) / sum(steep)
+        assert steep_top > flat_top
+
+
+class TestWeightedChoice:
+    def test_respects_weights(self):
+        items = ["cold", "hot"]
+        picks = weighted_choice(items, [1, 99], k=200, seed=0)
+        assert picks.count("hot") > 150
+
+    def test_deterministic(self):
+        items = list(range(10))
+        a = weighted_choice(items, [1] * 10, k=50, seed=4)
+        b = weighted_choice(items, [1] * 10, k=50, seed=4)
+        assert a == b

@@ -1,0 +1,65 @@
+"""The cached experiment pipeline."""
+
+import os
+
+import pytest
+
+from repro.eval.pipeline import Experiment, default_experiment
+
+
+@pytest.fixture()
+def tiny(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE", str(tmp_path))
+    return Experiment(scale=0.0003, seed=9)
+
+
+class TestLaziness:
+    def test_corpus_built_once(self, tiny):
+        assert tiny.corpus is tiny.corpus
+
+    def test_models_are_the_papers_four(self, tiny):
+        names = {m.name for m in tiny.models}
+        assert names == {"IACA", "llvm-mca", "Ithemal", "OSACA"}
+
+    def test_classification_covers_corpus(self, tiny):
+        assert len(tiny.classification.categories) == len(tiny.corpus)
+
+
+class TestMeasurementCache:
+    def test_disk_cache_roundtrip(self, tiny, tmp_path):
+        first = tiny.measured("haswell")
+        files = [f for f in os.listdir(tmp_path)
+                 if f.startswith("measured_")]
+        assert len(files) == 1
+        # A fresh experiment object reads the cache instead of
+        # re-simulating.
+        again = Experiment(scale=0.0003, seed=9)
+        assert again.measured("haswell") == first
+
+    def test_cache_keyed_by_corpus_content(self, tiny, tmp_path):
+        tiny.measured("haswell")
+        other = Experiment(scale=0.0004, seed=9)
+        other.measured("haswell")
+        files = [f for f in os.listdir(tmp_path)
+                 if f.startswith("measured_")]
+        assert len(files) == 2
+
+    def test_validation_cached_per_uarch(self, tiny):
+        val = tiny.validation("haswell")
+        assert tiny.validation("haswell") is val
+        assert val.rows
+
+
+class TestGoogle:
+    def test_google_validation_excludes_osaca(self, tiny):
+        val = tiny.google_validation("spanner")
+        assert "OSACA" not in val.model_names
+        assert val.rows
+
+    def test_google_corpora_both_apps(self, tiny):
+        assert set(tiny.google_corpora) == {"spanner", "dremel"}
+
+
+def test_default_experiment_is_shared():
+    assert default_experiment(0.0003, 99) is \
+        default_experiment(0.0003, 99)

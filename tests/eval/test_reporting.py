@@ -1,0 +1,78 @@
+"""Text renderers for tables and figures."""
+
+from repro.eval.reporting import (bar_chart, format_table,
+                                  grouped_bar_chart, schedule_diagram,
+                                  side_by_side)
+from repro.uarch.scheduler import UopRecord
+
+
+class TestFormatTable:
+    def test_alignment_and_headers(self):
+        out = format_table(["name", "value"],
+                           [("alpha", 1.5), ("b", 20.0)],
+                           title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "alpha" in out and "20.0" in out
+
+    def test_none_rendered_as_dash(self):
+        out = format_table(["m"], [(None,)])
+        assert "-" in out.splitlines()[-1]
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [(0.1234567,)])
+        assert "0.1235" in out
+
+
+class TestBarCharts:
+    def test_bars_scale_with_values(self):
+        out = bar_chart({"a": 1.0, "b": 2.0})
+        bar_a = out.splitlines()[0].count("#")
+        bar_b = out.splitlines()[1].count("#")
+        assert bar_b > bar_a
+
+    def test_none_value(self):
+        out = bar_chart({"a": None, "b": 1.0})
+        assert "| -" in out
+
+    def test_grouped(self):
+        out = grouped_bar_chart({
+            "llvm": {"IACA": 0.1, "OSACA": 0.4},
+            "gzip": {"IACA": 0.2, "OSACA": None},
+        }, title="per-app")
+        assert "llvm:" in out and "gzip:" in out
+        assert out.count("IACA") == 2
+
+    def test_empty_chart(self):
+        assert bar_chart({}, title="x") == "x"
+
+
+class TestScheduleDiagram:
+    def test_dispatch_and_execution_marks(self):
+        records = [
+            UopRecord(0, 0, "add", "compute", 0, 2, 5),
+            UopRecord(1, 1, "mov", "load", 2, 0, 4),
+        ]
+        out = schedule_diagram(records, n_instructions=2,
+                               max_cycles=10)
+        add_line = next(line for line in out.splitlines()
+                        if line.startswith("add"))
+        assert add_line.count("D") == 1
+        assert "=" in add_line
+
+    def test_truncates_past_max_cycles(self):
+        records = [UopRecord(0, 0, "add", "compute", 0, 100, 105)]
+        out = schedule_diagram(records, 1, max_cycles=10)
+        assert "D" not in out.replace("cycle", "")
+
+
+class TestSideBySide:
+    def test_paper_vs_ours(self):
+        out = side_by_side({"IACA": 0.18}, {"IACA": 0.17},
+                           title="Table V")
+        assert "0.1800" in out and "0.1700" in out
+
+    def test_missing_ours(self):
+        out = side_by_side({"x": 1.0}, {})
+        assert "-" in out.splitlines()[-1]

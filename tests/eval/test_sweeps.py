@@ -1,0 +1,49 @@
+"""Methodology parameter sweeps."""
+
+import pytest
+
+from repro.eval.sweeps import (stability_table, sweep_naive_unroll,
+                               sweep_unroll_pairs)
+from repro.isa.parser import parse_block
+
+
+@pytest.fixture(scope="module")
+def chain_block():
+    return parse_block("mulps %xmm0, %xmm1\nmulps %xmm1, %xmm2")
+
+
+class TestTwoFactorStability:
+    def test_any_steady_pair_gives_same_throughput(self, chain_block):
+        points = sweep_unroll_pairs(
+            chain_block, [(8, 16), (16, 32), (12, 28), (20, 40)])
+        values = {p.throughput for p in points}
+        assert len(values) == 1  # Eq. 2 is pair-invariant
+
+    def test_failure_reported_when_factor_overflows_icache(self):
+        big = parse_block("\n".join(
+            f"add $1, %r{8 + k % 8}" for k in range(100)))
+        points = sweep_unroll_pairs(big, [(8, 16), (60, 120)])
+        assert points[0].throughput is not None
+        assert points[1].throughput is None
+        assert points[1].failure == "l1i_cache_miss"
+
+
+class TestNaiveBias:
+    def test_bias_decreases_with_unroll(self, chain_block):
+        points = sweep_naive_unroll(chain_block, [4, 8, 16, 64])
+        values = [p.throughput for p in points]
+        assert all(v is not None for v in values)
+        # Monotone approach from above to the steady state.
+        assert values == sorted(values, reverse=True)
+        assert values[0] > values[-1]
+
+    def test_converges_to_two_factor_answer(self, chain_block):
+        naive = sweep_naive_unroll(chain_block, [100])[0].throughput
+        pair = sweep_unroll_pairs(chain_block, [(16, 32)])[0].throughput
+        assert naive == pytest.approx(pair, rel=0.05)
+
+
+def test_stability_table_view(chain_block):
+    points = sweep_naive_unroll(chain_block, [8, 16])
+    table = stability_table(points)
+    assert set(table) == {(8,), (16,)}

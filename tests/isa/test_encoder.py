@@ -1,0 +1,63 @@
+"""Pseudo-encoder: realistic, deterministic instruction lengths."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.corpus import BlockSynthesizer, get_spec
+from repro.isa import block_length, instruction_length, parse_instruction
+from repro.isa.parser import parse_block
+
+
+class TestLengths:
+    def test_simple_alu_is_short(self):
+        assert instruction_length(
+            parse_instruction("add %ebx, %eax")) <= 3
+
+    def test_rex_adds_a_byte(self):
+        short = instruction_length(parse_instruction("add %ebx, %eax"))
+        wide = instruction_length(parse_instruction("add %rbx, %rax"))
+        assert wide == short + 1
+
+    def test_disp8_vs_disp32(self):
+        near = instruction_length(parse_instruction("mov 8(%rax), %rbx"))
+        far = instruction_length(
+            parse_instruction("mov 0x1000(%rax), %rbx"))
+        assert far == near + 3
+
+    def test_vex_prefix_counted(self):
+        sse = instruction_length(parse_instruction("addps %xmm1, %xmm0"))
+        avx = instruction_length(
+            parse_instruction("vaddps %ymm1, %ymm2, %ymm0"))
+        assert avx >= sse
+
+    def test_immediate_sizes(self):
+        small = instruction_length(parse_instruction("add $1, %eax"))
+        big = instruction_length(parse_instruction("add $0x12345, %eax"))
+        assert big > small
+
+    def test_block_length_is_sum(self):
+        blk = parse_block("add %rbx, %rax\nnop")
+        assert block_length(blk) == sum(
+            instruction_length(i) for i in blk)
+
+
+@st.composite
+def synthesized_instruction(draw):
+    app = draw(st.sampled_from(["llvm", "tensorflow", "ffmpeg"]))
+    seed = draw(st.integers(min_value=0, max_value=300))
+    synth = BlockSynthesizer(get_spec(app), seed=seed)
+    blk = synth.block()
+    idx = draw(st.integers(min_value=0, max_value=len(blk) - 1))
+    return blk[idx]
+
+
+@given(synthesized_instruction())
+@settings(max_examples=80, deadline=None)
+def test_lengths_in_valid_x86_range(instr):
+    length = instruction_length(instr)
+    assert 1 <= length <= 15
+
+
+@given(synthesized_instruction())
+@settings(max_examples=30, deadline=None)
+def test_lengths_deterministic(instr):
+    assert instruction_length(instr) == instruction_length(instr)

@@ -1,0 +1,165 @@
+"""Instruction dataflow derivation: reads, writes, widths, idioms."""
+
+import pytest
+
+from repro.errors import AsmSyntaxError
+from repro.isa import Imm, Instruction, Mem, parse_instruction
+from repro.isa.instruction import BasicBlock, block
+from repro.isa.registers import lookup
+
+
+def _bases(regs):
+    return {r.base for r in regs}
+
+
+class TestDataflow:
+    def test_add_reads_both_writes_dst(self):
+        instr = parse_instruction("add %rbx, %rax")
+        assert _bases(instr.regs_read) == {"rax", "rbx"}
+        assert _bases(instr.regs_written) == {"rax"}
+
+    def test_mov_reads_only_src(self):
+        instr = parse_instruction("mov %rbx, %rax")
+        assert _bases(instr.regs_read) == {"rbx"}
+
+    def test_memory_address_registers_read(self):
+        instr = parse_instruction("mov 8(%rdi, %rsi, 2), %rax")
+        assert _bases(instr.regs_read) == {"rdi", "rsi"}
+
+    def test_store_reads_value_and_address(self):
+        instr = parse_instruction("mov %rax, (%rdi)")
+        assert _bases(instr.regs_read) == {"rax", "rdi"}
+        assert instr.regs_written == ()
+
+    def test_div_implicit_operands(self):
+        instr = parse_instruction("div %ecx")
+        assert {"rax", "rdx"} <= _bases(instr.regs_read)
+        assert _bases(instr.regs_written) == {"rax", "rdx"}
+
+    def test_cdq_implicit(self):
+        instr = parse_instruction("cdq")
+        assert _bases(instr.regs_read) == {"rax"}
+        assert _bases(instr.regs_written) == {"rdx"}
+
+    def test_push_pop_rsp(self):
+        push = parse_instruction("push %rbx")
+        pop = parse_instruction("pop %rbx")
+        assert "rsp" in _bases(push.regs_read)
+        assert "rsp" in _bases(push.regs_written)
+        assert "rbx" in _bases(pop.regs_written)
+
+    def test_xchg_reads_and_writes_both(self):
+        instr = parse_instruction("xchg %rax, %rbx")
+        assert _bases(instr.regs_read) == {"rax", "rbx"}
+        assert _bases(instr.regs_written) == {"rax", "rbx"}
+
+    def test_cmov_reads_flags(self):
+        instr = parse_instruction("cmove %rbx, %rax")
+        assert instr.info.reads_flags
+
+    def test_imul_one_operand(self):
+        instr = parse_instruction("imul %rbx")
+        assert _bases(instr.regs_written) == {"rax", "rdx"}
+
+
+class TestZeroIdioms:
+    def test_xor_same_register(self):
+        instr = parse_instruction("xor %eax, %eax")
+        assert instr.is_zero_idiom
+        assert instr.regs_read == ()
+        assert _bases(instr.regs_read_raw) == {"rax"}
+
+    def test_xor_different_registers(self):
+        assert not parse_instruction("xor %ebx, %eax").is_zero_idiom
+
+    def test_vex_zero_idiom(self):
+        assert parse_instruction(
+            "vxorps %xmm2, %xmm2, %xmm2").is_zero_idiom
+
+    def test_vex_non_idiom(self):
+        assert not parse_instruction(
+            "vxorps %xmm1, %xmm2, %xmm3").is_zero_idiom
+
+    def test_sub_idiom(self):
+        assert parse_instruction("sub %rax, %rax").is_zero_idiom
+
+    def test_add_is_never_idiom(self):
+        assert not parse_instruction("add %rax, %rax").is_zero_idiom
+
+
+class TestMemoryProperties:
+    def test_lea_is_not_a_memory_access(self):
+        instr = parse_instruction("lea 8(%rax), %rbx")
+        assert not instr.has_memory_access
+        assert not instr.loads_memory
+        assert not instr.stores_memory
+
+    def test_load_flags(self):
+        instr = parse_instruction("mov (%rax), %rbx")
+        assert instr.loads_memory and not instr.stores_memory
+
+    def test_store_flags(self):
+        instr = parse_instruction("mov %rbx, (%rax)")
+        assert instr.stores_memory and not instr.loads_memory
+
+    def test_rmw_is_both(self):
+        instr = parse_instruction("add %rbx, (%rax)")
+        assert instr.loads_memory and instr.stores_memory
+
+    def test_push_pop_access_memory(self):
+        assert parse_instruction("push %rax").has_memory_access
+        assert parse_instruction("pop %rax").has_memory_access
+
+    @pytest.mark.parametrize("text,width", [
+        ("movss (%rax), %xmm0", 4),
+        ("movsd (%rax), %xmm0", 8),
+        ("movaps (%rax), %xmm0", 16),
+        ("vmovups (%rax), %ymm0", 32),
+        ("addss (%rax), %xmm0", 4),
+        ("addps (%rax), %xmm0", 16),
+        ("mov (%rax), %rbx", 8),
+        ("movzbl (%rax), %ebx", 1),
+        ("vbroadcastss (%rax), %ymm0", 4),
+    ])
+    def test_memory_access_width(self, text, width):
+        assert parse_instruction(text).memory_access_width == width
+
+
+class TestBlockProperties:
+    def test_feature_levels(self):
+        assert block("add %rbx, %rax").feature_level == 0
+        assert block("addps %xmm1, %xmm0").feature_level == 1
+        assert block("vaddps %ymm1, %ymm2, %ymm3").feature_level == 2
+        assert block("vpaddd %ymm1, %ymm2, %ymm3").uses_avx2_or_fma
+        assert block(
+            "vfmadd231ps %ymm1, %ymm2, %ymm3").uses_avx2_or_fma
+
+    def test_avx1_not_excluded_from_ivb(self):
+        assert not block("vaddps %ymm1, %ymm2, %ymm3").uses_avx2_or_fma
+
+    def test_is_supported(self):
+        assert block("add %rbx, %rax").is_supported
+        assert not block("cpuid").is_supported
+
+    def test_block_equality_and_hash(self):
+        a = block("add %rbx, %rax")
+        b = block("add %rbx, %rax")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_arity_checked(self):
+        with pytest.raises(AsmSyntaxError):
+            Instruction("add", (lookup("rax"),))
+
+    def test_form_signature(self):
+        assert parse_instruction("xor al, [rdi - 1]").form == "rm"
+        assert parse_instruction("add rax, 4").form == "ri"
+
+    def test_byte_length_positive(self):
+        b = block("add $1, %rdi", "xor -1(%rdi), %al")
+        assert b.byte_length >= 2
+
+    def test_block_indexing(self):
+        b = block("add %rbx, %rax", "nop")
+        assert b[1].mnemonic == "nop"
+        assert len(list(iter(b))) == 2

@@ -1,0 +1,101 @@
+"""Opcode registry invariants."""
+
+import pytest
+
+from repro.errors import UnknownOpcodeError
+from repro.isa.opcodes import (CONDITION_CODES, OPCODES, is_known,
+                               opcode_info)
+
+
+class TestRegistry:
+    def test_basic_lookup(self):
+        info = opcode_info("add")
+        assert info.group == "int_alu"
+        assert info.writes_flags
+        assert info.reads_dst
+
+    def test_unknown_raises(self):
+        with pytest.raises(UnknownOpcodeError):
+            opcode_info("frobnicate")
+
+    def test_case_insensitive(self):
+        assert opcode_info("ADD") is opcode_info("add")
+
+    def test_is_known(self):
+        assert is_known("xor")
+        assert not is_known("xyzzy")
+
+    def test_registry_size_is_substantial(self):
+        # The modelled vocabulary should be a serious x86 subset.
+        assert len(OPCODES) > 250
+
+
+class TestConditionFamilies:
+    def test_all_cmov_variants_exist(self):
+        for cc in CONDITION_CODES:
+            assert is_known(f"cmov{cc}")
+            assert is_known(f"set{cc}")
+
+    def test_cc_recorded(self):
+        assert opcode_info("cmovle").cc == "le"
+        assert opcode_info("setnz").cc == "nz"
+
+
+class TestSemanticsFlags:
+    def test_mov_is_not_rmw(self):
+        assert not opcode_info("mov").reads_dst
+
+    def test_cmp_does_not_write(self):
+        assert not opcode_info("cmp").writes_dst
+        assert opcode_info("cmp").writes_flags
+
+    def test_zero_idiom_flags(self):
+        assert opcode_info("xor").zero_idiom
+        assert opcode_info("pxor").zero_idiom
+        assert opcode_info("vxorps").zero_idiom
+        assert not opcode_info("add").zero_idiom
+
+    def test_unsupported_instructions(self):
+        assert opcode_info("syscall").unsupported
+        assert opcode_info("cpuid").unsupported
+        assert not opcode_info("add").unsupported
+
+
+class TestVexVariants:
+    def test_vex_forms_generated(self):
+        assert is_known("vaddps")
+        assert is_known("vmovaps")
+        assert is_known("vpxor")
+
+    def test_vex_is_non_destructive(self):
+        legacy = opcode_info("addps")
+        vex = opcode_info("vaddps")
+        assert legacy.reads_dst
+        assert not vex.reads_dst
+        assert 3 in vex.arity
+
+    def test_vex_feature_level(self):
+        assert opcode_info("vaddps").feature == "avx"
+        assert opcode_info("vfmadd231ps").feature == "fma"
+        assert opcode_info("vpbroadcastd").feature == "avx2"
+
+    def test_fma_forms(self):
+        for order in ("132", "213", "231"):
+            assert is_known(f"vfmadd{order}ps")
+            assert is_known(f"vfnmadd{order}sd")
+
+
+class TestInvariants:
+    def test_every_opcode_has_positive_arity_options(self):
+        for name, info in OPCODES.items():
+            assert info.arity, name
+            assert all(a >= 0 for a in info.arity), name
+
+    def test_semantic_defaults_to_group(self):
+        assert opcode_info("lea").semantic == "lea"
+
+    def test_fp_annotation_consistency(self):
+        for name, info in OPCODES.items():
+            if info.fp is not None:
+                assert info.fp in ("f32", "f64"), name
+                assert info.vec or info.unsupported, name

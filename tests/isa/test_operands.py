@@ -1,0 +1,59 @@
+"""Operand types: immediates and memory references."""
+
+import pytest
+
+from repro.isa.operands import (Imm, Mem, is_imm, is_mem, is_reg,
+                                operand_kind)
+from repro.isa.registers import lookup
+
+
+class TestImm:
+    def test_value(self):
+        assert Imm(5).value == 5
+        assert Imm(-1).value == -1
+
+    def test_equality(self):
+        assert Imm(5) == Imm(5)
+        assert Imm(5) != Imm(6)
+
+
+class TestMem:
+    def test_full_form(self):
+        mem = Mem(base=lookup("rax"), index=lookup("rbx"), scale=8,
+                  disp=0x10, width=8)
+        assert mem.base.name == "rax"
+        assert mem.scale == 8
+
+    def test_registers_property(self):
+        mem = Mem(base=lookup("rax"), index=lookup("rbx"))
+        assert [r.name for r in mem.registers] == ["rax", "rbx"]
+        assert Mem(disp=0x1000).registers == []
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            Mem(base=lookup("rax"), scale=3)
+
+    @pytest.mark.parametrize("width", [1, 2, 4, 8, 16, 32])
+    def test_valid_widths(self, width):
+        assert Mem(base=lookup("rax"), width=width).width == width
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            Mem(base=lookup("rax"), width=3)
+
+
+class TestPredicates:
+    def test_kinds(self):
+        assert operand_kind(lookup("rax")) == "r"
+        assert operand_kind(Imm(1)) == "i"
+        assert operand_kind(Mem(base=lookup("rax"))) == "m"
+
+    def test_predicates(self):
+        assert is_reg(lookup("rax"))
+        assert is_imm(Imm(0))
+        assert is_mem(Mem(disp=0x2000))
+        assert not is_reg(Imm(0))
+
+    def test_operand_kind_rejects_junk(self):
+        with pytest.raises(TypeError):
+            operand_kind("rax")

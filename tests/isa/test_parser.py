@@ -1,0 +1,154 @@
+"""Assembly parsing: AT&T and Intel syntax, both paper examples."""
+
+import pytest
+
+from repro.errors import AsmSyntaxError
+from repro.isa import (Imm, Mem, parse_block, parse_instruction)
+from repro.isa.registers import lookup
+
+
+class TestAttSyntax:
+    def test_operand_order_reversed(self):
+        instr = parse_instruction("mov %edx, %eax")
+        assert instr.operands[0].name == "eax"  # dst first internally
+        assert instr.operands[1].name == "edx"
+
+    def test_immediate(self):
+        instr = parse_instruction("add $1, %rdi")
+        assert instr.operands == (lookup("rdi"), Imm(1))
+
+    def test_hex_immediate(self):
+        instr = parse_instruction("shr $0x8, %rdx")
+        assert instr.operands[1] == Imm(8)
+
+    def test_memory_base_disp(self):
+        instr = parse_instruction("xor -1(%rdi), %al")
+        mem = instr.operands[1]
+        assert mem.base.name == "rdi"
+        assert mem.disp == -1
+        assert mem.width == 1  # sized from %al
+
+    def test_memory_index_no_base(self):
+        instr = parse_instruction("xor 0x4110a(, %rax, 8), %rdx")
+        mem = instr.operands[1]
+        assert mem.base is None
+        assert mem.index.name == "rax"
+        assert mem.scale == 8
+        assert mem.disp == 0x4110A
+
+    def test_full_addressing(self):
+        instr = parse_instruction("lea 0x10(%rax, %rbx, 4), %rcx")
+        mem = instr.operands[1]
+        assert (mem.base.name, mem.index.name, mem.scale, mem.disp) == \
+            ("rax", "rbx", 4, 0x10)
+
+    def test_suffix_stripping(self):
+        assert parse_instruction("addl $5, %ecx").mnemonic == "add"
+        assert parse_instruction("movq %rax, %rbx").mnemonic == "mov"
+
+    def test_suffix_sets_memory_width(self):
+        instr = parse_instruction("addl $5, 8(%rsp)")
+        assert instr.operands[0].width == 4
+
+    def test_movzbl(self):
+        instr = parse_instruction("movzbl (%rdi), %eax")
+        assert instr.mnemonic == "movzx"
+        assert instr.operands[1].width == 1
+
+    def test_movslq(self):
+        instr = parse_instruction("movslq (%rdi), %rax")
+        assert instr.mnemonic == "movsxd"
+        assert instr.operands[1].width == 4
+
+    def test_movzx_bare_form(self):
+        instr = parse_instruction("movzx %al, %eax")
+        assert instr.mnemonic == "movzx"
+
+    def test_sse_mnemonic_with_q_suffix_kept(self):
+        instr = parse_instruction("movq %rax, %xmm0")
+        assert instr.mnemonic == "movq"
+        assert instr.operands[0].name == "xmm0"
+
+    def test_no_operands(self):
+        assert parse_instruction("nop").mnemonic == "nop"
+
+    def test_vex_three_operand(self):
+        instr = parse_instruction("vaddps %ymm1, %ymm2, %ymm3")
+        names = [op.name for op in instr.operands]
+        assert names == ["ymm3", "ymm2", "ymm1"]
+
+
+class TestIntelSyntax:
+    def test_basic(self):
+        instr = parse_instruction("xor edx, edx")
+        assert instr.mnemonic == "xor"
+        assert instr.operands[0].name == "edx"
+
+    def test_memory(self):
+        instr = parse_instruction("xor al, [rdi - 1]")
+        mem = instr.operands[1]
+        assert mem.base.name == "rdi"
+        assert mem.disp == -1
+        assert mem.width == 1
+
+    def test_scaled_index(self):
+        instr = parse_instruction("xor rdx, [8*rax + 0x4110a]")
+        mem = instr.operands[1]
+        assert mem.index.name == "rax"
+        assert mem.scale == 8
+        assert mem.disp == 0x4110A
+
+    def test_ptr_width(self):
+        instr = parse_instruction("mov qword ptr [rax], 1")
+        assert instr.operands[0].width == 8
+        instr = parse_instruction("movzx eax, byte ptr [rdi + 4]")
+        assert instr.operands[1].width == 1
+
+    def test_three_operand_vex(self):
+        instr = parse_instruction("vxorps xmm2, xmm2, xmm2")
+        assert len(instr.operands) == 3
+        assert instr.is_zero_idiom
+
+    def test_cmpsd_fp_disambiguation(self):
+        instr = parse_instruction("cmpsd xmm0, xmm1, 2")
+        assert instr.mnemonic == "cmpsd_fp"
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AsmSyntaxError):
+            parse_instruction("bogus eax, ebx")
+
+
+class TestBlocks:
+    def test_paper_crc_block(self):
+        block = parse_block("""
+            add $1, %rdi
+            mov %edx, %eax
+            shr $8, %rdx
+            xor -1(%rdi), %al
+            movzx %al, %eax
+            xor 0x4110a(, %rax, 8), %rdx
+            cmp %rcx, %rdi
+        """)
+        assert len(block) == 7
+        assert block.has_memory_access
+
+    def test_paper_div_block(self):
+        block = parse_block("xor edx, edx\ndiv ecx\ntest edx, edx")
+        assert [i.mnemonic for i in block] == ["xor", "div", "test"]
+
+    def test_comments_and_labels_skipped(self):
+        block = parse_block("""
+            # setup
+            loop_start:
+            add %rbx, %rax  ; comment
+            sub %rcx, %rdx  // another
+        """)
+        assert len(block) == 2
+
+    def test_empty_block_rejected(self):
+        with pytest.raises(AsmSyntaxError):
+            parse_block("\n  # nothing\n")
+
+    def test_mixed_syntax(self):
+        block = parse_block("add $1, %rdi\nadd rsi, 1")
+        assert block[0].mnemonic == block[1].mnemonic == "add"

@@ -1,0 +1,101 @@
+"""Register model: names, aliasing, masks."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.registers import (FLAG_NAMES, GPR_BASES, REGISTERS,
+                                 Register, gpr, is_register_name, lookup,
+                                 xmm, ymm)
+
+
+class TestRegistry:
+    def test_all_gpr_bases_present(self):
+        for base in GPR_BASES:
+            assert REGISTERS[base].width == 64
+
+    def test_total_gpr_view_count(self):
+        views = [r for r in REGISTERS.values() if r.kind == "gpr"]
+        # 16 bases x 4 widths + 4 high-byte legacy registers.
+        assert len(views) == 16 * 4 + 4
+
+    def test_vector_registers(self):
+        assert REGISTERS["xmm0"].width == 128
+        assert REGISTERS["ymm0"].width == 256
+        assert REGISTERS["xmm5"].base == "ymm5"
+
+    def test_special_registers(self):
+        assert REGISTERS["rip"].kind == "ip"
+        assert REGISTERS["rflags"].kind == "flags"
+        assert REGISTERS["mxcsr"].kind == "mxcsr"
+
+    def test_flag_names(self):
+        assert set(FLAG_NAMES) == {"cf", "pf", "af", "zf", "sf", "of"}
+
+
+class TestAliasing:
+    @pytest.mark.parametrize("name,base,width,offset", [
+        ("rax", "rax", 64, 0),
+        ("eax", "rax", 32, 0),
+        ("ax", "rax", 16, 0),
+        ("al", "rax", 8, 0),
+        ("ah", "rax", 8, 8),
+        ("r8d", "r8", 32, 0),
+        ("r15b", "r15", 8, 0),
+        ("sil", "rsi", 8, 0),
+        ("bpl", "rbp", 8, 0),
+        ("spl", "rsp", 8, 0),
+        ("di", "rdi", 16, 0),
+    ])
+    def test_gpr_views(self, name, base, width, offset):
+        reg = lookup(name)
+        assert reg.base == base
+        assert reg.width == width
+        assert reg.bit_offset == offset
+
+    def test_high_byte_only_for_legacy(self):
+        assert is_register_name("bh")
+        assert not is_register_name("sih")
+        assert not is_register_name("r8h")
+
+    def test_mask(self):
+        assert lookup("al").mask == 0xFF
+        assert lookup("ah").mask == 0xFF00
+        assert lookup("ax").mask == 0xFFFF
+
+
+class TestAccessors:
+    def test_lookup_case_insensitive(self):
+        assert lookup("RAX") is lookup("rax")
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError):
+            lookup("zax")
+
+    def test_gpr_by_index(self):
+        assert gpr(0).name == "rax"
+        assert gpr(15).name == "r15"
+
+    def test_xmm_ymm_helpers(self):
+        assert xmm(3).name == "xmm3"
+        assert ymm(3).name == "ymm3"
+        assert xmm(3).base == ymm(3).name
+
+    def test_registers_are_frozen(self):
+        with pytest.raises(Exception):
+            lookup("rax").width = 32
+
+
+@given(st.sampled_from(sorted(REGISTERS)))
+def test_every_register_roundtrips_through_lookup(name):
+    reg = lookup(name)
+    assert isinstance(reg, Register)
+    assert reg.name == name
+    assert reg.base in REGISTERS
+    assert REGISTERS[reg.base].bit_offset == 0
+
+
+@given(st.sampled_from([r for r in REGISTERS.values()
+                        if r.kind == "gpr"]))
+def test_gpr_view_fits_inside_base(reg):
+    base = REGISTERS[reg.base]
+    assert reg.bit_offset + reg.width <= base.width

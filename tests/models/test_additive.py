@@ -1,0 +1,51 @@
+"""The additive per-instruction cost model."""
+
+import pytest
+
+from repro.isa.parser import parse_block
+from repro.models.additive import AdditiveCostModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return AdditiveCostModel()
+
+
+class TestAdditivity:
+    def test_cost_is_sum_of_instruction_costs(self, model):
+        one = parse_block("add %rbx, %rax")
+        two = parse_block("add %rbx, %rax\nadd %rdx, %rcx")
+        p1 = model.predict_safe(one, "haswell").throughput
+        p2 = model.predict_safe(two, "haswell").throughput
+        assert p2 == pytest.approx(2 * p1, abs=0.02)
+
+    def test_ignores_dependences(self, model):
+        chained = parse_block("add %rbx, %rax\nadd %rax, %rax")
+        independent = parse_block("add %rbx, %rax\nadd %rdx, %rcx")
+        assert model.predict_safe(chained, "haswell").throughput == \
+            model.predict_safe(independent, "haswell").throughput
+
+    def test_underpredicts_latency_bound_blocks(self, model):
+        from repro.profiler import profile_block
+        chain = parse_block("mulps %xmm1, %xmm0")
+        measured = profile_block(chain).throughput
+        predicted = model.predict_safe(chain, "haswell").throughput
+        assert predicted < measured / 3
+
+    def test_calibration_factor(self):
+        base = AdditiveCostModel()
+        scaled = AdditiveCostModel(calibration=20.0)  # the x20 commit
+        block = parse_block("add %rbx, %rax\nadd %rdx, %rcx")
+        assert scaled.predict_safe(block, "haswell").throughput == \
+            pytest.approx(
+                20 * base.predict_safe(block, "haswell").throughput,
+                rel=0.05)
+
+    def test_unsupported_instructions_skipped(self, model):
+        block = parse_block("add %rbx, %rax\ncpuid")
+        pred = model.predict_safe(block, "haswell")
+        assert pred.ok  # additive models don't execute anything
+
+    def test_floor(self, model):
+        assert model.predict_safe(parse_block("nop"),
+                                  "haswell").throughput >= 0.25

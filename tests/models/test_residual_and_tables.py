@@ -1,0 +1,117 @@
+"""Residual calibration and model-table perturbation."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.corpus import BlockSynthesizer, get_spec
+from repro.isa.parser import parse_block
+from repro.models.residual import ResidualSpec, block_mix, residual_factor
+from repro.models.tables import (confused_div_table, flat_div_table,
+                                 perturbed_table)
+from repro.uarch.tables import get_uarch
+
+
+class TestBlockMix:
+    def test_pure_alu(self):
+        mix = block_mix(parse_block("add %rbx, %rax\nsub %rcx, %rdx"))
+        assert mix["load"] == 0 and mix["vector"] == 0
+
+    def test_fractions(self):
+        mix = block_mix(parse_block(
+            "mov (%rdi), %rax\nmov %rbx, (%rsi)\n"
+            "mulps %xmm1, %xmm0\nshl $1, %rcx"))
+        assert mix["load"] == 0.25
+        assert mix["store"] == 0.25
+        assert mix["vector"] == 0.25
+        assert mix["bitmanip"] == 0.25
+
+
+class TestResidualSpec:
+    SPEC = ResidualSpec(base=0.2, store=0.1, load=0.3, vector=0.4,
+                        bitmanip=0.05)
+
+    def test_store_blocks_get_smaller_sigma(self):
+        stores = parse_block("\n".join(
+            f"mov %rax, {8 * i}(%rdi)" for i in range(6)))
+        loads = parse_block("\n".join(
+            f"mov {8 * i}(%rdi), %rax" for i in range(6)))
+        assert self.SPEC.sigma_for(stores) < self.SPEC.sigma_for(loads)
+
+    def test_vector_blocks_get_larger_sigma(self):
+        vec = parse_block("\n".join("mulps %xmm1, %xmm0"
+                                    for _ in range(6)))
+        alu = parse_block("\n".join("add %rbx, %rax" for _ in range(6)))
+        assert self.SPEC.sigma_for(vec) > self.SPEC.sigma_for(alu)
+
+    def test_tiny_blocks_get_tiny_sigma(self):
+        one = parse_block("add %rbx, %rax")
+        six = parse_block("\n".join("add %rbx, %rax" for _ in range(6)))
+        assert self.SPEC.sigma_for(one) < self.SPEC.sigma_for(six)
+
+    def test_factor_deterministic(self):
+        block = parse_block("add %rbx, %rax\nmov (%rdi), %rcx")
+        a = residual_factor(self.SPEC, "IACA", "haswell", block)
+        b = residual_factor(self.SPEC, "IACA", "haswell", block)
+        assert a == b
+
+    def test_factor_varies_by_model_and_uarch(self):
+        block = parse_block("\n".join("add %rbx, %rax"
+                                      for _ in range(8)))
+        factors = {
+            residual_factor(self.SPEC, model, uarch, block)
+            for model in ("IACA", "llvm-mca")
+            for uarch in ("haswell", "skylake")
+        }
+        assert len(factors) == 4
+
+    @given(st.integers(min_value=0, max_value=100))
+    @settings(max_examples=30, deadline=None)
+    def test_factor_is_positive_and_bounded(self, seed):
+        block = BlockSynthesizer(get_spec("llvm"), seed=seed).block()
+        factor = residual_factor(self.SPEC, "m", "haswell", block)
+        assert 0.05 < factor < 20.0
+
+
+class TestTablePerturbation:
+    def test_deterministic(self):
+        _, base, _ = get_uarch("haswell")
+        a = perturbed_table(base, "X", "haswell", sigma=0.2)
+        b = perturbed_table(base, "X", "haswell", sigma=0.2)
+        assert a == b
+
+    def test_zero_sigma_keeps_ports(self):
+        _, base, _ = get_uarch("haswell")
+        table = perturbed_table(base, "X", "haswell", sigma=0.0001)
+        for cls in base:
+            for orig, pert in zip(base[cls].uops, table[cls].uops):
+                assert orig.ports == pert.ports
+
+    def test_latencies_stay_positive(self):
+        _, base, _ = get_uarch("haswell")
+        table = perturbed_table(base, "Y", "haswell", sigma=0.8)
+        for entry in table.values():
+            for spec in entry.uops:
+                assert spec.latency >= 1 and spec.occupancy >= 1
+
+    def test_overrides_win(self):
+        _, base, _ = get_uarch("haswell")
+        table = perturbed_table(base, "Z", "haswell", sigma=0.5,
+                                overrides={"int_alu": base["int_alu"]})
+        assert table["int_alu"] == base["int_alu"]
+
+
+class TestDivTables:
+    def test_confused_table_is_uniformly_worst_case(self):
+        _, _, div = get_uarch("haswell")
+        confused = confused_div_table(div)
+        worst = div[(64, False)]
+        assert all(spec == worst for spec in confused.values())
+        assert confused[(32, True)].latency == worst.latency
+
+    def test_flat_table(self):
+        _, _, div = get_uarch("haswell")
+        flat = flat_div_table(div, latency=12)
+        assert all(spec.latency == 12 for spec in flat.values())
+        assert all(spec.occupancy == 12 for spec in flat.values())

@@ -1,0 +1,96 @@
+"""Ablation configurations (Tables I and II)."""
+
+import pytest
+
+from repro.corpus import tensorflow_ablation_block
+from repro.profiler import (BasicBlockProfiler, FailureReason)
+from repro.profiler.ablation import (STAGE_LABELS, STAGES, TABLE1_LABELS,
+                                     TABLE1_STAGES, AblationStage,
+                                     config_for_stage, relaxed)
+from repro.uarch import Machine
+
+
+class TestConfigs:
+    def test_all_stages_have_configs_and_labels(self):
+        for stage in STAGES:
+            config = config_for_stage(stage)
+            assert config is not None
+            assert stage in STAGE_LABELS
+
+    def test_table1_subset(self):
+        assert set(TABLE1_STAGES) <= set(STAGES)
+        assert all(s in TABLE1_LABELS for s in TABLE1_STAGES)
+
+    def test_stage_none_has_no_mapping(self):
+        config = config_for_stage(AblationStage.NONE)
+        assert not config.mapping_enabled
+        assert not config.environment.ftz
+
+    def test_page_mapping_stage_uses_many_frames(self):
+        config = config_for_stage(AblationStage.PAGE_MAPPING)
+        assert config.mapping_enabled
+        assert not config.environment.single_physical_page
+
+    def test_single_page_stage(self):
+        config = config_for_stage(AblationStage.SINGLE_PHYS_PAGE)
+        assert config.environment.single_physical_page
+        assert not config.environment.ftz
+
+    def test_ftz_stage(self):
+        assert config_for_stage(AblationStage.FTZ).environment.ftz
+
+    def test_final_stage_is_two_factor(self):
+        config = config_for_stage(AblationStage.SMALL_UNROLL)
+        assert config.unroll_strategy == "two_factor"
+
+    def test_relaxed_drops_enforcement(self):
+        config = relaxed(config_for_stage(AblationStage.FTZ))
+        assert not config.acceptance.enforce_invariants
+        assert not config.acceptance.reject_misaligned
+
+
+class TestTable2Story:
+    """The per-block ablation must be monotone with the right counters."""
+
+    @pytest.fixture(scope="class")
+    def rows(self):
+        block = tensorflow_ablation_block()
+        out = {}
+        for stage in STAGES:
+            profiler = BasicBlockProfiler(
+                Machine("haswell"), relaxed(config_for_stage(stage)))
+            out[stage] = profiler.profile(block)
+        return out
+
+    def test_stage_none_crashes(self, rows):
+        assert rows[AblationStage.NONE].failure \
+            is FailureReason.SEGFAULT
+
+    def test_page_mapping_has_data_misses(self, rows):
+        result = rows[AblationStage.PAGE_MAPPING]
+        assert result.ok
+        m = result.measurements[0]
+        assert m.l1d_read_misses + m.l1d_write_misses > 0
+
+    def test_single_page_removes_data_misses(self, rows):
+        m = rows[AblationStage.SINGLE_PHYS_PAGE].measurements[0]
+        assert m.l1d_read_misses + m.l1d_write_misses == 0
+
+    def test_ftz_collapses_throughput(self, rows):
+        before = rows[AblationStage.SINGLE_PHYS_PAGE].throughput
+        after = rows[AblationStage.FTZ].throughput
+        assert after < before / 5  # paper: 2273.7 -> 65.0 (35x)
+
+    def test_naive_unroll_still_misses_icache(self, rows):
+        assert rows[AblationStage.FTZ].measurements[0].l1i_misses > 0
+
+    def test_small_unroll_is_clean_and_fastest(self, rows):
+        final = rows[AblationStage.SMALL_UNROLL]
+        assert final.measurements[0].l1i_misses == 0
+        throughputs = [rows[s].throughput for s in STAGES
+                       if rows[s].ok]
+        assert final.throughput == min(throughputs)
+
+    def test_rows_monotonically_improve(self, rows):
+        ordered = [rows[s].throughput for s in STAGES if rows[s].ok]
+        assert ordered == sorted(ordered, reverse=True)

@@ -1,0 +1,71 @@
+"""Measurement-environment setup (§III-D initialisation)."""
+
+from repro.profiler.environment import Environment, EnvironmentConfig
+from repro.runtime.state import INIT_CONSTANT
+from repro.isa.registers import lookup
+
+
+class TestReset:
+    def test_reset_unmaps_and_reinitialises(self):
+        env = Environment()
+        env.reset()
+        env.map_faulting_address(0x5000)
+        env.reset()
+        assert env.pages_mapped == 0
+        assert env.state.read(lookup("rdi")) == INIT_CONSTANT
+
+    def test_reinitialize_preserves_mappings(self):
+        env = Environment()
+        env.reset()
+        env.map_faulting_address(0x5000)
+        env.reinitialize()
+        assert env.pages_mapped == 1
+
+    def test_reinitialize_refills_frames(self):
+        env = Environment()
+        env.reset()
+        env.map_faulting_address(0x5000)
+        env.memory.write_int(0x5000, 4, 0xDEAD)
+        env.reinitialize()
+        assert env.memory.read_int(0x5000, 4) == INIT_CONSTANT
+
+    def test_ftz_configuration(self):
+        env = Environment(EnvironmentConfig(ftz=True))
+        env.reset()
+        assert env.state.ftz
+        env = Environment(EnvironmentConfig(ftz=False))
+        env.reset()
+        assert not env.state.ftz
+
+
+class TestFrameAllocation:
+    def test_single_physical_page_mode(self):
+        env = Environment(EnvironmentConfig(single_physical_page=True))
+        env.reset()
+        for address in (0x5000, 0xA000, 0x3F000):
+            env.map_faulting_address(address)
+        assert env.pages_mapped == 3
+        assert len(env.memory.physical_pages) == 1
+
+    def test_per_page_mode(self):
+        env = Environment(EnvironmentConfig(single_physical_page=False))
+        env.reset()
+        for address in (0x5000, 0xA000, 0x3F000):
+            env.map_faulting_address(address)
+        assert len(env.memory.physical_pages) == 3
+
+    def test_remapping_same_page_reuses_frame(self):
+        env = Environment(EnvironmentConfig(single_physical_page=False))
+        env.reset()
+        env.map_faulting_address(0x5000)
+        env.map_faulting_address(0x5800)  # same page
+        assert env.pages_mapped == 1
+        assert len(env.memory.physical_pages) == 1
+
+    def test_custom_init_constant(self):
+        env = Environment(EnvironmentConfig(init_constant=0x2000_0000))
+        env.reset()
+        assert env.state.read(lookup("rax")) == 0x2000_0000
+        env.map_faulting_address(0x5000)
+        env.reinitialize()
+        assert env.memory.read_int(0x5000, 4) == 0x2000_0000

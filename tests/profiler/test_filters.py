@@ -1,0 +1,71 @@
+"""Invariant enforcement: the 8-of-16 identical clean rule."""
+
+from repro.profiler.filters import AcceptancePolicy
+from repro.profiler.result import FailureReason
+from repro.uarch.counters import CounterSample
+
+
+def clean(cycles):
+    return CounterSample(cycles=cycles)
+
+
+class TestAcceptance:
+    def test_sixteen_identical_accepted(self):
+        policy = AcceptancePolicy()
+        cycles, failure, n = policy.accept([clean(100)] * 16)
+        assert (cycles, failure, n) == (100, None, 16)
+
+    def test_exactly_eight_identical_accepted(self):
+        policy = AcceptancePolicy()
+        samples = [clean(100)] * 8 + [clean(100 + i) for i in range(8)]
+        cycles, failure, _ = policy.accept(samples)
+        assert cycles == 100 and failure is None
+
+    def test_seven_identical_rejected_unstable(self):
+        policy = AcceptancePolicy()
+        samples = [clean(100)] * 7 + [clean(101 + i) for i in range(9)]
+        cycles, failure, _ = policy.accept(samples)
+        assert cycles is None
+        assert failure is FailureReason.UNSTABLE
+
+    def test_context_switch_runs_do_not_count(self):
+        policy = AcceptancePolicy()
+        dirty = CounterSample(cycles=100, context_switches=1)
+        samples = [clean(100)] * 7 + [dirty] * 9
+        cycles, failure, n = policy.accept(samples)
+        assert cycles is None and n == 7
+
+    def test_cache_miss_reason_reported(self):
+        policy = AcceptancePolicy()
+        miss = CounterSample(cycles=100, l1d_read_misses=5)
+        cycles, failure, _ = policy.accept([miss] * 16)
+        assert failure is FailureReason.L1D_MISS
+        imiss = CounterSample(cycles=100, l1i_misses=2)
+        _, failure, _ = policy.accept([imiss] * 16)
+        assert failure is FailureReason.L1I_MISS
+
+    def test_misaligned_filter(self):
+        policy = AcceptancePolicy()
+        bad = CounterSample(cycles=100, misaligned_mem_refs=1)
+        cycles, failure, _ = policy.accept([bad] * 16)
+        assert failure is FailureReason.MISALIGNED
+
+    def test_misaligned_filter_can_be_disabled(self):
+        policy = AcceptancePolicy(reject_misaligned=False)
+        bad = CounterSample(cycles=100, misaligned_mem_refs=1)
+        cycles, failure, _ = policy.accept([bad] * 16)
+        assert cycles == 100 and failure is None
+
+    def test_relaxed_mode_reports_mode_of_all_runs(self):
+        policy = AcceptancePolicy(enforce_invariants=False,
+                                  reject_misaligned=False)
+        dirty = CounterSample(cycles=500, l1d_read_misses=9)
+        samples = [dirty] * 10 + [clean(100)] * 6
+        cycles, failure, _ = policy.accept(samples)
+        assert cycles == 500 and failure is None
+
+    def test_mode_of_clean_values_wins(self):
+        policy = AcceptancePolicy()
+        samples = [clean(100)] * 9 + [clean(104)] * 7
+        cycles, _, _ = policy.accept(samples)
+        assert cycles == 100

@@ -1,0 +1,63 @@
+"""Per-instruction latency/throughput measurement (llvm-exegesis
+analogue) — verified against the ground-truth tables."""
+
+import pytest
+
+from repro.profiler.latency import InstructionBenchmark
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return InstructionBenchmark("haswell")
+
+
+class TestLatency:
+    @pytest.mark.parametrize("mnemonic,expected", [
+        ("add", 1.0), ("imul", 3.0), ("addps", 3.0),
+        ("mulps", 5.0), ("vfmadd231ps", 5.0), ("shl", 1.0),
+        ("popcnt", 3.0),
+    ])
+    def test_matches_ground_truth_tables(self, bench, mnemonic,
+                                         expected):
+        assert bench.latency(mnemonic) == pytest.approx(expected,
+                                                        abs=0.15)
+
+    def test_unsupported_returns_none(self, bench):
+        assert bench.latency("cpuid") is None
+
+    def test_unknown_mnemonic_raises(self, bench):
+        from repro.errors import UnknownOpcodeError
+        with pytest.raises(UnknownOpcodeError):
+            bench.latency("frobnicate")
+
+
+class TestThroughput:
+    @pytest.mark.parametrize("mnemonic,expected", [
+        ("add", 0.25),      # 4 ALU ports
+        ("imul", 1.0),      # port 1 only
+        ("addps", 1.0),     # port 1 only on Haswell
+        ("mulps", 0.5),     # ports 0 and 1
+        ("pshufd", 1.0),    # port 5 only
+    ])
+    def test_matches_port_widths(self, bench, mnemonic, expected):
+        measured = bench.reciprocal_throughput(mnemonic)
+        assert measured == pytest.approx(expected, abs=0.15)
+
+    def test_latency_at_least_throughput(self, bench):
+        for mnemonic in ("add", "imul", "mulps", "addps"):
+            t = bench.measure(mnemonic)
+            assert t.latency >= t.reciprocal_throughput
+
+
+class TestAcrossUarches:
+    def test_skylake_fp_latencies_unified(self):
+        skl = InstructionBenchmark("skylake")
+        assert skl.latency("addps") == pytest.approx(4.0, abs=0.15)
+        assert skl.latency("mulps") == pytest.approx(4.0, abs=0.15)
+
+    def test_haswell_fp_split(self, bench):
+        assert bench.latency("addps") < bench.latency("mulps")
+
+    def test_string_rendering(self, bench):
+        text = str(bench.measure("add"))
+        assert "add" in text and "lat=" in text

@@ -1,0 +1,143 @@
+"""The Fig. 2 monitor/measure protocol."""
+
+from repro.isa.parser import parse_block
+from repro.profiler.environment import Environment, EnvironmentConfig
+from repro.profiler.mapping import map_pages
+from repro.profiler.result import FailureReason
+
+
+def env(**kw):
+    e = Environment(EnvironmentConfig(**kw))
+    e.reset()
+    return e
+
+
+class TestHappyPath:
+    def test_register_only_block_needs_no_mapping(self):
+        e = env()
+        out = map_pages(e, parse_block("add %rbx, %rax"), unroll=4)
+        assert out.success
+        assert out.num_faults == 0
+        assert e.pages_mapped == 0
+
+    def test_each_fault_maps_one_page(self):
+        e = env()
+        out = map_pages(e, parse_block("mov (%rdi), %rax"), unroll=4)
+        assert out.success
+        assert out.num_faults == 1
+        assert e.pages_mapped == 1
+
+    def test_dword_pointer_chase_maps_chain(self):
+        # The loaded dword is the init constant, i.e. it points into
+        # the already-mapped page: the chase succeeds with one fault.
+        e = env()
+        out = map_pages(
+            e, parse_block("mov (%rdi), %ebx\nmov (%rbx), %rcx"),
+            unroll=2)
+        assert out.success
+        assert out.num_faults >= 1
+
+    def test_qword_pointer_chase_fails_validity(self):
+        # The fill pattern's qwords exceed user space (the real
+        # suite's behaviour too): isValidAddr fails, block dropped.
+        e = env()
+        out = map_pages(
+            e, parse_block("mov (%rdi), %rbx\nmov (%rbx), %rcx"),
+            unroll=2)
+        assert not out.success
+        assert out.failure is FailureReason.INVALID_ADDRESS
+
+    def test_trace_returned_on_success(self):
+        e = env()
+        out = map_pages(e, parse_block("mov (%rdi), %rax"), unroll=3)
+        assert out.trace is not None
+        assert len(out.trace) == 3
+
+    def test_single_physical_page_backs_everything(self):
+        e = env(single_physical_page=True)
+        block = parse_block("mov (%rdi), %rax\nadd $8192, %rdi")
+        out = map_pages(e, block, unroll=8)
+        assert out.success
+        assert e.pages_mapped >= 8
+        assert len(e.memory.physical_pages) == 1
+
+    def test_per_page_frames_mode(self):
+        e = env(single_physical_page=False)
+        block = parse_block("mov (%rdi), %rax\nadd $8192, %rdi")
+        out = map_pages(e, block, unroll=8)
+        assert out.success
+        assert len(e.memory.physical_pages) == e.pages_mapped
+
+
+class TestFailureModes:
+    def test_mapping_disabled_faults_are_fatal(self):
+        e = env()
+        out = map_pages(e, parse_block("mov (%rdi), %rax"), unroll=4,
+                        enable_mapping=False)
+        assert not out.success
+        assert out.failure is FailureReason.SEGFAULT
+
+    def test_invalid_address_gives_up(self):
+        e = env()
+        out = map_pages(e, parse_block("mov 0x40, %rax"), unroll=2)
+        assert not out.success
+        assert out.failure is FailureReason.INVALID_ADDRESS
+
+    def test_max_faults_exceeded(self):
+        e = env()
+        block = parse_block(
+            "mov (%rbx), %rax\nadd $4096, %rbx\n"
+            "mov (%rsi), %rcx\nadd $4096, %rsi\n"
+            "mov (%rdi), %rdx\nadd $4096, %rdi")
+        out = map_pages(e, block, unroll=32, max_faults=16)
+        assert not out.success
+        assert out.failure is FailureReason.TOO_MANY_FAULTS
+        assert out.num_faults == 17
+
+    def test_divide_error(self):
+        e = env()
+        block = parse_block("xor %ecx, %ecx\nxor %edx, %edx\ndiv %ecx")
+        out = map_pages(e, block, unroll=2)
+        assert not out.success
+        assert out.failure is FailureReason.SIGFPE
+
+    def test_unsupported_instruction(self):
+        e = env()
+        out = map_pages(e, parse_block("add %rbx, %rax\ncpuid"),
+                        unroll=2)
+        assert not out.success
+        assert out.failure is FailureReason.UNSUPPORTED
+
+
+class TestReinitialization:
+    def test_mapping_then_measurement_trace_identical(self):
+        """The re-init argument: the measurement run reproduces the
+        mapping run's addresses exactly."""
+        from repro.runtime.executor import Executor
+        e = env()
+        block = parse_block("""
+            add $1, %rdi
+            mov %edx, %eax
+            shr $8, %rdx
+            xor -1(%rdi), %al
+            movzx %al, %eax
+            xor 0x41108(, %rax, 8), %rdx
+            cmp %rcx, %rdi
+        """)
+        out = map_pages(e, block, unroll=8)
+        assert out.success
+        e.reinitialize()
+        trace = Executor(e.state, e.memory).execute_block(block, 8)
+        assert trace.address_signature() == \
+            out.trace.address_signature()
+
+    def test_memory_refilled_between_runs(self):
+        e = env()
+        block = parse_block("mov $7, %rax\nmov %rax, (%rdi)\n"
+                            "mov (%rdi), %rbx")
+        out = map_pages(e, block, unroll=2)
+        assert out.success
+        e.reinitialize()
+        # After re-init the frame holds the fill pattern again.
+        value = e.memory.read_int(0x12345600, 4)
+        assert value == 0x12345600

@@ -1,0 +1,69 @@
+"""Unroll planning and the Eq. 1 / Eq. 2 throughput derivations."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.instruction import BasicBlock
+from repro.isa.parser import parse_block
+from repro.profiler.unroll import (NAIVE_UNROLL, UnrollPlan, naive_plan,
+                                   two_factor_plan)
+
+
+class TestNaive:
+    def test_eq1(self):
+        plan = naive_plan(100)
+        assert plan.factors == (100,)
+        assert plan.derive_throughput((850,)) == 8.5
+
+    def test_default_is_100(self):
+        assert naive_plan().factors == (NAIVE_UNROLL,)
+
+
+class TestTwoFactor:
+    def test_eq2(self):
+        plan = UnrollPlan(factors=(16, 32))
+        # warm-up of 20 cycles cancels: (20+32*8) - (20+16*8) = 128.
+        assert plan.derive_throughput((148, 276)) == 8.0
+
+    def test_small_block_gets_default_factors(self):
+        plan = two_factor_plan(parse_block("add %rbx, %rax"))
+        assert plan.factors == (16, 32)
+
+    def test_large_block_gets_smaller_factors(self):
+        big = parse_block("\n".join(
+            "vfmadd231ps 0x40(%rax), %ymm2, %ymm3" for _ in range(200)))
+        plan = two_factor_plan(big)
+        u1, u2 = plan.factors
+        assert u2 < 32
+        assert u2 * big.byte_length <= 32 * 1024
+
+    def test_factors_always_distinct(self):
+        huge = parse_block("\n".join(
+            "vfmadd231ps %ymm1, %ymm2, %ymm3" for _ in range(200)))
+        u1, u2 = two_factor_plan(huge).factors
+        assert u1 < u2
+
+    def test_max_factor(self):
+        assert UnrollPlan(factors=(4, 12)).max_factor == 12
+
+
+@given(st.integers(min_value=1, max_value=60),
+       st.integers(min_value=2, max_value=500),
+       st.integers(min_value=0, max_value=400))
+def test_eq2_recovers_exact_linear_cost(throughput, u1, warmup):
+    """If cycles(u) = warmup + T*u, Eq. 2 returns exactly T."""
+    u2 = u1 * 2
+    plan = UnrollPlan(factors=(u1, u2))
+    cycles = (warmup + throughput * u1, warmup + throughput * u2)
+    assert plan.derive_throughput(cycles) == pytest.approx(throughput)
+
+
+@given(st.integers(min_value=1, max_value=60),
+       st.integers(min_value=1, max_value=400))
+def test_eq1_overestimates_by_amortized_warmup(throughput, warmup):
+    """Eq. 1 carries warm-up bias of warmup/u — the reason the paper
+    needs large unroll factors for the naive strategy."""
+    plan = naive_plan(100)
+    measured = plan.derive_throughput((warmup + throughput * 100,))
+    assert measured == pytest.approx(throughput + warmup / 100)
+    assert measured >= throughput

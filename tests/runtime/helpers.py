@@ -1,0 +1,48 @@
+"""Shared executor-test plumbing."""
+
+from repro.isa.parser import parse_block
+from repro.isa.registers import lookup
+from repro.runtime.executor import Executor
+from repro.runtime.memory import PhysicalPage, VirtualMemory, page_of
+from repro.runtime.state import MachineState
+
+
+class Harness:
+    """A mapped, initialised machine for direct semantic tests."""
+
+    def __init__(self, ftz: bool = False, fill: int = 0x12345600):
+        self.state = MachineState()
+        self.state.initialize(ftz=ftz)
+        self.memory = VirtualMemory()
+        self.frame = PhysicalPage()
+        self.frame.fill(fill)
+        self.executor = Executor(self.state, self.memory)
+
+    def map(self, address: int) -> None:
+        self.memory.map_page(page_of(address), self.frame)
+
+    def set_reg(self, name: str, value: int) -> None:
+        self.state.write(lookup(name), value)
+
+    def reg(self, name: str) -> int:
+        return self.state.read(lookup(name))
+
+    def flag(self, name: str) -> bool:
+        return self.state.flags[name]
+
+    def run(self, text: str, unroll: int = 1):
+        block = parse_block(text)
+        # Map every page the block will touch by replaying faults.
+        from repro.errors import MemoryFault
+        snapshot_gpr = dict(self.state.gpr)
+        snapshot_vec = dict(self.state.vec)
+        snapshot_flags = dict(self.state.flags)
+        for _ in range(128):
+            try:
+                self.state.gpr = dict(snapshot_gpr)
+                self.state.vec = dict(snapshot_vec)
+                self.state.flags = dict(snapshot_flags)
+                return self.executor.execute_block(block, unroll=unroll)
+            except MemoryFault as fault:
+                self.map(fault.address)
+        raise AssertionError("too many faults in test harness")

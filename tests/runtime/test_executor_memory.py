@@ -1,0 +1,143 @@
+"""Functional semantics: memory access, addressing, the CRC example."""
+
+import pytest
+
+from repro.errors import MemoryFault
+from repro.runtime.state import INIT_CONSTANT
+from tests.runtime.helpers import Harness
+
+
+class TestLoadsStores:
+    def test_store_then_load(self):
+        h = Harness()
+        h.set_reg("rdi", 0x5000)
+        h.map(0x5000)
+        h.run("mov $0x1234, %rax\nmov %rax, 8(%rdi)\nmov 8(%rdi), %rbx")
+        assert h.reg("rbx") == 0x1234
+
+    def test_rmw(self):
+        h = Harness()
+        h.set_reg("rdi", 0x5000)
+        h.map(0x5000)
+        h.run("mov $5, %rax\nmov %rax, (%rdi)\naddq $3, (%rdi)")
+        assert h.memory.read_int(0x5000, 8) == 8
+
+    def test_byte_store(self):
+        h = Harness()
+        h.set_reg("rdi", 0x5000)
+        h.map(0x5000)
+        h.run("mov $0xAB, %rax\nmov %al, 3(%rdi)")
+        assert h.memory.read_int(0x5003, 1) == 0xAB
+
+    def test_indexed_addressing(self):
+        h = Harness()
+        h.set_reg("rdi", 0x5000)
+        h.set_reg("rcx", 4)
+        h.map(0x5000)
+        trace = h.run("mov 8(%rdi, %rcx, 2), %rax")
+        assert trace.events[0].accesses[0].address == 0x5000 + 8 + 8
+
+    def test_trace_records_width_and_kind(self):
+        h = Harness()
+        h.set_reg("rdi", 0x5000)
+        h.map(0x5000)
+        trace = h.run("mov %eax, (%rdi)")
+        access = trace.events[0].accesses[0]
+        assert access.is_write and access.width == 4
+
+    def test_push_pop(self):
+        h = Harness()
+        h.set_reg("rsp", 0x6000)
+        h.map(0x6000 - 8)
+        h.set_reg("rax", 77)
+        h.run("push %rax\npop %rbx")
+        assert h.reg("rbx") == 77
+        assert h.reg("rsp") == 0x6000
+
+    def test_fault_propagates_address(self):
+        h = Harness()
+        h.set_reg("rdi", 0x7000)
+        with pytest.raises(MemoryFault) as exc:
+            h.executor.execute_block(
+                __import__("repro.isa", fromlist=["parse_block"])
+                .parse_block("mov (%rdi), %rax"), 1)
+        assert exc.value.address == 0x7000
+
+
+class TestCrcExample:
+    """Paper Fig. 1: the pointer chain works exactly as described."""
+
+    CRC = """
+        add $1, %rdi
+        mov %edx, %eax
+        shr $8, %rdx
+        xor -1(%rdi), %al
+        movzx %al, %eax
+        xor 0x41108(, %rax, 8), %rdx
+        cmp %rcx, %rdi
+    """
+
+    def test_executes_under_canonical_environment(self):
+        h = Harness()
+        trace = h.run(self.CRC, unroll=4)
+        assert len(trace) == 28
+        loads = [a for a in trace.accesses if not a.is_write]
+        assert len(loads) == 8  # two loads per iteration
+
+    def test_table_index_derives_from_loaded_byte(self):
+        h = Harness()
+        trace = h.run(self.CRC, unroll=1)
+        table_load = trace.events[5].accesses[0]
+        # Address = 0x41108 + 8 * al where al is a pattern byte.
+        assert (table_load.address - 0x41108) % 8 == 0
+        index = (table_load.address - 0x41108) // 8
+        assert 0 <= index <= 0xFF
+
+    def test_pointer_advances_each_iteration(self):
+        h = Harness()
+        trace = h.run(self.CRC, unroll=3)
+        byte_loads = [e.accesses[0] for e in trace.events
+                      if e.slot == 3]
+        addresses = [a.address for a in byte_loads]
+        assert addresses[1] == addresses[0] + 1
+        assert addresses[2] == addresses[1] + 1
+
+    def test_reinitialized_traces_are_identical(self):
+        """Fig. 2's correctness argument: re-init -> same trace."""
+        h = Harness()
+        first = h.run(self.CRC, unroll=4).address_signature()
+        h.state.initialize()
+        second = h.run(self.CRC, unroll=4).address_signature()
+        assert first == second
+
+
+class TestInitConstantChains:
+    def test_dword_loaded_values_are_mappable_pointers(self):
+        h = Harness()
+        h.set_reg("rdi", INIT_CONSTANT)
+        h.map(INIT_CONSTANT)
+        h.run("mov (%rdi), %ebx")
+        loaded = h.reg("rbx")
+        from repro.runtime.memory import is_valid_address
+        assert is_valid_address(loaded)
+
+    def test_dword_double_indirection(self):
+        """Load a 32-bit pointer, then dereference it (the paper's
+        rationale for the 'moderately sized' fill constant)."""
+        h = Harness()
+        h.set_reg("rdi", INIT_CONSTANT)
+        trace = h.run("mov (%rdi), %ebx\nmov (%rbx), %rcx")
+        assert len(list(trace.accesses)) == 2
+
+    def test_qword_pointer_chase_is_unmappable(self):
+        """Qword-loaded fill values exceed user space: the block is
+        unprofileable, matching the real suite's behaviour."""
+        from repro.errors import InvalidAddressFault
+        import pytest
+        h = Harness()
+        h.set_reg("rdi", INIT_CONSTANT)
+        h.map(INIT_CONSTANT)
+        with pytest.raises(InvalidAddressFault):
+            h.executor.execute_block(
+                __import__("repro.isa", fromlist=["parse_block"])
+                .parse_block("mov (%rdi), %rbx\nmov (%rbx), %rcx"), 1)

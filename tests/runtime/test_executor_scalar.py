@@ -1,0 +1,355 @@
+"""Functional semantics: scalar integer instructions."""
+
+import pytest
+
+from repro.errors import ArithmeticFault, UnsupportedInstructionError
+from tests.runtime.helpers import Harness
+
+
+class TestAlu:
+    def test_add(self):
+        h = Harness()
+        h.set_reg("rax", 5)
+        h.set_reg("rbx", 7)
+        h.run("add %rbx, %rax")
+        assert h.reg("rax") == 12
+
+    def test_add_carry_flag(self):
+        h = Harness()
+        h.set_reg("rax", (1 << 64) - 1)
+        h.set_reg("rbx", 1)
+        h.run("add %rbx, %rax")
+        assert h.reg("rax") == 0
+        assert h.flag("cf") and h.flag("zf")
+
+    def test_signed_overflow_flag(self):
+        h = Harness()
+        h.set_reg("eax", 0x7FFFFFFF)
+        h.set_reg("ebx", 1)
+        h.run("add %ebx, %eax")
+        assert h.flag("of") and h.flag("sf") and not h.flag("cf")
+
+    def test_sub_borrow(self):
+        h = Harness()
+        h.set_reg("rax", 3)
+        h.set_reg("rbx", 5)
+        h.run("sub %rbx, %rax")
+        assert h.reg("rax") == (3 - 5) & ((1 << 64) - 1)
+        assert h.flag("cf") and h.flag("sf")
+
+    def test_logic_clears_cf_of(self):
+        h = Harness()
+        h.set_reg("rax", 0xF0)
+        h.set_reg("rbx", 0x0F)
+        h.run("and %rbx, %rax")
+        assert h.reg("rax") == 0
+        assert h.flag("zf") and not h.flag("cf") and not h.flag("of")
+
+    def test_xor_zero_idiom_result(self):
+        h = Harness()
+        h.set_reg("rdx", 0xDEAD)
+        h.run("xor %edx, %edx")
+        assert h.reg("rdx") == 0
+        assert h.flag("zf")
+
+    def test_immediate_sign_extension(self):
+        h = Harness()
+        h.set_reg("rax", 0)
+        h.run("add $-1, %rax")
+        assert h.reg("rax") == (1 << 64) - 1
+
+    def test_cmp_sets_flags_only(self):
+        h = Harness()
+        h.set_reg("rax", 5)
+        h.run("cmp $5, %rax")
+        assert h.reg("rax") == 5
+        assert h.flag("zf")
+
+    def test_test_instruction(self):
+        h = Harness()
+        h.set_reg("rax", 0b1010)
+        h.run("test $2, %rax")
+        assert not h.flag("zf")
+        h.run("test $5, %rax")
+        assert h.flag("zf")
+
+    def test_inc_preserves_cf(self):
+        h = Harness()
+        h.state.flags["cf"] = True
+        h.set_reg("rax", 1)
+        h.run("inc %rax")
+        assert h.reg("rax") == 2
+        assert h.flag("cf")
+
+    def test_neg(self):
+        h = Harness()
+        h.set_reg("rax", 5)
+        h.run("neg %rax")
+        assert h.reg("rax") == (1 << 64) - 5
+        assert h.flag("cf")
+
+    def test_not_preserves_flags(self):
+        h = Harness()
+        h.state.flags["zf"] = True
+        h.set_reg("rax", 0)
+        h.run("not %rax")
+        assert h.reg("rax") == (1 << 64) - 1
+        assert h.flag("zf")
+
+    def test_bswap(self):
+        h = Harness()
+        h.set_reg("eax", 0x11223344)
+        h.run("bswap %eax")
+        assert h.reg("eax") == 0x44332211
+
+    def test_8bit_partial_write(self):
+        h = Harness()
+        h.set_reg("rax", 0x1100)
+        h.set_reg("rbx", 0xFF)
+        h.run("add %bl, %al")
+        assert h.reg("rax") == 0x11FF
+
+
+class TestMovFamily:
+    def test_mov_imm(self):
+        h = Harness()
+        h.run("mov $42, %rcx")
+        assert h.reg("rcx") == 42
+
+    def test_mov_32_zero_extends(self):
+        h = Harness()
+        h.set_reg("rax", (1 << 64) - 1)
+        h.set_reg("ebx", 7)
+        h.run("mov %ebx, %eax")
+        assert h.reg("rax") == 7
+
+    def test_movzx(self):
+        h = Harness()
+        h.set_reg("rax", 0xFFFF_FFFF_FFFF_FFAB)
+        h.run("movzx %al, %ecx")
+        assert h.reg("rcx") == 0xAB
+
+    def test_movsx(self):
+        h = Harness()
+        h.set_reg("rax", 0x80)
+        h.run("movsx %al, %ecx")
+        assert h.reg("ecx") == 0xFFFFFF80
+
+    def test_lea(self):
+        h = Harness()
+        h.set_reg("rax", 0x1000)
+        h.set_reg("rbx", 3)
+        h.run("lea 5(%rax, %rbx, 4), %rcx")
+        assert h.reg("rcx") == 0x1000 + 12 + 5
+
+    def test_xchg(self):
+        h = Harness()
+        h.set_reg("rax", 1)
+        h.set_reg("rbx", 2)
+        h.run("xchg %rax, %rbx")
+        assert (h.reg("rax"), h.reg("rbx")) == (2, 1)
+
+    def test_cdq(self):
+        h = Harness()
+        h.set_reg("eax", 0x80000000)
+        h.run("cdq")
+        assert h.reg("edx") == 0xFFFFFFFF
+
+    def test_cdqe(self):
+        h = Harness()
+        h.set_reg("eax", 0xFFFFFFFF)
+        h.run("cdqe")
+        assert h.reg("rax") == (1 << 64) - 1
+
+
+class TestShifts:
+    def test_shl(self):
+        h = Harness()
+        h.set_reg("rax", 3)
+        h.run("shl $4, %rax")
+        assert h.reg("rax") == 48
+
+    def test_shr_carry(self):
+        h = Harness()
+        h.set_reg("rax", 0b101)
+        h.run("shr $1, %rax")
+        assert h.reg("rax") == 0b10
+        assert h.flag("cf")
+
+    def test_sar_sign(self):
+        h = Harness()
+        h.set_reg("rax", (1 << 64) - 8)  # -8
+        h.run("sar $1, %rax")
+        assert h.reg("rax") == (1 << 64) - 4  # -4
+
+    def test_rol_ror_inverse(self):
+        h = Harness()
+        h.set_reg("rax", 0x123456789ABCDEF0)
+        h.run("rol $13, %rax")
+        h.run("ror $13, %rax")
+        assert h.reg("rax") == 0x123456789ABCDEF0
+
+    def test_shift_count_masked(self):
+        h = Harness()
+        h.set_reg("eax", 1)
+        h.set_reg("cl", 33)  # masked to 1 for 32-bit
+        h.run("shl %cl, %eax")
+        assert h.reg("eax") == 2
+
+    def test_shld(self):
+        h = Harness()
+        h.set_reg("rax", 0x1)
+        h.set_reg("rbx", 0x8000000000000000)
+        h.run("shld $1, %rbx, %rax")
+        assert h.reg("rax") == 0b11
+
+    def test_zero_count_is_noop_for_flags(self):
+        h = Harness()
+        h.state.flags["cf"] = True
+        h.set_reg("rax", 4)
+        h.set_reg("cl", 0)
+        h.run("shr %cl, %rax")
+        assert h.reg("rax") == 4
+        assert h.flag("cf")
+
+
+class TestBitScan:
+    def test_bsf(self):
+        h = Harness()
+        h.set_reg("rbx", 0b101000)
+        h.run("bsf %rbx, %rax")
+        assert h.reg("rax") == 3
+
+    def test_bsr(self):
+        h = Harness()
+        h.set_reg("rbx", 0b101000)
+        h.run("bsr %rbx, %rax")
+        assert h.reg("rax") == 5
+
+    def test_tzcnt_zero_input(self):
+        h = Harness()
+        h.set_reg("rbx", 0)
+        h.run("tzcnt %rbx, %rax")
+        assert h.reg("rax") == 64
+
+    def test_popcnt(self):
+        h = Harness()
+        h.set_reg("rbx", 0xFF00FF)
+        h.run("popcnt %rbx, %rax")
+        assert h.reg("rax") == 16
+
+
+class TestMulDiv:
+    def test_imul_two_operand(self):
+        h = Harness()
+        h.set_reg("rax", 7)
+        h.set_reg("rbx", 6)
+        h.run("imul %rbx, %rax")
+        assert h.reg("rax") == 42
+
+    def test_imul_three_operand(self):
+        h = Harness()
+        h.set_reg("rbx", -3 & ((1 << 64) - 1))
+        h.run("imul $5, %rbx, %rax")
+        assert h.reg("rax") == (-15) & ((1 << 64) - 1)
+
+    def test_mul_wide(self):
+        h = Harness()
+        h.set_reg("rax", 1 << 63)
+        h.set_reg("rbx", 4)
+        h.run("mul %rbx")
+        assert h.reg("rdx") == 2
+        assert h.reg("rax") == 0
+        assert h.flag("cf")
+
+    def test_div(self):
+        h = Harness()
+        h.set_reg("edx", 0)
+        h.set_reg("eax", 100)
+        h.set_reg("ecx", 7)
+        h.run("div %ecx")
+        assert h.reg("eax") == 14
+        assert h.reg("edx") == 2
+
+    def test_idiv_negative(self):
+        h = Harness()
+        h.set_reg("rax", (-100) & ((1 << 64) - 1))
+        h.run("cqo")
+        h.set_reg("rcx", 7)
+        h.run("idiv %rcx")
+        assert h.reg("rax") == (-14) & ((1 << 64) - 1)
+
+    def test_div_by_zero_faults(self):
+        h = Harness()
+        h.set_reg("ecx", 0)
+        with pytest.raises(ArithmeticFault):
+            h.run("div %ecx")
+
+    def test_div_overflow_faults(self):
+        h = Harness()
+        h.set_reg("edx", 10)  # dividend >> 32 bits of quotient
+        h.set_reg("eax", 0)
+        h.set_reg("ecx", 1)
+        with pytest.raises(ArithmeticFault):
+            h.run("div %ecx")
+
+    def test_div_records_latency_class(self):
+        h = Harness()
+        h.set_reg("edx", 0)
+        h.set_reg("ecx", 3)
+        trace = h.run("div %ecx")
+        assert trace.events[0].div_class == (32, True)
+
+    def test_div64_slow_class(self):
+        h = Harness()
+        h.set_reg("rdx", 1)
+        h.set_reg("rax", 0)
+        h.set_reg("rcx", 3)
+        trace = h.run("div %rcx")
+        assert trace.events[0].div_class == (64, False)
+
+
+class TestConditional:
+    def test_cmov_taken(self):
+        h = Harness()
+        h.set_reg("rax", 1)
+        h.set_reg("rbx", 99)
+        h.run("cmp $1, %rax\ncmove %rbx, %rcx")
+        assert h.reg("rcx") == 99
+
+    def test_cmov_not_taken(self):
+        h = Harness()
+        h.set_reg("rax", 1)
+        h.set_reg("rbx", 99)
+        h.set_reg("rcx", 5)
+        h.run("cmp $2, %rax\ncmove %rbx, %rcx")
+        assert h.reg("rcx") == 5
+
+    def test_setcc(self):
+        h = Harness()
+        h.set_reg("rax", 3)
+        h.run("cmp $4, %rax\nsetb %cl")
+        assert h.reg("cl") == 1
+        h.run("cmp $2, %rax\nsetb %cl")
+        assert h.reg("cl") == 0
+
+    @pytest.mark.parametrize("cc,a,b,taken", [
+        ("l", 1, 2, True), ("l", 2, 1, False),
+        ("g", 2, 1, True), ("ge", 2, 2, True),
+        ("a", 2, 1, True), ("b", 1, 2, True),
+        ("ne", 1, 2, True), ("e", 2, 2, True),
+    ])
+    def test_condition_codes(self, cc, a, b, taken):
+        h = Harness()
+        h.set_reg("rax", a)
+        h.run(f"cmp ${b}, %rax\nset{cc} %dl")
+        assert h.reg("dl") == int(taken)
+
+
+class TestUnsupported:
+    @pytest.mark.parametrize("mnem", ["syscall", "cpuid", "rdtsc",
+                                      "mfence", "rep_movsb"])
+    def test_unsupported_raises(self, mnem):
+        h = Harness()
+        with pytest.raises(UnsupportedInstructionError):
+            h.run(mnem)

@@ -1,0 +1,294 @@
+"""Functional semantics: SSE/AVX vector and FP instructions."""
+
+import struct
+
+import pytest
+
+from tests.runtime.helpers import Harness
+
+
+def f32(value: float) -> int:
+    return struct.unpack("<I", struct.pack("<f", value))[0]
+
+
+def as_f32(bits: int) -> float:
+    return struct.unpack("<f", struct.pack("<I", bits & 0xFFFFFFFF))[0]
+
+
+def f64(value: float) -> int:
+    return struct.unpack("<Q", struct.pack("<d", value))[0]
+
+
+def pack_f32(*values: float) -> int:
+    out = 0
+    for i, v in enumerate(values):
+        out |= f32(v) << (32 * i)
+    return out
+
+
+class TestVectorLogic:
+    def test_pxor_zero_idiom(self):
+        h = Harness()
+        h.set_reg("xmm1", (1 << 128) - 1)
+        h.run("pxor %xmm1, %xmm1")
+        assert h.reg("xmm1") == 0
+
+    def test_pand(self):
+        h = Harness()
+        h.set_reg("xmm0", 0xFF00)
+        h.set_reg("xmm1", 0x0FF0)
+        h.run("pand %xmm1, %xmm0")
+        assert h.reg("xmm0") == 0x0F00
+
+    def test_vex_three_operand_nondestructive(self):
+        h = Harness()
+        h.set_reg("xmm1", 0b1100)
+        h.set_reg("xmm2", 0b1010)
+        h.run("vandps %xmm2, %xmm1, %xmm0")
+        assert h.reg("xmm0") == 0b1000
+        assert h.reg("xmm1") == 0b1100  # sources untouched
+
+    def test_vex_write_zeroes_upper_lane(self):
+        h = Harness()
+        h.set_reg("ymm0", 1 << 200)
+        h.run("vxorps %xmm0, %xmm0, %xmm0")
+        assert h.reg("ymm0") == 0
+
+    def test_ptest(self):
+        h = Harness()
+        h.set_reg("xmm0", 0)
+        h.set_reg("xmm1", 0xFF)
+        h.run("ptest %xmm1, %xmm0")
+        assert h.flag("zf")
+
+
+class TestVectorInteger:
+    def test_paddd_lanewise(self):
+        h = Harness()
+        h.set_reg("xmm0", (3 << 32) | 1)
+        h.set_reg("xmm1", (4 << 32) | 2)
+        h.run("paddd %xmm1, %xmm0")
+        assert h.reg("xmm0") & 0xFFFFFFFF == 3
+        assert (h.reg("xmm0") >> 32) & 0xFFFFFFFF == 7
+
+    def test_paddd_wraps_per_lane(self):
+        h = Harness()
+        h.set_reg("xmm0", 0xFFFFFFFF)
+        h.set_reg("xmm1", 1)
+        h.run("paddd %xmm1, %xmm0")
+        assert h.reg("xmm0") & ((1 << 64) - 1) == 0  # no carry across
+
+    def test_pcmpeqd(self):
+        h = Harness()
+        h.set_reg("xmm0", (7 << 32) | 5)
+        h.set_reg("xmm1", (7 << 32) | 6)
+        h.run("pcmpeqd %xmm1, %xmm0")
+        assert h.reg("xmm0") & 0xFFFFFFFF == 0
+        assert (h.reg("xmm0") >> 32) & 0xFFFFFFFF == 0xFFFFFFFF
+
+    def test_pslld(self):
+        h = Harness()
+        h.set_reg("xmm0", (1 << 32) | 1)
+        h.run("pslld $4, %xmm0")
+        assert h.reg("xmm0") & 0xFFFFFFFF == 16
+
+    def test_pmaxsd_signed(self):
+        h = Harness()
+        h.set_reg("xmm0", 0xFFFFFFFF)  # -1 in lane 0
+        h.set_reg("xmm1", 3)
+        h.run("pmaxsd %xmm1, %xmm0")
+        assert h.reg("xmm0") & 0xFFFFFFFF == 3
+
+
+class TestFloatingPoint:
+    def test_addss_scalar_lane(self):
+        h = Harness()
+        h.set_reg("xmm0", pack_f32(1.5, 9.0))
+        h.set_reg("xmm1", pack_f32(2.25, 7.0))
+        h.run("addss %xmm1, %xmm0")
+        assert as_f32(h.reg("xmm0")) == 3.75
+        # upper lane preserved by scalar SSE op
+        assert as_f32(h.reg("xmm0") >> 32) == 9.0
+
+    def test_addps_packed(self):
+        h = Harness()
+        h.set_reg("xmm0", pack_f32(1.0, 2.0, 3.0, 4.0))
+        h.set_reg("xmm1", pack_f32(10.0, 20.0, 30.0, 40.0))
+        h.run("addps %xmm1, %xmm0")
+        assert as_f32(h.reg("xmm0")) == 11.0
+        assert as_f32(h.reg("xmm0") >> 96) == 44.0
+
+    def test_mulsd(self):
+        h = Harness()
+        h.set_reg("xmm0", f64(3.0))
+        h.set_reg("xmm1", f64(4.0))
+        h.run("mulsd %xmm1, %xmm0")
+        assert struct.unpack(
+            "<d", (h.reg("xmm0") & ((1 << 64) - 1)).to_bytes(8, "little")
+        )[0] == 12.0
+
+    def test_divss_by_zero_gives_inf(self):
+        h = Harness()
+        h.set_reg("xmm0", f32(1.0))
+        h.set_reg("xmm1", f32(0.0))
+        h.run("divss %xmm1, %xmm0")
+        assert as_f32(h.reg("xmm0")) == float("inf")
+
+    def test_sqrtss(self):
+        h = Harness()
+        h.set_reg("xmm1", f32(9.0))
+        h.run("sqrtss %xmm1, %xmm0")
+        assert as_f32(h.reg("xmm0")) == 3.0
+
+    def test_minps_maxps(self):
+        h = Harness()
+        h.set_reg("xmm0", pack_f32(1.0, 5.0))
+        h.set_reg("xmm1", pack_f32(2.0, 3.0))
+        h.run("minps %xmm1, %xmm0")
+        assert as_f32(h.reg("xmm0")) == 1.0
+        h.set_reg("xmm0", pack_f32(1.0, 5.0))
+        h.run("maxps %xmm1, %xmm0")
+        assert as_f32(h.reg("xmm0")) == 2.0
+
+    def test_comiss_flags(self):
+        h = Harness()
+        h.set_reg("xmm0", f32(1.0))
+        h.set_reg("xmm1", f32(2.0))
+        h.run("ucomiss %xmm1, %xmm0")
+        assert h.flag("cf") and not h.flag("zf")
+
+
+class TestSubnormals:
+    def test_assist_recorded_without_ftz(self):
+        h = Harness(ftz=False)
+        h.set_reg("xmm0", f32(1e-30))
+        h.set_reg("xmm1", f32(1e-10))
+        trace = h.run("mulss %xmm1, %xmm0")
+        assert trace.events[0].subnormal
+        assert as_f32(h.reg("xmm0")) != 0.0  # gradual underflow
+
+    def test_ftz_flushes_and_suppresses_assist(self):
+        h = Harness(ftz=True)
+        h.set_reg("xmm0", f32(1e-30))
+        h.set_reg("xmm1", f32(1e-10))
+        trace = h.run("mulss %xmm1, %xmm0")
+        assert not trace.events[0].subnormal
+        assert as_f32(h.reg("xmm0")) == 0.0
+
+    def test_normal_inputs_no_assist(self):
+        h = Harness(ftz=False)
+        h.set_reg("xmm0", f32(1.0))
+        h.set_reg("xmm1", f32(2.0))
+        trace = h.run("mulss %xmm1, %xmm0")
+        assert not trace.events[0].subnormal
+
+
+class TestConvertsAndShuffles:
+    def test_cvtsi2ss(self):
+        h = Harness()
+        h.set_reg("eax", 42)
+        h.run("cvtsi2ss %eax, %xmm0")
+        assert as_f32(h.reg("xmm0")) == 42.0
+
+    def test_cvttss2si_truncates(self):
+        h = Harness()
+        h.set_reg("xmm0", f32(3.9))
+        h.run("cvttss2si %xmm0, %eax")
+        assert h.reg("eax") == 3
+
+    def test_cvtdq2ps(self):
+        h = Harness()
+        h.set_reg("xmm1", (5 << 32) | 2)
+        h.run("cvtdq2ps %xmm1, %xmm0")
+        assert as_f32(h.reg("xmm0")) == 2.0
+        assert as_f32(h.reg("xmm0") >> 32) == 5.0
+
+    def test_pshufd_broadcast_lane(self):
+        h = Harness()
+        h.set_reg("xmm1", pack_f32(1.0, 2.0, 3.0, 4.0))
+        h.run("pshufd $0, %xmm1, %xmm0")
+        for lane in range(4):
+            assert as_f32(h.reg("xmm0") >> (32 * lane)) == 1.0
+
+    def test_shufps(self):
+        h = Harness()
+        h.set_reg("xmm0", pack_f32(1.0, 2.0, 3.0, 4.0))
+        h.set_reg("xmm1", pack_f32(5.0, 6.0, 7.0, 8.0))
+        h.run("shufps $0b01000100, %xmm1, %xmm0")
+        assert as_f32(h.reg("xmm0")) == 1.0
+        assert as_f32(h.reg("xmm0") >> 64) == 5.0
+
+    def test_unpcklps(self):
+        h = Harness()
+        h.set_reg("xmm0", pack_f32(1.0, 2.0, 3.0, 4.0))
+        h.set_reg("xmm1", pack_f32(5.0, 6.0, 7.0, 8.0))
+        h.run("unpcklps %xmm1, %xmm0")
+        assert [as_f32(h.reg("xmm0") >> (32 * i)) for i in range(4)] \
+            == [1.0, 5.0, 2.0, 6.0]
+
+    def test_vbroadcastss(self):
+        h = Harness()
+        h.set_reg("rdi", 0x5000)
+        h.map(0x5000)
+        h.memory.write_int(0x5000, 4, f32(2.5))
+        h.run("vbroadcastss (%rdi), %ymm0")
+        for lane in range(8):
+            assert as_f32(h.reg("ymm0") >> (32 * lane)) == 2.5
+
+    def test_vinsert_vextract_roundtrip(self):
+        h = Harness()
+        h.set_reg("xmm1", 0xAAAA)
+        h.set_reg("ymm2", 0)
+        h.run("vinsertf128 $1, %xmm1, %ymm2, %ymm0")
+        assert h.reg("ymm0") >> 128 == 0xAAAA
+        h.run("vextractf128 $1, %ymm0, %xmm3")
+        assert h.reg("xmm3") == 0xAAAA
+
+    def test_movmskps(self):
+        h = Harness()
+        h.set_reg("xmm1", pack_f32(-1.0, 2.0, -3.0, 4.0))
+        h.run("movmskps %xmm1, %eax")
+        assert h.reg("eax") == 0b0101
+
+
+class TestFma:
+    def test_vfmadd231(self):
+        h = Harness()
+        h.set_reg("xmm0", pack_f32(10.0))   # dst = addend for 231
+        h.set_reg("xmm1", pack_f32(2.0))
+        h.set_reg("xmm2", pack_f32(3.0))
+        h.run("vfmadd231ps %xmm2, %xmm1, %xmm0")
+        assert as_f32(h.reg("xmm0")) == 16.0
+
+    def test_vfmadd213(self):
+        h = Harness()
+        h.set_reg("xmm0", pack_f32(2.0))
+        h.set_reg("xmm1", pack_f32(3.0))
+        h.set_reg("xmm2", pack_f32(10.0))
+        h.run("vfmadd213ps %xmm2, %xmm1, %xmm0")
+        assert as_f32(h.reg("xmm0")) == 16.0
+
+    def test_vfnmadd(self):
+        h = Harness()
+        h.set_reg("xmm0", pack_f32(10.0))
+        h.set_reg("xmm1", pack_f32(2.0))
+        h.set_reg("xmm2", pack_f32(3.0))
+        h.run("vfnmadd231ps %xmm2, %xmm1, %xmm0")
+        assert as_f32(h.reg("xmm0")) == 4.0
+
+    def test_movss_load_zero_extends(self):
+        h = Harness()
+        h.set_reg("rdi", 0x5000)
+        h.map(0x5000)
+        h.memory.write_int(0x5000, 4, f32(1.5))
+        h.set_reg("xmm0", (1 << 127))
+        h.run("movss (%rdi), %xmm0")
+        assert h.reg("xmm0") == f32(1.5)
+
+    def test_movss_reg_merges(self):
+        h = Harness()
+        h.set_reg("xmm0", pack_f32(1.0, 2.0))
+        h.set_reg("xmm1", pack_f32(9.0, 8.0))
+        h.run("movss %xmm1, %xmm0")
+        assert as_f32(h.reg("xmm0")) == 9.0
+        assert as_f32(h.reg("xmm0") >> 32) == 2.0

@@ -1,0 +1,113 @@
+"""FP lane helpers and execution-trace structures."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.runtime import fpmath
+from repro.runtime.trace import ExecutionTrace, InstrEvent, MemAccess
+
+
+class TestLanes:
+    def test_split_and_join_roundtrip(self):
+        value = 0x11223344_55667788_99AABBCC_DDEEFF00
+        lanes = fpmath.lanes_of(value, 128, 32)
+        assert len(lanes) == 4
+        assert fpmath.lanes_to_int(lanes, 32) == value
+
+    def test_lane_order_little_endian(self):
+        lanes = fpmath.lanes_of(0x00000002_00000001, 64, 32)
+        assert lanes == [1, 2]
+
+    @given(st.integers(min_value=0, max_value=(1 << 256) - 1),
+           st.sampled_from([8, 16, 32, 64]))
+    def test_roundtrip_property(self, value, lane_bits):
+        lanes = fpmath.lanes_of(value, 256, lane_bits)
+        assert fpmath.lanes_to_int(lanes, lane_bits) == value
+
+
+class TestFloatBits:
+    @pytest.mark.parametrize("value", [0.0, 1.0, -2.5, 1e30, 1e-30])
+    @pytest.mark.parametrize("bits", [32, 64])
+    def test_roundtrip(self, value, bits):
+        assert fpmath.bits_to_float(
+            fpmath.float_to_bits(value, bits), bits) == \
+            pytest.approx(value, rel=1e-6)
+
+    def test_overflow_becomes_infinity(self):
+        bits = fpmath.float_to_bits(1e300, 32)
+        assert math.isinf(fpmath.bits_to_float(bits, 32))
+
+    def test_subnormal_detection(self):
+        assert fpmath.is_subnormal(1e-40, 32)
+        assert not fpmath.is_subnormal(1e-40, 64)
+        assert fpmath.is_subnormal(1e-310, 64)
+        assert not fpmath.is_subnormal(0.0, 32)
+        assert not fpmath.is_subnormal(float("inf"), 32)
+        assert not fpmath.is_subnormal(float("nan"), 32)
+
+    def test_flush(self):
+        assert fpmath.flush_if_subnormal(1e-40, 32, ftz=True) == 0.0
+        assert fpmath.flush_if_subnormal(1e-40, 32, ftz=False) == 1e-40
+        assert fpmath.flush_if_subnormal(-1e-40, 32, ftz=True) == 0.0
+
+
+class TestLanewiseFp:
+    def test_no_assist_on_normal_values(self):
+        a = [fpmath.float_to_bits(2.0, 32)]
+        b = [fpmath.float_to_bits(3.0, 32)]
+        out, assist = fpmath.lanewise_fp([a, b], 32,
+                                         lambda x, y: x * y, False)
+        assert not assist
+        assert fpmath.bits_to_float(out[0], 32) == 6.0
+
+    def test_assist_on_subnormal_result(self):
+        a = [fpmath.float_to_bits(1e-30, 32)]
+        b = [fpmath.float_to_bits(1e-10, 32)]
+        out, assist = fpmath.lanewise_fp([a, b], 32,
+                                         lambda x, y: x * y, False)
+        assert assist
+
+    def test_no_assist_when_underflow_rounds_to_zero(self):
+        a = [fpmath.float_to_bits(1e-30, 32)]
+        out, assist = fpmath.lanewise_fp([a, a], 32,
+                                         lambda x, y: x * y, False)
+        assert not assist  # 1e-60 rounds straight to 0 in f32
+        assert fpmath.bits_to_float(out[0], 32) == 0.0
+
+    def test_ftz_flushes_result(self):
+        a = [fpmath.float_to_bits(1e-30, 32)]
+        b = [fpmath.float_to_bits(1e-10, 32)]
+        out, assist = fpmath.lanewise_fp([a, b], 32,
+                                         lambda x, y: x * y, True)
+        assert not assist
+        assert fpmath.bits_to_float(out[0], 32) == 0.0
+
+
+class TestTrace:
+    def test_cross_line_detection(self):
+        assert MemAccess(60, 8, False).crosses_line()
+        assert not MemAccess(56, 8, False).crosses_line()
+        assert not MemAccess(63, 1, False).crosses_line()
+        assert MemAccess(63, 2, False).crosses_line()
+
+    def test_counts(self):
+        trace = ExecutionTrace(block_len=2, unroll=1)
+        e1 = InstrEvent(0, 0, accesses=[MemAccess(60, 8, False)])
+        e2 = InstrEvent(1, 1, subnormal=True)
+        trace.append(e1)
+        trace.append(e2)
+        assert len(trace) == 2
+        assert trace.misaligned_count() == 1
+        assert trace.subnormal_count == 1
+
+    def test_address_signature(self):
+        t1 = ExecutionTrace(1, 1)
+        t1.append(InstrEvent(0, 0, accesses=[MemAccess(8, 4, True)]))
+        t2 = ExecutionTrace(1, 1)
+        t2.append(InstrEvent(0, 0, accesses=[MemAccess(8, 4, True)]))
+        assert t1.address_signature() == t2.address_signature()
+        t3 = ExecutionTrace(1, 1)
+        t3.append(InstrEvent(0, 0, accesses=[MemAccess(8, 4, False)]))
+        assert t1.address_signature() != t3.address_signature()

@@ -1,0 +1,113 @@
+"""Architectural state: x86 register write semantics."""
+
+from hypothesis import given, strategies as st
+
+from repro.runtime.state import INIT_CONSTANT, MachineState, state_equal
+from repro.isa.registers import lookup
+
+
+class TestWriteRules:
+    def test_64bit_write(self):
+        st_ = MachineState()
+        st_.write(lookup("rax"), 0x1122334455667788)
+        assert st_.read(lookup("rax")) == 0x1122334455667788
+
+    def test_32bit_write_zero_extends(self):
+        st_ = MachineState()
+        st_.write(lookup("rax"), 0xFFFFFFFFFFFFFFFF)
+        st_.write(lookup("eax"), 0x12345678)
+        assert st_.read(lookup("rax")) == 0x12345678
+
+    def test_16bit_write_merges(self):
+        st_ = MachineState()
+        st_.write(lookup("rax"), 0x1122334455667788)
+        st_.write(lookup("ax"), 0xAAAA)
+        assert st_.read(lookup("rax")) == 0x112233445566AAAA
+
+    def test_8bit_low_write_merges(self):
+        st_ = MachineState()
+        st_.write(lookup("rax"), 0x1122334455667788)
+        st_.write(lookup("al"), 0xCC)
+        assert st_.read(lookup("rax")) == 0x11223344556677CC
+
+    def test_high_byte_write(self):
+        st_ = MachineState()
+        st_.write(lookup("rax"), 0)
+        st_.write(lookup("ah"), 0xEE)
+        assert st_.read(lookup("rax")) == 0xEE00
+        assert st_.read(lookup("ah")) == 0xEE
+
+    def test_sse_write_preserves_upper_ymm(self):
+        st_ = MachineState()
+        st_.write(lookup("ymm0"), (1 << 255) | 0xFF)
+        st_.write(lookup("xmm0"), 0x1)
+        assert st_.read(lookup("ymm0")) >> 128 == 1 << 127
+
+    def test_vex_write_zeroes_upper_ymm(self):
+        st_ = MachineState()
+        st_.write(lookup("ymm0"), (1 << 255) | 0xFF)
+        st_.write(lookup("xmm0"), 0x1, vex=True)
+        assert st_.read(lookup("ymm0")) == 1
+
+    def test_write_masks_value(self):
+        st_ = MachineState()
+        st_.write(lookup("al"), 0x1FF)
+        assert st_.read(lookup("al")) == 0xFF
+
+
+class TestInitialization:
+    def test_canonical_init(self):
+        st_ = MachineState()
+        st_.initialize()
+        assert st_.read(lookup("rdi")) == INIT_CONSTANT
+        assert st_.read(lookup("r15")) == INIT_CONSTANT
+        assert not any(st_.flags.values())
+
+    def test_vector_splat_is_one_point_zero(self):
+        st_ = MachineState()
+        st_.initialize()
+        ymm = st_.read(lookup("ymm3"))
+        for lane in range(8):
+            assert (ymm >> (32 * lane)) & 0xFFFFFFFF == 0x3F800000
+
+    def test_ftz_persistence(self):
+        st_ = MachineState()
+        st_.initialize(ftz=True)
+        st_.initialize()  # no ftz argument: preserve
+        assert st_.ftz
+        st_.initialize(ftz=False)
+        assert not st_.ftz
+
+    def test_copy_is_independent(self):
+        st_ = MachineState()
+        st_.initialize()
+        clone = st_.copy()
+        clone.write(lookup("rax"), 0)
+        assert st_.read(lookup("rax")) == INIT_CONSTANT
+
+    def test_snapshot_equality(self):
+        a, b = MachineState(), MachineState()
+        a.initialize()
+        b.initialize()
+        assert state_equal(a, b)
+        b.write(lookup("rbx"), 1)
+        assert not state_equal(a, b)
+        assert state_equal(a, b, registers=["rax", "rcx"])
+
+
+@given(st.integers(min_value=0, max_value=(1 << 64) - 1),
+       st.sampled_from(["al", "ah", "ax", "eax"]))
+def test_partial_write_never_touches_other_registers(value, view):
+    st_ = MachineState()
+    st_.initialize()
+    st_.write(lookup(view), value)
+    assert st_.read(lookup("rbx")) == INIT_CONSTANT
+
+
+@given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+def test_read_back_what_you_wrote_64(value):
+    st_ = MachineState()
+    st_.write(lookup("r11"), value)
+    assert st_.read(lookup("r11")) == value
+    assert st_.read(lookup("r11d")) == value & 0xFFFFFFFF
+    assert st_.read(lookup("r11b")) == value & 0xFF

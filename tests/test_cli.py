@@ -1,0 +1,73 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_profile_block_file(tmp_path, capsys):
+    path = tmp_path / "block.s"
+    path.write_text("xor %edx, %edx\ndiv %ecx\ntest %edx, %edx\n")
+    assert main(["profile", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "22.00 cycles/iteration" in out
+    assert "clean runs" in out
+
+
+def test_profile_failure_exit_code(tmp_path, capsys):
+    path = tmp_path / "bad.s"
+    path.write_text("cpuid\n")
+    assert main(["profile", str(path)]) == 1
+    assert "unprofileable" in capsys.readouterr().out
+
+
+def test_predict_all_models(tmp_path, capsys):
+    path = tmp_path / "zi.s"
+    path.write_text("vxorps %xmm2, %xmm2, %xmm2\n")
+    assert main(["predict", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "IACA" in out and "llvm-mca" in out and "OSACA" in out
+
+
+def test_predict_selected_model(tmp_path, capsys):
+    path = tmp_path / "zi.s"
+    path.write_text("vxorps %xmm2, %xmm2, %xmm2\n")
+    assert main(["predict", str(path), "--model", "iaca"]) == 0
+    out = capsys.readouterr().out
+    assert "IACA" in out and "OSACA" not in out
+
+
+def test_timings(capsys):
+    assert main(["timings", "add", "imul"]) == 0
+    out = capsys.readouterr().out
+    assert "1.00" in out and "3.00" in out
+
+
+def test_ports(capsys):
+    assert main(["ports", "imul %rbx, %rax"]) == 0
+    assert "p1" in capsys.readouterr().out
+
+
+def test_corpus_export(tmp_path, capsys):
+    out_path = tmp_path / "suite.csv"
+    assert main(["corpus", "--scale", "0.0003",
+                 "--out", str(out_path)]) == 0
+    assert out_path.exists()
+    from repro.corpus.io import load_csv
+    blocks = list(load_csv(str(out_path)))
+    assert len(blocks) > 50
+
+
+def test_corpus_json_with_measurements(tmp_path):
+    out_path = tmp_path / "suite.json"
+    assert main(["corpus", "--scale", "0.0002", "--measure",
+                 "--out", str(out_path)]) == 0
+    from repro.corpus.io import load_json
+    corpus, measured = load_json(str(out_path))
+    assert measured
+    assert len(measured) <= len(corpus)
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["warp"])

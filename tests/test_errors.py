@@ -1,0 +1,54 @@
+"""Exception hierarchy contract."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [
+        errors.AsmSyntaxError("x"),
+        errors.UnknownOpcodeError("foo"),
+        errors.UnsupportedInstructionError("cpuid"),
+        errors.MemoryFault(0x1000),
+        errors.InvalidAddressFault(0x10),
+        errors.ArithmeticFault(),
+        errors.ProfilingFailure("reason"),
+        errors.ModelError("broken"),
+    ])
+    def test_everything_is_a_repro_error(self, exc):
+        assert isinstance(exc, errors.ReproError)
+
+    def test_catching_base_class_suffices(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.MemoryFault(0x5000)
+
+
+class TestMessages:
+    def test_memory_fault_carries_address_and_kind(self):
+        fault = errors.MemoryFault(0xABC000, is_write=True)
+        assert fault.address == 0xABC000
+        assert fault.is_write
+        assert "write" in str(fault)
+        assert "0xabc000" in str(fault)
+
+    def test_read_fault_message(self):
+        assert "read" in str(errors.MemoryFault(0x1000))
+
+    def test_asm_syntax_error_includes_text(self):
+        exc = errors.AsmSyntaxError("bad operand", "%zax")
+        assert "%zax" in str(exc)
+        assert exc.text == "%zax"
+
+    def test_unknown_opcode_names_mnemonic(self):
+        exc = errors.UnknownOpcodeError("vfmaddsubps")
+        assert exc.mnemonic == "vfmaddsubps"
+        assert "vfmaddsubps" in str(exc)
+
+    def test_profiling_failure_reason(self):
+        exc = errors.ProfilingFailure("icache", "too big")
+        assert exc.reason == "icache"
+        assert "too big" in str(exc)
+
+    def test_arithmetic_fault_default_message(self):
+        assert "divide" in str(errors.ArithmeticFault())

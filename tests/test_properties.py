@@ -1,0 +1,104 @@
+"""Cross-cutting property-based tests on core invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.corpus import BlockSynthesizer, get_spec
+from repro.profiler import BasicBlockProfiler
+from repro.uarch import Machine
+from repro.uarch.scheduler import DataflowScheduler
+from repro.uarch.tables import get_uarch
+from repro.uarch.uops import Decomposer
+
+
+@st.composite
+def corpus_blocks(draw, apps=("llvm", "openblas", "ffmpeg", "spanner")):
+    app = draw(st.sampled_from(apps))
+    seed = draw(st.integers(min_value=0, max_value=400))
+    return BlockSynthesizer(get_spec(app), seed=seed).block()
+
+
+def make_scheduler(uarch="haswell"):
+    desc, table, div = get_uarch(uarch)
+    return DataflowScheduler(desc, Decomposer(desc, table, div))
+
+
+class TestSchedulerInvariants:
+    @given(corpus_blocks(), st.integers(min_value=1, max_value=12))
+    @settings(max_examples=40, deadline=None)
+    def test_cycles_monotone_in_unroll(self, block, unroll):
+        if not block.is_supported:
+            return
+        sched = make_scheduler()
+        shorter = sched.schedule(block, unroll).cycles
+        longer = sched.schedule(block, unroll + 1).cycles
+        assert longer >= shorter
+
+    @given(corpus_blocks())
+    @settings(max_examples=30, deadline=None)
+    def test_schedule_deterministic(self, block):
+        if not block.is_supported:
+            return
+        sched = make_scheduler()
+        assert sched.schedule(block, 8).cycles == \
+            sched.schedule(block, 8).cycles
+
+    @given(corpus_blocks())
+    @settings(max_examples=30, deadline=None)
+    def test_steady_slope_bounded_by_front_end(self, block):
+        """Throughput can never beat the allocation width."""
+        if not block.is_supported:
+            return
+        sched = make_scheduler()
+        c16 = sched.schedule(block, 16).cycles
+        c32 = sched.schedule(block, 32).cycles
+        slope = (c32 - c16) / 16
+        min_slots = len(block) / 4.0  # >= 1 slot per instruction
+        assert slope >= min_slots * 0.999 or slope >= 0.25
+
+
+class TestProfilerInvariants:
+    @given(corpus_blocks())
+    @settings(max_examples=25, deadline=None)
+    def test_profile_never_raises_and_is_deterministic(self, block):
+        profiler = BasicBlockProfiler(Machine("haswell", seed=11))
+        first = profiler.profile(block)
+        second = profiler.profile(block)
+        assert first.ok == second.ok
+        if first.ok:
+            assert first.throughput == second.throughput
+            assert first.throughput > 0
+        else:
+            assert first.failure == second.failure
+
+    @given(corpus_blocks())
+    @settings(max_examples=15, deadline=None)
+    def test_throughput_agrees_across_machines_with_same_seedless_base(
+            self, block):
+        """Noise seeds differ but the accepted (clean) value is the
+        noise-free simulation, so seeds must not change results."""
+        a = BasicBlockProfiler(Machine("haswell", seed=1)).profile(block)
+        b = BasicBlockProfiler(Machine("haswell", seed=2)).profile(block)
+        if a.ok and b.ok:
+            assert a.throughput == b.throughput
+
+
+class TestModelInvariants:
+    @given(corpus_blocks())
+    @settings(max_examples=20, deadline=None)
+    def test_models_never_raise(self, block):
+        from repro.models import simulator_models
+        for model in simulator_models():
+            prediction = model.predict_safe(block, "haswell")
+            if prediction.ok:
+                assert prediction.throughput > 0
+
+    @given(corpus_blocks())
+    @settings(max_examples=20, deadline=None)
+    def test_features_are_finite(self, block):
+        import numpy as np
+        from repro.models.features import block_features
+        if not block.is_supported:
+            return
+        features = block_features(block)
+        assert np.isfinite(features).all()

@@ -1,0 +1,98 @@
+"""Set-associative LRU cache model."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.uarch.caches import CacheModel
+from repro.uarch.descriptor import CacheGeometry
+
+SMALL = CacheGeometry(size=4 * 64 * 2, line_size=64, ways=2)  # 4 sets
+
+
+class TestBasics:
+    def test_cold_miss_then_hit(self):
+        cache = CacheModel(SMALL)
+        assert not cache.access(0)
+        assert cache.access(0)
+        assert cache.access(63)  # same line
+
+    def test_distinct_lines(self):
+        cache = CacheModel(SMALL)
+        cache.access(0)
+        assert not cache.access(64)
+
+    def test_lru_eviction_within_set(self):
+        cache = CacheModel(SMALL)
+        stride = SMALL.sets * SMALL.line_size  # same set each time
+        cache.access(0)
+        cache.access(stride)
+        cache.access(2 * stride)  # evicts line 0 (2 ways)
+        assert not cache.access(0)
+
+    def test_lru_order_updated_on_hit(self):
+        cache = CacheModel(SMALL)
+        stride = SMALL.sets * SMALL.line_size
+        cache.access(0)
+        cache.access(stride)
+        cache.access(0)              # refresh line 0
+        cache.access(2 * stride)     # should evict `stride`, not 0
+        assert cache.access(0)
+        assert not cache.access(stride)
+
+    def test_counters(self):
+        cache = CacheModel(SMALL)
+        cache.access(0)
+        cache.access(0)
+        assert (cache.misses, cache.hits) == (1, 1)
+        cache.reset_counters()
+        assert (cache.misses, cache.hits) == (0, 0)
+
+    def test_reset_clears_contents(self):
+        cache = CacheModel(SMALL)
+        cache.access(0)
+        cache.reset()
+        assert not cache.access(0)
+
+    def test_access_range_spanning_lines(self):
+        cache = CacheModel(SMALL)
+        misses = cache.access_range(60, 8)  # crosses a line boundary
+        assert misses == 2
+        assert cache.access_range(60, 8) == 0
+
+    def test_working_set_within_capacity_always_hits(self):
+        cache = CacheModel(CacheGeometry(32 * 1024, 64, 8))
+        lines = [i * 64 for i in range(300)]  # ~19KB
+        for addr in lines:
+            cache.access(addr)
+        cache.reset_counters()
+        for addr in lines:
+            assert cache.access(addr)
+
+    def test_streaming_beyond_capacity_thrashes(self):
+        cache = CacheModel(CacheGeometry(32 * 1024, 64, 8))
+        lines = [i * 64 for i in range(600)]  # ~38KB > 32KB
+        for addr in lines:
+            cache.access(addr)
+        cache.reset_counters()
+        for addr in lines:
+            cache.access(addr)
+        assert cache.misses > 0
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1 << 20),
+                min_size=1, max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_hits_plus_misses_equals_accesses(addresses):
+    cache = CacheModel(SMALL)
+    for addr in addresses:
+        cache.access(addr)
+    assert cache.hits + cache.misses == len(addresses)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1 << 14),
+                min_size=1, max_size=100))
+@settings(max_examples=50, deadline=None)
+def test_immediate_reaccess_always_hits(addresses):
+    cache = CacheModel(SMALL)
+    for addr in addresses:
+        cache.access(addr)
+        assert cache.access(addr)

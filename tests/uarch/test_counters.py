@@ -1,0 +1,40 @@
+"""Performance-counter samples and the cleanliness predicate."""
+
+from repro.uarch.counters import CounterSample
+
+
+class TestCleanliness:
+    def test_clean_sample(self):
+        assert CounterSample(cycles=100).is_clean
+
+    def test_d_read_miss_dirty(self):
+        assert not CounterSample(cycles=1, l1d_read_misses=1).is_clean
+
+    def test_d_write_miss_dirty(self):
+        assert not CounterSample(cycles=1, l1d_write_misses=1).is_clean
+
+    def test_i_miss_dirty(self):
+        assert not CounterSample(cycles=1, l1i_misses=1).is_clean
+
+    def test_context_switch_dirty(self):
+        assert not CounterSample(cycles=1,
+                                 context_switches=1).is_clean
+
+    def test_misaligned_does_not_dirty_the_run(self):
+        # Misalignment is a block-level filter, not a per-run one.
+        assert CounterSample(cycles=1, misaligned_mem_refs=3).is_clean
+
+
+class TestNoiseApplication:
+    def test_with_noise_adds_cycles(self):
+        base = CounterSample(cycles=100, l1i_misses=2)
+        noisy = base.with_noise(extra_cycles=50)
+        assert noisy.cycles == 150
+        assert noisy.l1i_misses == 2
+        assert base.cycles == 100  # immutable
+
+    def test_with_context_switch(self):
+        noisy = CounterSample(cycles=100).with_noise(
+            extra_cycles=5000, context_switches=1)
+        assert noisy.context_switches == 1
+        assert not noisy.is_clean

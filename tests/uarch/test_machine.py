@@ -1,0 +1,124 @@
+"""The Machine facade: counters, caches, noise."""
+
+import pytest
+
+from repro.isa.parser import parse_block
+from repro.profiler.environment import Environment, EnvironmentConfig
+from repro.profiler.mapping import map_pages
+from repro.runtime.executor import Executor
+from repro.uarch.machine import Machine, NoiseParameters
+
+
+def run_block(text, unroll=8, uarch="haswell", seed=0,
+              single_page=True, ftz=True, reps=16, noise=None):
+    env = Environment(EnvironmentConfig(single_physical_page=single_page,
+                                        ftz=ftz))
+    env.reset()
+    block = parse_block(text)
+    outcome = map_pages(env, block, unroll=unroll, max_faults=512)
+    assert outcome.success, outcome.failure
+    env.reinitialize()
+    trace = Executor(env.state, env.memory).execute_block(block, unroll)
+    machine = Machine(uarch, seed=seed, noise=noise)
+    return machine.run(block, unroll, trace, env.memory, reps=reps)
+
+
+QUIET = NoiseParameters(context_switch_rate=0.0, jitter_probability=0.0)
+
+
+class TestCounters:
+    def test_single_page_mapping_no_data_misses(self):
+        rr = run_block("mov (%rdi), %rax\nadd $64, %rdi", unroll=16,
+                       noise=QUIET)
+        assert rr.samples[0].l1d_read_misses == 0
+
+    def test_scattered_frames_cause_misses(self):
+        text = "\n".join(
+            f"mov {k * 8192}(%rdi), %rax" for k in range(12)) + \
+            "\nadd $64, %rdi"
+        hit = run_block(text, unroll=64, single_page=True, noise=QUIET)
+        miss = run_block(text, unroll=64, single_page=False, noise=QUIET)
+        assert hit.samples[0].l1d_read_misses == 0
+        assert miss.samples[0].l1d_read_misses > 0
+
+    def test_misaligned_counter(self):
+        rr = run_block("movups 60(%rdi), %xmm0", unroll=4, noise=QUIET)
+        assert rr.samples[0].misaligned_mem_refs == 4
+
+    def test_icache_fits_no_misses(self):
+        rr = run_block("add %rbx, %rax", unroll=100, noise=QUIET)
+        assert rr.samples[0].l1i_misses == 0
+
+    def test_icache_overflow_counted(self):
+        # ~100 instructions x ~5B x 100 unroll = ~50KB > 32KB.
+        text = "\n".join(f"add $1, %r{8 + k % 8}" for k in range(100))
+        rr = run_block(text, unroll=100, noise=QUIET)
+        assert rr.samples[0].l1i_misses > 0
+
+    def test_trace_length_validated(self):
+        env = Environment()
+        env.reset()
+        block = parse_block("add %rbx, %rax")
+        map_pages(env, block, unroll=2)
+        env.reinitialize()
+        trace = Executor(env.state, env.memory).execute_block(block, 2)
+        machine = Machine("haswell")
+        with pytest.raises(ValueError):
+            machine.run(block, 3, trace, env.memory)
+
+
+class TestNoise:
+    def test_quiet_machine_gives_identical_reps(self):
+        rr = run_block("add %rbx, %rax", reps=16, noise=QUIET)
+        assert len({s.cycles for s in rr.samples}) == 1
+        assert all(s.is_clean for s in rr.samples)
+
+    def test_jitter_perturbs_some_reps(self):
+        noisy = NoiseParameters(context_switch_rate=0.0,
+                                jitter_probability=0.9)
+        rr = run_block("add %rbx, %rax", reps=16, noise=noisy)
+        assert len({s.cycles for s in rr.samples}) > 1
+        assert all(s.is_clean for s in rr.samples)  # jitter is clean
+
+    def test_context_switches_flagged_unclean(self):
+        stormy = NoiseParameters(context_switch_rate=0.5,
+                                 jitter_probability=0.0)
+        rr = run_block("add %rbx, %rax", reps=16, noise=stormy)
+        dirty = [s for s in rr.samples if s.context_switches]
+        assert dirty
+        assert all(not s.is_clean for s in dirty)
+        assert all(s.cycles > rr.base_cycles for s in dirty)
+
+    def test_noise_deterministic_per_seed(self):
+        a = run_block("add %rbx, %rax", seed=3)
+        b = run_block("add %rbx, %rax", seed=3)
+        c = run_block("add %rbx, %rax", seed=4)
+        assert [s.cycles for s in a.samples] == \
+            [s.cycles for s in b.samples]
+        assert a.base_cycles == c.base_cycles  # base is noise-free
+
+
+class TestUarchDifferences:
+    def test_ivybridge_rejects_avx2(self):
+        machine = Machine("ivybridge")
+        assert not machine.supports(
+            parse_block("vpaddd %ymm1, %ymm2, %ymm0"))
+        assert not machine.supports(
+            parse_block("vfmadd231ps %xmm1, %xmm2, %xmm0"))
+        assert machine.supports(
+            parse_block("vaddps %ymm1, %ymm2, %ymm0"))
+
+    def test_skylake_faster_divider(self):
+        hsw = run_block("xor %edx, %edx\ndiv %ecx", unroll=16,
+                        uarch="haswell", noise=QUIET)
+        skl = run_block("xor %edx, %edx\ndiv %ecx", unroll=16,
+                        uarch="skylake", noise=QUIET)
+        assert skl.base_cycles < hsw.base_cycles
+
+    def test_fp_latency_differs_across_uarches(self):
+        hsw = run_block("addss %xmm1, %xmm0", unroll=32,
+                        uarch="haswell", noise=QUIET)
+        skl = run_block("addss %xmm1, %xmm0", unroll=32,
+                        uarch="skylake", noise=QUIET)
+        # HSW fp add lat 3, SKL lat 4 on a dependent chain.
+        assert skl.base_cycles > hsw.base_cycles

@@ -1,0 +1,103 @@
+"""Per-uarch descriptor and timing-table invariants."""
+
+import pytest
+
+from repro.uarch.descriptor import CacheGeometry
+from repro.uarch.tables import MICROARCHITECTURES, get_uarch
+from repro.uarch.tables.common import TIMING_CLASSES, port_combo_name
+
+
+@pytest.fixture(params=sorted(MICROARCHITECTURES))
+def uarch(request):
+    return get_uarch(request.param)
+
+
+class TestDescriptors:
+    def test_all_three_uarches_exist(self):
+        assert set(MICROARCHITECTURES) == {"ivybridge", "haswell",
+                                           "skylake"}
+
+    def test_unknown_uarch_raises(self):
+        with pytest.raises(KeyError):
+            get_uarch("zen4")
+
+    def test_lookup_case_insensitive(self):
+        assert get_uarch("HaSwElL")[0].name == "haswell"
+
+    def test_port_sets_are_subsets_of_ports(self, uarch):
+        desc, _, _ = uarch
+        for group in (desc.load_ports, desc.store_addr_ports,
+                      desc.store_data_ports):
+            assert set(group) <= set(desc.ports)
+
+    def test_cache_geometry(self, uarch):
+        desc, _, _ = uarch
+        assert desc.l1d.size == 32 * 1024
+        assert desc.l1d.line_size == 64
+        assert desc.l1d.sets == 64
+
+    def test_ivybridge_is_six_ports_no_avx2(self):
+        desc, _, _ = get_uarch("ivybridge")
+        assert len(desc.ports) == 6
+        assert not desc.has_avx2 and not desc.has_fma
+        assert desc.unlaminates_indexed
+
+    def test_haswell_skylake_eight_ports(self):
+        for name in ("haswell", "skylake"):
+            desc, _, _ = get_uarch(name)
+            assert len(desc.ports) == 8
+            assert desc.has_avx2 and desc.has_fma
+
+
+class TestTables:
+    def test_every_timing_class_present(self, uarch):
+        _, table, _ = uarch
+        assert set(TIMING_CLASSES) <= set(table)
+
+    def test_all_uop_ports_exist_on_the_machine(self, uarch):
+        desc, table, div = uarch
+        for cls, entry in table.items():
+            for spec in entry.uops:
+                assert set(spec.ports) <= set(desc.ports), cls
+        for spec in div.values():
+            assert set(spec.ports) <= set(desc.ports)
+
+    def test_latencies_positive(self, uarch):
+        _, table, div = uarch
+        for cls, entry in table.items():
+            for spec in entry.uops:
+                assert spec.latency >= 1 and spec.occupancy >= 1, cls
+
+    def test_divider_unpipelined(self, uarch):
+        _, _, div = uarch
+        for spec in div.values():
+            assert spec.occupancy > 1
+
+    def test_div_fast_path_is_faster(self, uarch):
+        """The zeroed-rdx fast path of the paper's case study."""
+        _, _, div = uarch
+        assert div[(64, True)].latency < div[(64, False)].latency
+        assert div[(32, True)].latency < div[(64, False)].latency
+
+    def test_skylake_fp_is_4_cycles(self):
+        _, table, _ = get_uarch("skylake")
+        assert table["fp_add"].latency == 4
+        assert table["fp_mul"].latency == 4
+
+    def test_haswell_fp_add_mul_split(self):
+        _, table, _ = get_uarch("haswell")
+        assert table["fp_add"].latency == 3
+        assert table["fp_mul"].latency == 5
+
+    def test_skylake_single_uop_cmov(self):
+        _, skl, _ = get_uarch("skylake")
+        _, hsw, _ = get_uarch("haswell")
+        assert len(skl["cmov"].uops) == 1
+        assert len(hsw["cmov"].uops) == 2
+
+
+class TestPortComboNames:
+    def test_notation(self):
+        assert port_combo_name((0, 1, 5, 6)) == "p0156"
+        assert port_combo_name((6, 0)) == "p06"  # sorted
+        assert port_combo_name(()) == "none"

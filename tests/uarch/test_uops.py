@@ -1,0 +1,143 @@
+"""Micro-op decomposition and policy switches."""
+
+import pytest
+
+from repro.isa.parser import parse_instruction
+from repro.uarch.tables import get_uarch
+from repro.uarch.uops import Decomposer, timing_class
+
+
+def make(uarch="haswell", **policy):
+    desc, table, div = get_uarch(uarch)
+    return Decomposer(desc, table, div, **policy)
+
+
+class TestTimingClasses:
+    @pytest.mark.parametrize("text,cls", [
+        ("add %rbx, %rax", "int_alu"),
+        ("mov $5, %rax", "mov_imm"),
+        ("mov %rbx, %rax", "mov"),
+        ("movzx %al, %eax", "movzx"),
+        ("lea 8(%rax), %rbx", "lea_simple"),
+        ("lea 8(%rax, %rcx, 2), %rbx", "lea_complex"),
+        ("shl $3, %rax", "shift_imm"),
+        ("shl %cl, %rax", "shift_cl"),
+        ("imul %rbx, %rax", "int_mul"),
+        ("imul %rbx", "int_mul_wide"),
+        ("div %ecx", "int_div"),
+        ("cmove %rbx, %rax", "cmov"),
+        ("sete %al", "setcc"),
+        ("xorps %xmm1, %xmm0", "vec_logic"),
+        ("paddd %xmm1, %xmm0", "vec_int"),
+        ("pshufd $1, %xmm1, %xmm0", "shuffle"),
+        ("vinsertf128 $1, %xmm1, %ymm2, %ymm0", "lane_xfer"),
+        ("addps %xmm1, %xmm0", "fp_add"),
+        ("mulps %xmm1, %xmm0", "fp_mul"),
+        ("vfmadd231ps %ymm1, %ymm2, %ymm0", "fma"),
+        ("divps %xmm1, %xmm0", "fp_div_f32"),
+        ("vdivpd %ymm1, %ymm2, %ymm0", "fp_div_f64_256"),
+        ("sqrtsd %xmm1, %xmm0", "fp_sqrt_f64"),
+        ("cvtsi2ss %eax, %xmm0", "fp_cvt"),
+        ("ucomiss %xmm1, %xmm0", "fp_comi"),
+    ])
+    def test_classification(self, text, cls):
+        assert timing_class(parse_instruction(text)) == cls
+
+
+class TestDecomposition:
+    def test_simple_alu_one_uop_one_slot(self):
+        d = make().decompose(parse_instruction("add %rbx, %rax"))
+        assert d.n_uops == 1
+        assert d.fused_slots == 1
+
+    def test_load_op_two_uops_one_fused_slot(self):
+        d = make().decompose(parse_instruction("add (%rdi), %rax"))
+        kinds = [u.kind for u in d.uops]
+        assert kinds == ["load", "compute"]
+        assert d.fused_slots == 1  # micro-fused
+
+    def test_store_uops(self):
+        d = make().decompose(parse_instruction("mov %rax, (%rdi)"))
+        kinds = [u.kind for u in d.uops]
+        assert kinds == ["store_addr", "store_data"]
+        assert d.fused_slots == 1
+
+    def test_rmw_full_decomposition(self):
+        d = make().decompose(parse_instruction("addq $1, (%rdi)"))
+        kinds = [u.kind for u in d.uops]
+        assert kinds == ["load", "compute", "store_addr", "store_data"]
+        assert d.fused_slots == 2
+
+    def test_indexed_unlamination_on_ivybridge(self):
+        ivb = make("ivybridge")
+        hsw = make("haswell")
+        instr = parse_instruction("add 8(%rdi, %rcx, 2), %rax")
+        assert ivb.decompose(instr).fused_slots == 2
+        assert hsw.decompose(instr).fused_slots == 1
+
+    def test_div_uses_dynamic_class(self):
+        d = make()
+        instr = parse_instruction("div %ecx")
+        fast = d.decompose(instr, (32, True))
+        slow = d.decompose(instr, (64, False))
+        assert fast.uops[0].latency < slow.uops[0].latency
+
+    def test_load_latency_indexed_extra(self):
+        d = make()
+        simple = d.decompose(parse_instruction("mov 8(%rdi), %rax"))
+        indexed = d.decompose(
+            parse_instruction("mov 8(%rdi, %rcx, 4), %rax"))
+        assert indexed.uops[0].latency == simple.uops[0].latency + 1
+
+    def test_nop_has_no_uops_but_a_slot(self):
+        d = make().decompose(parse_instruction("nop"))
+        assert d.n_uops == 0 and d.fused_slots == 1
+
+
+class TestPolicies:
+    def test_zero_idiom_recognition_on(self):
+        d = make(recognize_zero_idioms=True)
+        result = d.decompose(parse_instruction("xor %eax, %eax"))
+        assert result.is_zero_idiom and result.n_uops == 0
+
+    def test_zero_idiom_recognition_off(self):
+        d = make(recognize_zero_idioms=False)
+        result = d.decompose(parse_instruction("xor %eax, %eax"))
+        assert not result.is_zero_idiom and result.n_uops == 1
+
+    def test_move_elimination_on(self):
+        d = make(move_elimination=True)
+        assert d.decompose(
+            parse_instruction("mov %rbx, %rax")).is_eliminated_move
+
+    def test_move_elimination_off(self):
+        d = make(move_elimination=False)
+        assert not d.decompose(
+            parse_instruction("mov %rbx, %rax")).is_eliminated_move
+
+    def test_8bit_moves_not_eliminated(self):
+        d = make(move_elimination=True)
+        assert not d.decompose(
+            parse_instruction("mov %bl, %al")).is_eliminated_move
+
+    def test_unsplit_narrow_load_op(self):
+        """llvm-mca policy: 8-bit load-ALU forms fuse into one unit."""
+        d = make(split_load_op=False)
+        narrow = d.decompose(parse_instruction("xor -1(%rdi), %al"))
+        assert [u.kind for u in narrow.uops] == ["load_op"]
+        wide = d.decompose(parse_instruction("xor (%rdi), %rax"))
+        assert [u.kind for u in wide.uops] == ["load", "compute"]
+
+    def test_unsplit_latency_is_serialized(self):
+        split = make(split_load_op=True)
+        fused = make(split_load_op=False)
+        instr = parse_instruction("xor -1(%rdi), %al")
+        s = split.decompose(instr)
+        f = fused.decompose(instr)
+        assert f.uops[0].latency == \
+            s.uops[0].latency + s.uops[1].latency
+
+    def test_decomposition_cached(self):
+        d = make()
+        instr = parse_instruction("add %rbx, %rax")
+        assert d.decompose(instr) is d.decompose(instr)
