@@ -15,9 +15,32 @@ import os
 
 import pytest
 
+from repro import telemetry
 from repro.eval.pipeline import DEFAULT_SCALE, DEFAULT_SEED, Experiment
 
 REPORT_DIR = os.path.join(os.path.dirname(__file__), "..", "reports")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def bench_telemetry():
+    """Collect telemetry for the whole bench session.
+
+    Every bench run leaves ``reports/telemetry_bench_session.{json,txt}``
+    behind: stage timings, cache hit/miss behaviour, and the coverage
+    funnel for everything profiled during the session.  Disable with
+    ``REPRO_TELEMETRY=0`` (e.g. when chasing peak numbers).
+    """
+    if os.environ.get("REPRO_TELEMETRY", "1") == "0":
+        yield
+        return
+    telemetry.enable()
+    yield
+    os.makedirs(REPORT_DIR, exist_ok=True)
+    session_report = telemetry.build_run_report(
+        telemetry.registry(), name="telemetry_bench_session",
+        meta={"scale": DEFAULT_SCALE, "seed": DEFAULT_SEED})
+    telemetry.write_run_report(session_report, REPORT_DIR)
+    telemetry.reset()
 
 
 @pytest.fixture(scope="session")

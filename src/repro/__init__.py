@@ -18,6 +18,7 @@ See README.md for the architecture overview, DESIGN.md for the
 system inventory, and EXPERIMENTS.md for paper-vs-measured results.
 """
 
+from repro import telemetry
 from repro.errors import (ArithmeticFault, AsmSyntaxError,
                           InvalidAddressFault, MemoryFault, ModelError,
                           ProfilingFailure, ReproError,
@@ -39,5 +40,6 @@ __all__ = [
     "ReproError", "AsmSyntaxError", "UnknownOpcodeError",
     "UnsupportedInstructionError", "MemoryFault", "InvalidAddressFault",
     "ArithmeticFault", "ProfilingFailure", "ModelError",
+    "telemetry",
     "__version__",
 ]

@@ -9,14 +9,20 @@ provides the equivalents::
     python -m repro ports    "mulps %xmm13, %xmm12"
     python -m repro corpus   --scale 0.002 --out suite.csv --measure
     python -m repro validate --scale 0.001 --uarch haswell
+    python -m repro telemetry --scale 0.0005 --uarch haswell
 
 ``block.s`` may be ``-`` for stdin.  Blocks are AT&T or Intel syntax,
 auto-detected.
+
+Every command accepts ``--trace FILE``: telemetry is enabled for the
+run and the span/event stream is exported as NDJSON to ``FILE`` (see
+docs/observability.md for the schema).
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -137,6 +143,23 @@ def cmd_validate(args) -> int:
     return 0
 
 
+def cmd_telemetry(args) -> int:
+    """Instrumented pipeline run -> run report under reports/."""
+    from repro import telemetry
+    from repro.eval.pipeline import Experiment
+    if not telemetry.is_enabled():
+        telemetry.enable()
+    experiment = Experiment(scale=args.scale, seed=args.seed)
+    experiment.validation(args.uarch)
+    report = experiment.write_run_report(args.uarch,
+                                         directory=args.report_dir)
+    print(telemetry.render_summary(report))
+    directory = args.report_dir or telemetry.default_report_dir()
+    print(f"\nreport: "
+          f"{os.path.join(directory, report['report'] + '.json')}")
+    return 0
+
+
 # ---------------------------------------------------------------------------
 
 def build_parser() -> argparse.ArgumentParser:
@@ -150,6 +173,9 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--uarch", default="haswell",
                        choices=("ivybridge", "haswell", "skylake"))
         p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--trace", metavar="FILE", default=None,
+                       help="enable telemetry and export the NDJSON "
+                            "event stream to FILE")
 
     p = sub.add_parser("profile", help="measure a basic block")
     p.add_argument("block", help="assembly file, or - for stdin")
@@ -188,12 +214,31 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     p.set_defaults(func=cmd_validate)
 
+    p = sub.add_parser("telemetry",
+                       help="run an instrumented pipeline and write a "
+                            "run report")
+    p.add_argument("--scale", type=float, default=0.0005)
+    p.add_argument("--report-dir", default=None,
+                   help="where to write the report "
+                        "(default: reports/, or $REPRO_REPORT_DIR)")
+    common(p)
+    p.set_defaults(func=cmd_telemetry)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from repro import telemetry
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    trace = getattr(args, "trace", None)
+    if trace:
+        telemetry.enable(trace)
+    try:
+        with telemetry.span(f"cli.{args.command}"):
+            return args.func(args)
+    finally:
+        if trace:
+            telemetry.disable()
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -18,10 +18,11 @@ from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Dict, List, Optional, Sequence
 
+from repro import telemetry
 from repro.classify.categories import ClassifierResult, classify_blocks
 from repro.corpus.dataset import Corpus, build_corpus, build_google_corpus
-from repro.eval.validation import (ValidationResult, profile_corpus,
-                                   validate)
+from repro.eval.validation import (CorpusProfile, ValidationResult,
+                                   profile_corpus_detailed, validate)
 from repro.models.base import CostModel
 from repro.models.iaca import IacaModel
 from repro.models.ithemal import IthemalModel
@@ -51,6 +52,39 @@ def _corpus_digest(corpus: Corpus) -> int:
     return crc
 
 
+#: Measurement-cache schema.  v2 adds the accept/drop funnel so a
+#: cache-hit run can still emit a complete coverage report; v1 files
+#: (a bare ``{block_id: throughput}`` mapping) load with no funnel.
+CACHE_VERSION = 2
+
+
+def _load_cache(path: str) -> CorpusProfile:
+    with open(path) as fh:
+        doc = json.load(fh)
+    if isinstance(doc, dict) and "version" in doc:
+        throughputs = {int(k): v for k, v in doc["throughputs"].items()}
+        funnel = doc.get("funnel") or CorpusProfile.empty_funnel()
+    else:  # legacy v1 payload
+        throughputs = {int(k): v for k, v in doc.items()}
+        funnel = CorpusProfile.empty_funnel()
+    return CorpusProfile(throughputs=throughputs, funnel=funnel)
+
+
+def _store_cache(path: str, profile: CorpusProfile) -> None:
+    """Atomic write: an interrupted bench can't poison the cache."""
+    payload = {"version": CACHE_VERSION,
+               "throughputs": profile.throughputs,
+               "funnel": profile.funnel}
+    tmp = f"{path}.{os.getpid()}.tmp"
+    try:
+        with open(tmp, "w") as fh:
+            json.dump(payload, fh)
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+
+
 @dataclass
 class Experiment:
     """Shared lazy artefacts for one (scale, seed) configuration."""
@@ -62,6 +96,7 @@ class Experiment:
                                                         repr=False)
     _measured: Dict[str, Dict[int, float]] = field(default_factory=dict,
                                                    repr=False)
+    _funnels: Dict[str, Dict] = field(default_factory=dict, repr=False)
     _validations: Dict[str, ValidationResult] = field(
         default_factory=dict, repr=False)
     _models: Optional[List[CostModel]] = field(default=None, repr=False)
@@ -72,20 +107,29 @@ class Experiment:
     @property
     def corpus(self) -> Corpus:
         if self._corpus is None:
-            self._corpus = build_corpus(scale=self.scale, seed=self.seed)
+            with telemetry.span("experiment.corpus_build",
+                                scale=self.scale, seed=self.seed) as sp:
+                self._corpus = build_corpus(scale=self.scale,
+                                            seed=self.seed)
+                sp.annotate(blocks=len(self._corpus))
+            telemetry.set_gauge("experiment.corpus_size",
+                                len(self._corpus))
         return self._corpus
 
     @property
     def google_corpora(self) -> Dict[str, Corpus]:
         if self._google is None:
-            self._google = build_google_corpus(scale=self.scale,
-                                               seed=self.seed)
+            with telemetry.span("experiment.google_corpus_build"):
+                self._google = build_google_corpus(scale=self.scale,
+                                                   seed=self.seed)
         return self._google
 
     @property
     def classification(self) -> ClassifierResult:
         if self._classification is None:
-            self._classification = classify_blocks(self.corpus.blocks)
+            with telemetry.span("experiment.classify") as sp:
+                self._classification = classify_blocks(self.corpus.blocks)
+                sp.annotate(blocks=len(self.corpus))
         return self._classification
 
     @property
@@ -110,29 +154,88 @@ class Experiment:
         path = os.path.join(
             _cache_dir(),
             f"measured_{tag}_{uarch}_{self.seed}_{digest:08x}.json")
-        if os.path.exists(path):
-            with open(path) as fh:
-                data = {int(k): v for k, v in json.load(fh).items()}
-        else:
-            data = profile_corpus(corpus, uarch, seed=self.seed)
-            with open(path, "w") as fh:
-                json.dump(data, fh)
-        self._measured[key] = data
-        return data
+        with telemetry.span("experiment.measure", uarch=uarch,
+                            tag=tag) as sp:
+            if os.path.exists(path):
+                profile = _load_cache(path)
+                if not profile.funnel.get("total"):
+                    # Pre-telemetry (v1) cache: the per-reason
+                    # breakdown is gone, but coverage must still
+                    # account for every block.
+                    accepted = sum(1 for r in corpus
+                                   if r.block_id in profile.throughputs)
+                    dropped = len(corpus) - accepted
+                    profile.funnel = {
+                        "total": len(corpus), "accepted": accepted,
+                        "dropped": {"unknown_pre_telemetry_cache":
+                                    dropped} if dropped else {}}
+                telemetry.count("cache.hits")
+                telemetry.event("cache.hit", path=path, tag=tag,
+                                uarch=uarch)
+                sp.annotate(cache="hit")
+            else:
+                telemetry.count("cache.misses")
+                telemetry.event("cache.miss", path=path, tag=tag,
+                                uarch=uarch)
+                profile = profile_corpus_detailed(corpus, uarch,
+                                                  seed=self.seed)
+                _store_cache(path, profile)
+                telemetry.count("cache.writes")
+                telemetry.event("cache.write", path=path, tag=tag,
+                                uarch=uarch,
+                                blocks=len(profile.throughputs))
+                sp.annotate(cache="miss")
+        self._measured[key] = profile.throughputs
+        self._funnels[key] = profile.funnel
+        return profile.throughputs
+
+    def funnel(self, uarch: str, tag: str = "main") -> Optional[Dict]:
+        """Accept/drop breakdown recorded with the measurements.
+
+        ``None`` until :meth:`measured` has run.  Measurements loaded
+        from a legacy v1 cache file (which predates funnel recording)
+        get a synthesised funnel whose drops are lumped under
+        ``unknown_pre_telemetry_cache``.
+        """
+        return self._funnels.get(f"{tag}:{uarch}")
 
     def validation(self, uarch: str) -> ValidationResult:
-        """Full §V validation for one microarchitecture (cached)."""
+        """Full §V validation for one microarchitecture (cached).
+
+        With telemetry enabled, each fresh validation also writes a
+        run report (``reports/run_validation_<uarch>.{json,txt}``)
+        covering stage timings, cache behaviour, and the coverage
+        funnel.
+        """
         if uarch not in self._validations:
-            categories = {
-                record.block_id: category
-                for record, category in zip(self.corpus.records,
-                                            self.classification.categories)
-            }
-            self._validations[uarch] = validate(
-                self.corpus, uarch, self.models,
-                categories=categories, seed=self.seed,
-                measured=self.measured(uarch))
+            with telemetry.span("experiment.validate", uarch=uarch):
+                categories = {
+                    record.block_id: category
+                    for record, category in
+                    zip(self.corpus.records,
+                        self.classification.categories)
+                }
+                self._validations[uarch] = validate(
+                    self.corpus, uarch, self.models,
+                    categories=categories, seed=self.seed,
+                    measured=self.measured(uarch))
+            if telemetry.is_enabled():
+                self.write_run_report(uarch)
         return self._validations[uarch]
+
+    def write_run_report(self, uarch: str,
+                         directory: Optional[str] = None) -> Dict:
+        """Emit the telemetry run report for one validation run."""
+        funnel = self.funnel(uarch)
+        if funnel is not None and not funnel.get("total"):
+            funnel = None  # legacy cache: fall back to live counters
+        report = telemetry.build_run_report(
+            telemetry.registry(), name=f"run_validation_{uarch}",
+            meta={"uarch": uarch, "scale": self.scale,
+                  "seed": self.seed, "corpus_size": len(self.corpus)},
+            funnel=funnel)
+        telemetry.write_run_report(report, directory)
+        return report
 
     def validations(self, uarches: Sequence[str] = UARCHES
                     ) -> Dict[str, ValidationResult]:

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.errors import UnsupportedInstructionError
 from repro.eval.metrics import average_error
 from repro.isa.instruction import BasicBlock
 from repro.models.portsim import PortSimulatorModel
@@ -80,7 +81,7 @@ def _blocks_by_class(blocks: Sequence[BasicBlock]
                 continue
             try:
                 cls = timing_class(instr)
-            except KeyError:
+            except UnsupportedInstructionError:
                 continue
             if cls not in seen:
                 seen.add(cls)

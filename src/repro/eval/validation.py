@@ -16,6 +16,7 @@ from repro.eval import metrics
 from repro.models.base import CostModel
 from repro.models.ithemal import IthemalModel
 from repro.profiler.harness import BasicBlockProfiler, ProfilerConfig
+from repro.telemetry import core as telemetry
 from repro.uarch.machine import Machine
 
 
@@ -96,17 +97,51 @@ class ValidationResult:
         return ok / len(self.rows)
 
 
+@dataclass
+class CorpusProfile:
+    """Ground-truth measurements plus the accept/drop funnel.
+
+    ``funnel`` is the run-report analogue of the paper's Table I:
+    ``accepted`` plus every ``dropped`` count sums to ``total`` (the
+    corpus size), so no block silently disappears from the pipeline.
+    """
+
+    throughputs: Dict[int, float]
+    funnel: Dict
+
+    @staticmethod
+    def empty_funnel(total: int = 0) -> Dict:
+        return {"total": total, "accepted": 0, "dropped": {}}
+
+
+def profile_corpus_detailed(corpus: Corpus, uarch: str, seed: int = 0,
+                            config: Optional[ProfilerConfig] = None
+                            ) -> CorpusProfile:
+    """Profile every block, keeping the per-reason drop breakdown."""
+    profiler = BasicBlockProfiler(Machine(uarch, seed=seed), config)
+    throughputs: Dict[int, float] = {}
+    funnel = CorpusProfile.empty_funnel(total=len(corpus))
+    with telemetry.span("validation.profile_corpus", uarch=uarch) as sp:
+        for record in corpus:
+            result = profiler.profile(record.block)
+            if result.ok and result.throughput > 0:
+                throughputs[record.block_id] = result.throughput
+                funnel["accepted"] += 1
+            else:
+                reason = ("zero_throughput" if result.failure is None
+                          else result.failure.value)
+                funnel["dropped"][reason] = \
+                    funnel["dropped"].get(reason, 0) + 1
+        sp.annotate(blocks=funnel["total"], accepted=funnel["accepted"])
+    return CorpusProfile(throughputs=throughputs, funnel=funnel)
+
+
 def profile_corpus(corpus: Corpus, uarch: str, seed: int = 0,
                    config: Optional[ProfilerConfig] = None
                    ) -> Dict[int, float]:
     """Measured throughput per block id (only successful blocks)."""
-    profiler = BasicBlockProfiler(Machine(uarch, seed=seed), config)
-    measured: Dict[int, float] = {}
-    for record in corpus:
-        result = profiler.profile(record.block)
-        if result.ok and result.throughput > 0:
-            measured[record.block_id] = result.throughput
-    return measured
+    return profile_corpus_detailed(corpus, uarch, seed=seed,
+                                   config=config).throughputs
 
 
 def validate(corpus: Corpus, uarch: str,
@@ -145,17 +180,21 @@ def validate(corpus: Corpus, uarch: str,
                       [measured[r.block_id] for r in train], uarch)
 
     rows: List[ValidationRow] = []
-    for record in evaluate:
-        row = ValidationRow(
-            block_id=record.block_id,
-            application=record.application,
-            frequency=record.frequency,
-            category=(categories or {}).get(record.block_id),
-            measured=measured[record.block_id])
-        for model in models:
-            prediction = model.predict_safe(record.block, uarch)
-            row.predictions[model.name] = prediction.throughput
-        rows.append(row)
+    with telemetry.span("validation.predict", uarch=uarch,
+                        models=len(models)) as sp:
+        for record in evaluate:
+            row = ValidationRow(
+                block_id=record.block_id,
+                application=record.application,
+                frequency=record.frequency,
+                category=(categories or {}).get(record.block_id),
+                measured=measured[record.block_id])
+            for model in models:
+                prediction = model.predict_safe(record.block, uarch)
+                row.predictions[model.name] = prediction.throughput
+                telemetry.count("validation.predictions")
+            rows.append(row)
+        sp.annotate(blocks=len(rows))
 
     return ValidationResult(
         uarch=uarch,

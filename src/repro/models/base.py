@@ -16,8 +16,9 @@ import abc
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from repro.errors import ModelError
+from repro.errors import ModelError, UnsupportedInstructionError
 from repro.isa.instruction import BasicBlock
+from repro.telemetry import core as telemetry
 from repro.uarch.scheduler import ScheduleResult
 
 
@@ -55,10 +56,18 @@ class CostModel(abc.ABC):
         """
 
     def predict_safe(self, block: BasicBlock, uarch: str) -> Prediction:
-        """Wrapper turning stray exceptions into error predictions."""
+        """Wrapper turning stray exceptions into error predictions.
+
+        ``UnsupportedInstructionError`` covers blocks whose mnemonics
+        have no timing class (``rdtsc``, ``syscall``, ...): real tools
+        refuse such blocks rather than crash, and so do the analogues.
+        """
         try:
             return self.predict(block, uarch)
         except ModelError as exc:
+            return Prediction(self.name, uarch, None, error=str(exc))
+        except UnsupportedInstructionError as exc:
+            telemetry.count("models.unsupported_block")
             return Prediction(self.name, uarch, None, error=str(exc))
 
     def supports(self, block: BasicBlock, uarch: str) -> bool:

@@ -52,10 +52,11 @@ _PROXY_FORWARD_LATENCY = 5.0
 
 
 def _proxy_latency(instr) -> float:
+    from repro.errors import UnsupportedInstructionError
     from repro.uarch.uops import timing_class
     try:
         cls = timing_class(instr)
-    except KeyError:
+    except UnsupportedInstructionError:
         return 1.0
     if instr.is_zero_idiom:
         return 0.0

@@ -8,11 +8,13 @@ uses to profile 2M+ basic blocks without user intervention.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Union
 
 from repro.errors import (ArithmeticFault, MemoryFault,
                           UnsupportedInstructionError)
+from repro.telemetry import core as telemetry
 from repro.isa.instruction import BasicBlock
 from repro.isa.parser import parse_block
 from repro.profiler.environment import Environment, EnvironmentConfig
@@ -65,6 +67,32 @@ class BasicBlockProfiler:
 
     def profile(self, block: Union[BasicBlock, str]) -> ProfileResult:
         """Profile one basic block; never raises on bad blocks."""
+        if not telemetry.is_enabled():
+            return self._profile_impl(block)
+        start = time.perf_counter()
+        result = self._profile_impl(block)
+        self._record(result, (time.perf_counter() - start) * 1000.0)
+        return result
+
+    def _record(self, result: ProfileResult, elapsed_ms: float) -> None:
+        """Feed the metrics registry (telemetry enabled only)."""
+        telemetry.count("profiler.blocks_total")
+        telemetry.observe("profiler.block_latency_ms", elapsed_ms)
+        if result.ok:
+            telemetry.count("profiler.blocks_accepted")
+        else:
+            telemetry.count(f"profiler.failure.{result.failure.value}")
+        if result.num_faults:
+            telemetry.count("profiler.faults_intercepted",
+                            result.num_faults)
+        if result.pages_mapped:
+            telemetry.count("profiler.pages_mapped", result.pages_mapped)
+        if result.subnormal_events:
+            telemetry.count("profiler.subnormal_events",
+                            result.subnormal_events)
+
+    def _profile_impl(self, block: Union[BasicBlock, str]
+                      ) -> ProfileResult:
         if isinstance(block, str):
             block = parse_block(block)
         text = block.text()
@@ -99,6 +127,12 @@ class BasicBlockProfiler:
             env.reinitialize()
             try:
                 trace = executor.execute_block(block, unroll=unroll)
+                subnormal_events += trace.subnormal_count
+                # machine.run decomposes every instruction, so it too
+                # can discover an unsupported mnemonic (e.g. a timing
+                # table gap) — treat it like an executor refusal.
+                run = self.machine.run(block, unroll, trace, env.memory,
+                                       reps=self.config.acceptance.reps)
             except MemoryFault as fault:
                 return ProfileResult(text, uarch,
                                      failure=FailureReason.SEGFAULT,
@@ -110,9 +144,6 @@ class BasicBlockProfiler:
                 return ProfileResult(text, uarch,
                                      failure=FailureReason.UNSUPPORTED,
                                      detail=str(exc))
-            subnormal_events += trace.subnormal_count
-            run = self.machine.run(block, unroll, trace, env.memory,
-                                   reps=self.config.acceptance.reps)
             cycles, failure, clean = \
                 self.config.acceptance.accept(run.samples)
             base = run.samples[0]
@@ -146,7 +177,12 @@ class BasicBlockProfiler:
     def profile_many(self, blocks: Iterable[Union[BasicBlock, str]]
                      ) -> List[ProfileResult]:
         """Profile a corpus; order of results matches the input."""
-        return [self.profile(block) for block in blocks]
+        with telemetry.span("profiler.profile_many",
+                            uarch=self.machine.name) as sp:
+            results = [self.profile(block) for block in blocks]
+            sp.annotate(blocks=len(results),
+                        accepted=sum(1 for r in results if r.ok))
+        return results
 
 
 def profile_block(block: Union[BasicBlock, str],

@@ -25,6 +25,7 @@ from repro.runtime import fpmath
 from repro.runtime.memory import VirtualMemory
 from repro.runtime.state import MachineState
 from repro.runtime.trace import ExecutionTrace, InstrEvent, MemAccess
+from repro.telemetry import core as telemetry
 
 _MASK = {1: 0xFF, 2: 0xFFFF, 4: 0xFFFFFFFF, 8: (1 << 64) - 1,
          16: (1 << 128) - 1, 32: (1 << 256) - 1}
@@ -87,6 +88,9 @@ class Executor:
                 self.execute_instruction(instr)
                 trace.append(event)
                 index += 1
+        if telemetry.is_enabled():
+            telemetry.count("runtime.blocks_executed")
+            telemetry.count("runtime.instructions_executed", index)
         return trace
 
     def execute_instruction(self, instr: Instruction) -> InstrEvent:

@@ -1,0 +1,305 @@
+"""The tracer: spans, events, and export sinks.
+
+One process-wide :class:`Telemetry` hub owns an on/off switch, a
+:class:`~repro.telemetry.metrics.MetricsRegistry`, and a sink.  The
+layer is strictly opt-in: until :func:`enable` is called every
+instrumentation point short-circuits on a single attribute check, and
+``span()`` hands back a shared no-op context manager — the profiler's
+throughput budget (<5 % overhead disabled, enforced by
+``benchmarks/bench_telemetry_overhead.py``) depends on that.
+
+Spans nest: ``with span("experiment.measure"): ...`` records wall time
+(``time.perf_counter``), depth, and parent, emits one NDJSON event on
+close, and feeds the ``span.<name>`` histogram so run reports can show
+per-stage timings without replaying the event stream.
+
+This module imports only the standard library (plus its sibling
+``metrics``) so any layer of the stack — ISA tables, the scheduler,
+the executor — can instrument itself without import cycles.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Dict, Iterator, List, Optional, TextIO, Union
+
+from repro.telemetry.metrics import MetricsRegistry
+
+__all__ = [
+    "NullSink", "MemorySink", "NdjsonSink", "Span", "Telemetry",
+    "get_telemetry", "enable", "disable", "is_enabled", "reset",
+    "span", "event", "count", "observe", "set_gauge", "registry",
+    "read_ndjson",
+]
+
+
+# ---------------------------------------------------------------------------
+# Sinks
+# ---------------------------------------------------------------------------
+
+class NullSink:
+    """Drops every event — the disabled / metrics-only configuration."""
+
+    def emit(self, record: Dict) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class MemorySink:
+    """Collects events in memory (tests, examples, the CLI summary)."""
+
+    def __init__(self):
+        self.records: List[Dict] = []
+
+    def emit(self, record: Dict) -> None:
+        self.records.append(record)
+
+    def close(self) -> None:
+        pass
+
+
+class NdjsonSink:
+    """Streams events as newline-delimited JSON, one object per line.
+
+    Accepts a path (opened and owned by the sink) or an already-open
+    text stream (borrowed; ``close()`` only flushes it).
+    """
+
+    def __init__(self, target: Union[str, TextIO]):
+        self._lock = threading.Lock()
+        if isinstance(target, str):
+            parent = os.path.dirname(target)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            self._fh: TextIO = open(target, "w")
+            self._owns = True
+        else:
+            self._fh = target
+            self._owns = False
+
+    def emit(self, record: Dict) -> None:
+        line = json.dumps(record, sort_keys=True, default=str)
+        with self._lock:
+            self._fh.write(line + "\n")
+
+    def close(self) -> None:
+        with self._lock:
+            self._fh.flush()
+            if self._owns:
+                self._fh.close()
+
+
+def read_ndjson(path: str) -> List[Dict]:
+    """Load an NDJSON trace back into event dicts (round-trip helper)."""
+    records = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+# ---------------------------------------------------------------------------
+# Spans
+# ---------------------------------------------------------------------------
+
+class Span:
+    """One timed, nested region of work."""
+
+    __slots__ = ("name", "attrs", "_hub", "start", "duration_ms",
+                 "depth", "parent")
+
+    def __init__(self, hub: "Telemetry", name: str, attrs: Dict):
+        self.name = name
+        self.attrs = attrs
+        self._hub = hub
+        self.start = 0.0
+        self.duration_ms: Optional[float] = None
+        self.depth = 0
+        self.parent: Optional[str] = None
+
+    def annotate(self, **attrs) -> "Span":
+        """Attach attributes discovered mid-span (e.g. result counts)."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        stack = self._hub._stack()
+        self.depth = len(stack)
+        self.parent = stack[-1].name if stack else None
+        stack.append(self)
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.duration_ms = (time.perf_counter() - self.start) * 1000.0
+        stack = self._hub._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        hub = self._hub
+        hub.registry.histogram(f"span.{self.name}") \
+            .observe(self.duration_ms)
+        record = {
+            "kind": "span",
+            "name": self.name,
+            "ts": time.time(),
+            "dur_ms": round(self.duration_ms, 3),
+            "depth": self.depth,
+            "parent": self.parent,
+        }
+        if exc_type is not None:
+            record["error"] = exc_type.__name__
+        if self.attrs:
+            record.update(self.attrs)
+        hub.sink.emit(record)
+
+
+class _NoopSpan:
+    """Shared do-nothing span handed out while telemetry is disabled."""
+
+    __slots__ = ()
+
+    def annotate(self, **attrs) -> "_NoopSpan":
+        return self
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+# ---------------------------------------------------------------------------
+# The hub
+# ---------------------------------------------------------------------------
+
+class Telemetry:
+    """Process-wide tracer + metrics switchboard."""
+
+    def __init__(self):
+        self.enabled = False
+        self.registry = MetricsRegistry()
+        self.sink = NullSink()
+        self._local = threading.local()
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    # -- lifecycle ------------------------------------------------------
+
+    def enable(self, sink: Union[None, str, NullSink, MemorySink,
+                                 NdjsonSink] = None) -> "Telemetry":
+        """Turn collection on.
+
+        ``sink`` may be an export sink, a path (NDJSON is written
+        there), or ``None`` for metrics-only collection.
+        """
+        if isinstance(sink, str):
+            sink = NdjsonSink(sink)
+        if sink is not None:
+            self.sink.close()
+            self.sink = sink
+        self.enabled = True
+        return self
+
+    def disable(self) -> None:
+        """Turn collection off and flush/close the sink."""
+        self.enabled = False
+        self.sink.close()
+        self.sink = NullSink()
+
+    def reset(self) -> None:
+        """Disable and wipe all metrics (test isolation)."""
+        self.disable()
+        self.registry.reset()
+        self._local = threading.local()
+
+    # -- instrumentation points ----------------------------------------
+
+    def span(self, name: str, **attrs) -> Union[Span, _NoopSpan]:
+        if not self.enabled:
+            return _NOOP_SPAN
+        return Span(self, name, attrs)
+
+    def event(self, name: str, **fields) -> None:
+        if not self.enabled:
+            return
+        record = {"kind": "event", "name": name, "ts": time.time()}
+        record.update(fields)
+        self.sink.emit(record)
+
+    def count(self, name: str, amount: int = 1) -> None:
+        if not self.enabled:
+            return
+        self.registry.counter(name).inc(amount)
+
+    def observe(self, name: str, value: float) -> None:
+        if not self.enabled:
+            return
+        self.registry.histogram(name).observe(value)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        if not self.enabled:
+            return
+        self.registry.gauge(name).set(value)
+
+
+#: The process-wide hub every instrumentation point talks to.
+_TELEMETRY = Telemetry()
+
+
+def get_telemetry() -> Telemetry:
+    return _TELEMETRY
+
+
+def enable(sink=None) -> Telemetry:
+    return _TELEMETRY.enable(sink)
+
+
+def disable() -> None:
+    _TELEMETRY.disable()
+
+
+def is_enabled() -> bool:
+    return _TELEMETRY.enabled
+
+
+def reset() -> None:
+    _TELEMETRY.reset()
+
+
+def span(name: str, **attrs):
+    return _TELEMETRY.span(name, **attrs)
+
+
+def event(name: str, **fields) -> None:
+    _TELEMETRY.event(name, **fields)
+
+
+def count(name: str, amount: int = 1) -> None:
+    _TELEMETRY.count(name, amount)
+
+
+def observe(name: str, value: float) -> None:
+    _TELEMETRY.observe(name, value)
+
+
+def set_gauge(name: str, value: float) -> None:
+    _TELEMETRY.set_gauge(name, value)
+
+
+def registry() -> MetricsRegistry:
+    return _TELEMETRY.registry

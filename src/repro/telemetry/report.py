@@ -1,0 +1,170 @@
+"""Run reports: one JSON + one human-readable summary per pipeline run.
+
+The report is the repo's analogue of the paper's Table I filtering
+funnel: of every block the harness saw, how many were accepted and how
+many were dropped, broken down by :class:`FailureReason` — plus
+per-stage wall times (from spans), cache behaviour, and the raw metric
+snapshot so nothing the registry collected is lost.
+
+Reports land under ``reports/`` (override with ``REPRO_REPORT_DIR``)
+as ``<name>.json`` and ``<name>.txt``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.telemetry.metrics import MetricsRegistry
+
+__all__ = ["build_run_report", "render_summary", "write_run_report",
+           "default_report_dir", "funnel_from_counters"]
+
+#: Counter prefix the profiler uses for per-reason drop counts.
+FAILURE_PREFIX = "profiler.failure."
+
+
+def default_report_dir() -> str:
+    return os.environ.get("REPRO_REPORT_DIR", "reports")
+
+
+def funnel_from_counters(counters: Dict[str, int]) -> Dict:
+    """Derive the accept/drop funnel from the profiler's counters."""
+    dropped = {
+        name[len(FAILURE_PREFIX):]: value
+        for name, value in counters.items()
+        if name.startswith(FAILURE_PREFIX) and value
+    }
+    accepted = counters.get("profiler.blocks_accepted", 0)
+    total = counters.get("profiler.blocks_total",
+                         accepted + sum(dropped.values()))
+    return {"total": total, "accepted": accepted, "dropped": dropped}
+
+
+def _stage_rows(histograms: Dict[str, Dict]) -> List[Dict]:
+    """Span histograms -> per-stage timing rows, slowest first."""
+    rows = []
+    for name, summary in histograms.items():
+        if not name.startswith("span."):
+            continue
+        rows.append({
+            "stage": name[len("span."):],
+            "count": summary["count"],
+            "total_ms": round(summary["total"], 3),
+            "mean_ms": round(summary["mean"], 3)
+            if summary["mean"] is not None else None,
+            "p95_ms": round(summary["p95"], 3)
+            if summary["p95"] is not None else None,
+        })
+    rows.sort(key=lambda r: -(r["total_ms"] or 0.0))
+    return rows
+
+
+def build_run_report(registry: MetricsRegistry, name: str,
+                     meta: Optional[Dict] = None,
+                     funnel: Optional[Dict] = None) -> Dict:
+    """Assemble the report dict from a registry snapshot.
+
+    ``funnel`` overrides the counter-derived funnel — the pipeline
+    passes the breakdown stored alongside cached measurements so a
+    cache-hit run still reports full coverage.
+    """
+    snap = registry.snapshot()
+    counters = snap["counters"]
+    return {
+        "report": name,
+        "generated_by": "repro.telemetry",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "meta": dict(meta or {}),
+        "stages": _stage_rows(snap["histograms"]),
+        "funnel": funnel if funnel is not None
+        else funnel_from_counters(counters),
+        "cache": {
+            "hits": counters.get("cache.hits", 0),
+            "misses": counters.get("cache.misses", 0),
+            "writes": counters.get("cache.writes", 0),
+        },
+        "metrics": snap,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Human-readable rendering
+# ---------------------------------------------------------------------------
+# (Local formatter, not eval.reporting's: telemetry must stay
+# importable from every layer without touching eval.)
+
+def _table(headers: Sequence[str],
+           rows: Sequence[Sequence[object]]) -> List[str]:
+    cells = [[("-" if value is None else str(value)) for value in row]
+             for row in rows]
+    widths = [max(len(h), *(len(r[i]) for r in cells)) if cells
+              else len(h) for i, h in enumerate(headers)]
+    fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+    lines = [fmt.format(*headers), fmt.format(*("-" * w for w in widths))]
+    lines.extend(fmt.format(*row) for row in cells)
+    return lines
+
+
+def render_summary(report: Dict) -> str:
+    """The ``.txt`` half of the report."""
+    lines: List[str] = [f"run report: {report['report']}",
+                        f"generated:  {report['generated_at']}"]
+    meta = report.get("meta") or {}
+    if meta:
+        lines.append("meta:       "
+                     + "  ".join(f"{k}={v}" for k, v in meta.items()))
+
+    funnel = report.get("funnel") or {}
+    total = funnel.get("total", 0)
+    accepted = funnel.get("accepted", 0)
+    dropped: Dict[str, int] = funnel.get("dropped", {})
+    lines += ["", f"coverage funnel ({total} blocks seen)"]
+    rows: List[Tuple[str, int, str]] = [
+        ("accepted", accepted,
+         f"{accepted / total:.1%}" if total else "-")]
+    for reason, n in sorted(dropped.items(), key=lambda kv: -kv[1]):
+        rows.append((f"dropped: {reason}", n,
+                     f"{n / total:.1%}" if total else "-"))
+    lines += _table(["outcome", "blocks", "share"], rows)
+
+    stages = report.get("stages") or []
+    if stages:
+        lines += ["", "stage timings"]
+        lines += _table(
+            ["stage", "calls", "total ms", "mean ms", "p95 ms"],
+            [(s["stage"], s["count"], s["total_ms"], s["mean_ms"],
+              s["p95_ms"]) for s in stages])
+
+    cache = report.get("cache") or {}
+    lines += ["", "measurement cache: "
+              f"{cache.get('hits', 0)} hits, "
+              f"{cache.get('misses', 0)} misses, "
+              f"{cache.get('writes', 0)} writes"]
+
+    counters = report.get("metrics", {}).get("counters", {})
+    interesting = {k: v for k, v in counters.items()
+                   if not k.startswith(FAILURE_PREFIX)}
+    if interesting:
+        lines += ["", "counters"]
+        lines += _table(["counter", "value"],
+                        sorted(interesting.items()))
+    return "\n".join(lines)
+
+
+def write_run_report(report: Dict,
+                     directory: Optional[str] = None) -> Tuple[str, str]:
+    """Persist ``<name>.json`` + ``<name>.txt``; returns both paths."""
+    directory = directory or default_report_dir()
+    os.makedirs(directory, exist_ok=True)
+    base = os.path.join(directory, report["report"])
+    json_path, txt_path = base + ".json", base + ".txt"
+    tmp = json_path + ".tmp"
+    with open(tmp, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True, default=str)
+    os.replace(tmp, json_path)
+    with open(txt_path, "w") as fh:
+        fh.write(render_summary(report) + "\n")
+    return json_path, txt_path

@@ -23,6 +23,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.isa.encoder import instruction_length
 from repro.isa.instruction import BasicBlock
+from repro.telemetry import core as telemetry
 from repro.runtime.memory import VirtualMemory
 from repro.runtime.trace import ExecutionTrace
 from repro.uarch.caches import CacheModel
@@ -202,6 +203,17 @@ class Machine:
         )
         rng = self._rng(block, unroll)
         samples = [self._perturb(base, rng) for _ in range(reps)]
+        if telemetry.is_enabled():
+            clean = sum(1 for s in samples if s.is_clean)
+            telemetry.count("machine.runs")
+            telemetry.count("machine.simulated_cycles", schedule.cycles)
+            telemetry.count("machine.samples_clean", clean)
+            telemetry.count("machine.samples_rejected",
+                            len(samples) - clean)
+            telemetry.count("machine.l1d_read_misses", read_misses)
+            telemetry.count("machine.l1d_write_misses", write_misses)
+            telemetry.count("machine.l1i_misses", l1i_misses)
+            telemetry.observe("machine.cycles_per_run", schedule.cycles)
         return RunResult(samples=samples, schedule=schedule,
                          base_cycles=schedule.cycles)
 

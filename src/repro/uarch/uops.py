@@ -21,8 +21,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.errors import UnsupportedInstructionError
 from repro.isa.instruction import Instruction
 from repro.isa.operands import is_imm, is_mem, is_reg
+from repro.telemetry import core as telemetry
 from repro.uarch.descriptor import UarchDescriptor
 from repro.uarch.tables.common import TimingEntry, UopSpec, port_combo_name
 
@@ -144,7 +146,9 @@ def timing_class(instr: Instruction) -> str:
         return "fp_round"
     if group == "hadd" or info.semantic == "hadd":
         return "hadd"
-    raise KeyError(f"no timing class for {instr.mnemonic} ({group})")
+    telemetry.count("uops.unsupported_mnemonic")
+    raise UnsupportedInstructionError(
+        f"no timing class for {instr.mnemonic} ({group})")
 
 
 def _is_reg_move(instr: Instruction) -> bool:

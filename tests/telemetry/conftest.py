@@ -1,0 +1,12 @@
+"""Isolation for the process-wide telemetry hub."""
+
+import pytest
+
+from repro import telemetry
+
+
+@pytest.fixture(autouse=True)
+def _isolate_telemetry():
+    telemetry.reset()
+    yield
+    telemetry.reset()

@@ -1,0 +1,150 @@
+"""Tracer core: spans, sinks, enable/disable, NDJSON round-trip."""
+
+import time
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import MemorySink, NdjsonSink, read_ndjson
+from repro.telemetry.core import _NOOP_SPAN
+
+
+class TestLifecycle:
+    def test_disabled_by_default(self):
+        assert not telemetry.is_enabled()
+
+    def test_enable_disable(self):
+        telemetry.enable()
+        assert telemetry.is_enabled()
+        telemetry.disable()
+        assert not telemetry.is_enabled()
+
+    def test_disabled_calls_are_noops(self):
+        telemetry.count("x")
+        telemetry.observe("x", 1.0)
+        telemetry.set_gauge("x", 1.0)
+        telemetry.event("x")
+        snap = telemetry.registry().snapshot()
+        assert snap["counters"] == {}
+        assert snap["gauges"] == {}
+        assert snap["histograms"] == {}
+
+    def test_disabled_span_is_shared_noop(self):
+        assert telemetry.span("anything") is _NOOP_SPAN
+        with telemetry.span("anything") as sp:
+            sp.annotate(ignored=True)
+
+    def test_reset_wipes_metrics(self):
+        telemetry.enable()
+        telemetry.count("x")
+        telemetry.reset()
+        assert not telemetry.is_enabled()
+        assert telemetry.registry().snapshot()["counters"] == {}
+
+
+class TestSpans:
+    def test_span_records_wall_time(self):
+        telemetry.enable()
+        with telemetry.span("work") as sp:
+            time.sleep(0.01)
+        assert sp.duration_ms >= 10.0
+        summary = telemetry.registry().histogram("span.work").summary()
+        assert summary["count"] == 1
+        assert summary["mean"] >= 10.0
+
+    def test_span_nesting_depth_and_parent(self):
+        sink = MemorySink()
+        telemetry.enable(sink)
+        with telemetry.span("outer"):
+            with telemetry.span("inner"):
+                pass
+        # inner closes (and is emitted) first
+        inner, outer = sink.records
+        assert inner["name"] == "inner"
+        assert inner["depth"] == 1
+        assert inner["parent"] == "outer"
+        assert outer["name"] == "outer"
+        assert outer["depth"] == 0
+        assert outer["parent"] is None
+
+    def test_span_annotate_attaches_attrs(self):
+        sink = MemorySink()
+        telemetry.enable(sink)
+        with telemetry.span("stage", uarch="haswell") as sp:
+            sp.annotate(blocks=7)
+        record = sink.records[0]
+        assert record["uarch"] == "haswell"
+        assert record["blocks"] == 7
+
+    def test_span_records_exceptions(self):
+        sink = MemorySink()
+        telemetry.enable(sink)
+        with pytest.raises(ValueError):
+            with telemetry.span("doomed"):
+                raise ValueError("boom")
+        assert sink.records[0]["error"] == "ValueError"
+
+    def test_sibling_spans_share_depth(self):
+        sink = MemorySink()
+        telemetry.enable(sink)
+        with telemetry.span("a"):
+            pass
+        with telemetry.span("b"):
+            pass
+        assert [r["depth"] for r in sink.records] == [0, 0]
+
+
+class TestEvents:
+    def test_event_fields_reach_sink(self):
+        sink = MemorySink()
+        telemetry.enable(sink)
+        telemetry.event("cache.hit", path="/tmp/x", tag="main")
+        record = sink.records[0]
+        assert record["kind"] == "event"
+        assert record["name"] == "cache.hit"
+        assert record["path"] == "/tmp/x"
+        assert record["ts"] > 0
+
+
+class TestNdjson:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "trace.ndjson")
+        telemetry.enable(path)
+        telemetry.event("first", n=1)
+        with telemetry.span("timed", label="x"):
+            telemetry.event("nested")
+        telemetry.disable()  # flush + close
+
+        records = read_ndjson(path)
+        assert [r["name"] for r in records] == \
+            ["first", "nested", "timed"]
+        assert records[0]["n"] == 1
+        span_rec = records[2]
+        assert span_rec["kind"] == "span"
+        assert span_rec["dur_ms"] >= 0
+        assert span_rec["label"] == "x"
+        # nested event carries no span linkage, but the span does
+        assert span_rec["depth"] == 0
+
+    def test_sink_borrows_open_stream(self, tmp_path):
+        path = tmp_path / "stream.ndjson"
+        with open(path, "w") as fh:
+            telemetry.enable(NdjsonSink(fh))
+            telemetry.event("x")
+            telemetry.disable()  # must only flush, not close
+            assert not fh.closed
+        assert len(read_ndjson(str(path))) == 1
+
+
+class TestOverhead:
+    def test_disabled_primitives_are_cheap(self):
+        """The no-op guard must stay far below profiling cost."""
+        calls = 20_000
+        start = time.perf_counter()
+        for _ in range(calls):
+            telemetry.count("noop")
+            telemetry.observe("noop", 1.0)
+        per_call_us = (time.perf_counter() - start) / (2 * calls) * 1e6
+        # Profiling one block costs ~20ms; 5us per guard call keeps
+        # even dozens of guards per block under 0.1% overhead.
+        assert per_call_us < 5.0

@@ -1,0 +1,108 @@
+"""Run reports: funnel derivation, rendering, persistence."""
+
+import json
+import os
+
+from repro.telemetry import (MetricsRegistry, build_run_report,
+                             funnel_from_counters, render_summary,
+                             write_run_report)
+
+
+def _loaded_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("profiler.blocks_total").inc(100)
+    reg.counter("profiler.blocks_accepted").inc(90)
+    reg.counter("profiler.failure.segfault").inc(6)
+    reg.counter("profiler.failure.unsupported_instruction").inc(4)
+    reg.counter("cache.hits").inc(2)
+    reg.counter("cache.misses").inc(1)
+    reg.counter("cache.writes").inc(1)
+    reg.histogram("span.experiment.measure").observe(120.0)
+    reg.histogram("profiler.block_latency_ms").observe(15.0)
+    return reg
+
+
+class TestFunnel:
+    def test_funnel_from_counters(self):
+        funnel = funnel_from_counters({
+            "profiler.blocks_total": 10,
+            "profiler.blocks_accepted": 7,
+            "profiler.failure.sigfpe": 2,
+            "profiler.failure.unstable_timing": 1,
+            "unrelated.counter": 99,
+        })
+        assert funnel["total"] == 10
+        assert funnel["accepted"] == 7
+        assert funnel["dropped"] == {"sigfpe": 2, "unstable_timing": 1}
+        assert funnel["accepted"] + sum(funnel["dropped"].values()) \
+            == funnel["total"]
+
+    def test_zero_value_failures_omitted(self):
+        funnel = funnel_from_counters({
+            "profiler.blocks_total": 1,
+            "profiler.blocks_accepted": 1,
+            "profiler.failure.segfault": 0,
+        })
+        assert funnel["dropped"] == {}
+
+
+class TestBuildReport:
+    def test_sections_present(self):
+        report = build_run_report(_loaded_registry(), name="unit",
+                                  meta={"uarch": "haswell"})
+        assert report["report"] == "unit"
+        assert report["meta"]["uarch"] == "haswell"
+        assert report["funnel"]["total"] == 100
+        assert report["cache"] == {"hits": 2, "misses": 1, "writes": 1}
+        stages = {s["stage"] for s in report["stages"]}
+        assert stages == {"experiment.measure"}
+        assert "profiler.block_latency_ms" in \
+            report["metrics"]["histograms"]
+
+    def test_explicit_funnel_overrides_counters(self):
+        funnel = {"total": 5, "accepted": 5, "dropped": {}}
+        report = build_run_report(_loaded_registry(), name="unit",
+                                  funnel=funnel)
+        assert report["funnel"] == funnel
+
+
+class TestRendering:
+    def test_summary_mentions_every_section(self):
+        report = build_run_report(_loaded_registry(), name="unit",
+                                  meta={"scale": 0.004})
+        text = render_summary(report)
+        assert "coverage funnel (100 blocks seen)" in text
+        assert "accepted" in text
+        assert "dropped: segfault" in text
+        assert "90.0%" in text
+        assert "stage timings" in text
+        assert "experiment.measure" in text
+        assert "2 hits, 1 misses, 1 writes" in text
+        assert "scale=0.004" in text
+
+    def test_summary_survives_empty_registry(self):
+        report = build_run_report(MetricsRegistry(), name="empty")
+        text = render_summary(report)
+        assert "0 blocks seen" in text
+
+
+class TestPersistence:
+    def test_write_json_and_txt(self, tmp_path):
+        report = build_run_report(_loaded_registry(), name="persisted")
+        json_path, txt_path = write_run_report(report, str(tmp_path))
+        assert os.path.exists(json_path)
+        assert os.path.exists(txt_path)
+        with open(json_path) as fh:
+            loaded = json.load(fh)
+        assert loaded["funnel"] == report["funnel"]
+        with open(txt_path) as fh:
+            assert "coverage funnel" in fh.read()
+        # no stray temp files from the atomic write
+        assert sorted(os.listdir(tmp_path)) == \
+            ["persisted.json", "persisted.txt"]
+
+    def test_default_dir_from_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_REPORT_DIR", str(tmp_path / "deep"))
+        report = build_run_report(MetricsRegistry(), name="env")
+        json_path, _ = write_run_report(report)
+        assert json_path.startswith(str(tmp_path / "deep"))

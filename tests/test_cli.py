@@ -71,3 +71,35 @@ def test_corpus_json_with_measurements(tmp_path):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["warp"])
+
+
+def test_trace_flag_exports_ndjson(tmp_path, capsys):
+    from repro import telemetry
+
+    block = tmp_path / "block.s"
+    block.write_text("add %rbx, %rax\n")
+    trace = tmp_path / "trace.ndjson"
+    try:
+        assert main(["profile", str(block),
+                     "--trace", str(trace)]) == 0
+    finally:
+        telemetry.reset()
+    records = telemetry.read_ndjson(str(trace))
+    assert any(r["kind"] == "span" for r in records)
+
+
+def test_telemetry_subcommand_writes_report(tmp_path, capsys,
+                                            monkeypatch):
+    from repro import telemetry
+
+    monkeypatch.setenv("REPRO_CACHE", str(tmp_path / "cache"))
+    try:
+        assert main(["telemetry", "--scale", "0.0001", "--seed", "5",
+                     "--report-dir", str(tmp_path / "reports")]) == 0
+    finally:
+        telemetry.reset()
+    out = capsys.readouterr().out
+    assert "coverage funnel" in out
+    assert "stage timings" in out
+    assert (tmp_path / "reports"
+            / "run_validation_haswell.json").exists()
