@@ -1,0 +1,91 @@
+"""Parallel profiling engine: scaling curve and equivalence check.
+
+Profiles the same corpus serially and with a worker pool and reports
+the speedup curve (``reports/parallel_scaling.{txt,json}``).  Two
+claims are enforced:
+
+* **Equivalence** — every jobs level produces byte-identical
+  throughputs and funnel to the serial run, at any host core count.
+* **Scaling** — with 4+ physical cores available, 4 workers must beat
+  serial by at least 1.5x.  On smaller hosts (the pool cannot beat
+  serial on a single core) the speedup is still measured and recorded,
+  but the floor is not asserted.
+
+Scale with ``REPRO_BENCH_PARALLEL_SCALE`` (default 0.001 ~ 360
+blocks): larger corpora amortise pool startup and look better; the
+default keeps the bench under a couple of minutes.
+"""
+
+import json
+import os
+import time
+
+from repro.corpus import build_corpus
+from repro.eval.reporting import format_table
+from repro.parallel import profile_corpus_sharded
+
+from conftest import REPORT_DIR
+
+SCALE = float(os.environ.get("REPRO_BENCH_PARALLEL_SCALE", "0.001"))
+SEED = 13
+JOBS_LEVELS = (1, 2, 4)
+SPEEDUP_FLOOR = 1.5  # asserted for jobs=4 on hosts with >= 4 cores
+
+
+def _timed_run(corpus, jobs):
+    start = time.perf_counter()
+    profile = profile_corpus_sharded(corpus, "haswell", seed=SEED,
+                                     jobs=jobs)
+    return time.perf_counter() - start, profile
+
+
+def _payload(profile):
+    return json.dumps({"throughputs": profile.throughputs,
+                       "funnel": profile.funnel}, sort_keys=False)
+
+
+def test_parallel_scaling(report):
+    corpus = build_corpus(scale=SCALE, seed=SEED)
+    cores = os.cpu_count() or 1
+
+    runs = {}
+    for jobs in JOBS_LEVELS:
+        elapsed, profile = _timed_run(corpus, jobs)
+        runs[jobs] = (elapsed, profile)
+
+    serial_time, serial_profile = runs[1]
+    rows = []
+    speedups = {}
+    for jobs in JOBS_LEVELS:
+        elapsed, profile = runs[jobs]
+        # Equivalence is unconditional: the pool must be a pure
+        # performance knob, invisible in the output bytes.
+        assert _payload(profile) == _payload(serial_profile), \
+            f"jobs={jobs} diverged from the serial profile"
+        speedups[jobs] = serial_time / elapsed
+        rows.append((jobs, round(elapsed, 3),
+                     round(len(corpus) / elapsed, 1),
+                     f"{speedups[jobs]:.2f}x"))
+
+    enforced = cores >= 4
+    title = (f"{len(corpus)} blocks on haswell, host has {cores} "
+             f"core(s); >= {SPEEDUP_FLOOR}x floor at 4 jobs "
+             f"{'ENFORCED' if enforced else 'recorded only'}")
+    report("parallel_scaling", format_table(
+        ["jobs", "seconds", "blocks/s", "speedup"], rows, title=title))
+
+    doc = {"scale": SCALE, "seed": SEED, "blocks": len(corpus),
+           "host_cores": cores, "floor": SPEEDUP_FLOOR,
+           "floor_enforced": enforced,
+           "runs": {str(j): {"seconds": runs[j][0],
+                             "speedup": speedups[j]}
+                    for j in JOBS_LEVELS}}
+    with open(os.path.join(REPORT_DIR, "parallel_scaling.json"),
+              "w") as fh:
+        json.dump(doc, fh, indent=1)
+        fh.write("\n")
+
+    if enforced:
+        assert speedups[4] >= SPEEDUP_FLOOR, (
+            f"jobs=4 speedup {speedups[4]:.2f}x < {SPEEDUP_FLOOR}x "
+            f"on a {cores}-core host — pool overhead regression?")

@@ -16,7 +16,11 @@ auto-detected.
 
 Every command accepts ``--trace FILE``: telemetry is enabled for the
 run and the span/event stream is exported as NDJSON to ``FILE`` (see
-docs/observability.md for the schema).
+docs/observability.md for the schema).  Corpus-scale commands
+(``corpus --measure``, ``validate``, ``telemetry``) accept
+``--jobs N`` to profile across N worker processes (default: every
+core, or ``REPRO_JOBS``); results are bit-identical to ``--jobs 1``
+(see docs/parallel.md).
 """
 
 from __future__ import annotations
@@ -34,6 +38,14 @@ _MODEL_NAMES = ("iaca", "llvm-mca", "osaca")
 def _read_block(path: str):
     text = sys.stdin.read() if path == "-" else open(path).read()
     return parse_block(text)
+
+
+def _resolve_jobs(args) -> int:
+    """--jobs N, else REPRO_JOBS, else every core the host offers."""
+    if getattr(args, "jobs", None):
+        return max(1, args.jobs)
+    from repro.parallel import default_jobs
+    return default_jobs()
 
 
 def _make_model(name: str):
@@ -110,10 +122,12 @@ def cmd_corpus(args) -> int:
     corpus = build_corpus(scale=args.scale, seed=args.seed)
     measured = None
     if args.measure:
-        from repro.eval.validation import profile_corpus
-        measured = profile_corpus(corpus, args.uarch, seed=args.seed)
+        from repro.parallel import profile_corpus_sharded
+        jobs = _resolve_jobs(args)
+        measured = profile_corpus_sharded(
+            corpus, args.uarch, seed=args.seed, jobs=jobs).throughputs
         print(f"measured {len(measured)}/{len(corpus)} blocks "
-              f"on {args.uarch}")
+              f"on {args.uarch} ({jobs} jobs)")
     if args.out.endswith(".json"):
         save_json(args.out, corpus, measured)
         written = len(corpus)
@@ -131,7 +145,14 @@ def cmd_validate(args) -> int:
                               OsacaModel)
     corpus = build_corpus(scale=args.scale, seed=args.seed)
     models = [IacaModel(), LlvmMcaModel(), IthemalModel(), OsacaModel()]
-    result = validate(corpus, args.uarch, models, seed=args.seed)
+    jobs = _resolve_jobs(args)
+    measured = None
+    if jobs > 1:
+        from repro.parallel import profile_corpus_sharded
+        measured = profile_corpus_sharded(
+            corpus, args.uarch, seed=args.seed, jobs=jobs).throughputs
+    result = validate(corpus, args.uarch, models, seed=args.seed,
+                      measured=measured)
     rows = [(m, round(result.overall_error(m), 4),
              round(result.weighted_overall_error(m), 4),
              round(result.kendall_tau(m), 4))
@@ -149,7 +170,8 @@ def cmd_telemetry(args) -> int:
     from repro.eval.pipeline import Experiment
     if not telemetry.is_enabled():
         telemetry.enable()
-    experiment = Experiment(scale=args.scale, seed=args.seed)
+    experiment = Experiment(scale=args.scale, seed=args.seed,
+                            jobs=_resolve_jobs(args))
     experiment.validation(args.uarch)
     report = experiment.write_run_report(args.uarch,
                                          directory=args.report_dir)
@@ -176,6 +198,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--trace", metavar="FILE", default=None,
                        help="enable telemetry and export the NDJSON "
                             "event stream to FILE")
+
+    def jobs_arg(p):
+        p.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="worker processes for profiling (default: "
+                            "os.cpu_count(), or $REPRO_JOBS); results "
+                            "are bit-identical to --jobs 1")
 
     p = sub.add_parser("profile", help="measure a basic block")
     p.add_argument("block", help="assembly file, or - for stdin")
@@ -207,11 +235,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--measure", action="store_true",
                    help="profile every block and include throughputs")
     common(p)
+    jobs_arg(p)
     p.set_defaults(func=cmd_corpus)
 
     p = sub.add_parser("validate", help="run the Table V pipeline")
     p.add_argument("--scale", type=float, default=0.001)
     common(p)
+    jobs_arg(p)
     p.set_defaults(func=cmd_validate)
 
     p = sub.add_parser("telemetry",
@@ -222,6 +252,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="where to write the report "
                         "(default: reports/, or $REPRO_REPORT_DIR)")
     common(p)
+    jobs_arg(p)
     p.set_defaults(func=cmd_telemetry)
 
     return parser

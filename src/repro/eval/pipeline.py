@@ -22,16 +22,24 @@ from repro import telemetry
 from repro.classify.categories import ClassifierResult, classify_blocks
 from repro.corpus.dataset import Corpus, build_corpus, build_google_corpus
 from repro.eval.validation import (CorpusProfile, ValidationResult,
-                                   profile_corpus_detailed, validate)
+                                   validate)
 from repro.models.base import CostModel
 from repro.models.iaca import IacaModel
 from repro.models.ithemal import IthemalModel
 from repro.models.llvm_mca import LlvmMcaModel
 from repro.models.osaca import OsacaModel
+from repro.parallel import (DEFAULT_SHARD_SIZE, ShardCache,
+                            profile_corpus_sharded, shard_corpus)
 
 #: Default scale for benches: 1/250 of the paper's 358k blocks.
 DEFAULT_SCALE = float(os.environ.get("REPRO_SCALE", "0.004"))
 DEFAULT_SEED = int(os.environ.get("REPRO_SEED", "0"))
+#: Worker processes for measurement.  1 (fully serial) unless
+#: ``REPRO_JOBS`` says otherwise; the CLI defaults to every core
+#: instead (see ``repro.parallel.default_jobs``).
+DEFAULT_JOBS = max(1, int(os.environ.get("REPRO_JOBS", "1")))
+SHARD_SIZE = max(1, int(os.environ.get("REPRO_SHARD_SIZE",
+                                       str(DEFAULT_SHARD_SIZE))))
 
 UARCHES = ("ivybridge", "haswell", "skylake")
 
@@ -46,19 +54,33 @@ def _cache_dir() -> str:
 
 
 def _corpus_digest(corpus: Corpus) -> int:
+    """Process-stable content digest of a whole corpus.
+
+    Cache keys must agree across worker processes and interpreter
+    restarts, so this is CRC-32 over block texts — **never** builtin
+    ``hash()``, whose string hashing is randomised per process by
+    ``PYTHONHASHSEED``.  ``tests/parallel/test_sharding_properties.py``
+    pins this by recomputing digests under different hash seeds.
+    """
     crc = 0
     for record in corpus:
         crc = zlib.crc32(record.block.text().encode(), crc)
     return crc
 
 
-#: Measurement-cache schema.  v2 adds the accept/drop funnel so a
-#: cache-hit run can still emit a complete coverage report; v1 files
-#: (a bare ``{block_id: throughput}`` mapping) load with no funnel.
-CACHE_VERSION = 2
+#: Measurement-cache schema history.  v3 (the current format, managed
+#: by :class:`repro.parallel.ShardCache`) stores one file per corpus
+#: shard keyed by content digest, which makes invalidation incremental:
+#: growing the corpus only profiles new/changed shards.  v2 was a
+#: monolithic ``{version, throughputs, funnel}`` file; v1 a bare
+#: ``{block_id: throughput}`` mapping.  Both legacy formats are
+#: migrated on load (``ShardCache.import_v2``).
+CACHE_VERSION = 3
+LEGACY_CACHE_VERSION = 2
 
 
 def _load_cache(path: str) -> CorpusProfile:
+    """Load a legacy (v1/v2) monolithic cache file."""
     with open(path) as fh:
         doc = json.load(fh)
     if isinstance(doc, dict) and "version" in doc:
@@ -71,8 +93,8 @@ def _load_cache(path: str) -> CorpusProfile:
 
 
 def _store_cache(path: str, profile: CorpusProfile) -> None:
-    """Atomic write: an interrupted bench can't poison the cache."""
-    payload = {"version": CACHE_VERSION,
+    """Write a monolithic v2 file (kept for migration tests/tools)."""
+    payload = {"version": LEGACY_CACHE_VERSION,
                "throughputs": profile.throughputs,
                "funnel": profile.funnel}
     tmp = f"{path}.{os.getpid()}.tmp"
@@ -85,12 +107,29 @@ def _store_cache(path: str, profile: CorpusProfile) -> None:
             os.unlink(tmp)
 
 
+def _legacy_cache_path(tag: str, uarch: str, seed: int,
+                       digest: int) -> str:
+    """Where pre-v3 runs stored the whole-corpus measurement file."""
+    return os.path.join(
+        _cache_dir(), f"measured_{tag}_{uarch}_{seed}_{digest:08x}.json")
+
+
+def _shard_cache_dir(tag: str, uarch: str, seed: int) -> str:
+    """v3 layout: one directory per (tag, uarch, seed), shared by
+    every corpus content — shard files inside are digest-keyed."""
+    return os.path.join(_cache_dir(),
+                        f"measured_v3_{tag}_{uarch}_{seed}")
+
+
 @dataclass
 class Experiment:
     """Shared lazy artefacts for one (scale, seed) configuration."""
 
     scale: float = DEFAULT_SCALE
     seed: int = DEFAULT_SEED
+    #: Worker processes for :meth:`measured` (1 = serial in-process).
+    jobs: int = DEFAULT_JOBS
+    shard_size: int = SHARD_SIZE
     _corpus: Optional[Corpus] = field(default=None, repr=False)
     _classification: Optional[ClassifierResult] = field(default=None,
                                                         repr=False)
@@ -144,50 +183,74 @@ class Experiment:
 
     def measured(self, uarch: str,
                  corpus: Optional[Corpus] = None,
-                 tag: str = "main") -> Dict[int, float]:
-        """Ground-truth throughputs (disk-cached)."""
+                 tag: str = "main",
+                 jobs: Optional[int] = None) -> Dict[int, float]:
+        """Ground-truth throughputs (disk-cached, optionally parallel).
+
+        Measurement goes through the sharded engine regardless of
+        ``jobs``: the corpus is split into deterministic shards, shards
+        already in the v3 cache are loaded, and only the rest are
+        profiled — serially in-process for ``jobs=1``, across a worker
+        pool otherwise.  Serial and parallel runs are bit-identical
+        (``tests/parallel/test_determinism.py``).  A legacy monolithic
+        (v1/v2) cache file for this exact corpus is migrated into
+        per-shard entries on first load.
+        """
         key = f"{tag}:{uarch}"
         if key in self._measured:
             return self._measured[key]
         corpus = corpus if corpus is not None else self.corpus
+        jobs = self.jobs if jobs is None else max(1, jobs)
         digest = _corpus_digest(corpus)
-        path = os.path.join(
-            _cache_dir(),
-            f"measured_{tag}_{uarch}_{self.seed}_{digest:08x}.json")
+        cache = ShardCache(_shard_cache_dir(tag, uarch, self.seed))
+        shards = shard_corpus(corpus, self.shard_size)
+        legacy = _legacy_cache_path(tag, uarch, self.seed, digest)
+        if os.path.exists(legacy) \
+                and any(s not in cache for s in shards):
+            self._import_legacy(legacy, corpus, shards, cache)
         with telemetry.span("experiment.measure", uarch=uarch,
-                            tag=tag) as sp:
-            if os.path.exists(path):
-                profile = _load_cache(path)
-                if not profile.funnel.get("total"):
-                    # Pre-telemetry (v1) cache: the per-reason
-                    # breakdown is gone, but coverage must still
-                    # account for every block.
-                    accepted = sum(1 for r in corpus
-                                   if r.block_id in profile.throughputs)
-                    dropped = len(corpus) - accepted
-                    profile.funnel = {
-                        "total": len(corpus), "accepted": accepted,
-                        "dropped": {"unknown_pre_telemetry_cache":
-                                    dropped} if dropped else {}}
-                telemetry.count("cache.hits")
-                telemetry.event("cache.hit", path=path, tag=tag,
-                                uarch=uarch)
-                sp.annotate(cache="hit")
-            else:
+                            tag=tag, jobs=jobs) as sp:
+            stats: Dict = {}
+            profile = profile_corpus_sharded(
+                corpus, uarch, seed=self.seed, jobs=jobs,
+                shards=shards, cache=cache, stats=stats)
+            if stats["profiled"] or stats["failed"]:
                 telemetry.count("cache.misses")
-                telemetry.event("cache.miss", path=path, tag=tag,
-                                uarch=uarch)
-                profile = profile_corpus_detailed(corpus, uarch,
-                                                  seed=self.seed)
-                _store_cache(path, profile)
-                telemetry.count("cache.writes")
-                telemetry.event("cache.write", path=path, tag=tag,
-                                uarch=uarch,
-                                blocks=len(profile.throughputs))
-                sp.annotate(cache="miss")
+                telemetry.count("cache.writes", stats["written"])
+                telemetry.event("cache.miss", path=cache.directory,
+                                tag=tag, uarch=uarch,
+                                shards=stats["shards"],
+                                cache_hits=stats["cache_hits"])
+                sp.annotate(cache="miss", **stats)
+            else:
+                telemetry.count("cache.hits")
+                telemetry.event("cache.hit", path=cache.directory,
+                                tag=tag, uarch=uarch,
+                                shards=stats["shards"])
+                sp.annotate(cache="hit")
         self._measured[key] = profile.throughputs
         self._funnels[key] = profile.funnel
         return profile.throughputs
+
+    @staticmethod
+    def _import_legacy(path: str, corpus: Corpus, shards,
+                       cache: ShardCache) -> None:
+        """Merge-on-load: split a v1/v2 file into v3 shard entries."""
+        profile = _load_cache(path)
+        if not profile.funnel.get("total"):
+            # Pre-telemetry (v1) cache: the per-reason breakdown is
+            # gone, but coverage must still account for every block.
+            accepted = sum(1 for r in corpus
+                           if r.block_id in profile.throughputs)
+            dropped = len(corpus) - accepted
+            profile.funnel = {
+                "total": len(corpus), "accepted": accepted,
+                "dropped": {"unknown_pre_telemetry_cache":
+                            dropped} if dropped else {}}
+        imported = cache.import_v2(shards, profile)
+        telemetry.count("cache.legacy_imports", imported)
+        telemetry.event("cache.legacy_import", path=path,
+                        shards=imported)
 
     def funnel(self, uarch: str, tag: str = "main") -> Optional[Dict]:
         """Accept/drop breakdown recorded with the measurements.

@@ -114,26 +114,40 @@ class CorpusProfile:
         return {"total": total, "accepted": 0, "dropped": {}}
 
 
+def profile_records_detailed(profiler: BasicBlockProfiler,
+                             records) -> CorpusProfile:
+    """Profile an ordered run of records with one profiler.
+
+    The single accept/drop policy shared by the serial path and every
+    parallel worker (``repro.parallel``), so a sharded run cannot
+    diverge from a serial one by construction.
+    """
+    throughputs: Dict[int, float] = {}
+    funnel = CorpusProfile.empty_funnel()
+    for record in records:
+        funnel["total"] += 1
+        result = profiler.profile(record.block)
+        if result.ok and result.throughput > 0:
+            throughputs[record.block_id] = result.throughput
+            funnel["accepted"] += 1
+        else:
+            reason = ("zero_throughput" if result.failure is None
+                      else result.failure.value)
+            funnel["dropped"][reason] = \
+                funnel["dropped"].get(reason, 0) + 1
+    return CorpusProfile(throughputs=throughputs, funnel=funnel)
+
+
 def profile_corpus_detailed(corpus: Corpus, uarch: str, seed: int = 0,
                             config: Optional[ProfilerConfig] = None
                             ) -> CorpusProfile:
     """Profile every block, keeping the per-reason drop breakdown."""
     profiler = BasicBlockProfiler(Machine(uarch, seed=seed), config)
-    throughputs: Dict[int, float] = {}
-    funnel = CorpusProfile.empty_funnel(total=len(corpus))
     with telemetry.span("validation.profile_corpus", uarch=uarch) as sp:
-        for record in corpus:
-            result = profiler.profile(record.block)
-            if result.ok and result.throughput > 0:
-                throughputs[record.block_id] = result.throughput
-                funnel["accepted"] += 1
-            else:
-                reason = ("zero_throughput" if result.failure is None
-                          else result.failure.value)
-                funnel["dropped"][reason] = \
-                    funnel["dropped"].get(reason, 0) + 1
-        sp.annotate(blocks=funnel["total"], accepted=funnel["accepted"])
-    return CorpusProfile(throughputs=throughputs, funnel=funnel)
+        profile = profile_records_detailed(profiler, corpus)
+        sp.annotate(blocks=profile.funnel["total"],
+                    accepted=profile.funnel["accepted"])
+    return profile
 
 
 def profile_corpus(corpus: Corpus, uarch: str, seed: int = 0,

@@ -1,0 +1,284 @@
+"""The work-sharded profiling engine.
+
+``profile_corpus_sharded`` is the parallel counterpart of
+``repro.eval.validation.profile_corpus_detailed``: same inputs, same
+output, bit-for-bit — the determinism suite under ``tests/parallel``
+holds it to that.  The corpus is split into deterministic shards
+(:mod:`repro.parallel.sharding`), each shard is profiled by a worker
+that rebuilds its own simulated machine from a picklable
+:class:`~repro.uarch.descriptor.MachineDescriptor` (no shared mutable
+simulator state), and the per-shard profiles — funnel buckets
+included — are merged back in canonical order.
+
+Robustness: a worker that dies (``BrokenProcessPool``) or exceeds the
+per-shard timeout does not poison the run.  The shard is retried once
+serially in the parent; if that also fails, its blocks are recorded
+under the ``worker_failure`` funnel bucket so coverage still accounts
+for every block.  Only successfully profiled shards are written to the
+shard cache.
+
+Workers are handed module-level functions so everything crossing the
+process boundary pickles; the ``worker_fn`` / ``serial_fn`` hooks
+exist so the fault-injection tests can substitute crashing or hanging
+stand-ins without touching the engine's control flow.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.corpus.dataset import Corpus
+from repro.profiler.harness import BasicBlockProfiler, ProfilerConfig
+from repro.profiler.result import FailureReason
+from repro.parallel.shard_cache import ShardCache
+from repro.parallel.sharding import (DEFAULT_SHARD_SIZE, Shard,
+                                     merge_profiles, shard_corpus)
+from repro.telemetry import core as telemetry
+from repro.uarch.descriptor import MachineDescriptor
+
+# ``repro.eval.validation`` (``CorpusProfile``,
+# ``profile_records_detailed``) is imported lazily at the call sites:
+# ``repro.eval`` imports the pipeline, which imports this package, so
+# a module-level import would make import order matter.
+
+#: Ceiling on how long one shard may take in a worker before the
+#: parent gives up on it and falls back to the serial retry.
+DEFAULT_SHARD_TIMEOUT = 600.0
+
+
+def default_jobs() -> int:
+    """``REPRO_JOBS`` if set, else every core the host offers."""
+    env = os.environ.get("REPRO_JOBS", "").strip()
+    if env:
+        return max(1, int(env))
+    return os.cpu_count() or 1
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+#: Per-worker-process profiler cache: building the scheduler/decomposer
+#: once per (descriptor, config) and reusing it across shards matches
+#: the serial path, where one profiler walks the whole corpus.
+_WORKER_PROFILERS: Dict[Tuple, BasicBlockProfiler] = {}
+
+
+def _init_worker() -> None:
+    """Worker initialiser: drop telemetry state inherited via fork.
+
+    Forked workers would otherwise double-count into the parent's
+    registry snapshot and interleave writes into its NDJSON sink fd.
+    """
+    telemetry.reset()
+
+
+def _worker_profiler(descriptor: MachineDescriptor,
+                     config: Optional[ProfilerConfig]
+                     ) -> BasicBlockProfiler:
+    key = (descriptor, config)
+    profiler = _WORKER_PROFILERS.get(key)
+    if profiler is None:
+        profiler = BasicBlockProfiler(descriptor.build(), config)
+        _WORKER_PROFILERS[key] = profiler
+    return profiler
+
+
+def profile_shard_worker(descriptor: MachineDescriptor,
+                         config: Optional[ProfilerConfig],
+                         index: int, records: tuple
+                         ) -> Tuple[int, CorpusProfile]:
+    """Profile one shard in a worker process (must stay picklable)."""
+    from repro.eval.validation import profile_records_detailed
+    profiler = _worker_profiler(descriptor, config)
+    return index, profile_records_detailed(profiler, records)
+
+
+# ---------------------------------------------------------------------------
+# Parent side
+# ---------------------------------------------------------------------------
+
+def _worker_failure_profile(shard: Shard) -> CorpusProfile:
+    """Account a whole shard under the ``worker_failure`` bucket."""
+    from repro.eval.validation import CorpusProfile
+    return CorpusProfile(
+        throughputs={},
+        funnel={"total": len(shard), "accepted": 0,
+                "dropped": {FailureReason.WORKER_FAILURE.value:
+                            len(shard)}})
+
+
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Hard-stop a pool that may contain hung workers.
+
+    ``shutdown(wait=True)`` would block forever on a worker stuck in a
+    pathological block, so terminate the processes first; the
+    management thread then winds down cleanly.
+    """
+    for process in list(getattr(pool, "_processes", {}).values()):
+        process.terminate()
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _replicate_profiler_counters(funnel: Dict) -> None:
+    """Mirror a worker-produced funnel into the parent's counters.
+
+    Workers keep their own (reset) telemetry, so the per-block
+    ``profiler.*`` counters they would have bumped are lost to the
+    parent; re-derive them from the funnel so run reports built from
+    counters stay consistent with the merged profile.
+    """
+    telemetry.count("profiler.blocks_total", funnel["total"])
+    if funnel["accepted"]:
+        telemetry.count("profiler.blocks_accepted", funnel["accepted"])
+    for reason, dropped in funnel["dropped"].items():
+        telemetry.count(f"profiler.failure.{reason}", dropped)
+
+
+def profile_corpus_sharded(corpus: Corpus, uarch: str, seed: int = 0,
+                           *, jobs: Optional[int] = None,
+                           config: Optional[ProfilerConfig] = None,
+                           shard_size: int = DEFAULT_SHARD_SIZE,
+                           shard_timeout: float = DEFAULT_SHARD_TIMEOUT,
+                           shards: Optional[Sequence[Shard]] = None,
+                           cache: Optional[ShardCache] = None,
+                           worker_fn=None, serial_fn=None,
+                           stats: Optional[Dict] = None
+                           ) -> CorpusProfile:
+    """Profile a corpus across a worker pool, bit-identical to serial.
+
+    ``jobs=1`` (or a single pending shard) profiles in-process with no
+    pool at all.  ``cache`` enables the v3 shard cache: shards whose
+    digest already has an entry are loaded instead of profiled, and
+    freshly profiled shards are written back atomically.  ``stats``,
+    if given, is filled with run accounting (shard counts, cache hits,
+    retries, failures).
+    """
+    from repro.eval.validation import profile_records_detailed
+    jobs = default_jobs() if jobs is None else max(1, jobs)
+    if shards is None:
+        shards = shard_corpus(corpus, shard_size)
+    worker_fn = worker_fn or profile_shard_worker
+    descriptor = MachineDescriptor(uarch=uarch, seed=seed)
+
+    results: Dict[int, CorpusProfile] = {}
+    by_index = {shard.index: shard for shard in shards}
+    pending: List[Shard] = []
+    for shard in shards:
+        cached = cache.load(shard) if cache is not None else None
+        if cached is not None:
+            results[shard.index] = cached
+        else:
+            pending.append(shard)
+
+    run_stats = {"shards": len(shards), "cache_hits": len(results),
+                 "profiled": 0, "retried": 0, "failed": 0,
+                 "written": 0}
+    telemetry.count("parallel.shards_total", len(shards))
+    if run_stats["cache_hits"]:
+        telemetry.count("parallel.shard_cache_hits",
+                        run_stats["cache_hits"])
+
+    failed: List[Shard] = []
+    with telemetry.span("parallel.profile_corpus", uarch=uarch,
+                        jobs=jobs, shards=len(shards),
+                        pending=len(pending)) as span:
+        if pending and (jobs <= 1 or len(pending) == 1):
+            profiler = BasicBlockProfiler(descriptor.build(), config)
+            for shard in pending:
+                profile = profile_records_detailed(profiler,
+                                                   shard.records)
+                results[shard.index] = profile
+                run_stats["profiled"] += 1
+                _store(cache, shard, profile, run_stats)
+        elif pending:
+            failed = _run_pool(pending, descriptor, config, jobs,
+                               shard_timeout, worker_fn, results,
+                               run_stats, cache)
+            for shard in failed:
+                # One serial retry in the parent; a shard that still
+                # fails is bucketed, never allowed to poison the run
+                # or the cache.
+                run_stats["retried"] += 1
+                telemetry.count("parallel.worker_retries")
+                telemetry.event("parallel.worker_retry",
+                                shard=shard.index, digest=shard.digest)
+                try:
+                    retry = serial_fn or _serial_shard
+                    profile = retry(descriptor, config, shard)
+                    results[shard.index] = profile
+                    run_stats["profiled"] += 1
+                    _replicate_profiler_counters(profile.funnel)
+                    _store(cache, shard, profile, run_stats)
+                except Exception as exc:
+                    run_stats["failed"] += 1
+                    telemetry.count("parallel.worker_failures")
+                    telemetry.event("parallel.worker_failure",
+                                    shard=shard.index,
+                                    error=type(exc).__name__)
+                    results[shard.index] = _worker_failure_profile(shard)
+        span.annotate(profiled=run_stats["profiled"],
+                      cache_hits=run_stats["cache_hits"],
+                      failed=run_stats["failed"])
+
+    if stats is not None:
+        stats.update(run_stats)
+    return merge_profiles(
+        [(by_index[index], profile)
+         for index, profile in results.items()])
+
+
+def _serial_shard(descriptor: MachineDescriptor,
+                  config: Optional[ProfilerConfig],
+                  shard: Shard) -> CorpusProfile:
+    from repro.eval.validation import profile_records_detailed
+    profiler = BasicBlockProfiler(descriptor.build(), config)
+    return profile_records_detailed(profiler, shard.records)
+
+
+def _store(cache: Optional[ShardCache], shard: Shard,
+           profile: CorpusProfile, run_stats: Dict) -> None:
+    if cache is not None:
+        cache.store(shard, profile)
+        run_stats["written"] += 1
+
+
+def _run_pool(pending: Sequence[Shard],
+              descriptor: MachineDescriptor,
+              config: Optional[ProfilerConfig], jobs: int,
+              shard_timeout: float, worker_fn,
+              results: Dict[int, CorpusProfile], run_stats: Dict,
+              cache: Optional[ShardCache]) -> List[Shard]:
+    """Fan pending shards out to a process pool; return the failures."""
+    failed: List[Shard] = []
+    hung = False
+    pool = ProcessPoolExecutor(max_workers=min(jobs, len(pending)),
+                               initializer=_init_worker)
+    try:
+        futures = [(pool.submit(worker_fn, descriptor, config,
+                                shard.index, shard.records), shard)
+                   for shard in pending]
+        for future, shard in futures:
+            try:
+                index, profile = future.result(timeout=shard_timeout)
+                results[index] = profile
+                run_stats["profiled"] += 1
+                _replicate_profiler_counters(profile.funnel)
+                _store(cache, shard, profile, run_stats)
+            except Exception as exc:  # TimeoutError, BrokenProcessPool,
+                # or whatever the worker raised — all retried serially.
+                if isinstance(exc, TimeoutError):
+                    hung = True
+                    future.cancel()
+                failed.append(shard)
+                telemetry.event("parallel.shard_error",
+                                shard=shard.index,
+                                error=type(exc).__name__)
+    finally:
+        if hung:
+            _terminate_pool(pool)
+        else:
+            pool.shutdown(wait=True, cancel_futures=True)
+    return failed

@@ -1,0 +1,173 @@
+"""Measurement cache v3: one file per shard, keyed by content digest.
+
+Layout (under ``.cache/``)::
+
+    measured_v3_<tag>_<uarch>_<seed>/
+        shard_<digest>.json     # {"version": 3, "digest", "count",
+                                #  "throughputs": {offset: cycles},
+                                #  "funnel": {...}}
+
+Throughputs are stored by *offset within the shard* rather than by
+``block_id``: a shard whose content is unchanged stays valid even when
+corpus growth shifted absolute ids, which is what makes re-runs with a
+grown corpus incremental — only new or changed shards are profiled.
+
+Every write is atomic (temp file + ``os.replace``), so a run killed
+mid-write leaves at worst an orphaned ``*.tmp`` the loader ignores;
+it can never leave a half-written ``shard_*.json`` visible.  Loads are
+defensive: wrong version, digest mismatch, truncated JSON, or a funnel
+that does not account for every block all read as a miss, never as an
+exception.
+
+``import_v2`` is the merge-on-load path for the previous monolithic
+cache format: a v2 (or v1) file for the same corpus is split into
+per-shard entries once, after which the shards behave like natively
+written v3 entries.  Per-reason drop attribution survives the split
+only when it is unambiguous (a single drop reason); otherwise drops
+are lumped under ``unknown_pre_v3_cache``, mirroring how v1 files were
+already handled.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, Optional
+
+from repro.parallel.sharding import Shard
+
+# ``CorpusProfile`` is imported lazily (see sharding.py): importing
+# ``repro.eval`` here would close an import cycle through the pipeline.
+
+CACHE_VERSION = 3
+
+#: Funnel bucket for drops whose original reason a legacy cache no
+#: longer records.
+LEGACY_DROP_REASON = "unknown_pre_v3_cache"
+
+
+class ShardCache:
+    """Per-shard measurement cache with atomic writes."""
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+
+    # ------------------------------------------------------------------
+
+    def path_for(self, shard: Shard) -> str:
+        return os.path.join(self.directory,
+                            f"shard_{shard.digest}.json")
+
+    def __contains__(self, shard: Shard) -> bool:
+        return os.path.exists(self.path_for(shard))
+
+    def shard_files(self) -> list:
+        return sorted(name for name in os.listdir(self.directory)
+                      if name.startswith("shard_")
+                      and name.endswith(".json"))
+
+    # ------------------------------------------------------------------
+
+    def load(self, shard: Shard) -> Optional[CorpusProfile]:
+        """The shard's cached profile, or ``None`` on any defect."""
+        from repro.eval.validation import CorpusProfile
+        path = self.path_for(shard)
+        try:
+            with open(path) as fh:
+                doc = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(doc, dict) \
+                or doc.get("version") != CACHE_VERSION \
+                or doc.get("digest") != shard.digest \
+                or doc.get("count") != len(shard):
+            return None
+        funnel = doc.get("funnel") or {}
+        dropped = funnel.get("dropped") or {}
+        if funnel.get("total") != len(shard) or \
+                funnel.get("accepted", -1) + sum(dropped.values()) \
+                != len(shard):
+            return None  # corrupt: funnel does not cover the shard
+        offsets = doc.get("throughputs") or {}
+        throughputs: Dict[int, float] = {}
+        try:
+            for offset, value in offsets.items():
+                throughputs[shard.records[int(offset)].block_id] = value
+        except (IndexError, ValueError):
+            return None
+        return CorpusProfile(throughputs=throughputs,
+                             funnel={"total": funnel["total"],
+                                     "accepted": funnel["accepted"],
+                                     "dropped": dict(dropped)})
+
+    def store(self, shard: Shard, profile: CorpusProfile) -> None:
+        """Atomically persist one shard's profile."""
+        by_offset = {
+            offset: profile.throughputs[record.block_id]
+            for offset, record in enumerate(shard.records)
+            if record.block_id in profile.throughputs
+        }
+        payload = {"version": CACHE_VERSION,
+                   "digest": shard.digest,
+                   "count": len(shard),
+                   "throughputs": by_offset,
+                   "funnel": profile.funnel}
+        path = self.path_for(shard)
+        tmp = f"{path}.{os.getpid()}.tmp"
+        try:
+            with open(tmp, "w") as fh:
+                json.dump(payload, fh)
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+
+    # ------------------------------------------------------------------
+
+    def import_v2(self, shards: Iterable[Shard],
+                  profile: CorpusProfile) -> int:
+        """Split a legacy whole-corpus profile into v3 shard entries.
+
+        A legacy file records *which* blocks were dropped (absent from
+        ``throughputs``) but only corpus-wide *reason* counts, so the
+        reasons are redistributed greedily over the shards' drop slots
+        in order.  Per-shard attribution is therefore approximate, but
+        the merged funnel — the Table-I view — reproduces the legacy
+        breakdown exactly.  Shards already cached natively are left
+        alone (their slots consume from the pool blindly, falling back
+        to ``unknown_pre_v3_cache`` if the pool runs dry).  Returns
+        the number of shards imported.
+        """
+        from repro.eval.validation import CorpusProfile
+        pool = [[reason, count] for reason, count
+                in (profile.funnel.get("dropped") or {}).items()]
+        imported = 0
+        for shard in sorted(shards, key=lambda s: s.index):
+            throughputs = {
+                record.block_id: profile.throughputs[record.block_id]
+                for record in shard.records
+                if record.block_id in profile.throughputs
+            }
+            accepted = len(throughputs)
+            missing = len(shard) - accepted
+            dropped: Dict[str, int] = {}
+            while missing and pool:
+                reason, count = pool[0]
+                take = min(missing, count)
+                dropped[reason] = dropped.get(reason, 0) + take
+                missing -= take
+                if count == take:
+                    pool.pop(0)
+                else:
+                    pool[0][1] = count - take
+            if missing:  # legacy funnel under-counted its drops
+                dropped[LEGACY_DROP_REASON] = missing
+            if shard in self:
+                continue  # consumed its slots; keep the native entry
+            self.store(shard, CorpusProfile(
+                throughputs=throughputs,
+                funnel={"total": len(shard), "accepted": accepted,
+                        "dropped": dropped}))
+            imported += 1
+        return imported

@@ -24,6 +24,9 @@ class FailureReason(enum.Enum):
     MISALIGNED = "misaligned_access"     # MISALIGNED_MEM_REFERENCE filter
     UNSTABLE = "unstable_timing"         # <8 of 16 identical clean runs
     UNSUPPORTED_ISA = "isa_not_supported"  # e.g. AVX2 block on Ivy Bridge
+    #: A parallel worker died or timed out on the shard holding this
+    #: block and the serial retry failed too (repro.parallel).
+    WORKER_FAILURE = "worker_failure"
 
 
 @dataclass

@@ -76,3 +76,29 @@ class UarchDescriptor:
         if block.uses_avx2_or_fma:
             return self.has_avx2 or self.has_fma
         return True
+
+
+@dataclass(frozen=True)
+class MachineDescriptor:
+    """Picklable recipe for rebuilding a ``Machine`` elsewhere.
+
+    The parallel profiling engine ships one of these to every worker
+    process instead of a live machine: workers rebuild their own
+    ``SimulatedMachine`` (scheduler, decomposer, cache models) from it,
+    so no mutable simulator state is ever shared across processes.
+    Two machines built from equal descriptors are deterministically
+    identical — same tables, same per-block noise RNG seeding.
+
+    ``noise`` is a ``repro.uarch.machine.NoiseParameters`` (itself a
+    frozen dataclass of numbers, hence picklable) or ``None`` for the
+    defaults; the loose typing avoids a circular import.
+    """
+
+    uarch: str
+    seed: int = 0
+    noise: object = None
+
+    def build(self):
+        """Construct a fresh ``Machine`` from this descriptor."""
+        from repro.uarch.machine import Machine
+        return Machine(self.uarch, seed=self.seed, noise=self.noise)

@@ -71,6 +71,7 @@ class Machine:
     def __init__(self, uarch: str = "haswell", seed: int = 0,
                  noise: Optional[NoiseParameters] = None):
         self.desc, self.table, self.div_table = get_uarch(uarch)
+        self._uarch_key = uarch
         self.seed = seed
         self.noise = noise if noise is not None else NoiseParameters()
         self.decomposer = Decomposer(self.desc, self.table, self.div_table)
@@ -79,6 +80,18 @@ class Machine:
     @property
     def name(self) -> str:
         return self.desc.name
+
+    def describe(self) -> "MachineDescriptor":
+        """A picklable descriptor that rebuilds this machine exactly.
+
+        ``Machine.describe().build()`` yields a machine that times
+        every block identically to this one (same tables, same seeded
+        noise), which is what lets ``repro.parallel`` fan profiling
+        out across processes without shipping simulator state.
+        """
+        from repro.uarch.descriptor import MachineDescriptor
+        return MachineDescriptor(uarch=self._uarch_key, seed=self.seed,
+                                 noise=self.noise)
 
     def supports(self, block: BasicBlock) -> bool:
         return self.desc.supports_block(block)

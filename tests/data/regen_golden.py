@@ -1,0 +1,68 @@
+"""Regenerate the golden regression corpus and its expected profiles.
+
+Run from the repo root **only when simulator timing is intentionally
+changed**::
+
+    PYTHONPATH=src python tests/data/regen_golden.py
+
+and commit the rewritten ``golden_corpus.json`` /
+``golden_profile_<uarch>.json`` together with the change that moved
+the numbers, explaining the drift in the commit message.  The guard
+test (``tests/parallel/test_golden.py``) exists precisely so that
+timing drift cannot land silently.
+"""
+
+import json
+import os
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+
+#: Frozen inputs: a small mixed corpus (scalar, memory, vector and
+#: division blocks) profiled on every modelled uarch.
+APPS = (("llvm", 10), ("openblas", 6), ("gzip", 6))
+SEED = 11
+UARCHES = ("ivybridge", "haswell", "skylake")
+
+
+def build_records():
+    from repro.corpus.dataset import BlockRecord, Corpus, \
+        build_application
+    records = []
+    for app, count in APPS:
+        for record in build_application(app, count=count, seed=SEED):
+            records.append(BlockRecord(
+                block=record.block, application=app,
+                frequency=record.frequency, block_id=len(records)))
+    return Corpus(records)
+
+
+def main() -> None:
+    from repro.eval.validation import profile_corpus_detailed
+
+    corpus = build_records()
+    corpus_doc = {
+        "seed": SEED,
+        "blocks": [{"block_id": r.block_id,
+                    "application": r.application,
+                    "frequency": r.frequency,
+                    "text": r.block.text()} for r in corpus],
+    }
+    with open(os.path.join(HERE, "golden_corpus.json"), "w") as fh:
+        json.dump(corpus_doc, fh, indent=1)
+        fh.write("\n")
+
+    for uarch in UARCHES:
+        profile = profile_corpus_detailed(corpus, uarch, seed=SEED)
+        doc = {"uarch": uarch, "seed": SEED,
+               "throughputs": {str(k): v
+                               for k, v in profile.throughputs.items()},
+               "funnel": profile.funnel}
+        path = os.path.join(HERE, f"golden_profile_{uarch}.json")
+        with open(path, "w") as fh:
+            json.dump(doc, fh, indent=1)
+            fh.write("\n")
+        print(f"wrote {path}: {profile.funnel}")
+
+
+if __name__ == "__main__":
+    main()

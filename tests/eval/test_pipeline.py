@@ -28,21 +28,64 @@ class TestLaziness:
 class TestMeasurementCache:
     def test_disk_cache_roundtrip(self, tiny, tmp_path):
         first = tiny.measured("haswell")
-        files = [f for f in os.listdir(tmp_path)
-                 if f.startswith("measured_")]
-        assert len(files) == 1
+        dirs = [f for f in os.listdir(tmp_path)
+                if f.startswith("measured_v3_")]
+        assert dirs == ["measured_v3_main_haswell_9"]
+        assert os.listdir(tmp_path / dirs[0])  # per-shard entries
         # A fresh experiment object reads the cache instead of
         # re-simulating.
         again = Experiment(scale=0.0003, seed=9)
         assert again.measured("haswell") == first
+        assert again.funnel("haswell") == tiny.funnel("haswell")
 
-    def test_cache_keyed_by_corpus_content(self, tiny, tmp_path):
+    def test_cache_keyed_by_shard_content(self, tiny, tmp_path):
+        """v3 keys shard files by content digest: a different corpus
+        (different scale) adds new shard entries to the same
+        (tag, uarch, seed) directory instead of matching stale ones."""
         tiny.measured("haswell")
+        shard_dir = tmp_path / "measured_v3_main_haswell_9"
+        before = set(os.listdir(shard_dir))
         other = Experiment(scale=0.0004, seed=9)
         other.measured("haswell")
-        files = [f for f in os.listdir(tmp_path)
-                 if f.startswith("measured_")]
-        assert len(files) == 2
+        after = set(os.listdir(shard_dir))
+        assert after - before  # new content -> new shard entries
+
+    def test_grown_corpus_reprofiles_only_new_shards(self, tiny,
+                                                     tmp_path):
+        """Incremental invalidation: appending shard-aligned blocks
+        leaves existing shard entries valid, so a re-run only
+        profiles the tail."""
+        from repro.corpus.dataset import Corpus, build_application
+
+        records = build_application("llvm", count=40, seed=9).records
+        base = Corpus(records[:30])
+        grown = Corpus(records)  # base + one more 10-block shard
+
+        first = Experiment(scale=0.0003, seed=9, shard_size=10)
+        measured_base = first.measured("haswell", corpus=base)
+        shard_dir = tmp_path / "measured_v3_main_haswell_9"
+        before = set(os.listdir(shard_dir))
+        assert len(before) == 3
+
+        second = Experiment(scale=0.0003, seed=9, shard_size=10)
+        measured_grown = second.measured("haswell", corpus=grown)
+        after = set(os.listdir(shard_dir))
+        # Every pre-existing shard entry was reused verbatim; only
+        # the appended shard produced a new entry.
+        assert before <= after
+        assert len(after - before) == 1
+        for block_id, value in measured_base.items():
+            assert measured_grown[block_id] == value
+
+    def test_measured_jobs_override_is_bit_identical(self, tiny,
+                                                     tmp_path):
+        serial = tiny.measured("haswell")
+        import shutil
+        shutil.rmtree(tmp_path / "measured_v3_main_haswell_9")
+        fresh = Experiment(scale=0.0003, seed=9)
+        parallel = fresh.measured("haswell", jobs=2)
+        assert parallel == serial
+        assert fresh.funnel("haswell") == tiny.funnel("haswell")
 
     def test_validation_cached_per_uarch(self, tiny):
         val = tiny.validation("haswell")

@@ -1,0 +1,110 @@
+"""Differential determinism suite: parallel profiling is provably safe.
+
+The parallel engine's contract is *bit-for-bit* equivalence with the
+serial path — not "statistically close", identical.  For every
+microarchitecture and several seed/size configurations, the same
+corpus is profiled serially, with a 2-worker pool, and with an
+8-worker pool, and the three results are compared byte-for-byte after
+JSON serialisation: throughputs (values *and* insertion order),
+failure taxonomies, and funnel totals.
+
+A parallelism bug that perturbs even one block's timing, drops a
+block, or reorders a funnel bucket fails this suite.
+"""
+
+import json
+
+import pytest
+
+from repro.corpus.dataset import build_application
+from repro.eval.pipeline import Experiment
+from repro.eval.validation import profile_corpus_detailed
+from repro.parallel import profile_corpus_sharded
+
+UARCHES = ("ivybridge", "haswell", "skylake")
+
+#: (application, block count, machine seed) — two sizes and two seeds
+#: per uarch, with vector-heavy blocks in the mix (openblas) so the
+#: AVX2 drop path on Ivy Bridge is exercised too.
+CONFIGS = (
+    ("llvm", 22, 0),
+    ("openblas", 33, 7),
+)
+
+
+def _payload(profile) -> str:
+    """Canonical bytes of a profile: order-sensitive on purpose."""
+    return json.dumps({"throughputs": profile.throughputs,
+                       "funnel": profile.funnel})
+
+
+@pytest.mark.parametrize("uarch", UARCHES)
+@pytest.mark.parametrize("app,count,seed", CONFIGS)
+def test_serial_vs_pool_bit_identical(uarch, app, count, seed):
+    corpus = build_application(app, count=count, seed=seed)
+    serial = profile_corpus_detailed(corpus, uarch, seed=seed)
+    jobs2 = profile_corpus_sharded(corpus, uarch, seed=seed,
+                                   jobs=2, shard_size=8)
+    jobs8 = profile_corpus_sharded(corpus, uarch, seed=seed,
+                                   jobs=8, shard_size=4)
+
+    assert _payload(serial) == _payload(jobs2)
+    assert _payload(serial) == _payload(jobs8)
+
+    # Failure taxonomy agrees reason by reason.
+    assert serial.funnel["dropped"] == jobs2.funnel["dropped"] \
+        == jobs8.funnel["dropped"]
+
+
+@pytest.mark.parametrize("uarch", UARCHES)
+def test_funnel_accounts_for_every_block(uarch):
+    corpus = build_application("llvm", count=26, seed=4)
+    profile = profile_corpus_sharded(corpus, uarch, seed=4,
+                                     jobs=2, shard_size=8)
+    funnel = profile.funnel
+    assert funnel["total"] == len(corpus)
+    assert funnel["accepted"] + sum(funnel["dropped"].values()) \
+        == len(corpus)
+    assert funnel["accepted"] == len(profile.throughputs)
+
+
+def test_shard_size_does_not_change_results():
+    """The shard boundary is an implementation detail, not a timing
+    input: any shard size yields the same bytes."""
+    corpus = build_application("llvm", count=21, seed=2)
+    profiles = [profile_corpus_sharded(corpus, "haswell", seed=2,
+                                       jobs=2, shard_size=size)
+                for size in (1, 5, 21, 64)]
+    payloads = {_payload(p) for p in profiles}
+    assert len(payloads) == 1
+
+
+class TestPipelineFunnelEquality:
+    """Acceptance criterion: the Table-I funnel from a ``jobs=4``
+    pipeline run equals the serial funnel exactly."""
+
+    SCALE = 0.0001  # ~50 blocks of the full suite, all ten apps
+
+    def _run(self, tmp_path, jobs):
+        import os
+        cache = tmp_path / f"cache_jobs{jobs}"
+        old = os.environ.get("REPRO_CACHE")
+        os.environ["REPRO_CACHE"] = str(cache)
+        try:
+            experiment = Experiment(scale=self.SCALE, seed=7, jobs=jobs)
+            measured = experiment.measured("haswell")
+            return measured, experiment.funnel("haswell")
+        finally:
+            if old is None:
+                os.environ.pop("REPRO_CACHE", None)
+            else:
+                os.environ["REPRO_CACHE"] = old
+
+    def test_jobs4_matches_serial_exactly(self, tmp_path):
+        serial_measured, serial_funnel = self._run(tmp_path, jobs=1)
+        pool_measured, pool_funnel = self._run(tmp_path, jobs=4)
+        assert json.dumps(serial_measured) == json.dumps(pool_measured)
+        assert json.dumps(serial_funnel) == json.dumps(pool_funnel)
+        assert serial_funnel["accepted"] \
+            + sum(serial_funnel["dropped"].values()) \
+            == serial_funnel["total"]

@@ -1,0 +1,161 @@
+"""Fault injection: worker death must degrade, never corrupt.
+
+The stubs below stand in for the real shard worker (they are
+module-level so the pool can pickle them by reference).  Three failure
+shapes are injected — a clean exception, a hard process death, and a
+hang past the shard timeout — and in every case the engine must (a)
+retry the shard serially in the parent, (b) fall back to the
+``worker_failure`` funnel bucket only if the retry fails too, and
+(c) leave the shard cache exactly as correct as before: successful
+shards cached atomically, failed shards absent, never a half-written
+file.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.corpus.dataset import build_application
+from repro.eval.validation import CorpusProfile, profile_corpus_detailed
+from repro.parallel import (ShardCache, profile_corpus_sharded,
+                            shard_corpus)
+from repro.profiler.result import FailureReason
+
+
+# --- picklable worker stubs -------------------------------------------------
+
+def worker_raises(descriptor, config, index, records):
+    raise RuntimeError("injected worker exception")
+
+
+def worker_dies(descriptor, config, index, records):
+    os._exit(13)  # hard death: BrokenProcessPool in the parent
+
+
+def worker_hangs(descriptor, config, index, records):
+    time.sleep(120)
+
+
+def serial_retry_fails(descriptor, config, shard):
+    raise RuntimeError("injected retry failure")
+
+
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_application("llvm", count=16, seed=3)
+
+
+@pytest.fixture(scope="module")
+def serial(corpus):
+    return profile_corpus_detailed(corpus, "haswell", seed=0)
+
+
+def _bytes(profile):
+    return json.dumps({"t": profile.throughputs, "f": profile.funnel})
+
+
+@pytest.mark.parametrize("stub", [worker_raises, worker_dies],
+                         ids=["exception", "process-death"])
+def test_failed_worker_is_retried_serially(corpus, serial, stub):
+    stats = {}
+    profile = profile_corpus_sharded(corpus, "haswell", seed=0,
+                                     jobs=2, shard_size=8,
+                                     worker_fn=stub, stats=stats)
+    assert _bytes(profile) == _bytes(serial)  # rescue is bit-exact
+    assert stats["retried"] == stats["shards"] == 2
+    assert stats["failed"] == 0
+
+
+def test_hanging_worker_times_out_and_is_rescued(corpus, serial):
+    stats = {}
+    start = time.perf_counter()
+    profile = profile_corpus_sharded(corpus, "haswell", seed=0,
+                                     jobs=2, shard_size=8,
+                                     shard_timeout=1.0,
+                                     worker_fn=worker_hangs,
+                                     stats=stats)
+    assert _bytes(profile) == _bytes(serial)
+    assert stats["retried"] == 2
+    # The hung workers were terminated, not waited out.
+    assert time.perf_counter() - start < 60
+
+
+def test_double_failure_lands_in_worker_failure_bucket(corpus):
+    stats = {}
+    profile = profile_corpus_sharded(corpus, "haswell", seed=0,
+                                     jobs=2, shard_size=8,
+                                     worker_fn=worker_raises,
+                                     serial_fn=serial_retry_fails,
+                                     stats=stats)
+    reason = FailureReason.WORKER_FAILURE.value
+    assert profile.throughputs == {}
+    assert profile.funnel == {
+        "total": len(corpus), "accepted": 0,
+        "dropped": {reason: len(corpus)}}
+    assert stats["failed"] == 2
+
+
+class TestCacheIntegrityUnderFailure:
+    def test_failed_shards_never_reach_the_cache(self, corpus, tmp_path):
+        cache = ShardCache(str(tmp_path))
+        profile_corpus_sharded(corpus, "haswell", seed=0, jobs=2,
+                               shard_size=8, cache=cache,
+                               worker_fn=worker_raises,
+                               serial_fn=serial_retry_fails)
+        assert cache.shard_files() == []
+        assert not any(n.endswith(".tmp") for n in os.listdir(tmp_path))
+
+    def test_rescued_shards_are_cached_correctly(self, corpus, serial,
+                                                 tmp_path):
+        cache = ShardCache(str(tmp_path))
+        profile_corpus_sharded(corpus, "haswell", seed=0, jobs=2,
+                               shard_size=8, cache=cache,
+                               worker_fn=worker_dies)
+        assert len(cache.shard_files()) == 2
+        # Cached bytes replay the serial result exactly.
+        replay = profile_corpus_sharded(corpus, "haswell", seed=0,
+                                        jobs=2, shard_size=8,
+                                        cache=cache,
+                                        worker_fn=worker_raises,
+                                        serial_fn=serial_retry_fails)
+        assert _bytes(replay) == _bytes(serial)
+
+    def test_kill_mid_write_leaves_no_visible_entry(self, corpus,
+                                                    tmp_path,
+                                                    monkeypatch):
+        """Atomicity: dying between the temp write and ``os.replace``
+        (or mid temp write) must not surface a shard entry."""
+        cache = ShardCache(str(tmp_path))
+        (shard,) = shard_corpus(corpus.records[:8], 8)
+        profile = CorpusProfile(
+            throughputs={r.block_id: 1.0 for r in shard.records},
+            funnel={"total": 8, "accepted": 8, "dropped": {}})
+
+        # Kill #1: process dies before the rename — only the temp
+        # file exists on disk.
+        def exploding_replace(src, dst):
+            raise KeyboardInterrupt("kill -9 arrives here")
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(KeyboardInterrupt):
+            cache.store(shard, profile)
+        monkeypatch.undo()
+        assert cache.load(shard) is None
+        assert cache.shard_files() == []
+
+        # Kill #2: a truncated temp file left behind by a dead pid is
+        # ignored by the loader and never shadows the real entry.
+        orphan = cache.path_for(shard) + ".9999.tmp"
+        with open(orphan, "w") as fh:
+            fh.write('{"version": 3, "truncat')
+        assert cache.load(shard) is None
+
+        # A later clean write goes through untouched.
+        cache.store(shard, profile)
+        assert cache.load(shard) is not None
+        loaded = cache.load(shard)
+        assert loaded.throughputs == profile.throughputs
+        assert loaded.funnel == profile.funnel

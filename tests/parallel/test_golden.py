@@ -1,0 +1,79 @@
+"""Golden regression corpus: simulator timing drift fails loudly.
+
+A small frozen corpus (``tests/data/golden_corpus.json`` — block
+*texts*, not generator calls, so corpus synthesis changes cannot move
+it) with the exact expected profile per uarch checked in beside it.
+Any change to the scheduler, timing tables, cache model, noise
+parameters, or acceptance policy that shifts a single throughput or
+funnel count fails here with a pointed message.
+
+Intentional timing changes: regenerate with
+
+    PYTHONPATH=src python tests/data/regen_golden.py
+
+and commit the new golden files with the change that moved them.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.corpus.dataset import BlockRecord, Corpus
+from repro.eval.validation import profile_corpus_detailed
+from repro.isa.parser import parse_block
+from repro.parallel import profile_corpus_sharded
+
+DATA = os.path.join(os.path.dirname(__file__), "..", "data")
+REGEN = "PYTHONPATH=src python tests/data/regen_golden.py"
+
+UARCHES = ("ivybridge", "haswell", "skylake")
+
+
+def _load_json(name):
+    with open(os.path.join(DATA, name)) as fh:
+        return json.load(fh)
+
+
+@pytest.fixture(scope="module")
+def golden_corpus():
+    doc = _load_json("golden_corpus.json")
+    records = [BlockRecord(block=parse_block(b["text"]),
+                           application=b["application"],
+                           frequency=b["frequency"],
+                           block_id=b["block_id"])
+               for b in doc["blocks"]]
+    return doc["seed"], Corpus(records)
+
+
+@pytest.mark.parametrize("uarch", UARCHES)
+def test_profile_matches_golden_exactly(golden_corpus, uarch):
+    seed, corpus = golden_corpus
+    expected = _load_json(f"golden_profile_{uarch}.json")
+    profile = profile_corpus_detailed(corpus, uarch, seed=seed)
+    actual_tp = {str(k): v for k, v in profile.throughputs.items()}
+
+    drifted = {
+        bid: (actual_tp.get(bid), expected["throughputs"].get(bid))
+        for bid in set(actual_tp) | set(expected["throughputs"])
+        if actual_tp.get(bid) != expected["throughputs"].get(bid)
+    }
+    assert not drifted and profile.funnel == expected["funnel"], (
+        f"SIMULATOR TIMING DRIFT on {uarch}: "
+        f"{len(drifted)} block(s) changed "
+        f"(e.g. {dict(list(drifted.items())[:3])}), "
+        f"funnel {profile.funnel} vs {expected['funnel']}.\n"
+        f"If this change is intentional, regenerate the golden files "
+        f"({REGEN}) and commit them with an explanation; if not, you "
+        f"just caught an accidental timing regression.")
+
+
+def test_parallel_run_matches_golden(golden_corpus):
+    """The golden files also pin the parallel engine end to end."""
+    seed, corpus = golden_corpus
+    expected = _load_json("golden_profile_haswell.json")
+    profile = profile_corpus_sharded(corpus, "haswell", seed=seed,
+                                     jobs=2, shard_size=8)
+    assert {str(k): v for k, v in profile.throughputs.items()} \
+        == expected["throughputs"]
+    assert profile.funnel == expected["funnel"]

@@ -1,0 +1,147 @@
+"""Shard cache v3: layout, defensive loads, legacy migration."""
+
+import json
+import os
+
+import pytest
+
+from repro.corpus.dataset import BlockRecord, build_application
+from repro.eval.validation import CorpusProfile
+from repro.parallel import ShardCache, merge_profiles, shard_corpus
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return build_application("llvm", count=20, seed=6)
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return ShardCache(str(tmp_path))
+
+
+def _profile_for(shard, value=2.0, drop_every=5):
+    throughputs, dropped = {}, 0
+    for i, record in enumerate(shard.records):
+        if drop_every and i % drop_every == drop_every - 1:
+            dropped += 1
+        else:
+            throughputs[record.block_id] = value + i
+    return CorpusProfile(
+        throughputs=throughputs,
+        funnel={"total": len(shard), "accepted": len(throughputs),
+                "dropped": {"sigfpe": dropped} if dropped else {}})
+
+
+class TestRoundTrip:
+    def test_store_load_identity(self, corpus, cache):
+        for shard in shard_corpus(corpus, 6):
+            profile = _profile_for(shard)
+            cache.store(shard, profile)
+            loaded = cache.load(shard)
+            assert loaded.throughputs == profile.throughputs
+            assert loaded.funnel == profile.funnel
+
+    def test_offset_keying_survives_id_shifts(self, corpus, cache):
+        """Same content, shifted block ids: the cached shard is still
+        valid and remaps to the new ids — the property that makes a
+        grown corpus incremental."""
+        (shard,) = shard_corpus(corpus.records[:6], 6)
+        cache.store(shard, _profile_for(shard, drop_every=0))
+
+        shifted_records = [
+            BlockRecord(block=r.block, application=r.application,
+                        frequency=r.frequency, block_id=r.block_id + 100)
+            for r in shard.records]
+        (shifted,) = shard_corpus(shifted_records, 6)
+        assert shifted.digest == shard.digest  # content-addressed
+        loaded = cache.load(shifted)
+        assert set(loaded.throughputs) == \
+            {r.block_id for r in shifted_records}
+
+    def test_no_temp_files_after_store(self, corpus, cache, tmp_path):
+        for shard in shard_corpus(corpus, 8):
+            cache.store(shard, _profile_for(shard))
+        assert not any(name.endswith(".tmp")
+                       for name in os.listdir(tmp_path))
+
+
+class TestDefensiveLoads:
+    def _stored(self, corpus, cache):
+        (shard,) = shard_corpus(corpus.records[:4], 4)
+        cache.store(shard, _profile_for(shard))
+        return shard
+
+    def test_missing_is_none(self, corpus, cache):
+        (shard,) = shard_corpus(corpus.records[:4], 4)
+        assert cache.load(shard) is None
+
+    def test_truncated_json_is_a_miss(self, corpus, cache):
+        shard = self._stored(corpus, cache)
+        with open(cache.path_for(shard), "w") as fh:
+            fh.write('{"version": 3, "throughputs": {')
+        assert cache.load(shard) is None
+
+    def test_wrong_version_is_a_miss(self, corpus, cache):
+        shard = self._stored(corpus, cache)
+        path = cache.path_for(shard)
+        with open(path) as fh:
+            doc = json.load(fh)
+        doc["version"] = 2
+        with open(path, "w") as fh:
+            json.dump(doc, fh)
+        assert cache.load(shard) is None
+
+    def test_incoherent_funnel_is_a_miss(self, corpus, cache):
+        shard = self._stored(corpus, cache)
+        path = cache.path_for(shard)
+        with open(path) as fh:
+            doc = json.load(fh)
+        doc["funnel"]["accepted"] += 1  # no longer covers the shard
+        with open(path, "w") as fh:
+            json.dump(doc, fh)
+        assert cache.load(shard) is None
+
+
+class TestLegacyImport:
+    def test_v2_split_preserves_merged_funnel_exactly(self, corpus,
+                                                      cache):
+        shards = shard_corpus(corpus, 6)
+        whole = merge_profiles(
+            [(s, _profile_for(s, drop_every=3)) for s in shards])
+        assert len(whole.funnel["dropped"]) >= 1
+
+        imported = cache.import_v2(shards, whole)
+        assert imported == len(shards)
+        remerged = merge_profiles(
+            [(s, cache.load(s)) for s in shards])
+        assert remerged.throughputs == whole.throughputs
+        assert remerged.funnel == whole.funnel
+
+    def test_multi_reason_drops_survive_in_aggregate(self, corpus,
+                                                     cache):
+        shards = shard_corpus(corpus, 5)
+        throughputs = {r.block_id: 1.5 for s in shards
+                       for r in s.records[:-1]}
+        dropped_total = sum(1 for s in shards) # one per shard
+        whole = CorpusProfile(
+            throughputs=throughputs,
+            funnel={"total": len(corpus),
+                    "accepted": len(throughputs),
+                    "dropped": {"sigfpe": 1, "unstable_timing": 2,
+                                "segfault": dropped_total - 3}})
+        cache.import_v2(shards, whole)
+        remerged = merge_profiles([(s, cache.load(s)) for s in shards])
+        assert remerged.funnel == whole.funnel
+        assert remerged.throughputs == whole.throughputs
+
+    def test_import_skips_native_entries(self, corpus, cache):
+        shards = shard_corpus(corpus, 6)
+        native = _profile_for(shards[0], value=9.0, drop_every=0)
+        cache.store(shards[0], native)
+        whole = merge_profiles(
+            [(s, _profile_for(s, drop_every=0)) for s in shards])
+        imported = cache.import_v2(shards, whole)
+        assert imported == len(shards) - 1
+        kept = cache.load(shards[0])
+        assert kept.throughputs == native.throughputs
