@@ -198,6 +198,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--trace", metavar="FILE", default=None,
                        help="enable telemetry and export the NDJSON "
                             "event stream to FILE")
+        p.add_argument("--no-fastpath", action="store_true",
+                       help="disable the simulation-core fast path "
+                            "(same results, slower; use with --trace "
+                            "to debug a suspected divergence)")
 
     def jobs_arg(p):
         p.add_argument("--jobs", type=int, default=None, metavar="N",
@@ -261,6 +265,10 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     from repro import telemetry
     args = build_parser().parse_args(argv)
+    if getattr(args, "no_fastpath", False):
+        # Exported (not set programmatically) so worker processes
+        # spawned by --jobs inherit the setting.
+        os.environ["REPRO_NO_FASTPATH"] = "1"
     trace = getattr(args, "trace", None)
     if trace:
         telemetry.enable(trace)

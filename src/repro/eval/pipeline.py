@@ -136,6 +136,7 @@ class Experiment:
     _measured: Dict[str, Dict[int, float]] = field(default_factory=dict,
                                                    repr=False)
     _funnels: Dict[str, Dict] = field(default_factory=dict, repr=False)
+    _infos: Dict[str, Dict] = field(default_factory=dict, repr=False)
     _validations: Dict[str, ValidationResult] = field(
         default_factory=dict, repr=False)
     _models: Optional[List[CostModel]] = field(default=None, repr=False)
@@ -230,6 +231,7 @@ class Experiment:
                 sp.annotate(cache="hit")
         self._measured[key] = profile.throughputs
         self._funnels[key] = profile.funnel
+        self._infos[key] = profile.info
         return profile.throughputs
 
     @staticmethod
@@ -262,6 +264,14 @@ class Experiment:
         """
         return self._funnels.get(f"{tag}:{uarch}")
 
+    def info(self, uarch: str, tag: str = "main") -> Optional[Dict]:
+        """Informational per-run tallies (e.g. fast-path usage).
+
+        ``None`` until :meth:`measured` has run.  Unlike the funnel,
+        these never affect accepted/dropped accounting.
+        """
+        return self._infos.get(f"{tag}:{uarch}")
+
     def validation(self, uarch: str) -> ValidationResult:
         """Full §V validation for one microarchitecture (cached).
 
@@ -292,6 +302,11 @@ class Experiment:
         funnel = self.funnel(uarch)
         if funnel is not None and not funnel.get("total"):
             funnel = None  # legacy cache: fall back to live counters
+        info = self.info(uarch)
+        if funnel is not None and info:
+            # Attach at report-build time only: the stored funnel stays
+            # byte-identical whether the fast path ran or not.
+            funnel = {**funnel, "info": dict(info)}
         report = telemetry.build_run_report(
             telemetry.registry(), name=f"run_validation_{uarch}",
             meta={"uarch": uarch, "scale": self.scale,

@@ -104,10 +104,17 @@ class CorpusProfile:
     ``funnel`` is the run-report analogue of the paper's Table I:
     ``accepted`` plus every ``dropped`` count sums to ``total`` (the
     corpus size), so no block silently disappears from the pipeline.
+
+    ``info`` carries purely informational per-run telemetry (currently
+    ``fastpath_extrapolated``: blocks whose measurement used the
+    steady-state fast path).  It is kept *outside* the funnel so the
+    funnel — and therefore accepted/dropped accounting — stays
+    byte-identical whether the fast path is on or off.
     """
 
     throughputs: Dict[int, float]
     funnel: Dict
+    info: Dict = field(default_factory=dict)
 
     @staticmethod
     def empty_funnel(total: int = 0) -> Dict:
@@ -124,6 +131,7 @@ def profile_records_detailed(profiler: BasicBlockProfiler,
     """
     throughputs: Dict[int, float] = {}
     funnel = CorpusProfile.empty_funnel()
+    info: Dict[str, int] = {}
     for record in records:
         funnel["total"] += 1
         result = profiler.profile(record.block)
@@ -135,7 +143,11 @@ def profile_records_detailed(profiler: BasicBlockProfiler,
                       else result.failure.value)
             funnel["dropped"][reason] = \
                 funnel["dropped"].get(reason, 0) + 1
-    return CorpusProfile(throughputs=throughputs, funnel=funnel)
+        if result.extra.get("fastpath_extrapolated"):
+            info["fastpath_extrapolated"] = \
+                info.get("fastpath_extrapolated", 0) + 1
+    return CorpusProfile(throughputs=throughputs, funnel=funnel,
+                         info=info)
 
 
 def profile_corpus_detailed(corpus: Corpus, uarch: str, seed: int = 0,

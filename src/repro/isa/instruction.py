@@ -37,6 +37,20 @@ class Instruction:
                 f"{self.mnemonic} takes {info.arity} operands, "
                 f"got {len(self.operands)}")
 
+    def __hash__(self) -> int:
+        """Cached field hash.
+
+        Instructions are deeply immutable but hashed hot — they key
+        the decomposer's memo and the parse intern table — so the
+        recursive operand-tuple walk is paid once per object instead
+        of once per lookup.
+        """
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = hash((self.mnemonic, self.operands))
+            object.__setattr__(self, "_hash", h)
+        return h
+
     @cached_property
     def info(self) -> OpcodeInfo:
         return opcode_info(self.mnemonic)

@@ -14,9 +14,11 @@ width.
 from __future__ import annotations
 
 import re
+from functools import lru_cache
 from typing import List, Optional, Tuple
 
 from repro.errors import AsmSyntaxError
+from repro.simcore import config as simcore
 from repro.isa import registers as regs
 from repro.isa.instruction import BasicBlock, Instruction
 from repro.isa.opcodes import is_known
@@ -259,14 +261,35 @@ def parse_intel_instruction(line: str) -> Instruction:
 # Entry points
 # --------------------------------------------------------------------------
 
+def _parse_instruction_impl(stripped: str) -> Instruction:
+    if "%" in stripped:
+        return parse_att_instruction(stripped)
+    return parse_intel_instruction(stripped)
+
+
+@lru_cache(maxsize=65536)
+def _parse_instruction_interned(stripped: str) -> Instruction:
+    """Intern table: one :class:`Instruction` per distinct source line.
+
+    Safe because instructions are deeply immutable; the key is the
+    *raw* stripped line, so the two syntaxes (or immediate spelling
+    variants) never collide — equal-but-distinct lines simply produce
+    equal instructions from separate entries.  Exceptions propagate
+    uncached.  Interning also concentrates the per-instruction
+    ``cached_property`` work (register sets, widths, opcode info) on
+    one shared object per distinct line across the whole corpus.
+    """
+    return _parse_instruction_impl(stripped)
+
+
 def parse_instruction(line: str) -> Instruction:
     """Parse a single instruction, auto-detecting the syntax."""
     stripped = line.strip()
     if not stripped:
         raise AsmSyntaxError("empty instruction")
-    if "%" in stripped:
-        return parse_att_instruction(stripped)
-    return parse_intel_instruction(stripped)
+    if simcore.enabled():
+        return _parse_instruction_interned(stripped)
+    return _parse_instruction_impl(stripped)
 
 
 def _strip_comment(line: str) -> str:

@@ -122,19 +122,24 @@ def _terminate_pool(pool: ProcessPoolExecutor) -> None:
     pool.shutdown(wait=False, cancel_futures=True)
 
 
-def _replicate_profiler_counters(funnel: Dict) -> None:
-    """Mirror a worker-produced funnel into the parent's counters.
+def _replicate_profiler_counters(profile: CorpusProfile) -> None:
+    """Mirror a worker-produced profile into the parent's counters.
 
     Workers keep their own (reset) telemetry, so the per-block
     ``profiler.*`` counters they would have bumped are lost to the
-    parent; re-derive them from the funnel so run reports built from
-    counters stay consistent with the merged profile.
+    parent; re-derive them from the funnel (and the informational
+    ``info`` tallies, e.g. ``fastpath_extrapolated``) so run reports
+    built from counters stay consistent with the merged profile.
     """
+    funnel = profile.funnel
     telemetry.count("profiler.blocks_total", funnel["total"])
     if funnel["accepted"]:
         telemetry.count("profiler.blocks_accepted", funnel["accepted"])
     for reason, dropped in funnel["dropped"].items():
         telemetry.count(f"profiler.failure.{reason}", dropped)
+    for name, value in (profile.info or {}).items():
+        if value:
+            telemetry.count(f"profiler.{name}", value)
 
 
 def profile_corpus_sharded(corpus: Corpus, uarch: str, seed: int = 0,
@@ -210,7 +215,7 @@ def profile_corpus_sharded(corpus: Corpus, uarch: str, seed: int = 0,
                     profile = retry(descriptor, config, shard)
                     results[shard.index] = profile
                     run_stats["profiled"] += 1
-                    _replicate_profiler_counters(profile.funnel)
+                    _replicate_profiler_counters(profile)
                     _store(cache, shard, profile, run_stats)
                 except Exception as exc:
                     run_stats["failed"] += 1
@@ -265,7 +270,7 @@ def _run_pool(pending: Sequence[Shard],
                 index, profile = future.result(timeout=shard_timeout)
                 results[index] = profile
                 run_stats["profiled"] += 1
-                _replicate_profiler_counters(profile.funnel)
+                _replicate_profiler_counters(profile)
                 _store(cache, shard, profile, run_stats)
             except Exception as exc:  # TimeoutError, BrokenProcessPool,
                 # or whatever the worker raised — all retried serially.

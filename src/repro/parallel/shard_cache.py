@@ -99,7 +99,8 @@ class ShardCache:
         return CorpusProfile(throughputs=throughputs,
                              funnel={"total": funnel["total"],
                                      "accepted": funnel["accepted"],
-                                     "dropped": dict(dropped)})
+                                     "dropped": dict(dropped)},
+                             info=dict(doc.get("info") or {}))
 
     def store(self, shard: Shard, profile: CorpusProfile) -> None:
         """Atomically persist one shard's profile."""
@@ -112,7 +113,8 @@ class ShardCache:
                    "digest": shard.digest,
                    "count": len(shard),
                    "throughputs": by_offset,
-                   "funnel": profile.funnel}
+                   "funnel": profile.funnel,
+                   "info": profile.info}
         path = self.path_for(shard)
         tmp = f"{path}.{os.getpid()}.tmp"
         try:

@@ -125,7 +125,12 @@ def merge_profiles(shard_profiles: Iterable[Tuple[Shard, CorpusProfile]]
                         f"across shards")
                 throughputs[record.block_id] = value
     funnel = merge_funnels([profile.funnel for _, profile in ordered])
-    return CorpusProfile(throughputs=throughputs, funnel=funnel)
+    info: Dict[str, int] = {}
+    for _, profile in ordered:
+        for key, value in (profile.info or {}).items():
+            info[key] = info.get(key, 0) + value
+    return CorpusProfile(throughputs=throughputs, funnel=funnel,
+                         info=info)
 
 
 def partition_check(corpus: Corpus, shards: Sequence[Shard]) -> None:

@@ -10,6 +10,13 @@ Here the child is the functional executor and SIGSEGV is
 :class:`~repro.errors.MemoryFault`; the control flow is identical,
 including the full restart (re-initialisation guarantees that the
 final measurement run reproduces the mapping run's address trace).
+
+With the simulation-core fast path enabled (:mod:`repro.simcore`), the
+full restart is replaced by a checkpointing session
+(:class:`repro.simcore.fastrun.BlockRun`) that resumes after each
+mapped fault and extrapolates the steady tail — provably producing the
+same trace and the same page mappings, which the differential suite
+under ``tests/simcore`` verifies block by block.
 """
 
 from __future__ import annotations
@@ -25,6 +32,8 @@ from repro.profiler.result import FailureReason
 from repro.runtime.executor import Executor
 from repro.runtime.memory import is_valid_address
 from repro.runtime.trace import ExecutionTrace
+from repro.simcore import config as simcore
+from repro.simcore.fastrun import BlockRun
 
 #: Fig. 2's ``maxNumFaults``.
 DEFAULT_MAX_FAULTS = 64
@@ -54,10 +63,17 @@ def map_pages(env: Environment, block: BasicBlock, unroll: int,
     """
     executor = Executor(env.state, env.memory)
     num_faults = 0
-    while True:
+    session = None
+    if simcore.enabled():
         env.reinitialize()
+        session = BlockRun(executor, block, unroll)
+    while True:
         try:
-            trace = executor.execute_block(block, unroll=unroll)
+            if session is not None:
+                trace = session.run()
+            else:
+                env.reinitialize()
+                trace = executor.execute_block(block, unroll=unroll)
         except InvalidAddressFault as fault:
             return MappingOutcome(False, num_faults, env.pages_mapped,
                                   FailureReason.INVALID_ADDRESS,

@@ -25,6 +25,10 @@ from repro.isa.instruction import BasicBlock
 #: unroll factor is 100").
 NAIVE_UNROLL = 100
 
+#: Default small factor of the two-factor plan (``ProfilerConfig``
+#: overrides; the benches use the paper's ~100).
+BASE_FACTOR = 16
+
 
 @dataclass(frozen=True)
 class UnrollPlan:
@@ -50,7 +54,7 @@ def naive_plan(unroll: int = NAIVE_UNROLL) -> UnrollPlan:
 
 def two_factor_plan(block: BasicBlock,
                     icache_bytes: int = 32 * 1024,
-                    base_factor: int = 16,
+                    base_factor: int = BASE_FACTOR,
                     headroom: float = 0.75) -> UnrollPlan:
     """Pick (u, 2u) such that 2u copies fit comfortably in L1I.
 

@@ -80,13 +80,24 @@ class Executor:
         Raises on faults; the caller (monitor) handles them.
         """
         trace = ExecutionTrace(block_len=len(block), unroll=unroll)
+        # The hottest loop in the simulator: semantic handlers are
+        # pre-resolved per static slot and every per-event lookup is
+        # bound to a local.  A slot without a handler falls back to
+        # ``execute_instruction`` so unsupported instructions raise at
+        # the same dynamic position with the same message.
+        plan = handler_plan(block)
+        events_append = trace.events.append
+        execute_instruction = self.execute_instruction
         index = 0
         for _ in range(unroll):
-            for slot, instr in enumerate(block.instructions):
+            for slot, (instr, handler) in enumerate(plan):
                 event = InstrEvent(index=index, slot=slot)
                 self._event = event
-                self.execute_instruction(instr)
-                trace.append(event)
+                if handler is None:
+                    execute_instruction(instr)
+                else:
+                    handler(self, instr)
+                events_append(event)
                 index += 1
         if telemetry.is_enabled():
             telemetry.count("runtime.blocks_executed")
@@ -243,6 +254,23 @@ class Executor:
 # ----------------------------------------------------------------------
 
 _SEMANTICS: Dict[str, Callable[[Executor, Instruction], None]] = {}
+
+
+def handler_plan(block: BasicBlock):
+    """Pre-resolved ``(instruction, handler)`` pairs for one block.
+
+    ``None`` handlers mark instructions that cannot execute (unknown
+    semantics or explicitly unsupported); callers invoke
+    ``Executor.execute_instruction`` for those so the exact error is
+    raised at the exact dynamic position a naive loop would raise it.
+    """
+    plan = []
+    for instr in block.instructions:
+        info = instr.info
+        handler = None if info.unsupported \
+            else _SEMANTICS.get(info.semantic)
+        plan.append((instr, handler))
+    return plan
 
 
 def _semantic(name: str):

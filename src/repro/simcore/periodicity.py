@@ -1,0 +1,104 @@
+"""Detecting steady state in execution traces.
+
+The profiler's re-initialisation discipline makes an unrolled run a
+deterministic function of the initial state, so once the per-iteration
+behaviour repeats it repeats forever.  Two detectors exploit that:
+
+* :func:`is_pure_register_block` — a static proof that every iteration
+  is identical: no memory traffic, no division faults, no FP assists.
+  One simulated iteration then determines the whole trace.
+* :func:`detect_event_periodicity` — a dynamic scan over a finished
+  trace for the smallest period ``q`` (up to :data:`MAX_PERIOD`) such
+  that every iteration from some start ``t`` on repeats the events of
+  the iteration ``q`` earlier.  Accumulator blocks whose *register*
+  state grows forever (so state-signature matching in the executor
+  never fires) are still event-periodic, which is what the timing
+  model cares about.
+
+Both report a ``(t, q)`` *steady witness*: iteration ``i`` behaves
+exactly like iteration ``i + q`` for all ``i >= t``.  A block whose
+memory footprint is still growing (the L1-overflow kernels that
+motivate the paper's two-unroll-factor technique) produces fresh
+addresses every iteration and therefore never gets a witness — the
+conservative bail-out the fast path's exactness argument needs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.isa.instruction import BasicBlock
+from repro.runtime.trace import ExecutionTrace
+
+#: Largest per-iteration period either detector looks for.  Real
+#: steady states in straight-line code are period 1 (occasionally 2,
+#: e.g. pointer-swap idioms); 4 gives margin without making boundary
+#: checks expensive.
+MAX_PERIOD = 4
+
+
+def is_pure_register_block(block: BasicBlock) -> bool:
+    """Every iteration provably identical, before executing any.
+
+    True only when no instruction can touch memory (including the
+    implicit stack traffic of ``push``/``pop``), fault arithmetically
+    (``div``/``idiv``), or fire an FP assist (any FP op can meet a
+    subnormal).  Such a block's dynamic events carry no addresses and
+    no flags of interest, so iteration 0 determines the whole trace.
+    """
+    for instr in block.instructions:
+        if instr.loads_memory or instr.stores_memory:
+            return False
+        if instr.mnemonic in ("push", "pop"):
+            return False
+        info = instr.info
+        if info.group == "int_div" or info.fp is not None:
+            return False
+    return True
+
+
+def iteration_signatures(trace: ExecutionTrace) -> List[Tuple]:
+    """Hashable per-iteration event signatures (addresses + assists)."""
+    block_len = trace.block_len
+    events = trace.events
+    return [
+        tuple((event.subnormal, event.div_class,
+               tuple((a.address, a.width, a.is_write)
+                     for a in event.accesses))
+              for event in events[i * block_len:(i + 1) * block_len])
+        for i in range(trace.unroll)
+    ]
+
+
+def detect_event_periodicity(trace: ExecutionTrace,
+                             max_period: int = MAX_PERIOD
+                             ) -> Optional[Tuple[int, int]]:
+    """Smallest-period steady witness ``(t, q)`` of a finished trace.
+
+    Requires at least two full periods of evidence inside the trace
+    (``t + 2q <= unroll``) so a coincidental last-iteration match
+    cannot produce a witness.  The result is cached on the trace
+    (``steady_from``/``period``), which also lets the executor's own
+    online detector pre-seed it.
+    """
+    if trace.period:
+        return (trace.steady_from, trace.period)
+    unroll = trace.unroll
+    block_len = trace.block_len
+    if unroll < 3 or len(trace.events) != unroll * block_len:
+        return None
+    sigs = iteration_signatures(trace)
+    for q in range(1, max_period + 1):
+        if 2 * q >= unroll:
+            break
+        if sigs[unroll - 1] != sigs[unroll - 1 - q]:
+            continue
+        i = unroll - 2 - q
+        while i >= 0 and sigs[i] == sigs[i + q]:
+            i -= 1
+        t = i + 1
+        if t + 2 * q <= unroll:
+            trace.steady_from = t
+            trace.period = q
+            return (t, q)
+    return None

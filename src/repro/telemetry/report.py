@@ -30,8 +30,20 @@ def default_report_dir() -> str:
     return os.environ.get("REPRO_REPORT_DIR", "reports")
 
 
+#: Informational funnel tallies: surfaced alongside the accept/drop
+#: rows but never counted into them, so ``accepted + dropped == total``
+#: holds regardless of which optimisations were active.
+INFO_COUNTERS = {"fastpath_extrapolated": "profiler.fastpath_extrapolated"}
+
+
 def funnel_from_counters(counters: Dict[str, int]) -> Dict:
-    """Derive the accept/drop funnel from the profiler's counters."""
+    """Derive the accept/drop funnel from the profiler's counters.
+
+    The funnel's accounting buckets come straight from accept/failure
+    counters; purely informational tallies (``fastpath_extrapolated``)
+    ride along under an ``info`` key and never change the
+    accepted/dropped totals.
+    """
     dropped = {
         name[len(FAILURE_PREFIX):]: value
         for name, value in counters.items()
@@ -40,7 +52,13 @@ def funnel_from_counters(counters: Dict[str, int]) -> Dict:
     accepted = counters.get("profiler.blocks_accepted", 0)
     total = counters.get("profiler.blocks_total",
                          accepted + sum(dropped.values()))
-    return {"total": total, "accepted": accepted, "dropped": dropped}
+    funnel = {"total": total, "accepted": accepted, "dropped": dropped}
+    info = {name: counters[counter]
+            for name, counter in INFO_COUNTERS.items()
+            if counters.get(counter)}
+    if info:
+        funnel["info"] = info
+    return funnel
 
 
 def _stage_rows(histograms: Dict[str, Dict]) -> List[Dict]:
@@ -128,7 +146,14 @@ def render_summary(report: Dict) -> str:
     for reason, n in sorted(dropped.items(), key=lambda kv: -kv[1]):
         rows.append((f"dropped: {reason}", n,
                      f"{n / total:.1%}" if total else "-"))
+    info: Dict[str, int] = funnel.get("info") or {}
+    for name, n in sorted(info.items()):
+        rows.append((f"info: {name}", n,
+                     f"{n / total:.1%}" if total else "-"))
     lines += _table(["outcome", "blocks", "share"], rows)
+    if info:
+        lines.append("(info rows are informational; accepted + dropped"
+                     " still sum to total)")
 
     stages = report.get("stages") or []
     if stages:

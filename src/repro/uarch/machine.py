@@ -18,14 +18,16 @@ from __future__ import annotations
 import math
 import random
 import zlib
-from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.isa.encoder import instruction_length
 from repro.isa.instruction import BasicBlock
 from repro.telemetry import core as telemetry
 from repro.runtime.memory import VirtualMemory
 from repro.runtime.trace import ExecutionTrace
+from repro.simcore import config as simcore
+from repro.simcore.periodicity import detect_event_periodicity
 from repro.uarch.caches import CacheModel
 from repro.uarch.counters import CounterSample
 from repro.uarch.scheduler import (DataflowScheduler, InstrAnnotation,
@@ -60,6 +62,15 @@ class RunResult:
     samples: List[CounterSample]
     schedule: ScheduleResult
     base_cycles: int
+    #: Informational fast-path accounting (``attempted``,
+    #: ``extrapolated``, per-layer flags); empty with the fast path
+    #: off.  Never feeds counters or acceptance.
+    fastpath: Dict[str, int] = field(default_factory=dict)
+    #: Synthesized result for ``checkpoint_unroll`` iterations,
+    #: byte-identical to a standalone :meth:`Machine.run` at that
+    #: unroll factor.  Present only when every precondition for the
+    #: combined two-factor fast path was certified.
+    checkpoint: Optional["RunResult"] = None
 
 
 class Machine:
@@ -101,12 +112,32 @@ class Machine:
     # ------------------------------------------------------------------
 
     def _data_cache_annotations(self, trace: ExecutionTrace,
-                                memory: VirtualMemory
-                                ) -> Tuple[List[InstrAnnotation], int, int]:
+                                memory: VirtualMemory,
+                                steady: Optional[Tuple[int, int]] = None
+                                ) -> Tuple[List[InstrAnnotation], int,
+                                           int, Optional[Tuple[int, int]],
+                                           int, int]:
         """Run the L1D model over the trace (warm-up pass + timed pass).
 
-        Returns per-dynamic-instruction annotations plus the timed
-        pass's read/write miss counts.
+        Returns per-dynamic-instruction annotations, the timed pass's
+        read/write miss counts, a steady witness for the *annotations*
+        (``(t, q)``: annotation of iteration ``i`` equals that of
+        ``i + q`` for ``i >= t``, or ``None``), how many tail
+        iterations were replicated rather than simulated, and the
+        iteration count at which the warm-up pass reached its all-hit
+        fixed point (``unroll`` when it never did).
+
+        ``steady`` is the trace's event-periodicity witness.  With it,
+        each pass stops once ``q`` consecutive steady iterations
+        produce no miss: the per-set LRU state is then at a fixed
+        point (an all-hit pass over a line set touches exactly those
+        lines, leaving last-access order — and therefore every future
+        decision — unchanged), so the remaining iterations are
+        verbatim copies.  Split-line penalties depend only on
+        addresses, which repeat by the witness, so replicated
+        annotations are exact.  Any miss resets the streak — a still
+        growing footprint (L1-overflow kernels) keeps missing and
+        never takes the shortcut.
         """
         desc = self.desc
         l1d = CacheModel(desc.l1d)
@@ -119,32 +150,127 @@ class Machine:
                 physical[address] = hit
             return hit
 
-        # Warm-up pass (the first, untimed execution in Fig. 2).
-        for access in trace.accesses:
-            l1d.access_range(paddr(access.address), access.width)
+        events = trace.events
+        if steady is None:
+            # Warm-up pass (the first, untimed execution in Fig. 2).
+            for access in trace.accesses:
+                l1d.access_range(paddr(access.address), access.width)
 
+            read_misses = 0
+            write_misses = 0
+            annotations: List[InstrAnnotation] = []
+            for event in events:
+                ann = InstrAnnotation(div_class=event.div_class,
+                                      subnormal=event.subnormal)
+                for access in event.accesses:
+                    misses = l1d.access_range(paddr(access.address),
+                                              access.width)
+                    penalty = misses * desc.l1_miss_penalty
+                    if access.crosses_line(desc.l1d.line_size):
+                        penalty += desc.split_line_penalty
+                    if access.is_write:
+                        write_misses += misses
+                        ann.write_accesses.append((access.address,
+                                                   access.width))
+                    else:
+                        read_misses += misses
+                        ann.read_accesses.append((access.address,
+                                                  access.width, penalty))
+                annotations.append(ann)
+            return (annotations, read_misses, write_misses, None, 0,
+                    trace.unroll)
+
+        t, q = steady
+        block_len = trace.block_len or 1
+        unroll = trace.unroll
+        line_size = desc.l1d.line_size
+        miss_penalty = desc.l1_miss_penalty
+        split_penalty = desc.split_line_penalty
+        access_range = l1d.access_range
+
+        # Warm-up pass, stopping at the all-hit fixed point: after a
+        # full period of hits, further whole periods leave the LRU
+        # recency order unchanged, so only the pass's trailing partial
+        # period (identical, by the witness, to the iterations right
+        # after the streak) still needs replaying.
+        streak = 0
+        warmup_fixed = unroll
+        for i in range(unroll):
+            missed = False
+            for event in events[i * block_len:(i + 1) * block_len]:
+                for access in event.accesses:
+                    if access_range(paddr(access.address), access.width):
+                        missed = True
+            if i >= t and not missed:
+                streak += 1
+                if streak >= q:
+                    warmup_fixed = i + 1
+                    remainder = (unroll - 1 - i) % q
+                    for event in events[(i + 1) * block_len:
+                                        (i + 1 + remainder) * block_len]:
+                        for access in event.accesses:
+                            access_range(paddr(access.address),
+                                         access.width)
+                    break
+            else:
+                streak = 0
+
+        # Timed pass, same early exit; the replicated tail shares the
+        # source annotations' access lists (consumers never mutate
+        # them) but gets fresh objects because ``fetch_stall`` is
+        # charged per dynamic instruction later.
         read_misses = 0
         write_misses = 0
-        annotations: List[InstrAnnotation] = []
-        for event in trace.events:
-            ann = InstrAnnotation(div_class=event.div_class,
-                                  subnormal=event.subnormal)
-            for access in event.accesses:
-                misses = l1d.access_range(paddr(access.address),
+        annotations = []
+        streak = 0
+        simulated = unroll
+        for i in range(unroll):
+            missed = False
+            for event in events[i * block_len:(i + 1) * block_len]:
+                ann = InstrAnnotation(div_class=event.div_class,
+                                      subnormal=event.subnormal)
+                for access in event.accesses:
+                    misses = access_range(paddr(access.address),
                                           access.width)
-                penalty = misses * desc.l1_miss_penalty
-                if access.crosses_line(desc.l1d.line_size):
-                    penalty += desc.split_line_penalty
-                if access.is_write:
-                    write_misses += misses
-                    ann.write_accesses.append((access.address,
-                                               access.width))
-                else:
-                    read_misses += misses
-                    ann.read_accesses.append((access.address,
-                                              access.width, penalty))
-            annotations.append(ann)
-        return annotations, read_misses, write_misses
+                    if misses:
+                        missed = True
+                    penalty = misses * miss_penalty
+                    if access.crosses_line(line_size):
+                        penalty += split_penalty
+                    if access.is_write:
+                        write_misses += misses
+                        ann.write_accesses.append((access.address,
+                                                   access.width))
+                    else:
+                        read_misses += misses
+                        ann.read_accesses.append((access.address,
+                                                  access.width, penalty))
+                annotations.append(ann)
+            if i >= t and not missed:
+                streak += 1
+                if streak >= q and i + 1 < unroll:
+                    simulated = i + 1
+                    break
+            else:
+                streak = 0
+
+        for index in range(simulated * block_len, unroll * block_len):
+            src = annotations[index - q * block_len]
+            annotations.append(InstrAnnotation(
+                div_class=src.div_class, subnormal=src.subnormal,
+                read_accesses=src.read_accesses,
+                write_accesses=src.write_accesses))
+
+        if simulated < unroll:
+            ann_steady = (simulated - q, q)
+        elif streak >= q:
+            # No tail left to replicate, but the final iterations were
+            # all-hit and event-periodic — still a valid witness.
+            ann_steady = (unroll - streak, q)
+        else:
+            ann_steady = None
+        return (annotations, read_misses, write_misses, ann_steady,
+                unroll - simulated, warmup_fixed)
 
     #: Fraction of capacity-exceeded code lines that still demand-miss
     #: past the L1I next-line prefetcher.  Straight-line benchmark code
@@ -192,20 +318,63 @@ class Machine:
 
     def run(self, block: BasicBlock, unroll: int, trace: ExecutionTrace,
             memory: VirtualMemory, reps: int = 16,
-            keep_records: bool = False) -> RunResult:
+            keep_records: bool = False,
+            checkpoint_unroll: Optional[int] = None) -> RunResult:
         """Time the unrolled block ``reps`` times (Fig. 2's measure loop).
 
         ``trace`` must come from a functional execution of exactly
         ``unroll`` copies of ``block`` under ``memory``'s final mapping.
+
+        ``checkpoint_unroll`` (fast path only) asks for a second,
+        synthesized result at a smaller unroll factor, derived from
+        the same simulation pass — the combined two-factor run.  It is
+        honoured (``RunResult.checkpoint``) only when provably exact:
+
+        * the trace is event-periodic with period ``q`` and the L1D
+          warm-up pass reached its all-hit fixed point within the
+          checkpoint prefix, so the cache state entering the timed
+          pass is the checkpoint run's own warm-up state advanced by
+          ``unroll - checkpoint`` all-hit iterations;
+        * ``(unroll - checkpoint) % q == 0`` — whole all-hit periods
+          leave the LRU recency order (hence every later decision)
+          unchanged, so that advance is the identity;
+        * the timed pass went all-hit before the checkpoint, so both
+          runs see the same miss totals; and
+        * the unrolled footprint fits L1I (no fetch stalls at either
+          factor).
+
+        Under those conditions the annotation prefix is bit-identical
+        and the (online) scheduler's state at the checkpoint equals
+        the standalone run's final state; noise is drawn from a fresh
+        per-(block, unroll) RNG, so the samples match byte-for-byte.
         """
         if len(trace) != unroll * len(block):
             raise ValueError("trace does not match block × unroll")
-        annotations, read_misses, write_misses = \
-            self._data_cache_annotations(trace, memory)
+        fast = simcore.enabled() and not keep_records
+        steady = detect_event_periodicity(trace) if fast else None
+        (annotations, read_misses, write_misses, ann_steady,
+         replicated, warmup_fixed) = self._data_cache_annotations(
+             trace, memory, steady=steady)
         l1i_misses = self._instruction_cache_annotations(
             block, unroll, annotations)
+        # An L1I overflow charges fetch stalls at a stride unrelated
+        # to the iteration period, so the schedule never settles into
+        # an iteration-periodic pattern — mandatory bail-out for
+        # large-footprint kernels.
+        sched_steady = ann_steady if (fast and not l1i_misses) else None
+        checkpoint = None
+        if fast and checkpoint_unroll and steady is not None \
+                and 0 < checkpoint_unroll < unroll and not l1i_misses:
+            q = steady[1]
+            simulated = unroll - replicated
+            if (unroll - checkpoint_unroll) % q == 0 \
+                    and warmup_fixed <= checkpoint_unroll \
+                    and simulated <= checkpoint_unroll:
+                checkpoint = checkpoint_unroll
         schedule = self.scheduler.schedule(block, unroll, annotations,
-                                           keep_records=keep_records)
+                                           keep_records=keep_records,
+                                           steady=sched_steady,
+                                           checkpoint=checkpoint)
         base = CounterSample(
             cycles=schedule.cycles,
             l1d_read_misses=read_misses,
@@ -214,6 +383,41 @@ class Machine:
             misaligned_mem_refs=trace.misaligned_count(
                 self.desc.l1d.line_size),
         )
+        fastpath: Dict[str, int] = {}
+        if fast:
+            fastpath = {
+                "attempted": 1,
+                "trace_periodic": 1 if steady is not None else 0,
+                "ann_replicated": replicated,
+                "sched_extrapolated": schedule.extrapolated_iterations,
+                "extrapolated": 1 if (replicated or
+                                      schedule.extrapolated_iterations)
+                else 0,
+            }
+        checkpoint_result = None
+        if checkpoint is not None \
+                and schedule.checkpoint_cycles is not None:
+            cp_cycles = schedule.checkpoint_cycles
+            cp_base = CounterSample(
+                cycles=cp_cycles,
+                l1d_read_misses=read_misses,
+                l1d_write_misses=write_misses,
+                l1i_misses=0,
+                misaligned_mem_refs=trace.prefix(checkpoint)
+                .misaligned_count(self.desc.l1d.line_size),
+            )
+            cp_rng = self._rng(block, checkpoint)
+            cp_samples = [self._perturb(cp_base, cp_rng)
+                          for _ in range(reps)]
+            cp_replicated = max(0, checkpoint - (unroll - replicated))
+            checkpoint_result = RunResult(
+                samples=cp_samples,
+                schedule=ScheduleResult(cycles=cp_cycles, records=[]),
+                base_cycles=cp_cycles,
+                fastpath={"attempted": 1, "trace_periodic": 1,
+                          "ann_replicated": cp_replicated,
+                          "sched_extrapolated": 0, "checkpointed": 1,
+                          "extrapolated": 1})
         rng = self._rng(block, unroll)
         samples = [self._perturb(base, rng) for _ in range(reps)]
         if telemetry.is_enabled():
@@ -227,8 +431,36 @@ class Machine:
             telemetry.count("machine.l1d_write_misses", write_misses)
             telemetry.count("machine.l1i_misses", l1i_misses)
             telemetry.observe("machine.cycles_per_run", schedule.cycles)
+            if fast:
+                if fastpath["extrapolated"]:
+                    telemetry.count("simcore.runs_extrapolated")
+                    telemetry.count("simcore.iterations_skipped",
+                                    max(replicated,
+                                        schedule.extrapolated_iterations))
+                else:
+                    telemetry.count("simcore.runs_full")
+            if checkpoint_result is not None:
+                # Mirror what a standalone run at the checkpoint
+                # factor would have recorded, so machine.* telemetry
+                # is independent of whether the runs were combined.
+                cp_samples = checkpoint_result.samples
+                cp_clean = sum(1 for s in cp_samples if s.is_clean)
+                telemetry.count("machine.runs")
+                telemetry.count("machine.simulated_cycles",
+                                checkpoint_result.base_cycles)
+                telemetry.count("machine.samples_clean", cp_clean)
+                telemetry.count("machine.samples_rejected",
+                                len(cp_samples) - cp_clean)
+                telemetry.count("machine.l1d_read_misses", read_misses)
+                telemetry.count("machine.l1d_write_misses",
+                                write_misses)
+                telemetry.observe("machine.cycles_per_run",
+                                  checkpoint_result.base_cycles)
+                telemetry.count("simcore.runs_extrapolated")
+                telemetry.count("simcore.checkpointed_runs")
         return RunResult(samples=samples, schedule=schedule,
-                         base_cycles=schedule.cycles)
+                         base_cycles=schedule.cycles, fastpath=fastpath,
+                         checkpoint=checkpoint_result)
 
     def _rng(self, block: BasicBlock, unroll: int) -> random.Random:
         digest = zlib.crc32(block.text().encode())
