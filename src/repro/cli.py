@@ -202,6 +202,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable the simulation-core fast path "
                             "(same results, slower; use with --trace "
                             "to debug a suspected divergence)")
+        p.add_argument("--no-blockplan", action="store_true",
+                       help="disable compiled block plans and run the "
+                            "historical per-instruction interpreter "
+                            "(same results, slower)")
 
     def jobs_arg(p):
         p.add_argument("--jobs", type=int, default=None, metavar="N",
@@ -269,6 +273,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         # Exported (not set programmatically) so worker processes
         # spawned by --jobs inherit the setting.
         os.environ["REPRO_NO_FASTPATH"] = "1"
+    if getattr(args, "no_blockplan", False):
+        os.environ["REPRO_NO_BLOCKPLAN"] = "1"
     trace = getattr(args, "trace", None)
     if trace:
         telemetry.enable(trace)

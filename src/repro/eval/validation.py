@@ -105,11 +105,13 @@ class CorpusProfile:
     ``accepted`` plus every ``dropped`` count sums to ``total`` (the
     corpus size), so no block silently disappears from the pipeline.
 
-    ``info`` carries purely informational per-run telemetry (currently
+    ``info`` carries purely informational per-run telemetry — one
+    count per key of ``ProfileResult.extra`` (currently
     ``fastpath_extrapolated``: blocks whose measurement used the
-    steady-state fast path).  It is kept *outside* the funnel so the
-    funnel — and therefore accepted/dropped accounting — stays
-    byte-identical whether the fast path is on or off.
+    steady-state fast path, and ``blockplan_compiled``: blocks
+    executed through compiled block plans).  It is kept *outside* the
+    funnel so the funnel — and therefore accepted/dropped accounting —
+    stays byte-identical whichever switches are on or off.
     """
 
     throughputs: Dict[int, float]
@@ -143,9 +145,9 @@ def profile_records_detailed(profiler: BasicBlockProfiler,
                       else result.failure.value)
             funnel["dropped"][reason] = \
                 funnel["dropped"].get(reason, 0) + 1
-        if result.extra.get("fastpath_extrapolated"):
-            info["fastpath_extrapolated"] = \
-                info.get("fastpath_extrapolated", 0) + 1
+        for key, value in result.extra.items():
+            if value:
+                info[key] = info.get(key, 0) + 1
     return CorpusProfile(throughputs=throughputs, funnel=funnel,
                          info=info)
 

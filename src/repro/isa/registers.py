@@ -20,7 +20,7 @@ x86 sub-register write semantics are reproduced faithfully:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import ClassVar, Dict, Tuple
 
 GPR_BASES: Tuple[str, ...] = (
     "rax", "rbx", "rcx", "rdx", "rsi", "rdi", "rbp", "rsp",
@@ -31,6 +31,14 @@ VEC_BASES: Tuple[str, ...] = tuple(f"ymm{i}" for i in range(16))
 
 #: Canonical flag names tracked by the functional executor.
 FLAG_NAMES: Tuple[str, ...] = ("cf", "pf", "af", "zf", "sf", "of")
+
+#: Base name -> slot index in the flattened register files
+#: (:class:`repro.runtime.state.MachineState` stores values in plain
+#: lists indexed by these; block plans bake the indices into their
+#: pre-bound accessors).
+GPR_INDEX: Dict[str, int] = {name: i for i, name in enumerate(GPR_BASES)}
+VEC_INDEX: Dict[str, int] = {name: i for i, name in enumerate(VEC_BASES)}
+FLAG_INDEX: Dict[str, int] = {name: i for i, name in enumerate(FLAG_NAMES)}
 
 
 @dataclass(frozen=True)
@@ -52,6 +60,13 @@ class Register:
     base: str
     width: int
     bit_offset: int = 0
+
+    #: Slot index of ``base`` in the flattened register file (set on
+    #: registry instances by :func:`_build_registry`; -1 for registers
+    #: that have no value slot, e.g. rflags/mxcsr).  A ClassVar, not a
+    #: dataclass field: it is derived from ``base`` and must not
+    #: affect eq/hash or the constructor signature.
+    slot: ClassVar[int] = -1
 
     @property
     def is_gpr(self) -> bool:
@@ -103,6 +118,11 @@ def _build_registry() -> Dict[str, Register]:
     registry["rip"] = Register("rip", "ip", "rip", 64)
     registry["rflags"] = Register("rflags", "flags", "rflags", 64)
     registry["mxcsr"] = Register("mxcsr", "mxcsr", "mxcsr", 32)
+    for reg in registry.values():
+        if reg.kind == "gpr":
+            object.__setattr__(reg, "slot", GPR_INDEX[reg.base])
+        elif reg.kind == "vec":
+            object.__setattr__(reg, "slot", VEC_INDEX[reg.base])
     return registry
 
 

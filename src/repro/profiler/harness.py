@@ -24,6 +24,7 @@ from repro.profiler.result import (FailureReason, Measurement,
                                    ProfileResult)
 from repro.profiler.unroll import (BASE_FACTOR, NAIVE_UNROLL, UnrollPlan,
                                    naive_plan, two_factor_plan)
+from repro.runtime import blockplan
 from repro.runtime.executor import Executor
 from repro.simcore import config as simcore
 from repro.uarch.machine import Machine
@@ -102,6 +103,8 @@ class BasicBlockProfiler:
                             result.subnormal_events)
         if result.extra.get("fastpath_extrapolated"):
             telemetry.count("profiler.fastpath_extrapolated")
+        if result.extra.get("blockplan_compiled"):
+            telemetry.count("profiler.blockplan_compiled")
 
     def _profile_impl(self, block: Union[BasicBlock, str]
                       ) -> ProfileResult:
@@ -232,10 +235,12 @@ class BasicBlockProfiler:
 
         throughput = plan.derive_throughput(tuple(accepted_cycles))
         # ``extra`` is informational only (surfaced as the run
-        # report's ``fastpath_extrapolated`` bucket) — it never feeds
-        # the funnel, so accepted/dropped totals stay byte-identical
-        # with the fast path off.
+        # report's ``fastpath_extrapolated`` / ``blockplan_compiled``
+        # buckets) — it never feeds the funnel, so accepted/dropped
+        # totals stay byte-identical with either switch off.
         extra = {"fastpath_extrapolated": 1.0} if extrapolated else {}
+        if blockplan.enabled():
+            extra["blockplan_compiled"] = 1.0
         return ProfileResult(
             text, uarch,
             throughput=max(throughput, 0.0),
@@ -257,7 +262,10 @@ class BasicBlockProfiler:
                         accepted=sum(1 for r in results if r.ok),
                         fastpath_extrapolated=sum(
                             1 for r in results
-                            if r.extra.get("fastpath_extrapolated")))
+                            if r.extra.get("fastpath_extrapolated")),
+                        blockplan_compiled=sum(
+                            1 for r in results
+                            if r.extra.get("blockplan_compiled")))
         return results
 
 

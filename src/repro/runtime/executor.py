@@ -21,7 +21,7 @@ from repro.errors import ArithmeticFault, UnsupportedInstructionError
 from repro.isa.instruction import BasicBlock, Instruction
 from repro.isa.operands import Imm, Mem, is_imm, is_mem, is_reg
 from repro.isa.registers import Register, lookup
-from repro.runtime import fpmath
+from repro.runtime import blockplan, fpmath
 from repro.runtime.memory import VirtualMemory
 from repro.runtime.state import MachineState
 from repro.runtime.trace import ExecutionTrace, InstrEvent, MemAccess
@@ -68,6 +68,9 @@ class Executor:
         self.state = state
         self.memory = memory
         self._event: InstrEvent = InstrEvent(index=-1, slot=-1)
+        #: Bound block plans (block -> step tuple), managed by
+        #: :func:`repro.runtime.plan.bound_plan`.
+        self._plans: Dict[BasicBlock, tuple] = {}
 
     # ------------------------------------------------------------------
     # Top level
@@ -80,25 +83,41 @@ class Executor:
         Raises on faults; the caller (monitor) handles them.
         """
         trace = ExecutionTrace(block_len=len(block), unroll=unroll)
-        # The hottest loop in the simulator: semantic handlers are
-        # pre-resolved per static slot and every per-event lookup is
-        # bound to a local.  A slot without a handler falls back to
-        # ``execute_instruction`` so unsupported instructions raise at
-        # the same dynamic position with the same message.
-        plan = handler_plan(block)
         events_append = trace.events.append
-        execute_instruction = self.execute_instruction
         index = 0
-        for _ in range(unroll):
-            for slot, (instr, handler) in enumerate(plan):
-                event = InstrEvent(index=index, slot=slot)
-                self._event = event
-                if handler is None:
-                    execute_instruction(instr)
-                else:
-                    handler(self, instr)
-                events_append(event)
-                index += 1
+        if blockplan.enabled():
+            # The hottest loop in the simulator: each block is compiled
+            # once into pre-bound step closures (operand accessors,
+            # widths, address recipes and flag thunks all resolved at
+            # compile time) and replayed here.  Steps that could not be
+            # compiled fall back to the interpreted handler, so errors
+            # and annotations surface at the same dynamic position.
+            steps = tuple(enumerate(_plan.bound_plan(self, block)))
+            make_event = InstrEvent
+            for _ in range(unroll):
+                for slot, step in steps:
+                    event = make_event(index=index, slot=slot)
+                    step(event)
+                    events_append(event)
+                    index += 1
+        else:
+            # Interpreted path: semantic handlers pre-resolved per
+            # static slot, every per-event lookup bound to a local.  A
+            # slot without a handler falls back to
+            # ``execute_instruction`` so unsupported instructions raise
+            # at the same dynamic position with the same message.
+            plan = handler_plan(block)
+            execute_instruction = self.execute_instruction
+            for _ in range(unroll):
+                for slot, (instr, handler) in enumerate(plan):
+                    event = InstrEvent(index=index, slot=slot)
+                    self._event = event
+                    if handler is None:
+                        execute_instruction(instr)
+                    else:
+                        handler(self, instr)
+                    events_append(event)
+                    index += 1
         if telemetry.is_enabled():
             telemetry.count("runtime.blocks_executed")
             telemetry.count("runtime.instructions_executed", index)
@@ -1364,3 +1383,11 @@ def _fma(ex: Executor, instr: Instruction) -> None:
     else:
         result = fpmath.lanes_to_int(out, lane_bits)
     ex.state.write(dst, result, vex=True)
+
+
+# Imported last: repro.runtime.plan compiles against the handlers and
+# helpers defined above, so the module must be fully initialised first.
+# Safe in either import order — if plan.py is imported first, its own
+# top-level ``from repro.runtime.executor import ...`` runs this module
+# to completion before this line executes.
+from repro.runtime import plan as _plan  # noqa: E402

@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import InvalidAddressFault, MemoryFault
+from repro.runtime import blockplan
 
 PAGE_SIZE = 4096
 PAGE_SHIFT = 12
@@ -81,11 +82,25 @@ class VirtualMemory:
 
     def __init__(self) -> None:
         self._table: Dict[int, PhysicalPage] = {}
+        # Last-page cache for the block-plan fast path: the vpage of
+        # the most recent successful translation and its physical
+        # page *object* (fill() replaces the .data buffer, so caching
+        # the bytearray would go stale).  Validity is page-granular —
+        # MIN/MAX_USER_ADDRESS are page-aligned — so a cached mapped
+        # vpage implies every address inside the page is valid and
+        # mapped, and an access that hits the cache could never have
+        # faulted on the slow path.  Seeded only while block plans
+        # are enabled so the disabled code path stays byte-for-byte
+        # the historical one.
+        self._fast_vpage: int = -1
+        self._fast_page: Optional[PhysicalPage] = None
 
     # -- mapping management -------------------------------------------------
 
     def map_page(self, vpage: int, phys: PhysicalPage) -> None:
         self._table[vpage] = phys
+        self._fast_vpage = -1
+        self._fast_page = None
 
     def map_address(self, address: int, phys: PhysicalPage) -> None:
         if not is_valid_address(address):
@@ -95,6 +110,8 @@ class VirtualMemory:
     def unmap_all(self) -> None:
         """The profiler's pre-run teardown ("unmap all pages")."""
         self._table.clear()
+        self._fast_vpage = -1
+        self._fast_page = None
 
     def is_mapped(self, address: int) -> bool:
         return page_of(address) in self._table
@@ -121,9 +138,15 @@ class VirtualMemory:
     def _page_for(self, address: int, is_write: bool) -> PhysicalPage:
         if not is_valid_address(address):
             raise InvalidAddressFault(address, is_write=is_write)
-        phys = self._table.get(page_of(address))
+        vpage = address >> PAGE_SHIFT
+        phys = self._table.get(vpage)
         if phys is None:
             raise MemoryFault(address, is_write=is_write)
+        # Seeding here (once per page transition) rather than per
+        # access keeps the enabled() check off the hot path.
+        if blockplan.enabled():
+            self._fast_vpage = vpage
+            self._fast_page = phys
         return phys
 
     def read_bytes(self, address: int, width: int) -> bytes:
@@ -151,8 +174,19 @@ class VirtualMemory:
         second.data[:len(data) - split] = data[split:]
 
     def read_int(self, address: int, width: int) -> int:
+        if (address >> PAGE_SHIFT) == self._fast_vpage:
+            offset = address & (PAGE_SIZE - 1)
+            if offset + width <= PAGE_SIZE:
+                return int.from_bytes(
+                    self._fast_page.data[offset:offset + width], "little")
         return int.from_bytes(self.read_bytes(address, width), "little")
 
     def write_int(self, address: int, width: int, value: int) -> None:
         value &= (1 << (8 * width)) - 1
+        if (address >> PAGE_SHIFT) == self._fast_vpage:
+            offset = address & (PAGE_SIZE - 1)
+            if offset + width <= PAGE_SIZE:
+                self._fast_page.data[offset:offset + width] = \
+                    value.to_bytes(width, "little")
+                return
         self.write_bytes(address, value.to_bytes(width, "little"))

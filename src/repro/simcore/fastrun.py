@@ -36,14 +36,16 @@ from typing import Deque, Optional, Tuple
 
 from repro.errors import MemoryFault
 from repro.isa.instruction import BasicBlock
+from repro.runtime import blockplan
 from repro.runtime.executor import Executor, handler_plan
+from repro.runtime import plan as planmod
 from repro.runtime.trace import ExecutionTrace, InstrEvent
 from repro.simcore.periodicity import MAX_PERIOD, is_pure_register_block
 from repro.telemetry import core as telemetry
 
-#: Boundary signature: (gpr items, vec items, flag items, ftz, rip,
-#: ((frame, bytes), ...)).  Equality of two signatures implies the
-#: machine will evolve identically from both boundaries.
+#: Boundary signature: (state signature (register/flag value tuples,
+#: ftz, rip), ((frame, bytes), ...)).  Equality of two signatures
+#: implies the machine will evolve identically from both boundaries.
 _Signature = Tuple
 
 
@@ -60,7 +62,16 @@ class BlockRun:
         self.done = False
         #: First iteration whose events were replicated, not executed.
         self.extrapolated_from: Optional[int] = None
-        self._plan = handler_plan(block)
+        # Same execution strategy split as Executor.execute_block:
+        # pre-bound step closures when block plans are enabled, the
+        # interpreted handler plan otherwise.
+        if blockplan.enabled():
+            self._steps: Optional[Tuple] = planmod.bound_plan(
+                executor, block)
+            self._plan = None
+        else:
+            self._steps = None
+            self._plan = handler_plan(block)
         self._pure = is_pure_register_block(block)
         self._history: Deque[_Signature] = deque(maxlen=MAX_PERIOD)
         self._executed = 0
@@ -80,6 +91,7 @@ class BlockRun:
         block_len = self.trace.block_len
         execute_instruction = ex.execute_instruction
         plan = self._plan
+        steps = self._steps
         history = self._history
         pure = self._pure
 
@@ -97,15 +109,22 @@ class BlockRun:
                     break
             index = self.iteration * block_len
             try:
-                for slot, (instr, handler) in enumerate(plan):
-                    event = InstrEvent(index=index, slot=slot)
-                    ex._event = event
-                    if handler is None:
-                        execute_instruction(instr)
-                    else:
-                        handler(ex, instr)
-                    events.append(event)
-                    index += 1
+                if steps is not None:
+                    for slot in range(block_len):
+                        event = InstrEvent(index=index, slot=slot)
+                        steps[slot](event)
+                        events.append(event)
+                        index += 1
+                else:
+                    for slot, (instr, handler) in enumerate(plan):
+                        event = InstrEvent(index=index, slot=slot)
+                        ex._event = event
+                        if handler is None:
+                            execute_instruction(instr)
+                        else:
+                            handler(ex, instr)
+                        events.append(event)
+                        index += 1
             except MemoryFault:
                 self._rollback(sig)
                 raise
@@ -133,30 +152,28 @@ class BlockRun:
     def _capture(self) -> _Signature:
         """Complete machine state at an iteration boundary.
 
-        Dict item orders are fixed (the state dicts are created with
-        every key present and never gain keys), so item tuples compare
-        stably.  All mapped frames are captured — in single-page mode
-        that is one 4 KiB frame; in ablation modes a growing frame
-        list changes the tuple length and simply prevents matches.
+        ``MachineState.signature()`` is three C-level list→tuple
+        copies over the flat slot arrays (no dict materialisation).
+        All mapped frames are captured — in single-page mode that is
+        one 4 KiB frame; in ablation modes a growing frame list
+        changes the tuple length and simply prevents matches.
         """
-        state = self.executor.state
-        return (tuple(state.gpr.items()), tuple(state.vec.items()),
-                tuple(state.flags.items()), state.ftz, state.rip,
+        return (self.executor.state.signature(),
                 tuple((page, bytes(page.data))
                       for page in self.executor.memory.physical_pages))
 
     def _rollback(self, sig: Optional[_Signature]) -> None:
-        """Restore the boundary captured in ``sig`` after a fault."""
+        """Restore the boundary captured in ``sig`` after a fault.
+
+        In-place: ``MachineState.restore`` reuses the state's slot
+        arrays (the compiled plans' closures hold references to them)
+        and frame buffers are overwritten, not replaced.
+        """
         del self.trace.events[self.iteration * self.trace.block_len:]
         if sig is None:
             return
-        gpr, vec, flags, ftz, rip, frames = sig
-        state = self.executor.state
-        state.gpr.update(gpr)
-        state.vec.update(vec)
-        state.flags.update(flags)
-        state.ftz = ftz
-        state.rip = rip
+        state_sig, frames = sig
+        self.executor.state.restore(state_sig)
         for page, data in frames:
             page.data[:] = data
 

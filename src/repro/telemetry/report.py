@@ -33,16 +33,19 @@ def default_report_dir() -> str:
 #: Informational funnel tallies: surfaced alongside the accept/drop
 #: rows but never counted into them, so ``accepted + dropped == total``
 #: holds regardless of which optimisations were active.
-INFO_COUNTERS = {"fastpath_extrapolated": "profiler.fastpath_extrapolated"}
+INFO_COUNTERS = {
+    "fastpath_extrapolated": "profiler.fastpath_extrapolated",
+    "blockplan_compiled": "profiler.blockplan_compiled",
+}
 
 
 def funnel_from_counters(counters: Dict[str, int]) -> Dict:
     """Derive the accept/drop funnel from the profiler's counters.
 
     The funnel's accounting buckets come straight from accept/failure
-    counters; purely informational tallies (``fastpath_extrapolated``)
-    ride along under an ``info`` key and never change the
-    accepted/dropped totals.
+    counters; purely informational tallies (``fastpath_extrapolated``,
+    ``blockplan_compiled``) ride along under an ``info`` key and never
+    change the accepted/dropped totals.
     """
     dropped = {
         name[len(FAILURE_PREFIX):]: value
@@ -91,6 +94,7 @@ def build_run_report(registry: MetricsRegistry, name: str,
     """
     snap = registry.snapshot()
     counters = snap["counters"]
+    compile_ms = snap["histograms"].get("executor.plan_compile_ms")
     return {
         "report": name,
         "generated_by": "repro.telemetry",
@@ -103,6 +107,14 @@ def build_run_report(registry: MetricsRegistry, name: str,
             "hits": counters.get("cache.hits", 0),
             "misses": counters.get("cache.misses", 0),
             "writes": counters.get("cache.writes", 0),
+        },
+        "executor": {
+            "plan_cache_hits":
+                counters.get("executor.plan_cache_hits", 0),
+            "plan_cache_misses":
+                counters.get("executor.plan_cache_misses", 0),
+            "plan_compile_ms":
+                round(compile_ms["total"], 3) if compile_ms else 0.0,
         },
         "metrics": snap,
     }
@@ -168,6 +180,14 @@ def render_summary(report: Dict) -> str:
               f"{cache.get('hits', 0)} hits, "
               f"{cache.get('misses', 0)} misses, "
               f"{cache.get('writes', 0)} writes"]
+
+    executor = report.get("executor") or {}
+    if executor.get("plan_cache_hits") or \
+            executor.get("plan_cache_misses"):
+        lines += ["block plans: "
+                  f"{executor.get('plan_cache_misses', 0)} compiled "
+                  f"({executor.get('plan_compile_ms', 0.0)} ms), "
+                  f"{executor.get('plan_cache_hits', 0)} cache hits"]
 
     counters = report.get("metrics", {}).get("counters", {})
     interesting = {k: v for k, v in counters.items()

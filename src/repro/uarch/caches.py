@@ -23,6 +23,8 @@ class CacheModel:
         self._shift = geometry.line_size.bit_length() - 1
         self._sets: List[OrderedDict] = [OrderedDict()
                                          for _ in range(geometry.sets)]
+        self._nsets = geometry.sets
+        self._ways = geometry.ways
         self.hits = 0
         self.misses = 0
 
@@ -40,16 +42,15 @@ class CacheModel:
 
     def access(self, address: int) -> bool:
         """Touch one line; returns True on hit."""
-        line = self.line_of(address)
-        index = line % len(self._sets)
-        lines = self._sets[index]
+        line = address >> self._shift
+        lines = self._sets[line % self._nsets]
         if line in lines:
             lines.move_to_end(line)
             self.hits += 1
             return True
         self.misses += 1
         lines[line] = True
-        if len(lines) > self.geometry.ways:
+        if len(lines) > self._ways:
             lines.popitem(last=False)
         return False
 
@@ -58,10 +59,13 @@ class CacheModel:
 
         Returns the number of misses incurred.
         """
-        first = self.line_of(address)
-        last = self.line_of(address + max(width, 1) - 1)
+        shift = self._shift
+        first = address >> shift
+        last = (address + width - 1) >> shift if width > 1 else first
+        if last == first:  # within one line: the common case
+            return 0 if self.access(address) else 1
         misses = 0
         for line in range(first, last + 1):
-            if not self.access(line << self._shift):
+            if not self.access(line << shift):
                 misses += 1
         return misses

@@ -152,22 +152,28 @@ class Machine:
 
         events = trace.events
         if steady is None:
+            line_size = desc.l1d.line_size
+            miss_penalty = desc.l1_miss_penalty
+            split_penalty = desc.split_line_penalty
+            access_range = l1d.access_range
             # Warm-up pass (the first, untimed execution in Fig. 2).
-            for access in trace.accesses:
-                l1d.access_range(paddr(access.address), access.width)
+            for event in events:
+                for access in event.accesses:
+                    access_range(paddr(access.address), access.width)
 
             read_misses = 0
             write_misses = 0
             annotations: List[InstrAnnotation] = []
+            append_ann = annotations.append
             for event in events:
                 ann = InstrAnnotation(div_class=event.div_class,
                                       subnormal=event.subnormal)
                 for access in event.accesses:
-                    misses = l1d.access_range(paddr(access.address),
-                                              access.width)
-                    penalty = misses * desc.l1_miss_penalty
-                    if access.crosses_line(desc.l1d.line_size):
-                        penalty += desc.split_line_penalty
+                    misses = access_range(paddr(access.address),
+                                          access.width)
+                    penalty = misses * miss_penalty
+                    if access.crosses_line(line_size):
+                        penalty += split_penalty
                     if access.is_write:
                         write_misses += misses
                         ann.write_accesses.append((access.address,
@@ -176,7 +182,7 @@ class Machine:
                         read_misses += misses
                         ann.read_accesses.append((access.address,
                                                   access.width, penalty))
-                annotations.append(ann)
+                append_ann(ann)
             return (annotations, read_misses, write_misses, None, 0,
                     trace.unroll)
 

@@ -116,7 +116,9 @@ class _PortFile:
             {p: None for p in ports}
 
     def earliest_free(self, port: int, lower: int, occupancy: int) -> int:
-        cycle = max(lower, self._reserved_until[port])
+        cycle = self._reserved_until[port]
+        if lower > cycle:
+            cycle = lower
         dense = self._dense[port]
         if cycle < dense:
             cycle = dense
@@ -595,9 +597,6 @@ class DataflowScheduler:
         instr, addr_bases, data_bases, write_bases, elim_src, _ = plan
         reg_get = reg_ready.get
 
-        def ready_of(bases) -> int:
-            return max((reg_get(b, 0) for b in bases), default=0)
-
         # Rename-stage instructions: no execution at all.  Their
         # finish *is* the allocation clock, so they mark the window
         # alloc-sensitive (harmless unless the steady state advances
@@ -626,18 +625,27 @@ class DataflowScheduler:
             self._alloc_sensitive = True
             return alloc
 
-        addr_ready = max(alloc, ready_of(addr_bases))
-        data_ready = max(alloc, ready_of(data_bases))
+        addr_ready = alloc
+        for base in addr_bases:
+            ready = reg_get(base, 0)
+            if ready > addr_ready:
+                addr_ready = ready
+        data_ready = alloc
+        for base in data_bases:
+            ready = reg_get(base, 0)
+            if ready > data_ready:
+                data_ready = ready
 
         load_result = None
         compute_result = None
         finish_max = alloc
         if ann is not None:
-            reads = list(ann.read_accesses) if ann.read_accesses else []
+            reads = list(ann.read_accesses) if ann.read_accesses else None
             writes = ann.write_accesses
         else:
-            reads = []
+            reads = None
             writes = ()
+        forwarding = self.model_memory_dependencies
 
         for uop in decomposed.uops:
             if uop.kind == "load":
@@ -652,8 +660,8 @@ class DataflowScheduler:
                     else data_ready
             else:  # compute
                 lower = data_ready
-                if load_result is not None:
-                    lower = max(lower, load_result)
+                if load_result is not None and load_result > lower:
+                    lower = load_result
 
             dispatch, port = self._dispatch(ports, uop, lower, alloc)
             latency = uop.latency
@@ -664,9 +672,9 @@ class DataflowScheduler:
             if uop.kind in ("load", "load_op"):
                 if reads:
                     finish += reads[0][2]  # miss/split penalty
-                finish = self._apply_forwarding(finish, reads, stores,
-                                                dispatch)
-                if reads:
+                    if forwarding and stores:
+                        finish = self._apply_forwarding(finish, reads,
+                                                        stores, dispatch)
                     reads.pop(0)
                 load_result = finish
                 if uop.kind == "load_op":
@@ -678,7 +686,8 @@ class DataflowScheduler:
                     stores.append((address, width, finish))
                 del stores[:-self.STORE_WINDOW]
 
-            finish_max = max(finish_max, finish)
+            if finish > finish_max:
+                finish_max = finish
             if records is not None:
                 records.append(UopRecord(index, slot, instr.mnemonic,
                                          uop.kind, port, dispatch, finish))
@@ -712,7 +721,8 @@ class DataflowScheduler:
 
     def _dispatch(self, ports: _PortFile, uop: Uop, lower: int,
                   alloc: int) -> Tuple[int, Optional[int]]:
-        if not uop.ports:
+        uop_ports = uop.ports
+        if not uop_ports:
             if lower == alloc:
                 self._alloc_sensitive = True
             return lower, None
@@ -722,19 +732,33 @@ class DataflowScheduler:
         # then could a different clock value have produced a different
         # cycle, so only then does extrapolating a faster-than-frontend
         # steady state become unsound.  Unchosen candidates count too:
-        # they feed the tie-break.
-        probe = lower == alloc
+        # they feed the tie-break.  (The probe reads only state that
+        # ``reserve`` — which runs after candidate selection — can
+        # change, so checking every candidate up front is equivalent
+        # to the interleaved walk.)
+        occupancy = uop.occupancy
+        if lower == alloc and not self._alloc_sensitive:
+            reserved_until = ports._reserved_until
+            dense = ports._dense
+            for port in uop_ports:
+                if reserved_until[port] <= alloc \
+                        and dense[port] <= alloc:
+                    self._alloc_sensitive = True
+                    break
+        if len(uop_ports) == 1:
+            port = uop_ports[0]
+            cycle = ports.earliest_free(port, lower, occupancy)
+            ports.reserve(port, cycle, occupancy)
+            return cycle, port
+        earliest_free = ports.earliest_free
+        counts = ports.counts
         best_cycle = None
         best_port = None
-        for port in uop.ports:
-            if probe and ports._reserved_until[port] <= alloc \
-                    and ports._dense[port] <= alloc:
-                self._alloc_sensitive = True
-                probe = False
-            cycle = ports.earliest_free(port, lower, uop.occupancy)
+        for port in uop_ports:
+            cycle = earliest_free(port, lower, occupancy)
             if best_cycle is None or cycle < best_cycle or \
                     (cycle == best_cycle
-                     and ports.counts[port] < ports.counts[best_port]):
+                     and counts[port] < counts[best_port]):
                 best_cycle, best_port = cycle, port
-        ports.reserve(best_port, best_cycle, uop.occupancy)
+        ports.reserve(best_port, best_cycle, occupancy)
         return best_cycle, best_port
