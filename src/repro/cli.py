@@ -21,6 +21,12 @@ docs/observability.md for the schema).  Corpus-scale commands
 ``--jobs N`` to profile across N worker processes (default: every
 core, or ``REPRO_JOBS``); results are bit-identical to ``--jobs 1``
 (see docs/parallel.md).
+
+Resilience flags (docs/robustness.md): ``--chaos SPEC`` arms seeded
+deterministic fault injection; ``--strict`` / ``--salvage`` choose
+whether quarantines fail the run or degrade; ``--resume`` (corpus /
+validate) measures through the journaled shard cache so a killed run
+continues from its completed shards.
 """
 
 from __future__ import annotations
@@ -46,6 +52,19 @@ def _resolve_jobs(args) -> int:
         return max(1, args.jobs)
     from repro.parallel import default_jobs
     return default_jobs()
+
+
+def _measured_resumable(args, corpus, jobs: int):
+    """Measure through the journaled shard cache (``--resume``).
+
+    Routes measurement through :class:`repro.eval.pipeline.Experiment`,
+    whose shard cache + run journal make a killed run continue from
+    its completed shards with byte-identical output.
+    """
+    from repro.eval.pipeline import Experiment
+    experiment = Experiment(scale=args.scale, seed=args.seed,
+                            jobs=jobs)
+    return experiment.measured(args.uarch, corpus=corpus)
 
 
 def _make_model(name: str):
@@ -122,10 +141,14 @@ def cmd_corpus(args) -> int:
     corpus = build_corpus(scale=args.scale, seed=args.seed)
     measured = None
     if args.measure:
-        from repro.parallel import profile_corpus_sharded
         jobs = _resolve_jobs(args)
-        measured = profile_corpus_sharded(
-            corpus, args.uarch, seed=args.seed, jobs=jobs).throughputs
+        if args.resume:
+            measured = _measured_resumable(args, corpus, jobs)
+        else:
+            from repro.parallel import profile_corpus_sharded
+            measured = profile_corpus_sharded(
+                corpus, args.uarch, seed=args.seed,
+                jobs=jobs).throughputs
         print(f"measured {len(measured)}/{len(corpus)} blocks "
               f"on {args.uarch} ({jobs} jobs)")
     if args.out.endswith(".json"):
@@ -147,7 +170,9 @@ def cmd_validate(args) -> int:
     models = [IacaModel(), LlvmMcaModel(), IthemalModel(), OsacaModel()]
     jobs = _resolve_jobs(args)
     measured = None
-    if jobs > 1:
+    if args.resume:
+        measured = _measured_resumable(args, corpus, jobs)
+    elif jobs > 1:
         from repro.parallel import profile_corpus_sharded
         measured = profile_corpus_sharded(
             corpus, args.uarch, seed=args.seed, jobs=jobs).throughputs
@@ -206,12 +231,32 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable compiled block plans and run the "
                             "historical per-instruction interpreter "
                             "(same results, slower)")
+        p.add_argument("--chaos", metavar="SPEC", default=None,
+                       help="arm deterministic fault injection, e.g. "
+                            "'42:worker_crash=0.2,disk_full=0.1' or "
+                            "'7:all=0.05' (see docs/robustness.md; "
+                            "also $REPRO_CHAOS)")
+        mode = p.add_mutually_exclusive_group()
+        mode.add_argument("--strict", action="store_true",
+                          help="promote quarantines (corrupt cache "
+                               "files, poisoned blocks, failed "
+                               "writes) into run failures")
+        mode.add_argument("--salvage", action="store_true",
+                          help="degrade and continue on quarantines "
+                               "(the default; overrides an inherited "
+                               "$REPRO_STRICT)")
 
     def jobs_arg(p):
         p.add_argument("--jobs", type=int, default=None, metavar="N",
                        help="worker processes for profiling (default: "
                             "os.cpu_count(), or $REPRO_JOBS); results "
                             "are bit-identical to --jobs 1")
+        p.add_argument("--resume", action="store_true",
+                       help="measure through the journaled shard "
+                            "cache: a previous run of the same "
+                            "(scale, seed, uarch) killed mid-flight "
+                            "continues from its completed shards, "
+                            "with byte-identical output")
 
     p = sub.add_parser("profile", help="measure a basic block")
     p.add_argument("block", help="assembly file, or - for stdin")
@@ -275,6 +320,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         os.environ["REPRO_NO_FASTPATH"] = "1"
     if getattr(args, "no_blockplan", False):
         os.environ["REPRO_NO_BLOCKPLAN"] = "1"
+    if getattr(args, "chaos", None):
+        from repro.resilience import ChaosPolicy, ChaosSpecError
+        try:
+            ChaosPolicy.parse(args.chaos)  # fail fast on a bad spec
+        except ChaosSpecError as exc:
+            print(f"error: --chaos {args.chaos!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        os.environ["REPRO_CHAOS"] = args.chaos
+    if getattr(args, "strict", False):
+        os.environ["REPRO_STRICT"] = "1"
+    elif getattr(args, "salvage", False):
+        os.environ["REPRO_STRICT"] = "0"
     trace = getattr(args, "trace", None)
     if trace:
         telemetry.enable(trace)

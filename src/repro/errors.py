@@ -84,6 +84,53 @@ class ProfilingFailure(ReproError):
         self.reason = reason
 
 
+class ChaosFault(ReproError):
+    """A failure injected by the deterministic chaos framework.
+
+    Raised at the ``block_poison`` fault point
+    (:mod:`repro.resilience.chaos`) to simulate an arbitrary bug
+    surfacing mid-simulation; the harness quarantines the block
+    instead of letting the run die.
+    """
+
+    def __init__(self, point: str, key: str = ""):
+        super().__init__(f"chaos fault injected at {point!r}"
+                         + (f" (key {key!r})" if key else ""))
+        self.point = point
+        self.key = key
+
+
+class StepBudgetExceeded(ReproError):
+    """The executor's per-block step-budget watchdog tripped.
+
+    A pathological block (or an injected hang) would otherwise stall a
+    worker until the coarse shard deadline; the watchdog converts it
+    into a quarantinable failure at a deterministic dynamic position.
+    """
+
+    def __init__(self, steps: int, budget: int):
+        super().__init__(
+            f"block exceeded the step budget ({steps} > {budget})")
+        self.steps = steps
+        self.budget = budget
+
+
+class StrictModeViolation(ReproError):
+    """A quarantine occurred while ``--strict`` mode was active.
+
+    In salvage mode (the default) quarantines degrade gracefully —
+    blocks land in the ``quarantined`` funnel bucket and corrupt cache
+    files are moved aside.  Strict mode promotes any of those events
+    into this exception so CI can fail fast.
+    """
+
+    def __init__(self, what: str, detail: str = ""):
+        super().__init__(f"strict mode: {what}"
+                         + (f": {detail}" if detail else ""))
+        self.what = what
+        self.detail = detail
+
+
 class ModelError(ReproError):
     """A cost model could not analyse the given block.
 

@@ -30,6 +30,8 @@ from repro.models.llvm_mca import LlvmMcaModel
 from repro.models.osaca import OsacaModel
 from repro.parallel import (DEFAULT_SHARD_SIZE, ShardCache,
                             profile_corpus_sharded, shard_corpus)
+from repro.resilience import JOURNAL_NAME, RunJournal
+from repro.resilience import policy as resilience
 
 #: Default scale for benches: 1/250 of the paper's 358k blocks.
 DEFAULT_SCALE = float(os.environ.get("REPRO_SCALE", "0.004"))
@@ -79,16 +81,55 @@ CACHE_VERSION = 3
 LEGACY_CACHE_VERSION = 2
 
 
-def _load_cache(path: str) -> CorpusProfile:
-    """Load a legacy (v1/v2) monolithic cache file."""
-    with open(path) as fh:
-        doc = json.load(fh)
-    if isinstance(doc, dict) and "version" in doc:
-        throughputs = {int(k): v for k, v in doc["throughputs"].items()}
-        funnel = doc.get("funnel") or CorpusProfile.empty_funnel()
-    else:  # legacy v1 payload
-        throughputs = {int(k): v for k, v in doc.items()}
-        funnel = CorpusProfile.empty_funnel()
+def _load_cache(path: str) -> Optional[CorpusProfile]:
+    """Load a legacy (v1/v2) monolithic cache file.
+
+    Defensive like the v3 loader: a truncated, garbage, or
+    wrong-schema file reads as ``None`` (and is quarantined next to
+    the file, or raises under ``--strict``) instead of crashing the
+    run that merely tried to migrate it.
+    """
+    def reject(reason: str) -> None:
+        resilience.quarantine_or_raise(
+            f"corrupt legacy cache file {os.path.basename(path)}",
+            reason)
+        quarantine = os.path.join(os.path.dirname(path), "quarantine")
+        os.makedirs(quarantine, exist_ok=True)
+        try:
+            os.replace(path, os.path.join(quarantine,
+                                          os.path.basename(path)))
+        except OSError:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        telemetry.count("resilience.quarantined.cache_files")
+        telemetry.event("resilience.cache_file_quarantined",
+                        file=os.path.basename(path), reason=reason)
+
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except OSError:
+        return None  # raced away; treat as absent
+    except ValueError:
+        reject("undecodable JSON")
+        return None
+    try:
+        if isinstance(doc, dict) and "version" in doc:
+            throughputs = {int(k): float(v)
+                           for k, v in doc["throughputs"].items()}
+            funnel = doc.get("funnel") or CorpusProfile.empty_funnel()
+            if not isinstance(funnel, dict):
+                raise ValueError("funnel is not a mapping")
+        elif isinstance(doc, dict):  # legacy v1 payload
+            throughputs = {int(k): float(v) for k, v in doc.items()}
+            funnel = CorpusProfile.empty_funnel()
+        else:
+            raise TypeError("payload is not a mapping")
+    except (TypeError, ValueError, KeyError, AttributeError):
+        reject("wrong schema")
+        return None
     return CorpusProfile(throughputs=throughputs, funnel=funnel)
 
 
@@ -209,12 +250,19 @@ class Experiment:
         if os.path.exists(legacy) \
                 and any(s not in cache for s in shards):
             self._import_legacy(legacy, corpus, shards, cache)
+        # Always-on run journal, co-located with the shard cache: a
+        # run killed at any point resumes from its completed shards
+        # (verified by checksum) on the next call with the same
+        # (corpus, uarch, seed).
+        journal = RunJournal(os.path.join(cache.directory,
+                                          JOURNAL_NAME))
         with telemetry.span("experiment.measure", uarch=uarch,
                             tag=tag, jobs=jobs) as sp:
             stats: Dict = {}
             profile = profile_corpus_sharded(
                 corpus, uarch, seed=self.seed, jobs=jobs,
-                shards=shards, cache=cache, stats=stats)
+                shards=shards, cache=cache, journal=journal,
+                stats=stats)
             if stats["profiled"] or stats["failed"]:
                 telemetry.count("cache.misses")
                 telemetry.count("cache.writes", stats["written"])
@@ -239,6 +287,8 @@ class Experiment:
                        cache: ShardCache) -> None:
         """Merge-on-load: split a v1/v2 file into v3 shard entries."""
         profile = _load_cache(path)
+        if profile is None:
+            return  # corrupt legacy file was quarantined; re-profile
         if not profile.funnel.get("total"):
             # Pre-telemetry (v1) cache: the per-reason breakdown is
             # gone, but coverage must still account for every block.

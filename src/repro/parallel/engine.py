@@ -11,11 +11,27 @@ simulator state), and the per-shard profiles — funnel buckets
 included — are merged back in canonical order.
 
 Robustness: a worker that dies (``BrokenProcessPool``) or exceeds the
-per-shard timeout does not poison the run.  The shard is retried once
-serially in the parent; if that also fails, its blocks are recorded
-under the ``worker_failure`` funnel bucket so coverage still accounts
-for every block.  Only successfully profiled shards are written to the
-shard cache.
+per-shard timeout does not poison the run.  The shard is retried
+serially in the parent under the bounded
+:class:`repro.resilience.RetryPolicy` (deterministic jittered
+backoff); if every attempt fails, its blocks are recorded under the
+``worker_failure`` funnel bucket so coverage still accounts for every
+block.  Only successfully profiled shards are written to the shard
+cache.  On ``KeyboardInterrupt`` or any other fatal error the pool is
+hard-stopped and its workers reaped, so no orphan processes or
+half-written shard files outlive the run.
+
+Crash-safe resume: pass a :class:`repro.resilience.RunJournal` and
+every completed shard is durably journaled (digest + checksum of the
+cache bytes).  A later run over the same corpus verifies each cache
+hit against the journal and quarantines mismatches, so a run killed
+at any point resumes to byte-identical output.
+
+Chaos: the ``worker_crash`` / ``worker_hang`` fault points
+(:mod:`repro.resilience.chaos`) fire here, in pool workers only —
+keyed by shard digest, so the parent can mirror the (deterministic)
+decision into the run report's resilience section even though the
+worker's own telemetry dies with it.
 
 Workers are handed module-level functions so everything crossing the
 process boundary pickles; the ``worker_fn`` / ``serial_fn`` hooks
@@ -26,6 +42,7 @@ stand-ins without touching the engine's control flow.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -34,7 +51,11 @@ from repro.profiler.harness import BasicBlockProfiler, ProfilerConfig
 from repro.profiler.result import FailureReason
 from repro.parallel.shard_cache import ShardCache
 from repro.parallel.sharding import (DEFAULT_SHARD_SIZE, Shard,
-                                     merge_profiles, shard_corpus)
+                                     merge_profiles, shard_corpus,
+                                     shard_digest)
+from repro.resilience import chaos
+from repro.resilience import policy as resilience
+from repro.resilience.journal import RunJournal
 from repro.telemetry import core as telemetry
 from repro.uarch.descriptor import MachineDescriptor
 
@@ -44,7 +65,8 @@ from repro.uarch.descriptor import MachineDescriptor
 # a module-level import would make import order matter.
 
 #: Ceiling on how long one shard may take in a worker before the
-#: parent gives up on it and falls back to the serial retry.
+#: parent gives up on it and falls back to the serial retry
+#: (``REPRO_SHARD_TIMEOUT`` overrides).
 DEFAULT_SHARD_TIMEOUT = 600.0
 
 
@@ -54,6 +76,14 @@ def default_jobs() -> int:
     if env:
         return max(1, int(env))
     return os.cpu_count() or 1
+
+
+def default_shard_timeout() -> float:
+    """``REPRO_SHARD_TIMEOUT`` if set, else the 600 s default."""
+    env = os.environ.get("REPRO_SHARD_TIMEOUT", "").strip()
+    if env:
+        return max(0.1, float(env))
+    return DEFAULT_SHARD_TIMEOUT
 
 
 # ---------------------------------------------------------------------------
@@ -71,8 +101,30 @@ def _init_worker() -> None:
 
     Forked workers would otherwise double-count into the parent's
     registry snapshot and interleave writes into its NDJSON sink fd.
+    Also flags the process as a worker so the worker-only chaos fault
+    points (``worker_crash`` / ``worker_hang``) may fire here — and
+    never in the parent.
     """
     telemetry.reset()
+    chaos.mark_worker()
+
+
+def _maybe_worker_chaos(records: tuple) -> None:
+    """Fire worker-process chaos faults for this shard, if armed.
+
+    Keyed by the shard's content digest so the parent — which knows
+    the digests — can mirror the decision for accounting.  Crash wins
+    over hang when both would fire (the parent mirrors the same
+    precedence).
+    """
+    policy = chaos.active()
+    if policy is None or not chaos.in_worker():
+        return
+    digest = shard_digest(records)
+    if policy.should_fire("worker_crash", digest):
+        os._exit(chaos.CRASH_EXIT_CODE)
+    if policy.should_fire("worker_hang", digest):
+        time.sleep(policy.hang_seconds)
 
 
 def _worker_profiler(descriptor: MachineDescriptor,
@@ -92,6 +144,7 @@ def profile_shard_worker(descriptor: MachineDescriptor,
                          ) -> Tuple[int, CorpusProfile]:
     """Profile one shard in a worker process (must stay picklable)."""
     from repro.eval.validation import profile_records_detailed
+    _maybe_worker_chaos(records)
     profiler = _worker_profiler(descriptor, config)
     return index, profile_records_detailed(profiler, records)
 
@@ -111,15 +164,22 @@ def _worker_failure_profile(shard: Shard) -> CorpusProfile:
 
 
 def _terminate_pool(pool: ProcessPoolExecutor) -> None:
-    """Hard-stop a pool that may contain hung workers.
+    """Hard-stop a pool that may contain hung workers, and reap them.
 
     ``shutdown(wait=True)`` would block forever on a worker stuck in a
-    pathological block, so terminate the processes first; the
-    management thread then winds down cleanly.
+    pathological block, so terminate the processes first, then join
+    each one (escalating to ``kill`` for anything that survives
+    SIGTERM) so no orphan or zombie processes outlive the run.
     """
-    for process in list(getattr(pool, "_processes", {}).values()):
+    processes = list(getattr(pool, "_processes", {}).values())
+    for process in processes:
         process.terminate()
     pool.shutdown(wait=False, cancel_futures=True)
+    for process in processes:
+        process.join(timeout=5.0)
+        if process.is_alive():
+            process.kill()
+            process.join(timeout=5.0)
 
 
 def _replicate_profiler_counters(profile: CorpusProfile) -> None:
@@ -142,14 +202,27 @@ def _replicate_profiler_counters(profile: CorpusProfile) -> None:
             telemetry.count(f"profiler.{name}", value)
 
 
+def _journal_meta(uarch: str, seed: int,
+                  shards: Sequence[Shard]) -> Dict:
+    """Run identity the journal pins: same corpus, uarch, and seed."""
+    import zlib
+    crc = 0
+    for shard in shards:
+        crc = zlib.crc32(shard.digest.encode(), crc)
+    return {"uarch": uarch, "seed": seed, "shards": len(shards),
+            "corpus": f"{crc:08x}"}
+
+
 def profile_corpus_sharded(corpus: Corpus, uarch: str, seed: int = 0,
                            *, jobs: Optional[int] = None,
                            config: Optional[ProfilerConfig] = None,
                            shard_size: int = DEFAULT_SHARD_SIZE,
-                           shard_timeout: float = DEFAULT_SHARD_TIMEOUT,
+                           shard_timeout: Optional[float] = None,
                            shards: Optional[Sequence[Shard]] = None,
                            cache: Optional[ShardCache] = None,
+                           journal: Optional[RunJournal] = None,
                            worker_fn=None, serial_fn=None,
+                           retry: Optional[resilience.RetryPolicy] = None,
                            stats: Optional[Dict] = None
                            ) -> CorpusProfile:
     """Profile a corpus across a worker pool, bit-identical to serial.
@@ -157,82 +230,148 @@ def profile_corpus_sharded(corpus: Corpus, uarch: str, seed: int = 0,
     ``jobs=1`` (or a single pending shard) profiles in-process with no
     pool at all.  ``cache`` enables the v3 shard cache: shards whose
     digest already has an entry are loaded instead of profiled, and
-    freshly profiled shards are written back atomically.  ``stats``,
-    if given, is filled with run accounting (shard counts, cache hits,
+    freshly profiled shards are written back atomically.  ``journal``
+    (requires ``cache``) makes the run crash-safe: completed shards
+    are durably journaled with a checksum of their cache bytes, cache
+    hits are verified against the journal on resume, and mismatches
+    are quarantined and re-profiled.  ``stats``, if given, is filled
+    with run accounting (shard counts, cache hits, resumed shards,
     retries, failures).
     """
     from repro.eval.validation import profile_records_detailed
     jobs = default_jobs() if jobs is None else max(1, jobs)
+    if shard_timeout is None:
+        shard_timeout = default_shard_timeout()
     if shards is None:
         shards = shard_corpus(corpus, shard_size)
     worker_fn = worker_fn or profile_shard_worker
+    retry = retry or resilience.default_retry_policy(seed)
     descriptor = MachineDescriptor(uarch=uarch, seed=seed)
+
+    journaled: Dict[str, int] = {}
+    if journal is not None:
+        if cache is None:
+            raise ValueError("journal requires a shard cache")
+        journaled = journal.open(_journal_meta(uarch, seed, shards))
 
     results: Dict[int, CorpusProfile] = {}
     by_index = {shard.index: shard for shard in shards}
     pending: List[Shard] = []
-    for shard in shards:
-        cached = cache.load(shard) if cache is not None else None
-        if cached is not None:
-            results[shard.index] = cached
-        else:
-            pending.append(shard)
+    resumed = 0
+    try:
+        for shard in shards:
+            cached = _load_verified(cache, shard, journaled)
+            if cached is not None:
+                results[shard.index] = cached
+                if shard.digest in journaled:
+                    resumed += 1
+            else:
+                pending.append(shard)
 
-    run_stats = {"shards": len(shards), "cache_hits": len(results),
-                 "profiled": 0, "retried": 0, "failed": 0,
-                 "written": 0}
-    telemetry.count("parallel.shards_total", len(shards))
-    if run_stats["cache_hits"]:
-        telemetry.count("parallel.shard_cache_hits",
-                        run_stats["cache_hits"])
+        run_stats = {"shards": len(shards),
+                     "cache_hits": len(results), "resumed": resumed,
+                     "profiled": 0, "retried": 0, "failed": 0,
+                     "written": 0}
+        telemetry.count("parallel.shards_total", len(shards))
+        if run_stats["cache_hits"]:
+            telemetry.count("parallel.shard_cache_hits",
+                            run_stats["cache_hits"])
+        if resumed:
+            telemetry.count("resilience.resumed_shards", resumed)
+            telemetry.event("resilience.resume", shards=resumed,
+                            pending=len(pending))
 
-    failed: List[Shard] = []
-    with telemetry.span("parallel.profile_corpus", uarch=uarch,
-                        jobs=jobs, shards=len(shards),
-                        pending=len(pending)) as span:
-        if pending and (jobs <= 1 or len(pending) == 1):
-            profiler = BasicBlockProfiler(descriptor.build(), config)
-            for shard in pending:
-                profile = profile_records_detailed(profiler,
-                                                   shard.records)
-                results[shard.index] = profile
-                run_stats["profiled"] += 1
-                _store(cache, shard, profile, run_stats)
-        elif pending:
-            failed = _run_pool(pending, descriptor, config, jobs,
-                               shard_timeout, worker_fn, results,
-                               run_stats, cache)
-            for shard in failed:
-                # One serial retry in the parent; a shard that still
-                # fails is bucketed, never allowed to poison the run
-                # or the cache.
-                run_stats["retried"] += 1
-                telemetry.count("parallel.worker_retries")
-                telemetry.event("parallel.worker_retry",
-                                shard=shard.index, digest=shard.digest)
-                try:
-                    retry = serial_fn or _serial_shard
-                    profile = retry(descriptor, config, shard)
+        failed: List[Shard] = []
+        with telemetry.span("parallel.profile_corpus", uarch=uarch,
+                            jobs=jobs, shards=len(shards),
+                            pending=len(pending)) as span:
+            if pending and (jobs <= 1 or len(pending) == 1):
+                profiler = BasicBlockProfiler(descriptor.build(),
+                                              config)
+                for shard in pending:
+                    profile = profile_records_detailed(profiler,
+                                                       shard.records)
                     results[shard.index] = profile
                     run_stats["profiled"] += 1
-                    _replicate_profiler_counters(profile)
-                    _store(cache, shard, profile, run_stats)
-                except Exception as exc:
-                    run_stats["failed"] += 1
-                    telemetry.count("parallel.worker_failures")
-                    telemetry.event("parallel.worker_failure",
+                    _store(cache, shard, profile, run_stats, journal)
+            elif pending:
+                failed = _run_pool(pending, descriptor, config, jobs,
+                                   shard_timeout, worker_fn, results,
+                                   run_stats, cache, journal)
+                for shard in failed:
+                    # Escalate pool -> serial: bounded retries in the
+                    # parent; a shard that still fails is bucketed,
+                    # never allowed to poison the run or the cache.
+                    run_stats["retried"] += 1
+                    telemetry.count("parallel.worker_retries")
+                    telemetry.count("resilience.retries")
+                    telemetry.event("parallel.worker_retry",
                                     shard=shard.index,
-                                    error=type(exc).__name__)
-                    results[shard.index] = _worker_failure_profile(shard)
-        span.annotate(profiled=run_stats["profiled"],
-                      cache_hits=run_stats["cache_hits"],
-                      failed=run_stats["failed"])
+                                    digest=shard.digest)
+                    retry_fn = serial_fn or _serial_shard
+                    try:
+                        profile = retry.run(
+                            lambda attempt, s=shard:
+                            retry_fn(descriptor, config, s),
+                            key=f"serial_rescue|{shard.digest}",
+                            retry_on=(Exception,))
+                        results[shard.index] = profile
+                        run_stats["profiled"] += 1
+                        # The rescue ran in-parent, so the profiler's
+                        # own counters already recorded it — no
+                        # replication (workers alone need that).
+                        _store(cache, shard, profile, run_stats,
+                               journal)
+                    except Exception as exc:
+                        run_stats["failed"] += 1
+                        telemetry.count("parallel.worker_failures")
+                        telemetry.event("parallel.worker_failure",
+                                        shard=shard.index,
+                                        error=type(exc).__name__)
+                        resilience.quarantine_or_raise(
+                            f"shard {shard.index} failed in the pool "
+                            f"and in {retry.max_attempts} serial "
+                            f"attempts", type(exc).__name__)
+                        results[shard.index] = \
+                            _worker_failure_profile(shard)
+            span.annotate(profiled=run_stats["profiled"],
+                          cache_hits=run_stats["cache_hits"],
+                          resumed=resumed,
+                          failed=run_stats["failed"])
+    finally:
+        if journal is not None:
+            journal.close()
 
     if stats is not None:
         stats.update(run_stats)
     return merge_profiles(
         [(by_index[index], profile)
          for index, profile in results.items()])
+
+
+def _load_verified(cache: Optional[ShardCache], shard: Shard,
+                   journaled: Dict[str, int]
+                   ) -> Optional[CorpusProfile]:
+    """Load a shard from cache, cross-checked against the journal.
+
+    A cache hit whose on-disk bytes no longer match the checksum the
+    journal recorded at write time is corrupt (torn write, bit rot, or
+    an injected post-write corruption): quarantine it and re-profile.
+    Hits without a journal entry fall back to the loader's own
+    structural validation.
+    """
+    if cache is None:
+        return None
+    expected = journaled.get(shard.digest)
+    if expected is not None:
+        actual = cache.checksum(shard)
+        if actual is None:
+            return None
+        if actual != expected:
+            cache._quarantine(cache.path_for(shard),
+                              "journal checksum mismatch")
+            return None
+    return cache.load(shard)
 
 
 def _serial_shard(descriptor: MachineDescriptor,
@@ -244,10 +383,34 @@ def _serial_shard(descriptor: MachineDescriptor,
 
 
 def _store(cache: Optional[ShardCache], shard: Shard,
-           profile: CorpusProfile, run_stats: Dict) -> None:
-    if cache is not None:
-        cache.store(shard, profile)
-        run_stats["written"] += 1
+           profile: CorpusProfile, run_stats: Dict,
+           journal: Optional[RunJournal] = None) -> None:
+    if cache is None:
+        return
+    checksum = cache.store(shard, profile)
+    if checksum is None:
+        return  # degraded: write failed, run continues uncached
+    run_stats["written"] += 1
+    if journal is not None:
+        journal.record_shard(shard.digest, shard.index, checksum)
+
+
+def _account_planned_worker_faults(pending: Sequence[Shard]) -> None:
+    """Mirror worker-side chaos decisions into the parent's telemetry.
+
+    A crashing or hanging worker takes its registry with it, so the
+    parent — which can evaluate the same deterministic predicate —
+    accounts the injection.  Mirrors ``_maybe_worker_chaos`` exactly,
+    including crash-beats-hang precedence.
+    """
+    policy = chaos.active()
+    if policy is None:
+        return
+    for shard in pending:
+        if policy.should_fire("worker_crash", shard.digest):
+            chaos.account("worker_crash", shard.digest)
+        elif policy.should_fire("worker_hang", shard.digest):
+            chaos.account("worker_hang", shard.digest)
 
 
 def _run_pool(pending: Sequence[Shard],
@@ -255,10 +418,13 @@ def _run_pool(pending: Sequence[Shard],
               config: Optional[ProfilerConfig], jobs: int,
               shard_timeout: float, worker_fn,
               results: Dict[int, CorpusProfile], run_stats: Dict,
-              cache: Optional[ShardCache]) -> List[Shard]:
+              cache: Optional[ShardCache],
+              journal: Optional[RunJournal] = None) -> List[Shard]:
     """Fan pending shards out to a process pool; return the failures."""
     failed: List[Shard] = []
     hung = False
+    interrupted = False
+    _account_planned_worker_faults(pending)
     pool = ProcessPoolExecutor(max_workers=min(jobs, len(pending)),
                                initializer=_init_worker)
     try:
@@ -271,7 +437,7 @@ def _run_pool(pending: Sequence[Shard],
                 results[index] = profile
                 run_stats["profiled"] += 1
                 _replicate_profiler_counters(profile)
-                _store(cache, shard, profile, run_stats)
+                _store(cache, shard, profile, run_stats, journal)
             except Exception as exc:  # TimeoutError, BrokenProcessPool,
                 # or whatever the worker raised — all retried serially.
                 if isinstance(exc, TimeoutError):
@@ -281,8 +447,15 @@ def _run_pool(pending: Sequence[Shard],
                 telemetry.event("parallel.shard_error",
                                 shard=shard.index,
                                 error=type(exc).__name__)
+    except BaseException:
+        # KeyboardInterrupt / fatal error: hard-stop the pool, reap
+        # every worker, and let the interrupt propagate.  Without this
+        # a Ctrl-C would leave orphan workers grinding on and the
+        # management thread waiting on them.
+        interrupted = True
+        raise
     finally:
-        if hung:
+        if hung or interrupted:
             _terminate_pool(pool)
         else:
             pool.shutdown(wait=True, cancel_futures=True)

@@ -12,8 +12,11 @@ import time
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Union
 
-from repro.errors import (ArithmeticFault, MemoryFault,
+from repro.errors import (ArithmeticFault, ChaosFault, MemoryFault,
+                          StepBudgetExceeded,
                           UnsupportedInstructionError)
+from repro.resilience import chaos
+from repro.resilience import policy as resilience
 from repro.telemetry import core as telemetry
 from repro.isa.instruction import BasicBlock
 from repro.isa.parser import parse_block
@@ -51,6 +54,9 @@ class ProfilerConfig:
     #: one is twice this, capacity permitting).  The benches raise it
     #: to the paper's ~100/200.
     base_factor: int = BASE_FACTOR
+
+    #: Recognised ``unroll_strategy`` values.
+    STRATEGIES = ("two_factor", "naive")
 
     def plan_for(self, block: BasicBlock,
                  icache_bytes: int) -> UnrollPlan:
@@ -93,6 +99,8 @@ class BasicBlockProfiler:
             telemetry.count("profiler.blocks_accepted")
         else:
             telemetry.count(f"profiler.failure.{result.failure.value}")
+            if result.failure is FailureReason.QUARANTINED:
+                telemetry.count("resilience.quarantined.blocks")
         if result.num_faults:
             telemetry.count("profiler.faults_intercepted",
                             result.num_faults)
@@ -105,6 +113,10 @@ class BasicBlockProfiler:
             telemetry.count("profiler.fastpath_extrapolated")
         if result.extra.get("blockplan_compiled"):
             telemetry.count("profiler.blockplan_compiled")
+        if result.extra.get("chaos_block_poison"):
+            telemetry.count("profiler.chaos_block_poison")
+        if result.extra.get("step_budget_exceeded"):
+            telemetry.count("profiler.step_budget_exceeded")
 
     def _profile_impl(self, block: Union[BasicBlock, str]
                       ) -> ProfileResult:
@@ -112,18 +124,64 @@ class BasicBlockProfiler:
             block = parse_block(block)
         text = block.text()
         if not simcore.enabled():
-            return self._profile_fresh(block, text)
+            return self._profile_guarded(block, text)
         result = self._memo.get(text)
         if result is None:
-            result = self._profile_fresh(block, text)
+            result = self._profile_guarded(block, text)
             self._memo[text] = result
         elif telemetry.is_enabled():
             telemetry.count("profiler.dedup_hits")
         return result
 
+    def _profile_guarded(self, block: BasicBlock,
+                         text: str) -> ProfileResult:
+        """Quarantine barrier: one hostile block never kills the run.
+
+        Known failure shapes (faults, unsupported instructions) are
+        handled inside ``_profile_fresh`` and become their own funnel
+        buckets.  Anything that still escapes — an injected chaos
+        fault, the executor's step-budget watchdog, or a genuine bug
+        surfacing on one pathological block — is degraded into the
+        ``quarantined`` bucket here (or re-raised under ``--strict``).
+
+        Configuration errors are not block failures: they raise before
+        the guard so a misconfigured run fails loudly, not one
+        quarantine per block.
+        """
+        if self.config.unroll_strategy not in \
+                ProfilerConfig.STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {self.config.unroll_strategy!r}")
+        try:
+            return self._profile_fresh(block, text)
+        except Exception as exc:
+            return self._quarantined_result(text, exc)
+
+    def _quarantined_result(self, text: str,
+                            exc: Exception) -> ProfileResult:
+        resilience.quarantine_or_raise(
+            f"block quarantined ({type(exc).__name__})", str(exc))
+        extra: dict = {}
+        if isinstance(exc, ChaosFault):
+            # Rides the info plumbing (result.extra -> CorpusProfile
+            # .info -> shard cache -> merge) so injections that fired
+            # inside pool workers stay visible to the parent's report.
+            extra["chaos_block_poison"] = 1.0
+        if isinstance(exc, StepBudgetExceeded):
+            extra["step_budget_exceeded"] = 1.0
+        telemetry.event("resilience.block_quarantined",
+                        reason=type(exc).__name__,
+                        detail=str(exc)[:200])
+        return ProfileResult(
+            text, self.machine.name,
+            failure=FailureReason.QUARANTINED,
+            detail=f"{type(exc).__name__}: {exc}"[:200],
+            extra=extra)
+
     def _profile_fresh(self, block: BasicBlock,
                        text: str) -> ProfileResult:
         uarch = self.machine.name
+        chaos.poison(text)
 
         if not self.machine.supports(block):
             return ProfileResult(text, uarch,

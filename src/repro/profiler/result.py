@@ -27,6 +27,12 @@ class FailureReason(enum.Enum):
     #: A parallel worker died or timed out on the shard holding this
     #: block and the serial retry failed too (repro.parallel).
     WORKER_FAILURE = "worker_failure"
+    #: The block was quarantined by the resilience layer: its
+    #: simulation raised unexpectedly (including injected chaos
+    #: faults) or tripped the executor's step-budget watchdog
+    #: (repro.resilience).  In salvage mode these degrade to this
+    #: bucket; ``--strict`` promotes them into run failures.
+    QUARANTINED = "quarantined"
 
 
 @dataclass

@@ -17,10 +17,12 @@ from __future__ import annotations
 import math
 from typing import Callable, Dict, List, Optional
 
-from repro.errors import ArithmeticFault, UnsupportedInstructionError
+from repro.errors import (ArithmeticFault, StepBudgetExceeded,
+                          UnsupportedInstructionError)
 from repro.isa.instruction import BasicBlock, Instruction
 from repro.isa.operands import Imm, Mem, is_imm, is_mem, is_reg
 from repro.isa.registers import Register, lookup
+from repro.resilience import policy as _resilience_policy
 from repro.runtime import blockplan, fpmath
 from repro.runtime.memory import VirtualMemory
 from repro.runtime.state import MachineState
@@ -85,6 +87,12 @@ class Executor:
         trace = ExecutionTrace(block_len=len(block), unroll=unroll)
         events_append = trace.events.append
         index = 0
+        # Step-budget watchdog (repro.resilience): bounds the dynamic
+        # instruction count so one pathological block cannot stall the
+        # whole run.  Checked once per unrolled copy — cheap enough to
+        # not perturb the hot loop, tight enough to trip within one
+        # block length of the budget.
+        budget = _resilience_policy.step_budget()
         if blockplan.enabled():
             # The hottest loop in the simulator: each block is compiled
             # once into pre-bound step closures (operand accessors,
@@ -95,6 +103,8 @@ class Executor:
             steps = tuple(enumerate(_plan.bound_plan(self, block)))
             make_event = InstrEvent
             for _ in range(unroll):
+                if index > budget:
+                    raise StepBudgetExceeded(index, budget)
                 for slot, step in steps:
                     event = make_event(index=index, slot=slot)
                     step(event)
@@ -109,6 +119,8 @@ class Executor:
             plan = handler_plan(block)
             execute_instruction = self.execute_instruction
             for _ in range(unroll):
+                if index > budget:
+                    raise StepBudgetExceeded(index, budget)
                 for slot, (instr, handler) in enumerate(plan):
                     event = InstrEvent(index=index, slot=slot)
                     self._event = event

@@ -34,8 +34,9 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, Optional, Tuple
 
-from repro.errors import MemoryFault
+from repro.errors import MemoryFault, StepBudgetExceeded
 from repro.isa.instruction import BasicBlock
+from repro.resilience import policy as _resilience_policy
 from repro.runtime import blockplan
 from repro.runtime.executor import Executor, handler_plan
 from repro.runtime import plan as planmod
@@ -94,8 +95,14 @@ class BlockRun:
         steps = self._steps
         history = self._history
         pure = self._pure
+        budget = _resilience_policy.step_budget()
 
         while self.iteration < self.unroll:
+            # Watchdog mirror of ``execute_block``: the budget counts
+            # *executed* instructions — extrapolated iterations are
+            # replicated, not run, so they are free.
+            if self._executed > budget:
+                raise StepBudgetExceeded(self._executed, budget)
             sig = None
             if pure:
                 if self.iteration >= 1:

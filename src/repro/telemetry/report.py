@@ -36,7 +36,12 @@ def default_report_dir() -> str:
 INFO_COUNTERS = {
     "fastpath_extrapolated": "profiler.fastpath_extrapolated",
     "blockplan_compiled": "profiler.blockplan_compiled",
+    "chaos_block_poison": "profiler.chaos_block_poison",
+    "step_budget_exceeded": "profiler.step_budget_exceeded",
 }
+
+#: Counter prefix the chaos layer uses for injected-fault tallies.
+FAULT_PREFIX = "resilience.fault_injected."
 
 
 def funnel_from_counters(counters: Dict[str, int]) -> Dict:
@@ -83,6 +88,43 @@ def _stage_rows(histograms: Dict[str, Dict]) -> List[Dict]:
     return rows
 
 
+def _resilience_section(counters: Dict[str, int],
+                        histograms: Dict[str, Dict],
+                        funnel: Dict) -> Dict:
+    """The run's fault-injection / degradation accounting.
+
+    ``faults_injected`` merges the chaos layer's own counters (points
+    that fire in the parent, or whose deterministic decision the
+    parent mirrors for crashed workers) with the funnel's
+    ``chaos_block_poison`` info tally — the one point whose count must
+    ride the cached funnel to survive the worker boundary.
+    """
+    backoff = histograms.get("resilience.backoff_ms")
+    faults = {
+        name[len(FAULT_PREFIX):]: value
+        for name, value in counters.items()
+        if name.startswith(FAULT_PREFIX) and value
+    }
+    poison = (funnel.get("info") or {}).get("chaos_block_poison", 0)
+    if poison:
+        faults["block_poison"] = int(poison)
+    return {
+        "retries": counters.get("resilience.retries", 0),
+        "backoff_ms": round(backoff["total"], 3) if backoff else 0.0,
+        "quarantined_blocks":
+            counters.get("resilience.quarantined.blocks", 0),
+        "quarantined_cache_files":
+            counters.get("resilience.quarantined.cache_files", 0),
+        "cache_write_failures":
+            counters.get("resilience.cache_write_failures", 0),
+        "stale_temps_swept":
+            counters.get("resilience.stale_temps_swept", 0),
+        "resumed_shards":
+            counters.get("resilience.resumed_shards", 0),
+        "faults_injected": faults,
+    }
+
+
 def build_run_report(registry: MetricsRegistry, name: str,
                      meta: Optional[Dict] = None,
                      funnel: Optional[Dict] = None) -> Dict:
@@ -95,14 +137,17 @@ def build_run_report(registry: MetricsRegistry, name: str,
     snap = registry.snapshot()
     counters = snap["counters"]
     compile_ms = snap["histograms"].get("executor.plan_compile_ms")
+    funnel_doc = funnel if funnel is not None \
+        else funnel_from_counters(counters)
     return {
         "report": name,
         "generated_by": "repro.telemetry",
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "meta": dict(meta or {}),
         "stages": _stage_rows(snap["histograms"]),
-        "funnel": funnel if funnel is not None
-        else funnel_from_counters(counters),
+        "funnel": funnel_doc,
+        "resilience": _resilience_section(counters, snap["histograms"],
+                                          funnel_doc),
         "cache": {
             "hits": counters.get("cache.hits", 0),
             "misses": counters.get("cache.misses", 0),
@@ -188,6 +233,22 @@ def render_summary(report: Dict) -> str:
                   f"{executor.get('plan_cache_misses', 0)} compiled "
                   f"({executor.get('plan_compile_ms', 0.0)} ms), "
                   f"{executor.get('plan_cache_hits', 0)} cache hits"]
+
+    resilience = report.get("resilience") or {}
+    if any(resilience.get(k) for k in
+           ("retries", "quarantined_blocks", "quarantined_cache_files",
+            "cache_write_failures", "stale_temps_swept",
+            "resumed_shards", "faults_injected")):
+        lines += ["", "resilience"]
+        rows = [(k, resilience.get(k, 0)) for k in
+                ("retries", "backoff_ms", "quarantined_blocks",
+                 "quarantined_cache_files", "cache_write_failures",
+                 "stale_temps_swept", "resumed_shards")
+                if resilience.get(k)]
+        rows += [(f"fault injected: {point}", n) for point, n in
+                 sorted((resilience.get("faults_injected")
+                         or {}).items())]
+        lines += _table(["event", "count"], rows)
 
     counters = report.get("metrics", {}).get("counters", {})
     interesting = {k: v for k, v in counters.items()

@@ -64,12 +64,16 @@ class TestMeasurementCache:
         first = Experiment(scale=0.0003, seed=9, shard_size=10)
         measured_base = first.measured("haswell", corpus=base)
         shard_dir = tmp_path / "measured_v3_main_haswell_9"
-        before = set(os.listdir(shard_dir))
+        before = {name for name in os.listdir(shard_dir)
+                  if name.startswith("shard_")}
         assert len(before) == 3
+        # The always-on run journal lives next to the shard files.
+        assert "journal.ndjson" in os.listdir(shard_dir)
 
         second = Experiment(scale=0.0003, seed=9, shard_size=10)
         measured_grown = second.measured("haswell", corpus=grown)
-        after = set(os.listdir(shard_dir))
+        after = {name for name in os.listdir(shard_dir)
+                 if name.startswith("shard_")}
         # Every pre-existing shard entry was reused verbatim; only
         # the appended shard produced a new entry.
         assert before <= after

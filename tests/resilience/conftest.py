@@ -1,0 +1,24 @@
+"""Isolation for the process-wide resilience switchboards."""
+
+import pytest
+
+from repro import telemetry
+from repro.resilience import chaos
+from repro.resilience import policy
+
+
+@pytest.fixture(autouse=True)
+def _isolate_resilience(monkeypatch):
+    """Fresh telemetry + no inherited chaos/strict/budget state."""
+    monkeypatch.delenv(chaos.ENV_VAR, raising=False)
+    monkeypatch.delenv(policy.ENV_STRICT, raising=False)
+    monkeypatch.delenv(policy.ENV_STEP_BUDGET, raising=False)
+    chaos.set_policy(None)
+    policy.set_strict(None)
+    policy.set_step_budget(None)
+    telemetry.reset()
+    yield
+    chaos.set_policy(None)
+    policy.set_strict(None)
+    policy.set_step_budget(None)
+    telemetry.reset()

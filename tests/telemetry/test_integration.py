@@ -92,9 +92,13 @@ class TestExperimentCache:
         experiment.measured("haswell")
         (name,) = os.listdir(self.cache)
         assert name == "measured_v3_main_haswell_7"
-        shard_files = os.listdir(self.cache / name)
+        entries = os.listdir(self.cache / name)
+        # The run journal (crash-safe resume) is co-located with the
+        # shard files.
+        assert "journal.ndjson" in entries
+        shard_files = [f for f in entries if f.startswith("shard_")]
         assert shard_files
-        assert not any(f.endswith(".tmp") for f in shard_files)
+        assert not any(f.endswith(".tmp") for f in entries)
         total = 0
         for shard_file in shard_files:
             with open(self.cache / name / shard_file) as fh:
