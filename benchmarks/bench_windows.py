@@ -1,0 +1,109 @@
+"""Windowed-aggregation throughput and order-independence.
+
+The live layer folds every profiled block into a sliding-window
+reservoir (``repro.telemetry.window``); that fold sits on the hot
+path of every telemetry-enabled run, so it has to be cheap and it has
+to be deterministic.  This bench enforces both:
+
+* **Speed** — a ``WindowAggregator`` must absorb observations at
+  ``FLOOR`` kblocks/s or better (best of ``REPEATS``); the profiler
+  itself tops out around 1 kblock/s, so a floor two orders of
+  magnitude above that keeps the fold invisible.
+* **Order-independence** — feeding the same observations in reverse
+  and in an interleaved shard order must produce a byte-identical
+  window series (the property that makes pooled runs match serial
+  ones).
+
+Results land in ``reports/windows.txt`` plus a repo-root
+``BENCH_windows.json`` for ``repro bench check``.
+"""
+
+import json
+import os
+import time
+
+from repro.eval.reporting import format_table
+from repro.telemetry.window import WindowAggregator
+
+from conftest import REPORT_DIR
+
+ROOT_JSON = os.path.join(os.path.dirname(__file__), "..",
+                         "BENCH_windows.json")
+
+BLOCKS = 200_000
+WINDOW_SIZE = 64
+RESERVOIR = 1024
+FLOOR = 100.0  # kblocks/s; measured ~400 on the reference machine
+REPEATS = int(os.environ.get("REPRO_BENCH_WINDOWS_REPEATS", "3"))
+
+
+def _observations(n):
+    """Deterministic synthetic latencies; ~6% dropped blocks."""
+    obs = []
+    for i in range(n):
+        if i % 17 == 0:
+            obs.append((i, None))
+        else:
+            obs.append((i, 1.0 + (i * 37 % 101) / 10.0))
+    return obs
+
+
+def _series(obs, n):
+    agg = WindowAggregator("bench", total=n, window_size=WINDOW_SIZE,
+                          reservoir=RESERVOIR)
+    for index, value in obs:
+        agg.observe(index, value)
+    return json.dumps(agg.finish())
+
+
+def _timed_pass(obs, n):
+    agg = WindowAggregator("bench", total=n, window_size=WINDOW_SIZE,
+                          reservoir=RESERVOIR)
+    start = time.perf_counter()
+    for index, value in obs:
+        agg.observe(index, value)
+    agg.finish()
+    return time.perf_counter() - start
+
+
+def test_windows(report):
+    obs = _observations(BLOCKS)
+
+    # Order-independence: reversed and shard-interleaved feeds.
+    forward = _series(obs, BLOCKS)
+    reverse = _series(list(reversed(obs)), BLOCKS)
+    shards = [obs[i::7] for i in range(7)]
+    interleaved = _series([o for shard in shards for o in shard],
+                          BLOCKS)
+    assert forward == reverse == interleaved, \
+        "window series depends on arrival order"
+
+    best = min(_timed_pass(obs, BLOCKS) for _ in range(REPEATS))
+    throughput = BLOCKS / best / 1e3
+    windows = len(json.loads(forward))
+
+    doc = {
+        "blocks": BLOCKS,
+        "window_size": WINDOW_SIZE,
+        "reservoir": RESERVOIR,
+        "floor": FLOOR,
+        "identical_series": True,
+        "aggregation": {
+            "windows": windows,
+            "secs": best,
+            "throughput_kblocks_per_s": throughput,
+        },
+    }
+    with open(ROOT_JSON, "w") as fh:
+        json.dump(doc, fh, indent=1)
+        fh.write("\n")
+
+    rows = [("aggregation", BLOCKS, windows, round(best, 4),
+             round(throughput, 1))]
+    report("windows", format_table(
+        ["mode", "blocks", "windows", "secs", "kblocks/s"], rows,
+        title=f"windowed aggregation (best of {REPEATS}); "
+              f"floor {FLOOR} kblocks/s; series order-independent"))
+
+    assert throughput >= FLOOR, \
+        f"window aggregation {throughput:.0f} kblocks/s < {FLOOR}"

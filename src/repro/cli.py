@@ -10,17 +10,25 @@ provides the equivalents::
     python -m repro corpus   --scale 0.002 --out suite.csv --measure
     python -m repro validate --scale 0.001 --uarch haswell
     python -m repro telemetry --scale 0.0005 --uarch haswell
+    python -m repro top      trace.ndjson --follow
+    python -m repro bench    check --tolerance 0.15
+    python -m repro envvars
 
 ``block.s`` may be ``-`` for stdin.  Blocks are AT&T or Intel syntax,
 auto-detected.
 
 Every command accepts ``--trace FILE``: telemetry is enabled for the
-run and the span/event stream is exported as NDJSON to ``FILE`` (see
-docs/observability.md for the schema).  Corpus-scale commands
-(``corpus --measure``, ``validate``, ``telemetry``) accept
+run and the span/event stream is exported as NDJSON to ``FILE``
+(autoflushed per record, so ``repro top FILE`` can watch the run
+live; see docs/observability.md for the schema).  ``--heartbeat S``
+adds a periodic progress snapshot event to the trace.  Corpus-scale
+commands (``corpus --measure``, ``validate``, ``telemetry``) accept
 ``--jobs N`` to profile across N worker processes (default: every
 core, or ``REPRO_JOBS``); results are bit-identical to ``--jobs 1``
-(see docs/parallel.md).
+(see docs/parallel.md) — including the per-window series ``--window``
+/ ``REPRO_WINDOW`` cuts the run into.  ``--profile`` (corpus /
+validate / telemetry) wraps each pipeline phase in cProfile and
+reports the top cumulative hotspots.
 
 Resilience flags (docs/robustness.md): ``--chaos SPEC`` arms seeded
 deterministic fault injection; ``--strict`` / ``--salvage`` choose
@@ -135,10 +143,23 @@ def cmd_ports(args) -> int:
     return 0
 
 
+def _print_profile() -> None:
+    """Dump collected ``--profile`` hotspots to stdout."""
+    from repro.telemetry import profiling
+    for name, data in sorted(profiling.profiles().items()):
+        print(f"\nprofile: {name} ({data['total_ms']} ms, top "
+              f"{len(data['top'])} by cumulative time)")
+        for row in data["top"][:10]:
+            print(f"  {row['cumtime_ms']:>10.1f} ms  "
+                  f"{row['calls']:>8}  {row['function']}")
+
+
 def cmd_corpus(args) -> int:
     from repro.corpus import build_corpus
     from repro.corpus.io import save_csv, save_json
-    corpus = build_corpus(scale=args.scale, seed=args.seed)
+    from repro.telemetry import profiling
+    with profiling.phase("corpus_build"):
+        corpus = build_corpus(scale=args.scale, seed=args.seed)
     measured = None
     if args.measure:
         jobs = _resolve_jobs(args)
@@ -146,9 +167,10 @@ def cmd_corpus(args) -> int:
             measured = _measured_resumable(args, corpus, jobs)
         else:
             from repro.parallel import profile_corpus_sharded
-            measured = profile_corpus_sharded(
-                corpus, args.uarch, seed=args.seed,
-                jobs=jobs).throughputs
+            with profiling.phase(f"measure:main:{args.uarch}"):
+                measured = profile_corpus_sharded(
+                    corpus, args.uarch, seed=args.seed,
+                    jobs=jobs).throughputs
         print(f"measured {len(measured)}/{len(corpus)} blocks "
               f"on {args.uarch} ({jobs} jobs)")
     if args.out.endswith(".json"):
@@ -157,6 +179,8 @@ def cmd_corpus(args) -> int:
     else:
         written = save_csv(args.out, corpus, measured)
     print(f"wrote {written} blocks to {args.out}")
+    if profiling.is_enabled():
+        _print_profile()
     return 0
 
 
@@ -166,7 +190,9 @@ def cmd_validate(args) -> int:
     from repro.eval.validation import validate
     from repro.models import (IacaModel, IthemalModel, LlvmMcaModel,
                               OsacaModel)
-    corpus = build_corpus(scale=args.scale, seed=args.seed)
+    from repro.telemetry import profiling
+    with profiling.phase("corpus_build"):
+        corpus = build_corpus(scale=args.scale, seed=args.seed)
     models = [IacaModel(), LlvmMcaModel(), IthemalModel(), OsacaModel()]
     jobs = _resolve_jobs(args)
     measured = None
@@ -174,10 +200,13 @@ def cmd_validate(args) -> int:
         measured = _measured_resumable(args, corpus, jobs)
     elif jobs > 1:
         from repro.parallel import profile_corpus_sharded
-        measured = profile_corpus_sharded(
-            corpus, args.uarch, seed=args.seed, jobs=jobs).throughputs
-    result = validate(corpus, args.uarch, models, seed=args.seed,
-                      measured=measured)
+        with profiling.phase(f"measure:main:{args.uarch}"):
+            measured = profile_corpus_sharded(
+                corpus, args.uarch, seed=args.seed,
+                jobs=jobs).throughputs
+    with profiling.phase(f"validate:{args.uarch}"):
+        result = validate(corpus, args.uarch, models, seed=args.seed,
+                          measured=measured)
     rows = [(m, round(result.overall_error(m), 4),
              round(result.weighted_overall_error(m), 4),
              round(result.kendall_tau(m), 4))
@@ -186,11 +215,15 @@ def cmd_validate(args) -> int:
         ["model", "avg error", "weighted", "tau"], rows,
         title=f"{args.uarch}: {len(result.rows)} blocks evaluated, "
               f"{result.profiled_fraction:.1%} profiled"))
+    if profiling.is_enabled():
+        _print_profile()
     return 0
 
 
 def cmd_telemetry(args) -> int:
     """Instrumented pipeline run -> run report under reports/."""
+    import json as json_mod
+
     from repro import telemetry
     from repro.eval.pipeline import Experiment
     if not telemetry.is_enabled():
@@ -200,11 +233,62 @@ def cmd_telemetry(args) -> int:
     experiment.validation(args.uarch)
     report = experiment.write_run_report(args.uarch,
                                          directory=args.report_dir)
-    print(telemetry.render_summary(report))
     directory = args.report_dir or telemetry.default_report_dir()
-    print(f"\nreport: "
-          f"{os.path.join(directory, report['report'] + '.json')}")
+    path = os.path.join(directory, report["report"] + ".json")
+    if args.format == "json":
+        print(json_mod.dumps(report, indent=2, sort_keys=True,
+                             default=str))
+    else:
+        print(telemetry.render_summary(report))
+        print(f"\nreport: {path}")
     return 0
+
+
+def cmd_top(args) -> int:
+    """Render (and optionally follow) a live NDJSON trace."""
+    import time as time_mod
+
+    from repro.telemetry import live
+    records, offset = live.read_records(args.trace_file)
+    if not args.follow:
+        print(live.render_top(records))
+        return 0
+    try:
+        while True:
+            # Clear screen + home, like top(1).
+            print("\x1b[2J\x1b[H" + live.render_top(records),
+                  flush=True)
+            time_mod.sleep(args.interval)
+            fresh, offset = live.read_records(args.trace_file, offset)
+            records.extend(fresh)
+    except KeyboardInterrupt:
+        return 0
+
+
+def cmd_bench_check(args) -> int:
+    """Gate benchmark JSONs against their floors (and a baseline)."""
+    import json as json_mod
+
+    from repro.telemetry import benchgate
+    paths = args.files or benchgate.discover_bench_files()
+    if not paths:
+        print("no BENCH_*.json files found", file=sys.stderr)
+        return 2
+    report = benchgate.run_gate(paths, tolerance=args.tolerance,
+                                baseline_dir=args.against)
+    if args.format == "json":
+        print(json_mod.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(benchgate.render_gate(report))
+    return 0 if report["ok"] else 1
+
+
+def cmd_envvars(args) -> int:
+    """Print the REPRO_* environment-variable registry."""
+    from repro import envvars
+    return envvars.main(
+        (["--group", args.group] if args.group else [])
+        + ["--format", args.format])
 
 
 # ---------------------------------------------------------------------------
@@ -222,7 +306,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--trace", metavar="FILE", default=None,
                        help="enable telemetry and export the NDJSON "
-                            "event stream to FILE")
+                            "event stream to FILE (tail it live with "
+                            "'repro top FILE')")
+        p.add_argument("--heartbeat", type=float, metavar="SECS",
+                       default=None,
+                       help="with --trace: emit a progress snapshot "
+                            "event every SECS seconds")
         p.add_argument("--no-fastpath", action="store_true",
                        help="disable the simulation-core fast path "
                             "(same results, slower; use with --trace "
@@ -257,6 +346,14 @@ def build_parser() -> argparse.ArgumentParser:
                             "(scale, seed, uarch) killed mid-flight "
                             "continues from its completed shards, "
                             "with byte-identical output")
+        p.add_argument("--window", type=int, default=None, metavar="N",
+                       help="blocks per live-telemetry window "
+                            "(default: 64, or $REPRO_WINDOW); the "
+                            "per-window series is identical whatever "
+                            "--jobs is")
+        p.add_argument("--profile", action="store_true",
+                       help="cProfile each pipeline phase and report "
+                            "the top cumulative hotspots")
 
     p = sub.add_parser("profile", help="measure a basic block")
     p.add_argument("block", help="assembly file, or - for stdin")
@@ -304,9 +401,56 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--report-dir", default=None,
                    help="where to write the report "
                         "(default: reports/, or $REPRO_REPORT_DIR)")
+    p.add_argument("--format", choices=("text", "json"),
+                   default="text",
+                   help="print the run report as a summary (text) or "
+                        "as the full JSON document")
     common(p)
     jobs_arg(p)
     p.set_defaults(func=cmd_telemetry)
+
+    p = sub.add_parser("top",
+                       help="render a live view of an NDJSON trace "
+                            "(phase, windowed throughput, cache hit "
+                            "rates, ETA)")
+    p.add_argument("trace_file",
+                   help="NDJSON trace being written by --trace "
+                        "(autoflushed, so in-flight runs render)")
+    p.add_argument("-f", "--follow", action="store_true",
+                   help="keep re-rendering as records arrive "
+                        "(Ctrl-C to stop)")
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="refresh period for --follow (seconds)")
+    p.set_defaults(func=cmd_top)
+
+    p = sub.add_parser("bench", help="benchmark-result tooling")
+    bench_sub = p.add_subparsers(dest="bench_command", required=True)
+    p = bench_sub.add_parser(
+        "check",
+        help="perf-regression gate over committed BENCH_*.json")
+    p.add_argument("files", nargs="*",
+                   help="benchmark JSONs to gate (default: "
+                        "./BENCH_*.json)")
+    p.add_argument("--tolerance", type=float, default=0.10,
+                   help="relative drop allowed before failing "
+                        "(default 0.10)")
+    p.add_argument("--against", metavar="DIR", default=None,
+                   help="directory of baseline BENCH_*.json to "
+                        "compare per-metric against")
+    p.add_argument("--format", choices=("text", "json"),
+                   default="text")
+    p.set_defaults(func=cmd_bench_check, command="bench")
+
+    p = sub.add_parser("envvars",
+                       help="print the REPRO_* environment-variable "
+                            "registry (the docs' tables are generated "
+                            "from it)")
+    p.add_argument("--group", default=None,
+                   choices=("pipeline", "performance", "robustness",
+                            "observability", "bench"))
+    p.add_argument("--format", choices=("table", "json"),
+                   default="table")
+    p.set_defaults(func=cmd_envvars)
 
     return parser
 
@@ -333,13 +477,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         os.environ["REPRO_STRICT"] = "1"
     elif getattr(args, "salvage", False):
         os.environ["REPRO_STRICT"] = "0"
+    if getattr(args, "window", None):
+        # Exported so pool workers and the window aggregator agree.
+        os.environ["REPRO_WINDOW"] = str(max(1, args.window))
+    if getattr(args, "profile", False):
+        from repro.telemetry import profiling
+        profiling.enable()
     trace = getattr(args, "trace", None)
+    heartbeat = None
     if trace:
-        telemetry.enable(trace)
+        # Autoflush so `repro top FILE` can watch the run in flight.
+        telemetry.enable(telemetry.NdjsonSink(trace, autoflush=True))
+        if getattr(args, "heartbeat", None):
+            from repro.telemetry import live
+            heartbeat = live.Heartbeat(args.heartbeat).start()
     try:
         with telemetry.span(f"cli.{args.command}"):
             return args.func(args)
     finally:
+        if heartbeat is not None:
+            heartbeat.stop()
         if trace:
             telemetry.disable()
 

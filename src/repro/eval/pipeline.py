@@ -19,6 +19,7 @@ from functools import lru_cache
 from typing import Dict, List, Optional, Sequence
 
 from repro import telemetry
+from repro.telemetry import profiling
 from repro.classify.categories import ClassifierResult, classify_blocks
 from repro.corpus.dataset import Corpus, build_corpus, build_google_corpus
 from repro.eval.validation import (CorpusProfile, ValidationResult,
@@ -188,8 +189,10 @@ class Experiment:
     @property
     def corpus(self) -> Corpus:
         if self._corpus is None:
-            with telemetry.span("experiment.corpus_build",
-                                scale=self.scale, seed=self.seed) as sp:
+            with profiling.phase("corpus_build"), \
+                    telemetry.span("experiment.corpus_build",
+                                   scale=self.scale,
+                                   seed=self.seed) as sp:
                 self._corpus = build_corpus(scale=self.scale,
                                             seed=self.seed)
                 sp.annotate(blocks=len(self._corpus))
@@ -208,7 +211,8 @@ class Experiment:
     @property
     def classification(self) -> ClassifierResult:
         if self._classification is None:
-            with telemetry.span("experiment.classify") as sp:
+            with profiling.phase("classify"), \
+                    telemetry.span("experiment.classify") as sp:
                 self._classification = classify_blocks(self.corpus.blocks)
                 sp.annotate(blocks=len(self.corpus))
         return self._classification
@@ -256,13 +260,14 @@ class Experiment:
         # (corpus, uarch, seed).
         journal = RunJournal(os.path.join(cache.directory,
                                           JOURNAL_NAME))
-        with telemetry.span("experiment.measure", uarch=uarch,
-                            tag=tag, jobs=jobs) as sp:
+        with profiling.phase(f"measure:{key}"), \
+                telemetry.span("experiment.measure", uarch=uarch,
+                               tag=tag, jobs=jobs) as sp:
             stats: Dict = {}
             profile = profile_corpus_sharded(
                 corpus, uarch, seed=self.seed, jobs=jobs,
                 shards=shards, cache=cache, journal=journal,
-                stats=stats)
+                stats=stats, run_label=key)
             if stats["profiled"] or stats["failed"]:
                 telemetry.count("cache.misses")
                 telemetry.count("cache.writes", stats["written"])
@@ -331,7 +336,8 @@ class Experiment:
         funnel.
         """
         if uarch not in self._validations:
-            with telemetry.span("experiment.validate", uarch=uarch):
+            with profiling.phase(f"validate:{uarch}"), \
+                    telemetry.span("experiment.validate", uarch=uarch):
                 categories = {
                     record.block_id: category
                     for record, category in

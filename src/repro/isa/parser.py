@@ -19,6 +19,7 @@ from typing import List, Optional, Tuple
 
 from repro.errors import AsmSyntaxError
 from repro.simcore import config as simcore
+from repro.telemetry import cachestats
 from repro.isa import registers as regs
 from repro.isa.instruction import BasicBlock, Instruction
 from repro.isa.opcodes import is_known
@@ -290,6 +291,26 @@ def parse_instruction(line: str) -> Instruction:
     if simcore.enabled():
         return _parse_instruction_interned(stripped)
     return _parse_instruction_impl(stripped)
+
+
+def decode_cache_stats() -> cachestats.CacheStats:
+    """Unified-telemetry provider for the decode intern table.
+
+    Pure ``lru_cache.cache_info()`` read — the intern table itself
+    carries zero instrumentation cost.  Every miss inserts and the
+    table is never explicitly invalidated, so entries beyond the
+    current size were evicted by the LRU policy.  Stats are
+    per-process; pool workers export per-shard deltas as
+    ``cache.decode.*`` counters so stitched runs see the whole pool.
+    """
+    info = _parse_instruction_interned.cache_info()
+    return cachestats.CacheStats(
+        name="decode", hits=info.hits, misses=info.misses,
+        evictions=max(0, info.misses - info.currsize),
+        size=info.currsize, capacity=info.maxsize)
+
+
+cachestats.register_provider("decode", decode_cache_stats)
 
 
 def _strip_comment(line: str) -> str:

@@ -41,8 +41,12 @@ stand-ins without touching the engine's control flow.
 
 from __future__ import annotations
 
+import json
 import os
+import shutil
+import tempfile
 import time
+import uuid
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -57,6 +61,7 @@ from repro.resilience import chaos
 from repro.resilience import policy as resilience
 from repro.resilience.journal import RunJournal
 from repro.telemetry import core as telemetry
+from repro.telemetry import window
 from repro.uarch.descriptor import MachineDescriptor
 
 # ``repro.eval.validation`` (``CorpusProfile``,
@@ -96,7 +101,8 @@ def default_shard_timeout() -> float:
 _WORKER_PROFILERS: Dict[Tuple, BasicBlockProfiler] = {}
 
 
-def _init_worker() -> None:
+def _init_worker(trace_dir: Optional[str] = None,
+                 trace_id: Optional[str] = None) -> None:
     """Worker initialiser: drop telemetry state inherited via fork.
 
     Forked workers would otherwise double-count into the parent's
@@ -104,9 +110,22 @@ def _init_worker() -> None:
     Also flags the process as a worker so the worker-only chaos fault
     points (``worker_crash`` / ``worker_hang``) may fire here — and
     never in the parent.
+
+    When the parent run is traced, each worker gets its own NDJSON
+    side-channel file under ``trace_dir`` (autoflushed per record so a
+    crashed worker leaves complete lines), stamped with the run's
+    trace ID and this worker's pid; the parent stitches the files back
+    into its own trace in shard-index order after the pool drains.
     """
     telemetry.reset()
     chaos.mark_worker()
+    if trace_dir is not None:
+        hub = telemetry.get_telemetry()
+        path = os.path.join(trace_dir,
+                            f"worker_{os.getpid()}.ndjson")
+        hub.enable(telemetry.NdjsonSink(path, autoflush=True))
+        hub.trace_id = trace_id
+        hub.context = {"worker": os.getpid()}
 
 
 def _maybe_worker_chaos(records: tuple) -> None:
@@ -145,8 +164,50 @@ def profile_shard_worker(descriptor: MachineDescriptor,
     """Profile one shard in a worker process (must stay picklable)."""
     from repro.eval.validation import profile_records_detailed
     _maybe_worker_chaos(records)
+    hub = telemetry.get_telemetry()
+    traced = hub.enabled and descriptor.trace is not None
+    if traced:
+        # Per-shard counter window: the registry is wiped so the
+        # summary event below carries exactly this shard's counts —
+        # the parent merges them per shard, in shard-index order.
+        hub.registry.reset()
+        hub.context["shard"] = index
     profiler = _worker_profiler(descriptor, config)
-    return index, profile_records_detailed(profiler, records)
+    with telemetry.span("worker.shard", shard=index,
+                        blocks=len(records)):
+        profile = profile_records_detailed(profiler, records)
+    if traced:
+        _export_decode_delta()
+        counters = dict(hub.registry.snapshot()["counters"])
+        telemetry.event("worker.shard_summary", shard=index,
+                        counters=counters)
+    return index, profile
+
+
+#: Decode-table cache_info() totals already exported by this worker
+#: (hits, misses, evictions) — cache_info is cumulative per process
+#: but shard summaries must carry per-shard deltas.
+_DECODE_EXPORTED = [0, 0, 0]
+
+
+def _export_decode_delta() -> None:
+    """Fold decode-table activity since the last shard into counters.
+
+    The decode intern table counts through ``lru_cache.cache_info()``
+    (zero instrumentation cost), not the telemetry registry, so worker
+    decode activity would otherwise be invisible to the parent's
+    stitched ``caches`` section.
+    """
+    from repro.isa.parser import decode_cache_stats
+    from repro.telemetry import cachestats
+    stats = decode_cache_stats()
+    current = (stats.hits, stats.misses, stats.evictions)
+    for field, now, before in zip(("hits", "misses", "evictions"),
+                                  current, _DECODE_EXPORTED):
+        if now > before:
+            telemetry.count(cachestats.counter_name("decode", field),
+                            now - before)
+    _DECODE_EXPORTED[:] = current
 
 
 # ---------------------------------------------------------------------------
@@ -202,6 +263,110 @@ def _replicate_profiler_counters(profile: CorpusProfile) -> None:
             telemetry.count(f"profiler.{name}", value)
 
 
+#: Worker counters the parent must NOT merge during stitching: these
+#: are re-derived from the merged funnel/info by
+#: ``_replicate_profiler_counters`` (which also covers cache-hit and
+#: rescued shards, where no worker registry exists), so merging them
+#: again would double-count.
+_STITCH_EXCLUDED = frozenset({
+    "profiler.blocks_total", "profiler.blocks_accepted",
+    "profiler.fastpath_extrapolated", "profiler.blockplan_compiled",
+    "profiler.chaos_block_poison", "profiler.step_budget_exceeded",
+})
+
+
+def _stitchable(name: str) -> bool:
+    return name not in _STITCH_EXCLUDED \
+        and not name.startswith("profiler.failure.")
+
+
+def _read_ndjson_lenient(path: str) -> List[Dict]:
+    """Worker-trace loader tolerating a torn final line.
+
+    A worker killed mid-write (crash chaos, pool termination) can
+    leave one truncated line at the tail; every complete line before
+    it is still good and must be stitched.
+    """
+    records: List[Dict] = []
+    try:
+        with open(path) as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except ValueError:
+                    break  # torn tail; everything before it counts
+    except OSError:
+        pass
+    return records
+
+
+def _stitch_worker_traces(trace_dir: str) -> None:
+    """Merge the pool's side-channel traces into the parent's.
+
+    Records are re-emitted verbatim (worker pid, shard, and per-worker
+    ``seq`` preserved, run trace ID already stamped) in deterministic
+    order: by shard index, then worker, then sequence.  Each shard's
+    ``worker.shard_summary`` counters are folded into the parent
+    registry — excluding the funnel-replicated counters — and worker
+    span durations feed the parent's ``span.*`` histograms so pooled
+    stage timings show up next to the parent's own.
+    """
+    hub = telemetry.get_telemetry()
+    records: List[Dict] = []
+    try:
+        names = sorted(os.listdir(trace_dir))
+    except OSError:
+        return
+    for name in names:
+        if name.endswith(".ndjson"):
+            records.extend(
+                _read_ndjson_lenient(os.path.join(trace_dir, name)))
+    records.sort(key=lambda r: (r.get("shard", -1),
+                                r.get("worker", 0),
+                                r.get("seq", 0)))
+    stitched = 0
+    for record in records:
+        if record.get("kind") == "event" \
+                and record.get("name") == "worker.shard_summary":
+            for counter, value in sorted(
+                    (record.get("counters") or {}).items()):
+                if value and _stitchable(counter):
+                    telemetry.count(counter, value)
+            continue
+        if record.get("kind") == "span" \
+                and record.get("dur_ms") is not None:
+            telemetry.observe(f"span.{record['name']}",
+                              record["dur_ms"])
+        hub.sink.emit(record)
+        stitched += 1
+    if stitched:
+        telemetry.count("parallel.stitched_records", stitched)
+
+
+def _feed_windows(aggregator: Optional[window.WindowAggregator],
+                  starts: Optional[Dict[int, int]], shard: Shard,
+                  profile: CorpusProfile) -> None:
+    """Feed one shard's per-block cycles into the window aggregator.
+
+    Runs at every point a shard result lands (cache hit, serial,
+    pool, serial rescue, worker-failure bucket), so serial and pooled
+    runs observe the same (index, value) pairs; the aggregator's
+    arrival-order independence does the rest.  Dropped blocks feed
+    ``None`` — they advance window completeness without contributing
+    a sample.
+    """
+    if aggregator is None:
+        return
+    base = starts[shard.index]
+    throughputs = profile.throughputs
+    for offset, record in enumerate(shard.records):
+        aggregator.observe(base + offset,
+                           throughputs.get(record.block_id))
+
+
 def _journal_meta(uarch: str, seed: int,
                   shards: Sequence[Shard]) -> Dict:
     """Run identity the journal pins: same corpus, uarch, and seed."""
@@ -223,7 +388,8 @@ def profile_corpus_sharded(corpus: Corpus, uarch: str, seed: int = 0,
                            journal: Optional[RunJournal] = None,
                            worker_fn=None, serial_fn=None,
                            retry: Optional[resilience.RetryPolicy] = None,
-                           stats: Optional[Dict] = None
+                           stats: Optional[Dict] = None,
+                           run_label: Optional[str] = None
                            ) -> CorpusProfile:
     """Profile a corpus across a worker pool, bit-identical to serial.
 
@@ -246,7 +412,36 @@ def profile_corpus_sharded(corpus: Corpus, uarch: str, seed: int = 0,
         shards = shard_corpus(corpus, shard_size)
     worker_fn = worker_fn or profile_shard_worker
     retry = retry or resilience.default_retry_policy(seed)
-    descriptor = MachineDescriptor(uarch=uarch, seed=seed)
+
+    # Live-layer setup (all of it telemetry-gated): mint the
+    # run-scoped trace ID, announce the run, and build the windowed
+    # aggregator over deterministic global block indices (each shard's
+    # start offset is its prefix sum — shards are contiguous slices).
+    hub = telemetry.get_telemetry()
+    trace_id: Optional[str] = None
+    aggregator: Optional[window.WindowAggregator] = None
+    starts: Optional[Dict[int, int]] = None
+    label = run_label or uarch
+    if hub.enabled:
+        if hub.trace_id is None:
+            hub.trace_id = uuid.uuid4().hex[:12]
+        trace_id = hub.trace_id
+        starts = {}
+        offset = 0
+        for shard in sorted(shards, key=lambda s: s.index):
+            starts[shard.index] = offset
+            offset += len(shard)
+        aggregator = window.WindowAggregator(
+            label, offset,
+            on_window=lambda summary: telemetry.event(
+                "window", label=label, **summary))
+        telemetry.event("run.start", label=label, uarch=uarch,
+                        seed=seed, jobs=jobs, shards=len(shards),
+                        blocks=offset,
+                        window_size=aggregator.window_size)
+
+    descriptor = MachineDescriptor(uarch=uarch, seed=seed,
+                                   trace=trace_id)
 
     journaled: Dict[str, int] = {}
     if journal is not None:
@@ -263,6 +458,7 @@ def profile_corpus_sharded(corpus: Corpus, uarch: str, seed: int = 0,
             cached = _load_verified(cache, shard, journaled)
             if cached is not None:
                 results[shard.index] = cached
+                _feed_windows(aggregator, starts, shard, cached)
                 if shard.digest in journaled:
                     resumed += 1
             else:
@@ -276,6 +472,12 @@ def profile_corpus_sharded(corpus: Corpus, uarch: str, seed: int = 0,
         if run_stats["cache_hits"]:
             telemetry.count("parallel.shard_cache_hits",
                             run_stats["cache_hits"])
+        if cache is not None:
+            if run_stats["cache_hits"]:
+                telemetry.count("cache.shard.hits",
+                                run_stats["cache_hits"])
+            if pending:
+                telemetry.count("cache.shard.misses", len(pending))
         if resumed:
             telemetry.count("resilience.resumed_shards", resumed)
             telemetry.event("resilience.resume", shards=resumed,
@@ -292,12 +494,25 @@ def profile_corpus_sharded(corpus: Corpus, uarch: str, seed: int = 0,
                     profile = profile_records_detailed(profiler,
                                                        shard.records)
                     results[shard.index] = profile
+                    _feed_windows(aggregator, starts, shard, profile)
                     run_stats["profiled"] += 1
                     _store(cache, shard, profile, run_stats, journal)
             elif pending:
-                failed = _run_pool(pending, descriptor, config, jobs,
-                                   shard_timeout, worker_fn, results,
-                                   run_stats, cache, journal)
+                trace_dir = tempfile.mkdtemp(prefix="repro-trace-") \
+                    if hub.enabled else None
+                try:
+                    failed = _run_pool(pending, descriptor, config,
+                                       jobs, shard_timeout, worker_fn,
+                                       results, run_stats, cache,
+                                       journal, trace_dir=trace_dir,
+                                       trace_id=trace_id,
+                                       aggregator=aggregator,
+                                       starts=starts)
+                    if trace_dir is not None:
+                        _stitch_worker_traces(trace_dir)
+                finally:
+                    if trace_dir is not None:
+                        shutil.rmtree(trace_dir, ignore_errors=True)
                 for shard in failed:
                     # Escalate pool -> serial: bounded retries in the
                     # parent; a shard that still fails is bucketed,
@@ -316,6 +531,8 @@ def profile_corpus_sharded(corpus: Corpus, uarch: str, seed: int = 0,
                             key=f"serial_rescue|{shard.digest}",
                             retry_on=(Exception,))
                         results[shard.index] = profile
+                        _feed_windows(aggregator, starts, shard,
+                                      profile)
                         run_stats["profiled"] += 1
                         # The rescue ran in-parent, so the profiler's
                         # own counters already recorded it — no
@@ -332,8 +549,10 @@ def profile_corpus_sharded(corpus: Corpus, uarch: str, seed: int = 0,
                             f"shard {shard.index} failed in the pool "
                             f"and in {retry.max_attempts} serial "
                             f"attempts", type(exc).__name__)
-                        results[shard.index] = \
-                            _worker_failure_profile(shard)
+                        failure_profile = _worker_failure_profile(shard)
+                        results[shard.index] = failure_profile
+                        _feed_windows(aggregator, starts, shard,
+                                      failure_profile)
             span.annotate(profiled=run_stats["profiled"],
                           cache_hits=run_stats["cache_hits"],
                           resumed=resumed,
@@ -344,9 +563,17 @@ def profile_corpus_sharded(corpus: Corpus, uarch: str, seed: int = 0,
 
     if stats is not None:
         stats.update(run_stats)
-    return merge_profiles(
+    merged = merge_profiles(
         [(by_index[index], profile)
          for index, profile in results.items()])
+    if aggregator is not None:
+        series = aggregator.finish()
+        window.deposit_run(label, series)
+        telemetry.event("run.end", label=label, uarch=uarch,
+                        total=merged.funnel["total"],
+                        accepted=merged.funnel["accepted"],
+                        windows=len(series))
+    return merged
 
 
 def _load_verified(cache: Optional[ShardCache], shard: Shard,
@@ -419,14 +646,19 @@ def _run_pool(pending: Sequence[Shard],
               shard_timeout: float, worker_fn,
               results: Dict[int, CorpusProfile], run_stats: Dict,
               cache: Optional[ShardCache],
-              journal: Optional[RunJournal] = None) -> List[Shard]:
+              journal: Optional[RunJournal] = None,
+              trace_dir: Optional[str] = None,
+              trace_id: Optional[str] = None,
+              aggregator: Optional[window.WindowAggregator] = None,
+              starts: Optional[Dict[int, int]] = None) -> List[Shard]:
     """Fan pending shards out to a process pool; return the failures."""
     failed: List[Shard] = []
     hung = False
     interrupted = False
     _account_planned_worker_faults(pending)
     pool = ProcessPoolExecutor(max_workers=min(jobs, len(pending)),
-                               initializer=_init_worker)
+                               initializer=_init_worker,
+                               initargs=(trace_dir, trace_id))
     try:
         futures = [(pool.submit(worker_fn, descriptor, config,
                                 shard.index, shard.records), shard)
@@ -435,6 +667,7 @@ def _run_pool(pending: Sequence[Shard],
             try:
                 index, profile = future.result(timeout=shard_timeout)
                 results[index] = profile
+                _feed_windows(aggregator, starts, shard, profile)
                 run_stats["profiled"] += 1
                 _replicate_profiler_counters(profile)
                 _store(cache, shard, profile, run_stats, journal)

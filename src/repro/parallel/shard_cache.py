@@ -51,6 +51,7 @@ from typing import Dict, Iterable, Optional
 from repro.parallel.sharding import Shard
 from repro.resilience import chaos
 from repro.resilience import policy as resilience
+from repro.telemetry import cachestats
 from repro.telemetry import core as telemetry
 
 # ``CorpusProfile`` is imported lazily (see sharding.py): importing
@@ -64,6 +65,12 @@ LEGACY_DROP_REASON = "unknown_pre_v3_cache"
 
 #: Subdirectory corrupt shard files are moved to instead of raising.
 QUARANTINE_DIR = "quarantine"
+
+# Default provider so the unified ``caches`` section always carries a
+# ``shard`` row (pure counter read); opening a ShardCache replaces it
+# with an instance-bound provider that also reports on-disk size.
+cachestats.register_provider(
+    "shard", lambda: cachestats.registry_stats("shard"))
 
 
 def _pid_alive(pid: int) -> bool:
@@ -86,6 +93,18 @@ class ShardCache:
         self.retry = retry or resilience.default_retry_policy()
         os.makedirs(directory, exist_ok=True)
         self._sweep_stale_temps()
+        # The unified ``caches`` section tracks the most recently
+        # opened shard cache (runs open exactly one); hit/miss counts
+        # come from the engine's ``cache.shard.*`` counters.
+        cachestats.register_provider("shard", self._cache_stats)
+
+    def _cache_stats(self) -> cachestats.CacheStats:
+        stats = cachestats.registry_stats("shard")
+        try:
+            stats.size = len(self.shard_files())
+        except OSError:
+            pass
+        return stats
 
     # ------------------------------------------------------------------
 
@@ -168,6 +187,7 @@ class ShardCache:
             except OSError:
                 return
         telemetry.count("resilience.quarantined.cache_files")
+        telemetry.count("cache.shard.evictions")
         telemetry.event("resilience.cache_file_quarantined",
                         file=os.path.basename(path), reason=reason)
 

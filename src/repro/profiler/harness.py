@@ -9,6 +9,7 @@ uses to profile 2M+ basic blocks without user intervention.
 from __future__ import annotations
 
 import time
+import weakref
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Union
 
@@ -17,6 +18,7 @@ from repro.errors import (ArithmeticFault, ChaosFault, MemoryFault,
                           UnsupportedInstructionError)
 from repro.resilience import chaos
 from repro.resilience import policy as resilience
+from repro.telemetry import cachestats
 from repro.telemetry import core as telemetry
 from repro.isa.instruction import BasicBlock
 from repro.isa.parser import parse_block
@@ -79,6 +81,11 @@ class BasicBlockProfiler:
         #: Exact because a result is a pure function of (text, machine,
         #: config) — even the simulated noise is seeded from the text.
         self._memo: dict = {}
+        #: Most recent block's environment, kept so the page-cache
+        #: stats it accumulated can be drained after the block.
+        self._last_env: Optional[Environment] = None
+        global _LAST_PROFILER
+        _LAST_PROFILER = weakref.ref(self)
 
     # ------------------------------------------------------------------
 
@@ -89,7 +96,33 @@ class BasicBlockProfiler:
         start = time.perf_counter()
         result = self._profile_impl(block)
         self._record(result, (time.perf_counter() - start) * 1000.0)
+        self._drain_page_stats()
         return result
+
+    def _drain_page_stats(self) -> None:
+        """Fold the block's page-cache stats into ``cache.page.*``.
+
+        The hot paths in :class:`repro.runtime.memory.VirtualMemory`
+        bump plain ints; this drains-and-zeroes them once per block so
+        the unified ``caches`` section sees them, without the memory
+        fast path ever touching the telemetry hub.  Only called while
+        telemetry is enabled; a dedup hit re-drains an already-zeroed
+        environment, which is a no-op.
+        """
+        env = self._last_env
+        if env is None:
+            return
+        memory = env.memory
+        if memory.stat_hits:
+            telemetry.count("cache.page.hits", memory.stat_hits)
+            memory.stat_hits = 0
+        if memory.stat_misses:
+            telemetry.count("cache.page.misses", memory.stat_misses)
+            memory.stat_misses = 0
+        if memory.stat_evictions:
+            telemetry.count("cache.page.evictions",
+                            memory.stat_evictions)
+            memory.stat_evictions = 0
 
     def _record(self, result: ProfileResult, elapsed_ms: float) -> None:
         """Feed the metrics registry (telemetry enabled only)."""
@@ -129,8 +162,10 @@ class BasicBlockProfiler:
         if result is None:
             result = self._profile_guarded(block, text)
             self._memo[text] = result
+            if telemetry.is_enabled():
+                telemetry.count("cache.dedup.misses")
         elif telemetry.is_enabled():
-            telemetry.count("profiler.dedup_hits")
+            telemetry.count("cache.dedup.hits")
         return result
 
     def _profile_guarded(self, block: BasicBlock,
@@ -193,6 +228,7 @@ class BasicBlockProfiler:
         plan = self.config.plan_for(
             block, icache_bytes=self.machine.desc.l1i.size)
         env = Environment(self.config.environment)
+        self._last_env = env
         env.reset()
 
         mapping = map_pages(env, block, unroll=plan.max_factor,
@@ -325,6 +361,24 @@ class BasicBlockProfiler:
                             1 for r in results
                             if r.extra.get("blockplan_compiled")))
         return results
+
+
+#: Weak reference to the most recently constructed profiler, so the
+#: dedup-memo stats provider can report the live memo's size without
+#: keeping profilers alive.
+_LAST_PROFILER: Optional[weakref.ref] = None
+
+
+def _dedup_cache_stats() -> cachestats.CacheStats:
+    """Unified-telemetry provider for the corpus dedup memo."""
+    stats = cachestats.registry_stats("dedup")
+    profiler = _LAST_PROFILER() if _LAST_PROFILER is not None else None
+    if profiler is not None:
+        stats.size = len(profiler._memo)
+    return stats
+
+
+cachestats.register_provider("dedup", _dedup_cache_stats)
 
 
 def profile_block(block: Union[BasicBlock, str],

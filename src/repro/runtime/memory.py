@@ -23,9 +23,17 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.errors import InvalidAddressFault, MemoryFault
 from repro.runtime import blockplan
+from repro.telemetry import cachestats
 
 PAGE_SIZE = 4096
 PAGE_SHIFT = 12
+
+# The unified ``caches`` report section reads the page cache through
+# the registry: per-instance plain-int stats (see ``VirtualMemory``)
+# are drained into ``cache.page.*`` counters by the profiler harness,
+# once per block and only while telemetry is enabled.
+cachestats.register_provider(
+    "page", lambda: cachestats.registry_stats("page", capacity=1))
 
 #: Lowest mappable user address (the zero page is never mappable).
 MIN_USER_ADDRESS = 0x1000
@@ -94,11 +102,22 @@ class VirtualMemory:
         # the historical one.
         self._fast_vpage: int = -1
         self._fast_page: Optional[PhysicalPage] = None
+        # Plain-int page-cache accounting (hits = fast-path accesses,
+        # misses = translations that reseeded the cache, evictions =
+        # invalidations of a live entry).  Kept as attributes rather
+        # than telemetry counters so the hot paths never touch the
+        # hub; the harness drains them into ``cache.page.*`` once per
+        # block, and only while telemetry is enabled.
+        self.stat_hits: int = 0
+        self.stat_misses: int = 0
+        self.stat_evictions: int = 0
 
     # -- mapping management -------------------------------------------------
 
     def map_page(self, vpage: int, phys: PhysicalPage) -> None:
         self._table[vpage] = phys
+        if self._fast_vpage != -1:
+            self.stat_evictions += 1
         self._fast_vpage = -1
         self._fast_page = None
 
@@ -110,6 +129,8 @@ class VirtualMemory:
     def unmap_all(self) -> None:
         """The profiler's pre-run teardown ("unmap all pages")."""
         self._table.clear()
+        if self._fast_vpage != -1:
+            self.stat_evictions += 1
         self._fast_vpage = -1
         self._fast_page = None
 
@@ -147,6 +168,7 @@ class VirtualMemory:
         if blockplan.enabled():
             self._fast_vpage = vpage
             self._fast_page = phys
+            self.stat_misses += 1
         return phys
 
     def read_bytes(self, address: int, width: int) -> bytes:
@@ -177,6 +199,7 @@ class VirtualMemory:
         if (address >> PAGE_SHIFT) == self._fast_vpage:
             offset = address & (PAGE_SIZE - 1)
             if offset + width <= PAGE_SIZE:
+                self.stat_hits += 1
                 return int.from_bytes(
                     self._fast_page.data[offset:offset + width], "little")
         return int.from_bytes(self.read_bytes(address, width), "little")
@@ -186,6 +209,7 @@ class VirtualMemory:
         if (address >> PAGE_SHIFT) == self._fast_vpage:
             offset = address & (PAGE_SIZE - 1)
             if offset + width <= PAGE_SIZE:
+                self.stat_hits += 1
                 self._fast_page.data[offset:offset + width] = \
                     value.to_bytes(width, "little")
                 return

@@ -45,6 +45,7 @@ from repro.isa.registers import GPR_INDEX
 from repro.runtime import fpmath
 from repro.runtime.executor import _MASK, _sext, handler_plan
 from repro.runtime.trace import MemAccess
+from repro.telemetry import cachestats
 from repro.telemetry import core as telemetry
 
 _MASK64 = _MASK[8]
@@ -1505,7 +1506,7 @@ def compiled_plan(block: BasicBlock) -> Tuple:
     plan = _symbolic.get(block)
     if plan is not None:
         if telemetry.is_enabled():
-            telemetry.count("executor.plan_cache_hits")
+            telemetry.count("cache.blockplan.hits")
         return plan
     start = time.perf_counter()
     binders = []
@@ -1523,11 +1524,14 @@ def compiled_plan(block: BasicBlock) -> Tuple:
         binders.append(binder)
     plan = tuple(binders)
     if len(_symbolic) >= _MAX_SYMBOLIC:
+        if telemetry.is_enabled():
+            telemetry.count("cache.blockplan.evictions",
+                            len(_symbolic))
         _symbolic.clear()
     _symbolic[block] = plan
     if telemetry.is_enabled():
-        telemetry.count("executor.plan_cache_misses")
-        telemetry.observe("executor.plan_compile_ms",
+        telemetry.count("cache.blockplan.misses")
+        telemetry.observe("cache.blockplan.compile_ms",
                           (time.perf_counter() - start) * 1000.0)
     return plan
 
@@ -1538,10 +1542,23 @@ def bound_plan(executor, block: BasicBlock) -> Tuple:
     steps = plans.get(block)
     if steps is not None:
         if telemetry.is_enabled():
-            telemetry.count("executor.plan_cache_hits")
+            telemetry.count("cache.blockplan.hits")
         return steps
     steps = tuple(binder(executor) for binder in compiled_plan(block))
     if len(plans) >= _MAX_BOUND:
+        if telemetry.is_enabled():
+            telemetry.count("cache.blockplan.evictions", len(plans))
         plans.clear()
     plans[block] = steps
     return steps
+
+
+def _blockplan_cache_stats():
+    """Unified-telemetry provider for the block-plan cache."""
+    stats = cachestats.registry_stats("blockplan")
+    stats.size = len(_symbolic)
+    stats.capacity = _MAX_SYMBOLIC
+    return stats
+
+
+cachestats.register_provider("blockplan", _blockplan_cache_stats)

@@ -29,26 +29,30 @@ for the event schema and metric catalogue.
 """
 
 from repro.telemetry.core import (MemorySink, NdjsonSink, NullSink, Span,
-                                  Telemetry, count, disable, enable, event,
-                                  get_telemetry, is_enabled, observe,
-                                  read_ndjson, registry, reset, set_gauge,
-                                  span)
+                                  Telemetry, count, current_phase, disable,
+                                  enable, event, get_telemetry, is_enabled,
+                                  observe, read_ndjson, register_reset_hook,
+                                  registry, reset, set_gauge, span, trace_id)
 from repro.telemetry.metrics import (Counter, Gauge, Histogram,
                                      MetricsRegistry)
+from repro.telemetry.cachestats import CacheStats
 from repro.telemetry.report import (build_run_report, default_report_dir,
                                     funnel_from_counters, render_summary,
                                     write_run_report)
+from repro.telemetry.window import WindowAggregator, default_window_size
 
 __all__ = [
     # hub + lifecycle
     "Telemetry", "get_telemetry", "enable", "disable", "is_enabled",
-    "reset",
+    "reset", "register_reset_hook", "trace_id", "current_phase",
     # instrumentation points
     "span", "event", "count", "observe", "set_gauge", "registry",
     # sinks + spans
     "NullSink", "MemorySink", "NdjsonSink", "Span", "read_ndjson",
     # metrics
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    # unified cache telemetry + windowed series
+    "CacheStats", "WindowAggregator", "default_window_size",
     # reports
     "build_run_report", "render_summary", "write_run_report",
     "default_report_dir", "funnel_from_counters",

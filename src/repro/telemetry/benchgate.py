@@ -1,0 +1,152 @@
+"""The perf-regression gate behind ``repro bench check``.
+
+The repo's benchmark suites persist their committed results as
+``BENCH_*.json`` at the repo root (``BENCH_simcore.json``,
+``BENCH_blockplan.json``, ``BENCH_windows.json``): small JSON
+documents whose *headline* leaves — numbers named ``speedup`` or
+``throughput_kblocks_per_s``, all higher-is-better — summarise what
+the optimisation bought, next to a top-level ``floor`` recording the
+minimum the suite promises.
+
+Two gate modes:
+
+* **self mode** (no baseline): each file's *best* headline value must
+  clear ``floor * (1 - tolerance)``.  The best, not every leaf — the
+  files deliberately include off-configuration rows (e.g. blockplan's
+  ``fastpath_on`` section, where the fast path already ate most of the
+  win) that sit below the headline floor by design.
+* **``--against BASELINE_DIR``**: every headline leaf present in both
+  the current file and the like-named baseline file must satisfy
+  ``current >= baseline * (1 - tolerance)`` — per-leaf, so a
+  regression hiding under a still-healthy best value is caught.
+
+CI runs ``repro bench check --tolerance 0.15`` against the committed
+files as a smoke gate; developers re-run the suites and gate the fresh
+output against the committed ones with ``--against``.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["HEADLINE_LEAVES", "discover_bench_files", "headline_leaves",
+           "check_file", "run_gate", "render_gate"]
+
+#: Leaf names treated as headline metrics (all higher-is-better).
+HEADLINE_LEAVES = ("speedup", "throughput_kblocks_per_s")
+
+#: Default relative tolerance before a drop counts as a regression.
+DEFAULT_TOLERANCE = 0.10
+
+
+def discover_bench_files(root: str = ".") -> List[str]:
+    """The committed benchmark results under ``root``, sorted."""
+    return sorted(glob.glob(os.path.join(root, "BENCH_*.json")))
+
+
+def headline_leaves(doc: Dict, prefix: str = ""
+                    ) -> List[Tuple[str, float]]:
+    """All ``(dotted.path, value)`` headline leaves in a bench doc."""
+    leaves: List[Tuple[str, float]] = []
+    for key, value in doc.items():
+        path = f"{prefix}{key}"
+        if isinstance(value, dict):
+            leaves.extend(headline_leaves(value, prefix=f"{path}."))
+        elif key in HEADLINE_LEAVES and \
+                isinstance(value, (int, float)):
+            leaves.append((path, float(value)))
+    return sorted(leaves)
+
+
+def check_file(name: str, current: Dict, baseline: Optional[Dict],
+               tolerance: float) -> List[Dict]:
+    """Gate one benchmark document; returns one row per check."""
+    checks: List[Dict] = []
+    leaves = headline_leaves(current)
+    floor = current.get("floor")
+    if isinstance(floor, (int, float)) and leaves:
+        best_path, best = max(leaves, key=lambda kv: kv[1])
+        required = float(floor) * (1.0 - tolerance)
+        checks.append({
+            "file": name, "mode": "floor", "metric": best_path,
+            "value": round(best, 4), "reference": float(floor),
+            "required": round(required, 4), "ok": best >= required,
+        })
+    if baseline is not None:
+        base_leaves = dict(headline_leaves(baseline))
+        for path, value in leaves:
+            ref = base_leaves.get(path)
+            if ref is None:
+                continue
+            required = ref * (1.0 - tolerance)
+            checks.append({
+                "file": name, "mode": "baseline", "metric": path,
+                "value": round(value, 4), "reference": round(ref, 4),
+                "required": round(required, 4),
+                "ok": value >= required,
+            })
+    if not checks:
+        checks.append({
+            "file": name, "mode": "none", "metric": None,
+            "value": None, "reference": None, "required": None,
+            "ok": True, "note": "no headline metrics found",
+        })
+    return checks
+
+
+def run_gate(paths: List[str], tolerance: float = DEFAULT_TOLERANCE,
+             baseline_dir: Optional[str] = None) -> Dict:
+    """Load + gate every benchmark file; returns the gate report."""
+    checks: List[Dict] = []
+    errors: List[str] = []
+    for path in paths:
+        name = os.path.basename(path)
+        try:
+            with open(path) as fh:
+                current = json.load(fh)
+        except (OSError, ValueError) as exc:
+            errors.append(f"{name}: {exc}")
+            continue
+        baseline = None
+        if baseline_dir is not None:
+            base_path = os.path.join(baseline_dir, name)
+            try:
+                with open(base_path) as fh:
+                    baseline = json.load(fh)
+            except OSError:
+                errors.append(f"{name}: no baseline in "
+                              f"{baseline_dir} (floor check only)")
+            except ValueError as exc:
+                errors.append(f"{name}: bad baseline: {exc}")
+        checks.extend(check_file(name, current, baseline, tolerance))
+    return {
+        "gate": "bench-check",
+        "tolerance": tolerance,
+        "files": [os.path.basename(p) for p in paths],
+        "checks": checks,
+        "errors": errors,
+        "ok": bool(checks) and all(c["ok"] for c in checks),
+    }
+
+
+def render_gate(report: Dict) -> str:
+    """Human-readable gate summary (the non-``--format json`` output)."""
+    lines = [f"bench check (tolerance {report['tolerance']:.0%})"]
+    for check in report["checks"]:
+        if check["metric"] is None:
+            lines.append(f"  ?    {check['file']}: "
+                         f"{check.get('note', 'nothing to check')}")
+            continue
+        verdict = "ok  " if check["ok"] else "FAIL"
+        against = "floor" if check["mode"] == "floor" else "baseline"
+        lines.append(
+            f"  {verdict} {check['file']} {check['metric']} = "
+            f"{check['value']} (>= {check['required']} from "
+            f"{against} {check['reference']})")
+    for error in report["errors"]:
+        lines.append(f"  warn {error}")
+    lines.append("gate: " + ("PASS" if report["ok"] else "FAIL"))
+    return "\n".join(lines)

@@ -32,8 +32,20 @@ __all__ = [
     "NullSink", "MemorySink", "NdjsonSink", "Span", "Telemetry",
     "get_telemetry", "enable", "disable", "is_enabled", "reset",
     "span", "event", "count", "observe", "set_gauge", "registry",
-    "read_ndjson",
+    "read_ndjson", "register_reset_hook", "trace_id", "current_phase",
 ]
+
+#: Functions invoked on every :func:`reset` — the live-layer modules
+#: (windows, cache stats, phase profiles) register here so test
+#: isolation wipes their module state without ``core`` importing them
+#: (which would invert the dependency direction).
+_RESET_HOOKS: List = []
+
+
+def register_reset_hook(hook) -> None:
+    """Run ``hook()`` whenever the hub is reset (test isolation)."""
+    if hook not in _RESET_HOOKS:
+        _RESET_HOOKS.append(hook)
 
 
 # ---------------------------------------------------------------------------
@@ -44,6 +56,9 @@ class NullSink:
     """Drops every event — the disabled / metrics-only configuration."""
 
     def emit(self, record: Dict) -> None:
+        pass
+
+    def flush(self) -> None:
         pass
 
     def close(self) -> None:
@@ -59,6 +74,9 @@ class MemorySink:
     def emit(self, record: Dict) -> None:
         self.records.append(record)
 
+    def flush(self) -> None:
+        pass
+
     def close(self) -> None:
         pass
 
@@ -68,17 +86,25 @@ class NdjsonSink:
 
     Accepts a path (opened and owned by the sink) or an already-open
     text stream (borrowed; ``close()`` only flushes it).
+    ``autoflush`` flushes after every record — the live layer uses it
+    for worker side-channel files and heartbeat-bearing traces so an
+    in-flight run can be tailed (``repro top``) and a crashed worker
+    leaves complete lines behind.
     """
 
-    def __init__(self, target: Union[str, TextIO]):
+    def __init__(self, target: Union[str, TextIO],
+                 autoflush: bool = False):
         self._lock = threading.Lock()
+        self.autoflush = autoflush
         if isinstance(target, str):
             parent = os.path.dirname(target)
             if parent:
                 os.makedirs(parent, exist_ok=True)
+            self.path: Optional[str] = target
             self._fh: TextIO = open(target, "w")
             self._owns = True
         else:
+            self.path = getattr(target, "name", None)
             self._fh = target
             self._owns = False
 
@@ -86,6 +112,12 @@ class NdjsonSink:
         line = json.dumps(record, sort_keys=True, default=str)
         with self._lock:
             self._fh.write(line + "\n")
+            if self.autoflush:
+                self._fh.flush()
+
+    def flush(self) -> None:
+        with self._lock:
+            self._fh.flush()
 
     def close(self) -> None:
         with self._lock:
@@ -134,6 +166,7 @@ class Span:
         self.depth = len(stack)
         self.parent = stack[-1].name if stack else None
         stack.append(self)
+        self._hub.current_phase = self.name
         self.start = time.perf_counter()
         return self
 
@@ -143,6 +176,7 @@ class Span:
         if stack and stack[-1] is self:
             stack.pop()
         hub = self._hub
+        hub.current_phase = stack[-1].name if stack else None
         hub.registry.histogram(f"span.{self.name}") \
             .observe(self.duration_ms)
         record = {
@@ -157,7 +191,7 @@ class Span:
             record["error"] = exc_type.__name__
         if self.attrs:
             record.update(self.attrs)
-        hub.sink.emit(record)
+        hub.emit(record)
 
 
 class _NoopSpan:
@@ -190,6 +224,21 @@ class Telemetry:
         self.registry = MetricsRegistry()
         self.sink = NullSink()
         self._local = threading.local()
+        #: Run-scoped trace identity.  Minted once per pipeline run
+        #: (``repro.parallel.engine``), threaded into pool workers via
+        #: ``MachineDescriptor``, and stamped onto every record so
+        #: stitched worker events are attributable to their run.
+        self.trace_id: Optional[str] = None
+        #: Static fields merged into every record — workers set
+        #: ``{"worker": pid, "shard": index}`` so the parent can merge
+        #: their side-channel stream back in shard-index order.
+        self.context: Dict = {}
+        #: Monotonic per-process record sequence number; the stitcher's
+        #: stable sort key within one worker's stream.
+        self._seq = 0
+        #: Name of the innermost open span (main thread) — what the
+        #: heartbeat and ``repro top`` report as the current phase.
+        self.current_phase: Optional[str] = None
 
     def _stack(self) -> List[Span]:
         stack = getattr(self._local, "stack", None)
@@ -197,6 +246,16 @@ class Telemetry:
             stack = []
             self._local.stack = stack
         return stack
+
+    def emit(self, record: Dict) -> None:
+        """Stamp run identity onto a record and hand it to the sink."""
+        self._seq += 1
+        record["seq"] = self._seq
+        if self.trace_id is not None:
+            record["trace"] = self.trace_id
+        if self.context:
+            record.update(self.context)
+        self.sink.emit(record)
 
     # -- lifecycle ------------------------------------------------------
 
@@ -226,6 +285,12 @@ class Telemetry:
         self.disable()
         self.registry.reset()
         self._local = threading.local()
+        self.trace_id = None
+        self.context = {}
+        self._seq = 0
+        self.current_phase = None
+        for hook in _RESET_HOOKS:
+            hook()
 
     # -- instrumentation points ----------------------------------------
 
@@ -239,7 +304,7 @@ class Telemetry:
             return
         record = {"kind": "event", "name": name, "ts": time.time()}
         record.update(fields)
-        self.sink.emit(record)
+        self.emit(record)
 
     def count(self, name: str, amount: int = 1) -> None:
         if not self.enabled:
@@ -303,3 +368,13 @@ def set_gauge(name: str, value: float) -> None:
 
 def registry() -> MetricsRegistry:
     return _TELEMETRY.registry
+
+
+def trace_id() -> Optional[str]:
+    """The current run's trace ID (``None`` outside a traced run)."""
+    return _TELEMETRY.trace_id
+
+
+def current_phase() -> Optional[str]:
+    """Name of the innermost open span on the main thread."""
+    return _TELEMETRY.current_phase

@@ -1,0 +1,279 @@
+"""Live progress: heartbeat snapshots and the ``repro top`` view.
+
+Two halves, both built on the NDJSON trace stream:
+
+* :class:`Heartbeat` — a daemon thread that emits a ``heartbeat``
+  event every ``interval`` seconds while a run is in flight: current
+  phase, funnel tallies, wall-clock block rate, and the ``cache.*``
+  counter snapshot.  Heartbeats are *observability* records — they
+  carry wall-clock rates and therefore are expected to differ between
+  runs; everything determinism-tested lives in ``window`` events
+  instead.
+* :func:`render_top` — a pure function from a list of trace records to
+  the ``repro top`` screen: phase, per-run windowed throughput, cache
+  hit rates, funnel tallies and an ETA.  ``repro top <trace.ndjson>``
+  tails a live trace (written by an ``NdjsonSink(autoflush=True)``)
+  and re-renders as records arrive; because rendering is pure it is
+  also trivially testable against synthetic traces.
+
+Torn tails: a trace being written right now (or left by a crashed
+worker) may end in a partial line.  :func:`read_records` parses
+leniently — complete lines before the first undecodable one win,
+the rest is ignored until more bytes arrive.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.telemetry import core
+
+__all__ = ["Heartbeat", "render_top", "read_records",
+           "DEFAULT_HEARTBEAT_SECS"]
+
+#: Default ``--heartbeat`` period.
+DEFAULT_HEARTBEAT_SECS = 5.0
+
+#: Counter prefixes a heartbeat snapshots for the live view.
+_SNAPSHOT_PREFIXES = ("profiler.blocks", "cache.")
+
+
+class Heartbeat:
+    """Periodic ``heartbeat`` events from a daemon thread.
+
+    Usage (the CLI's ``--heartbeat SECS``)::
+
+        with Heartbeat(interval=5.0):
+            run_pipeline()
+
+    Each beat carries: ``phase`` (innermost open span), ``uptime_s``,
+    ``blocks_total`` / ``blocks_accepted``, ``blocks_per_s`` (wall
+    clock, since the previous beat) and the ``cache.*`` counters.
+    Emission goes through the hub, so beats are disabled-safe and
+    stamped with the run's trace ID like every other record.
+    """
+
+    def __init__(self, interval: float = DEFAULT_HEARTBEAT_SECS):
+        if interval <= 0:
+            raise ValueError("heartbeat interval must be > 0")
+        self.interval = interval
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._started = 0.0
+        self._last_beat = 0.0
+        self._last_total = 0
+        self.beats = 0
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> "Heartbeat":
+        if self._thread is not None:
+            return self
+        self._started = self._last_beat = time.perf_counter()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-heartbeat", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=self.interval + 2.0)
+        self._thread = None
+
+    def __enter__(self) -> "Heartbeat":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            self.beat()
+
+    def beat(self) -> None:
+        """Emit one heartbeat now (also called from tests)."""
+        hub = core.get_telemetry()
+        if not hub.enabled:
+            return
+        now = time.perf_counter()
+        counters = hub.registry.snapshot()["counters"]
+        total = counters.get("profiler.blocks_total", 0)
+        elapsed = max(now - self._last_beat, 1e-9)
+        rate = (total - self._last_total) / elapsed
+        self._last_beat = now
+        self._last_total = total
+        self.beats += 1
+        hub.event(
+            "heartbeat",
+            phase=hub.current_phase,
+            uptime_s=round(now - self._started, 3),
+            blocks_total=total,
+            blocks_accepted=counters.get("profiler.blocks_accepted", 0),
+            blocks_per_s=round(rate, 3),
+            counters={k: v for k, v in sorted(counters.items())
+                      if k.startswith(_SNAPSHOT_PREFIXES)},
+        )
+
+
+# ---------------------------------------------------------------------------
+# Reading a (possibly in-flight) trace
+# ---------------------------------------------------------------------------
+
+def read_records(path: str, offset: int = 0
+                 ) -> Tuple[List[Dict], int]:
+    """Parse NDJSON records appended since ``offset``.
+
+    Returns ``(records, new_offset)``; ``new_offset`` points just past
+    the last newline-terminated line, so a partial line being written
+    right now is retried on the next call.  Complete-but-undecodable
+    lines (a crashed writer's torn record that later got overwritten)
+    are skipped, not fatal.  A vanished file reads as empty.
+    """
+    records: List[Dict] = []
+    try:
+        with open(path, "rb") as fh:
+            fh.seek(offset)
+            data = fh.read()
+    except OSError:
+        return records, offset
+    complete = data.split(b"\n")[:-1]  # drop the unterminated tail
+    consumed = 0
+    for raw in complete:
+        consumed += len(raw) + 1
+        line = raw.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line.decode()))
+        except (ValueError, UnicodeDecodeError):
+            continue
+    return records, offset + consumed
+
+
+# ---------------------------------------------------------------------------
+# The `repro top` view
+# ---------------------------------------------------------------------------
+
+def _hit_rate(counters: Dict[str, float], name: str) -> Optional[float]:
+    hits = counters.get(f"cache.{name}.hits", 0)
+    misses = counters.get(f"cache.{name}.misses", 0)
+    if not hits and not misses:
+        return None
+    return hits / (hits + misses)
+
+
+def _format_eta(seconds: float) -> str:
+    seconds = int(round(seconds))
+    if seconds >= 3600:
+        return f"{seconds // 3600}h{(seconds % 3600) // 60:02d}m"
+    if seconds >= 60:
+        return f"{seconds // 60}m{seconds % 60:02d}s"
+    return f"{seconds}s"
+
+
+def render_top(records: List[Dict]) -> str:
+    """Render the ``repro top`` screen from trace records.
+
+    Pure: consumes already-parsed records, returns the full screen as
+    one string.  Tolerant of any record mix — a trace with no
+    heartbeats still renders phase and windows, an empty trace renders
+    a placeholder.
+    """
+    if not records:
+        return "repro top: waiting for trace records..."
+
+    trace = next((r["trace"] for r in records if "trace" in r), None)
+    heartbeats = [r for r in records
+                  if r.get("kind") == "event"
+                  and r.get("name") == "heartbeat"]
+    runs: Dict[str, Dict] = {}
+    windows: Dict[str, List[Dict]] = {}
+    ended = set()
+    for r in records:
+        if r.get("kind") != "event":
+            continue
+        name, label = r.get("name"), r.get("label")
+        if name == "run.start" and label is not None:
+            runs[label] = r
+        elif name == "run.end" and label is not None:
+            ended.add(label)
+        elif name == "window" and label is not None:
+            windows.setdefault(label, []).append(r)
+
+    # Current phase: prefer the latest heartbeat; otherwise the most
+    # recent span close tells us (at least) what just finished.
+    phase = None
+    if heartbeats:
+        phase = heartbeats[-1].get("phase")
+    if phase is None:
+        spans = [r for r in records if r.get("kind") == "span"]
+        if spans:
+            phase = spans[-1].get("name")
+
+    lines = ["repro top" + (f" — trace {trace}" if trace else "")]
+    lines.append(f"phase: {phase or '-'}")
+
+    if heartbeats:
+        hb = heartbeats[-1]
+        lines.append(
+            f"blocks: {hb.get('blocks_total', 0)} seen, "
+            f"{hb.get('blocks_accepted', 0)} accepted, "
+            f"{hb.get('blocks_per_s', 0.0)} blk/s "
+            f"(uptime {hb.get('uptime_s', 0.0)}s)")
+
+    # Per-run windowed progress + ETA.
+    for label, start in sorted(runs.items()):
+        series = windows.get(label, [])
+        total_blocks = start.get("blocks", 0)
+        done = sum(w.get("blocks", 0) for w in series)
+        state = "done" if label in ended else "running"
+        line = (f"run {label}: {done}/{total_blocks} blocks "
+                f"[{state}], {len(series)} windows")
+        rates = [w["sim_rate"] for w in series
+                 if w.get("sim_rate") is not None]
+        if rates:
+            line += f", sim_rate {rates[-1]:.2f} blk/kcyc"
+        if (label not in ended and 0 < done < total_blocks
+                and len(series) >= 2):
+            elapsed = series[-1]["ts"] - start["ts"]
+            if elapsed > 0:
+                eta = (total_blocks - done) * elapsed / done
+                line += f", eta {_format_eta(eta)}"
+        lines.append(line)
+    # Orphan window series (no run.start in this trace slice).
+    for label in sorted(set(windows) - set(runs)):
+        series = windows[label]
+        lines.append(f"run {label}: {len(series)} windows")
+
+    counters = heartbeats[-1].get("counters", {}) if heartbeats else {}
+    if not counters:
+        # Fall back to summing worker shard summaries.
+        for r in records:
+            if r.get("kind") == "event" \
+                    and r.get("name") == "worker.shard_summary":
+                for key, value in (r.get("counters") or {}).items():
+                    counters[key] = counters.get(key, 0) + value
+    cache_bits = []
+    for name in ("shard", "blockplan", "decode", "dedup", "page"):
+        rate = _hit_rate(counters, name)
+        if rate is not None:
+            cache_bits.append(f"{name} {rate:.0%}")
+    if cache_bits:
+        lines.append("cache hit rates: " + ", ".join(cache_bits))
+
+    dropped = {k.split(".", 2)[2]: v for k, v in counters.items()
+               if k.startswith("profiler.failure.") and v}
+    if dropped:
+        lines.append("dropped: " + ", ".join(
+            f"{reason}={int(n)}" for reason, n in
+            sorted(dropped.items(), key=lambda kv: (-kv[1], kv[0]))))
+
+    lines.append(f"records: {len(records)}")
+    return "\n".join(lines)

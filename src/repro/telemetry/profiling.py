@@ -1,0 +1,110 @@
+"""Opt-in self-profiling: cProfile around each pipeline phase.
+
+``repro corpus --profile`` / ``repro validate --profile`` wrap every
+pipeline phase (corpus build, classification, measurement, validation)
+in a :func:`phase` context.  Each phase's profile is reduced to its
+top-25 hotspots by *cumulative* time and lands in the run report's
+``profile`` section — enough to answer "where did the wall clock go"
+without shipping multi-megabyte pstats dumps around.
+
+Like the rest of the telemetry layer this is strictly opt-in: when
+:func:`enable` has not been called, :func:`phase` is a bare ``yield``
+and the pipeline pays nothing.  cProfile cannot nest, so an inner
+:func:`phase` inside an already-profiled region degrades to a no-op
+rather than raising.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import time
+from contextlib import contextmanager
+from typing import Dict, List
+
+from repro.telemetry import core
+
+__all__ = ["enable", "disable", "is_enabled", "phase", "profiles",
+           "TOP_N"]
+
+#: Hotspot rows kept per phase (cumulative-time order).
+TOP_N = 25
+
+_ENABLED = False
+
+#: phase name -> {"total_ms": float, "top": [hotspot rows]}.
+_PROFILES: Dict[str, Dict] = {}
+
+
+def enable() -> None:
+    """Arm per-phase profiling (the ``--profile`` CLI flag)."""
+    global _ENABLED
+    _ENABLED = True
+
+
+def disable() -> None:
+    global _ENABLED
+    _ENABLED = False
+
+
+def is_enabled() -> bool:
+    return _ENABLED
+
+
+def _hotspots(prof: cProfile.Profile) -> List[Dict]:
+    """Top-N rows by cumulative time, tie-broken by name for
+    stable ordering."""
+    stats = pstats.Stats(prof)
+    rows = []
+    for func, (cc, nc, tottime, cumtime, _callers) in \
+            stats.stats.items():  # type: ignore[attr-defined]
+        filename, lineno, name = func
+        rows.append({
+            "function": f"{filename}:{lineno}({name})",
+            "calls": nc,
+            "tottime_ms": round(tottime * 1000.0, 3),
+            "cumtime_ms": round(cumtime * 1000.0, 3),
+        })
+    rows.sort(key=lambda r: (-r["cumtime_ms"], r["function"]))
+    return rows[:TOP_N]
+
+
+@contextmanager
+def phase(name: str):
+    """Profile one pipeline phase (no-op unless enabled)."""
+    global _ACTIVE
+    if not _ENABLED or _ACTIVE:
+        yield
+        return
+    prof = cProfile.Profile()
+    started = time.perf_counter()
+    _ACTIVE = True
+    prof.enable()
+    try:
+        yield
+    finally:
+        prof.disable()
+        _ACTIVE = False
+        _PROFILES[name] = {
+            "total_ms": round(
+                (time.perf_counter() - started) * 1000.0, 3),
+            "top": _hotspots(prof),
+        }
+
+
+_ACTIVE = False
+
+
+def profiles() -> Dict[str, Dict]:
+    """Collected phase profiles (empty unless ``--profile`` ran)."""
+    return _PROFILES
+
+
+def _reset() -> None:
+    global _ENABLED, _ACTIVE
+    _ENABLED = False
+    _ACTIVE = False
+    _PROFILES.clear()
+
+
+core.register_reset_hook(_reset)

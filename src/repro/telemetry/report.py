@@ -17,6 +17,7 @@ import os
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.telemetry import cachestats, profiling, window
 from repro.telemetry.metrics import MetricsRegistry
 
 __all__ = ["build_run_report", "render_summary", "write_run_report",
@@ -125,6 +126,33 @@ def _resilience_section(counters: Dict[str, int],
     }
 
 
+#: Caches whose provider counts *outside* the telemetry registry
+#: (plain attributes / ``cache_info``): stitched worker counters are
+#: folded on top.  Registry-backed providers already see stitched
+#: counts and must not be merged twice.
+_MERGE_COUNTER_CACHES = frozenset({"decode"})
+
+
+def _caches_section(counters: Dict[str, int]) -> Dict[str, Dict]:
+    """The unified cache section: one entry per registered cache.
+
+    Caches that counted into the registry (``cache.<name>.*``) but
+    never registered a provider in this process — e.g. counters
+    stitched in from pool workers — still get a row, built from the
+    counters alone.
+    """
+    stats = {s.name: s for s in cachestats.snapshot()}
+    counted = {name.split(".", 2)[1] for name in counters
+               if name.startswith("cache.") and name.count(".") >= 2}
+    for name in counted - set(stats) - {"hits", "misses", "writes"}:
+        stats[name] = cachestats.registry_stats(name)
+    return {
+        name: (cachestats.merge_counter_stats(stat, counters)
+               if name in _MERGE_COUNTER_CACHES else stat).as_dict()
+        for name, stat in sorted(stats.items())
+    }
+
+
 def build_run_report(registry: MetricsRegistry, name: str,
                      meta: Optional[Dict] = None,
                      funnel: Optional[Dict] = None) -> Dict:
@@ -136,10 +164,10 @@ def build_run_report(registry: MetricsRegistry, name: str,
     """
     snap = registry.snapshot()
     counters = snap["counters"]
-    compile_ms = snap["histograms"].get("executor.plan_compile_ms")
+    compile_ms = snap["histograms"].get("cache.blockplan.compile_ms")
     funnel_doc = funnel if funnel is not None \
         else funnel_from_counters(counters)
-    return {
+    report = {
         "report": name,
         "generated_by": "repro.telemetry",
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
@@ -155,14 +183,20 @@ def build_run_report(registry: MetricsRegistry, name: str,
         },
         "executor": {
             "plan_cache_hits":
-                counters.get("executor.plan_cache_hits", 0),
+                counters.get("cache.blockplan.hits", 0),
             "plan_cache_misses":
-                counters.get("executor.plan_cache_misses", 0),
+                counters.get("cache.blockplan.misses", 0),
             "plan_compile_ms":
                 round(compile_ms["total"], 3) if compile_ms else 0.0,
         },
+        "caches": _caches_section(counters),
+        "windows": window.runs(),
         "metrics": snap,
     }
+    phase_profiles = profiling.profiles()
+    if phase_profiles:
+        report["profile"] = phase_profiles
+    return report
 
 
 # ---------------------------------------------------------------------------
@@ -233,6 +267,45 @@ def render_summary(report: Dict) -> str:
                   f"{executor.get('plan_cache_misses', 0)} compiled "
                   f"({executor.get('plan_compile_ms', 0.0)} ms), "
                   f"{executor.get('plan_cache_hits', 0)} cache hits"]
+
+    caches = report.get("caches") or {}
+    live = {name: c for name, c in caches.items()
+            if c.get("hits") or c.get("misses") or c.get("evictions")}
+    if live:
+        lines += ["", "caches"]
+        lines += _table(
+            ["cache", "hits", "misses", "evictions", "size", "hit rate"],
+            [(name, c["hits"], c["misses"], c["evictions"], c["size"],
+              f"{c['hit_rate']:.1%}"
+              if c.get("hit_rate") is not None else "-")
+             for name, c in sorted(live.items())])
+
+    windows = report.get("windows") or {}
+    window_lines = []
+    for label, series in sorted(windows.items()):
+        if not series:
+            continue
+        p95s = [w["p95"] for w in series if w.get("p95") is not None]
+        rates = [w["sim_rate"] for w in series
+                 if w.get("sim_rate") is not None]
+        bits = [f"{len(series)} windows"]
+        if p95s:
+            bits.append(f"p95 {min(p95s):.2f}..{max(p95s):.2f} cyc")
+        if rates:
+            bits.append("sim_rate "
+                        f"{sum(rates) / len(rates):.2f} blk/kcyc")
+        window_lines.append((label, ", ".join(bits)))
+    if window_lines:
+        lines += ["", "windowed series"]
+        lines += _table(["run", "summary"], window_lines)
+
+    for name, data in sorted((report.get("profile") or {}).items()):
+        lines += ["", f"profile: {name} ({data['total_ms']} ms, "
+                  f"top {len(data['top'])} by cumulative time)"]
+        lines += _table(
+            ["function", "calls", "cum ms"],
+            [(r["function"], r["calls"], r["cumtime_ms"])
+             for r in data["top"][:5]])
 
     resilience = report.get("resilience") or {}
     if any(resilience.get(k) for k in

@@ -10,7 +10,7 @@ all consume the same descriptor, parameterised by their own tables.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -92,11 +92,18 @@ class MachineDescriptor:
     ``noise`` is a ``repro.uarch.machine.NoiseParameters`` (itself a
     frozen dataclass of numbers, hence picklable) or ``None`` for the
     defaults; the loose typing avoids a circular import.
+
+    ``trace`` is the run-scoped trace ID (or ``None`` outside traced
+    runs): the parallel engine mints one per pipeline run and threads
+    it here so pool workers stamp the parent run's identity onto every
+    record they stream back (cross-process trace stitching,
+    docs/observability.md).  It never influences the simulation.
     """
 
     uarch: str
     seed: int = 0
     noise: object = None
+    trace: Optional[str] = None
 
     def build(self):
         """Construct a fresh ``Machine`` from this descriptor."""

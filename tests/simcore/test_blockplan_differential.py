@@ -94,7 +94,10 @@ def test_cli_flag_exports_env(monkeypatch, tmp_path, capsys):
     block.write_text("add %rax, %rbx\n")
     assert main(["profile", str(block), "--no-blockplan"]) == 0
     assert os.environ.get("REPRO_NO_BLOCKPLAN") == "1"
-    monkeypatch.delenv("REPRO_NO_BLOCKPLAN", raising=False)
+    # Plain pop, not monkeypatch.delenv: the CLI set this var *during*
+    # the test, so delenv here would record "1" as the original value
+    # and leak it back into the environment at teardown.
+    os.environ.pop("REPRO_NO_BLOCKPLAN", None)
     assert main(["profile", str(block)]) == 0
     assert "REPRO_NO_BLOCKPLAN" not in os.environ
     out = capsys.readouterr().out

@@ -59,9 +59,10 @@ def test_fastpath_bit_identical_serial_and_pool(uarch):
     assert _payload(slow) == _payload(fast) == _payload(pool)
     assert slow.funnel["dropped"] == fast.funnel["dropped"]
     # The informational tally never counts into the funnel: with the
-    # fast path off it is empty, and either way accepted + dropped
-    # still covers every block.
-    assert slow.info == {}
+    # fast path off it never fires, and either way accepted + dropped
+    # still covers every block.  (Other layers' info rows — e.g.
+    # blockplan_compiled — may legitimately be present in both modes.)
+    assert "fastpath_extrapolated" not in slow.info
     for profile in (slow, fast, pool):
         assert profile.funnel["accepted"] \
             + sum(profile.funnel["dropped"].values()) \
@@ -142,7 +143,10 @@ def test_cli_flag_exports_env(monkeypatch, tmp_path, capsys):
     import os
     assert main(["profile", str(block), "--no-fastpath"]) == 0
     assert os.environ.get("REPRO_NO_FASTPATH") == "1"
-    monkeypatch.delenv("REPRO_NO_FASTPATH", raising=False)
+    # Plain pop, not monkeypatch.delenv: the CLI set this var *during*
+    # the test, so delenv here would record "1" as the original value
+    # and leak it back into the environment at teardown.
+    os.environ.pop("REPRO_NO_FASTPATH", None)
     assert main(["profile", str(block)]) == 0
     assert "REPRO_NO_FASTPATH" not in os.environ
     out = capsys.readouterr().out

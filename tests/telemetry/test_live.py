@@ -1,0 +1,160 @@
+"""Live monitor: heartbeat events, lenient tailing, `repro top`."""
+
+import json
+import time
+
+from repro import telemetry
+from repro.telemetry import live
+from repro.telemetry.live import Heartbeat, read_records, render_top
+
+
+class TestReadRecords:
+    def _write(self, path, lines):
+        with open(path, "w") as fh:
+            fh.write(lines)
+
+    def test_round_trip_and_offsets(self, tmp_path):
+        path = str(tmp_path / "t.ndjson")
+        self._write(path, '{"a": 1}\n{"a": 2}\n')
+        records, offset = read_records(path)
+        assert [r["a"] for r in records] == [1, 2]
+        with open(path, "a") as fh:
+            fh.write('{"a": 3}\n')
+        fresh, offset2 = read_records(path, offset)
+        assert [r["a"] for r in fresh] == [3]
+        assert offset2 > offset
+
+    def test_torn_tail_retried_next_call(self, tmp_path):
+        path = str(tmp_path / "t.ndjson")
+        self._write(path, '{"a": 1}\n{"a": 2')  # no trailing newline
+        records, offset = read_records(path)
+        assert [r["a"] for r in records] == [1]
+        with open(path, "a") as fh:
+            fh.write('2}\n')
+        fresh, _ = read_records(path, offset)
+        assert [r["a"] for r in fresh] == [22]
+
+    def test_undecodable_complete_line_skipped(self, tmp_path):
+        path = str(tmp_path / "t.ndjson")
+        self._write(path, '{"a": 1}\nnot json\n{"a": 3}\n')
+        records, _ = read_records(path)
+        assert [r["a"] for r in records] == [1, 3]
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        records, offset = read_records(str(tmp_path / "nope"), 7)
+        assert records == [] and offset == 7
+
+
+class TestHeartbeat:
+    def test_beat_emits_snapshot(self):
+        sink = telemetry.MemorySink()
+        telemetry.enable(sink)
+        telemetry.count("profiler.blocks_total", 12)
+        telemetry.count("profiler.blocks_accepted", 10)
+        telemetry.count("cache.page.hits", 3)
+        hb = Heartbeat(interval=60.0)
+        hb._started = hb._last_beat = time.perf_counter()
+        hb.beat()
+        beats = [r for r in sink.records
+                 if r.get("name") == "heartbeat"]
+        assert len(beats) == 1
+        beat = beats[0]
+        assert beat["blocks_total"] == 12
+        assert beat["blocks_accepted"] == 10
+        assert beat["counters"]["cache.page.hits"] == 3
+        assert "blocks_per_s" in beat and "uptime_s" in beat
+
+    def test_disabled_hub_beats_nothing(self):
+        hb = Heartbeat(interval=60.0)
+        hb.beat()
+        assert hb.beats == 0 or True  # no exception is the contract
+        assert not telemetry.is_enabled()
+
+    def test_thread_lifecycle(self):
+        telemetry.enable(telemetry.MemorySink())
+        with Heartbeat(interval=0.05) as hb:
+            time.sleep(0.2)
+        assert hb.beats >= 1
+
+
+def _synthetic_trace():
+    """A plausible mid-run trace: run.start, windows, heartbeat."""
+    t0 = 1000.0
+    return [
+        {"kind": "event", "name": "run.start", "label": "main:haswell",
+         "uarch": "haswell", "blocks": 128, "jobs": 4, "shards": 4,
+         "window_size": 32, "ts": t0, "trace": "abc123", "seq": 1},
+        {"kind": "span", "name": "worker.shard", "shard": 0,
+         "dur_ms": 50.0, "ts": t0 + 1, "trace": "abc123", "seq": 2},
+        {"kind": "event", "name": "worker.shard_summary", "shard": 0,
+         "counters": {"cache.dedup.hits": 4, "cache.dedup.misses": 4,
+                      "profiler.failure.segfault": 2},
+         "ts": t0 + 1.1, "trace": "abc123", "seq": 3},
+        {"kind": "event", "name": "window", "label": "main:haswell",
+         "window": 0, "start": 0, "blocks": 32, "accepted": 30,
+         "sampled": 30, "p50": 4.0, "p95": 9.0, "p99": 12.0,
+         "mean": 5.0, "jitter": 2.0, "sim_rate": 200.0,
+         "ts": t0 + 2, "trace": "abc123", "seq": 4},
+        {"kind": "event", "name": "window", "label": "main:haswell",
+         "window": 1, "start": 32, "blocks": 32, "accepted": 31,
+         "sampled": 31, "p50": 4.0, "p95": 8.0, "p99": 11.0,
+         "mean": 5.0, "jitter": 1.5, "sim_rate": 210.0,
+         "ts": t0 + 4, "trace": "abc123", "seq": 5},
+        {"kind": "event", "name": "heartbeat", "phase":
+         "experiment.measure", "uptime_s": 4.2, "blocks_total": 64,
+         "blocks_accepted": 61, "blocks_per_s": 15.2,
+         "counters": {"cache.page.hits": 100, "cache.page.misses": 50,
+                      "profiler.failure.segfault": 2},
+         "ts": t0 + 4.2, "trace": "abc123", "seq": 6},
+    ]
+
+
+class TestRenderTop:
+    def test_empty_trace_placeholder(self):
+        assert "waiting" in render_top([])
+
+    def test_renders_phase_progress_eta_and_caches(self):
+        screen = render_top(_synthetic_trace())
+        assert "trace abc123" in screen
+        assert "phase: experiment.measure" in screen
+        assert "64 seen, 61 accepted" in screen
+        assert "run main:haswell: 64/128 blocks [running]" in screen
+        assert "2 windows" in screen
+        assert "sim_rate 210.00" in screen
+        assert "eta" in screen
+        assert "page 67%" in screen
+        assert "segfault=2" in screen
+
+    def test_run_end_marks_done(self):
+        records = _synthetic_trace() + [
+            {"kind": "event", "name": "run.end",
+             "label": "main:haswell", "ts": 1010.0, "seq": 7}]
+        assert "[done]" in render_top(records)
+
+    def test_counters_fall_back_to_shard_summaries(self):
+        records = [r for r in _synthetic_trace()
+                   if r.get("name") != "heartbeat"]
+        screen = render_top(records)
+        assert "dedup 50%" in screen
+
+    def test_renders_from_in_flight_ndjson(self, tmp_path):
+        """Acceptance: `repro top` renders from a torn, in-flight
+        trace file."""
+        path = str(tmp_path / "trace.ndjson")
+        with open(path, "w") as fh:
+            for record in _synthetic_trace():
+                fh.write(json.dumps(record) + "\n")
+            fh.write('{"kind": "event", "na')  # torn mid-write
+        records, _ = live.read_records(path)
+        screen = render_top(records)
+        assert "run main:haswell" in screen
+
+    def test_cli_top_one_shot(self, tmp_path, capsys):
+        from repro.cli import main
+        path = str(tmp_path / "trace.ndjson")
+        with open(path, "w") as fh:
+            for record in _synthetic_trace():
+                fh.write(json.dumps(record) + "\n")
+        assert main(["top", path]) == 0
+        out = capsys.readouterr().out
+        assert "phase: experiment.measure" in out
