@@ -1,0 +1,157 @@
+"""Batch-lane vectorized profiling: speedup and bit-identity.
+
+Profiles the golden corpus plus the lane fixture
+(``tests/data/golden_lanes.json``: ten same-fingerprint families of
+48 members) with lanes on and off, and enforces two claims:
+
+* **Identity** — lanes are invisible in the output bytes: for every
+  block, throughput, per-unroll cycle counts, miss counters, fault
+  tallies and accept/fail status are identical to the ``--no-lanes``
+  run.  This is asserted on every timed run, not sampled.
+* **Speed** — on the frequency-replicated corpus, composed with the
+  simulation-core fast path (both modes), lanes must win by at least
+  ``SPEEDUP_FLOOR`` (5x).  One lane representative pays the full
+  scalar profile; certified clones replay only noise resampling and
+  acceptance, so the win grows with family width — ``REPRO_LANE_WIDTH``
+  is pinned to the family size here.
+
+Timing is best-of-``REPEATS`` per mode with fresh profilers per run
+and the lane program cache cleared, so neither mode sees the other's
+state.  Results land in ``reports/lanes.{txt,json}`` plus a repo-root
+``BENCH_lanes.json`` for the dashboard and the CI perf gate.
+"""
+
+import json
+import os
+import time
+
+from repro.eval.reporting import format_table
+from repro.profiler.harness import BasicBlockProfiler, ProfilerConfig
+from repro.runtime import lanes
+from repro.uarch.machine import Machine
+
+from conftest import REPORT_DIR
+
+DATA = os.path.join(os.path.dirname(__file__), "..", "tests", "data")
+ROOT_JSON = os.path.join(os.path.dirname(__file__), "..",
+                         "BENCH_lanes.json")
+
+UARCH = os.environ.get("REPRO_BENCH_LANES_UARCH", "haswell")
+BASE_FACTOR = 100  # two-factor plan: unroll 100 / 200
+SPEEDUP_FLOOR = 5.0
+REPEATS = int(os.environ.get("REPRO_BENCH_LANES_REPEATS", "2"))
+#: Lane width for the timed runs — the fixture family size, so each
+#: family forms one full-width lane (47 certified clones per rep).
+LANE_WIDTH = int(os.environ.get("REPRO_LANE_WIDTH", "48"))
+
+
+def _blocks():
+    out = []
+    for name in ("golden_corpus.json", "golden_lanes.json"):
+        with open(os.path.join(DATA, name)) as fh:
+            doc = json.load(fh)
+        out.extend((b["text"], b["frequency"]) for b in doc["blocks"])
+    return out
+
+
+def _replicated(blocks):
+    """Frequency-proportional replication, deterministically ordered.
+
+    Target ~2 profiles per block on average: the lane families are
+    uniform-frequency so each member appears about twice, while the
+    application blocks keep their heavy-tailed sample counts — the
+    workload shape corpus-level dedup exploits."""
+    total = sum(freq for _, freq in blocks)
+    target = 2 * len(blocks)
+    out = []
+    for text, freq in blocks:
+        copies = max(1, round(freq / total * target))
+        out.extend([text] * copies)
+    return out
+
+
+def _fingerprint(result):
+    """Everything observable about one profile, as comparable bytes."""
+    return (
+        result.ok,
+        None if result.failure is None else result.failure.value,
+        result.throughput,
+        tuple((m.unroll, m.cycles, m.clean_runs, m.total_runs,
+               m.l1d_read_misses, m.l1d_write_misses, m.l1i_misses,
+               m.misaligned_refs) for m in result.measurements),
+        result.pages_mapped, result.num_faults,
+        result.subnormal_events, result.detail,
+    )
+
+
+def _profile_run(texts, vectorized):
+    """Profile ``texts`` with a fresh profiler; returns (secs, prints)."""
+    lanes.clear_program_cache()
+    with lanes.forced(vectorized), lanes.forced_width(LANE_WIDTH):
+        profiler = BasicBlockProfiler(
+            Machine(UARCH, seed=0),
+            ProfilerConfig(base_factor=BASE_FACTOR))
+        start = time.perf_counter()
+        results = profiler.profile_many(texts)
+        elapsed = time.perf_counter() - start
+    return elapsed, [_fingerprint(r) for r in results]
+
+
+def _best_of(texts, vectorized):
+    best, prints = None, None
+    for _ in range(REPEATS):
+        elapsed, fps = _profile_run(texts, vectorized)
+        if best is None or elapsed < best:
+            best = elapsed
+        prints = fps
+    return best, prints
+
+
+def test_lanes(report):
+    blocks = _blocks()
+    unique = [text for text, _ in blocks]
+    replicated = _replicated(blocks)
+
+    uniq_on, uniq_on_fp = _best_of(unique, vectorized=True)
+    uniq_off, uniq_off_fp = _best_of(unique, vectorized=False)
+    assert uniq_on_fp == uniq_off_fp, \
+        "lanes diverged from the scalar path on the unique corpus"
+
+    rep_on, rep_on_fp = _best_of(replicated, vectorized=True)
+    rep_off, rep_off_fp = _best_of(replicated, vectorized=False)
+    assert rep_on_fp == rep_off_fp, \
+        "lanes diverged from the scalar path on the replicated run"
+
+    uniq_speedup = uniq_off / uniq_on
+    rep_speedup = rep_off / rep_on
+    rows = [
+        ("unique corpus", len(unique), round(uniq_off, 3),
+         round(uniq_on, 3), f"{uniq_speedup:.2f}x", "recorded"),
+        ("frequency-replicated", len(replicated), round(rep_off, 3),
+         round(rep_on, 3), f"{rep_speedup:.2f}x",
+         f">= {SPEEDUP_FLOOR}x enforced"),
+    ]
+    title = (f"{UARCH}, unroll {BASE_FACTOR}/{2 * BASE_FACTOR}, "
+             f"lane width {LANE_WIDTH}, best of {REPEATS}; "
+             f"outputs bit-identical in all runs")
+    report("lanes", format_table(
+        ["workload", "profiles", "scalar s", "lanes s", "speedup",
+         "gate"], rows, title=title))
+
+    doc = {"uarch": UARCH, "base_factor": BASE_FACTOR,
+           "lane_width": LANE_WIDTH, "repeats": REPEATS,
+           "floor": SPEEDUP_FLOOR, "identical_outputs": True,
+           "unique": {"profiles": len(unique), "scalar_s": uniq_off,
+                      "lanes_s": uniq_on, "speedup": uniq_speedup},
+           "replicated": {"profiles": len(replicated),
+                          "scalar_s": rep_off, "lanes_s": rep_on,
+                          "speedup": rep_speedup}}
+    for path in (os.path.join(REPORT_DIR, "lanes.json"), ROOT_JSON):
+        with open(path, "w") as fh:
+            json.dump(doc, fh, indent=1)
+            fh.write("\n")
+
+    assert rep_speedup >= SPEEDUP_FLOOR, (
+        f"lanes {rep_speedup:.2f}x < {SPEEDUP_FLOOR}x on the "
+        f"frequency-replicated corpus — clone replay, grouping, or "
+        f"the certificate runner regressed")

@@ -320,6 +320,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable compiled block plans and run the "
                             "historical per-instruction interpreter "
                             "(same results, slower)")
+        p.add_argument("--no-lanes", action="store_true",
+                       help="disable batch-lane vectorized profiling "
+                            "and profile every block scalar "
+                            "(same results, slower)")
         p.add_argument("--chaos", metavar="SPEC", default=None,
                        help="arm deterministic fault injection, e.g. "
                             "'42:worker_crash=0.2,disk_full=0.1' or "
@@ -464,6 +468,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         os.environ["REPRO_NO_FASTPATH"] = "1"
     if getattr(args, "no_blockplan", False):
         os.environ["REPRO_NO_BLOCKPLAN"] = "1"
+    if getattr(args, "no_lanes", False):
+        os.environ["REPRO_NO_LANES"] = "1"
     if getattr(args, "chaos", None):
         from repro.resilience import ChaosPolicy, ChaosSpecError
         try:

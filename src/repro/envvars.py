@@ -60,6 +60,12 @@ REGISTRY: List[EnvVar] = [
     EnvVar("REPRO_NO_BLOCKPLAN", "unset",
            "`1` disables compiled block plans (same bytes, slower)",
            "performance"),
+    EnvVar("REPRO_NO_LANES", "unset",
+           "`1` disables batch-lane vectorized profiling "
+           "(same bytes, slower)", "performance"),
+    EnvVar("REPRO_LANE_WIDTH", "`16`",
+           "max same-shape blocks per vectorized lane "
+           "(`1` degenerates to the scalar path)", "performance"),
     # -- robustness knobs -------------------------------------------------
     EnvVar("REPRO_CHAOS", "unset",
            "arm deterministic fault injection "

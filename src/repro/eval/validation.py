@@ -108,8 +108,10 @@ class CorpusProfile:
     ``info`` carries purely informational per-run telemetry — one
     count per key of ``ProfileResult.extra`` (currently
     ``fastpath_extrapolated``: blocks whose measurement used the
-    steady-state fast path, and ``blockplan_compiled``: blocks
-    executed through compiled block plans).  It is kept *outside* the
+    steady-state fast path, ``blockplan_compiled``: blocks executed
+    through compiled block plans, and ``lanes_vectorized``: blocks
+    whose result came out of a certified batch lane).  It is kept
+    *outside* the
     funnel so the funnel — and therefore accepted/dropped accounting —
     stays byte-identical whichever switches are on or off.
     """
@@ -129,14 +131,17 @@ def profile_records_detailed(profiler: BasicBlockProfiler,
 
     The single accept/drop policy shared by the serial path and every
     parallel worker (``repro.parallel``), so a sharded run cannot
-    diverge from a serial one by construction.
+    diverge from a serial one by construction.  Routing through
+    ``profile_many`` (rather than per-record ``profile`` calls) lets
+    batch lanes form inside each shard as well as in serial runs.
     """
     throughputs: Dict[int, float] = {}
     funnel = CorpusProfile.empty_funnel()
     info: Dict[str, int] = {}
-    for record in records:
+    records = list(records)
+    results = profiler.profile_many([r.block for r in records])
+    for record, result in zip(records, results):
         funnel["total"] += 1
-        result = profiler.profile(record.block)
         if result.ok and result.throughput > 0:
             throughputs[record.block_id] = result.throughput
             funnel["accepted"] += 1

@@ -358,6 +358,16 @@ class BasicBlock:
         return sum(instruction_length(i) for i in self.instructions)
 
     def text(self, syntax: str = "att") -> str:
+        # The canonical AT&T text is the dedup-memo and lane-formation
+        # key, asked for many times per block — cache it (instructions
+        # are an immutable tuple, so the rendering never changes).
+        if syntax == "att":
+            cached = self.__dict__.get("_text_att")
+            if cached is None:
+                from repro.isa.printer import format_block
+                cached = format_block(self, syntax="att")
+                self.__dict__["_text_att"] = cached
+            return cached
         from repro.isa.printer import format_block
         return format_block(self, syntax=syntax)
 

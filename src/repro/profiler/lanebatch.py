@@ -1,0 +1,312 @@
+"""Lane formation and certified clone replay for ``profile_many``.
+
+This is the profiler half of batch-lane vectorization
+(:mod:`repro.runtime.lanes` is the runtime half).  Before
+``profile_many`` walks a corpus with the unchanged scalar loop, a
+pre-pass groups shape-identical blocks into lanes, runs each lane in
+numpy lockstep, and — when the lane *representative*'s scalar profile
+confirms every prediction of that lockstep run (the cross-check) —
+replays the representative's measurement schedule for each surviving
+clone with the clone's own seeded noise stream.  Replayed results are
+pre-seeded into the profiler's dedup memo; the scalar loop then finds
+them exactly where a duplicate block's result would sit.
+
+Byte-identity is structural, not aspirational:
+
+* The lockstep run certifies that every clone computes the same
+  address stream, fault sequence, page set, and signature-periodicity
+  witness as the representative — so the representative's ``RunResult``
+  (schedule cycles + base counter sample) is *the* scalar outcome for
+  each clone as well.
+* Clone noise is re-drawn from ``Machine._rng(clone_block, unroll)``
+  exactly as ``Machine.run`` would, so samples, acceptance and
+  throughput match a scalar run bit for bit.
+* Any mismatch between prediction and the representative's scalar
+  profile — or any block the lane evacuates — simply leaves the memo
+  unseeded: the scalar loop profiles it from scratch.  Lanes can only
+  fall back, never alter bytes.
+
+Evacuation rules (documented in docs/performance.md): chaos
+``block_poison`` targets never enter a lane; divergent effective
+addresses, divergent signature periods, and count-zero disagreement on
+memory-destination shifts evacuate the divergent members; step-budget
+trips and lanes dissolved down to the representative give up entirely.
+
+The informational ``lanes_vectorized`` bucket (``ProfileResult.extra``
+→ ``CorpusProfile.info``) mirrors ``fastpath_extrapolated``: it
+reports lane coverage and never feeds the accept/drop funnel.  The
+dedup-cache hit/miss counters do skew between lanes on and off (a
+pre-seeded clone registers as a memo hit); that skew is
+observability-only and deliberately outside the differential payload.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.isa.instruction import BasicBlock
+from repro.profiler.result import FailureReason, Measurement, \
+    ProfileResult
+from repro.resilience import chaos
+from repro.runtime import lanes
+from repro.simcore import config as simcore
+from repro.telemetry import core as telemetry
+
+#: Representative failures that contradict a "this lane ran clean"
+#: certificate.  Acceptance failures (unstable timing, miss budgets)
+#: are *not* here: they depend on per-block noise and are re-derived
+#: per clone during replay.
+_CERT_BREAKERS = {
+    FailureReason.QUARANTINED, FailureReason.SEGFAULT,
+    FailureReason.SIGFPE, FailureReason.UNSUPPORTED,
+    FailureReason.UNSUPPORTED_ISA, FailureReason.INVALID_ADDRESS,
+    FailureReason.TOO_MANY_FAULTS,
+}
+
+_LANE_FAILURES = {
+    "invalid_address": FailureReason.INVALID_ADDRESS,
+    "too_many_faults": FailureReason.TOO_MANY_FAULTS,
+}
+
+
+@dataclass
+class LaneCapture:
+    """What the representative's scalar profile exposes for replay.
+
+    Installed as ``profiler._lane_capture`` around the
+    representative's ``_profile_guarded`` call; ``_profile_fresh``
+    records the mapping-run witness and each factor's ``RunResult``
+    into it (and is a strict no-op when no capture is installed).
+    """
+
+    #: Signature-periodicity outcome of the mapping run,
+    #: ``(steady_from, period)`` or ``None`` — captured *before*
+    #: ``Machine.run`` can lazily stamp event periodicity.
+    witness: Optional[Tuple[int, int]] = None
+    #: unroll factor -> RunResult for every factor the scalar loop
+    #: simulated (including combined-run checkpoints).
+    runs: Dict[int, object] = field(default_factory=dict)
+
+
+def batching_active(profiler) -> bool:
+    """Can lanes run at all under this profiler's configuration?
+
+    Lanes ride the dedup memo (simcore) and the certified single-page
+    mapping semantics; any configuration outside that envelope simply
+    profiles scalar.
+    """
+    return (lanes.enabled()
+            and lanes.lane_width() >= 2
+            and simcore.enabled()
+            and profiler.config.mapping_enabled
+            and profiler.config.environment.single_physical_page)
+
+
+def form_groups(blocks: Sequence[BasicBlock],
+                texts: Optional[Sequence[str]] = None
+                ) -> "Dict[str, List[int]]":
+    """Group block indices by lane fingerprint, first-appearance order.
+
+    A pure function of the blocks' fingerprints: permuting the input
+    permutes member order within groups but never their partition,
+    and no step involves ``hash()`` — the property tests pin both.
+    Only the first occurrence of each distinct text joins a group
+    (later duplicates are dedup-memo hits in the scalar loop anyway);
+    lane-ineligible blocks (``fingerprint`` → ``None``) are left out.
+    """
+    if texts is None:
+        texts = [block.text() for block in blocks]
+    groups: "Dict[str, List[int]]" = {}
+    seen: set = set()
+    for i, block in enumerate(blocks):
+        if texts[i] in seen:
+            continue
+        seen.add(texts[i])
+        key = lanes.fingerprint(block)
+        if key is None:
+            continue
+        groups.setdefault(key, []).append(i)
+    return groups
+
+
+def prepare_lanes(profiler, items: Sequence[BasicBlock]) -> None:
+    """Pre-seed ``profiler._memo`` with certified lane-clone results.
+
+    Called by ``profile_many`` before its scalar loop.  Every block a
+    lane cannot vouch for is simply not seeded — evacuation *is* the
+    absence of a memo entry.
+    """
+    if not batching_active(profiler):
+        return
+    texts = [block.text() for block in items]
+    width = lanes.lane_width()
+    for indices in form_groups(items, texts).values():
+        fresh = [i for i in indices
+                 if texts[i] not in profiler._memo
+                 and not chaos.should_fire("block_poison", texts[i])]
+        for start in range(0, len(fresh), width):
+            chunk = fresh[start:start + width]
+            if len(chunk) < 2:
+                continue
+            _run_lane(profiler,
+                      [items[i] for i in chunk],
+                      [texts[i] for i in chunk])
+
+
+def _count(name: str, value: int = 1) -> None:
+    if telemetry.is_enabled():
+        telemetry.count(name, value)
+
+
+def _run_lane(profiler, blocks: List[BasicBlock],
+              texts: List[str]) -> None:
+    """Certify one lane and replay its survivors into the memo."""
+    plan = profiler.config.plan_for(
+        blocks[0], icache_bytes=profiler.machine.desc.l1i.size)
+    _count("lanes.formed")
+    _count("lanes.members", len(texts))
+    try:
+        program = lanes.program_for(blocks, texts)
+        outcome = lanes.certify(
+            program, unroll=plan.max_factor,
+            max_faults=profiler.config.max_faults,
+            init_constant=profiler.config.environment.init_constant)
+    except lanes.LaneGiveUp:
+        _count("lanes.evacuated", len(texts))
+        return
+    except Exception:
+        # A lane-runner defect must degrade to the scalar path, not
+        # take the corpus down: nothing seeded, everything scalar.
+        _count("lanes.evacuated", len(texts))
+        _count("lanes.runner_error")
+        return
+    evacuated = sum(outcome.evacuated.values())
+    if evacuated:
+        _count("lanes.evacuated", evacuated)
+
+    # The representative always pays the full scalar price — its
+    # profile is both the cross-check oracle and the replay template.
+    capture = LaneCapture()
+    profiler._lane_capture = capture
+    try:
+        rep_result = profiler._profile_guarded(blocks[0], texts[0])
+    finally:
+        profiler._lane_capture = None
+    if telemetry.is_enabled():
+        profiler._drain_page_stats()
+    profiler._memo[texts[0]] = rep_result
+
+    if not _crosscheck(rep_result, capture, outcome):
+        _count("lanes.crosscheck_failed")
+        return
+
+    rep_result.extra["lanes_vectorized"] = 1.0
+    for i in range(1, len(texts)):
+        if not outcome.survivors[i]:
+            continue
+        if outcome.failure is not None:
+            # Mapping-level failure (invalid address / fault budget):
+            # the certificate says every member faults identically,
+            # down to the reported address in ``detail``.
+            clone: Optional[ProfileResult] = ProfileResult(
+                texts[i], profiler.machine.name,
+                failure=rep_result.failure,
+                num_faults=rep_result.num_faults,
+                pages_mapped=rep_result.pages_mapped,
+                detail=rep_result.detail)
+        else:
+            clone = _replay_clone(profiler, plan, blocks[i],
+                                  texts[i], rep_result, capture)
+        if clone is None:
+            continue
+        clone.extra["lanes_vectorized"] = 1.0
+        profiler._memo[texts[i]] = clone
+        _count("lanes.cloned")
+
+
+def _crosscheck(rep_result: ProfileResult, capture: LaneCapture,
+                outcome: "lanes.LaneOutcome") -> bool:
+    """Does the representative's scalar profile confirm the lane run?
+
+    Any disagreement invalidates the whole certificate: the clones
+    stay un-seeded and the scalar loop profiles them from scratch.
+    The representative's own (scalar, authoritative) result is kept
+    either way.
+    """
+    predicted = _LANE_FAILURES.get(outcome.failure)
+    if outcome.failure is not None:
+        return (rep_result.failure is predicted
+                and rep_result.num_faults == outcome.num_faults
+                and rep_result.pages_mapped == outcome.pages_mapped)
+    return (rep_result.failure not in _CERT_BREAKERS
+            and rep_result.subnormal_events == 0
+            and capture.witness == outcome.witness
+            and rep_result.num_faults == outcome.num_faults
+            and rep_result.pages_mapped == outcome.pages_mapped)
+
+
+def _replay_clone(profiler, plan, block: BasicBlock, text: str,
+                  rep_result: ProfileResult,
+                  capture: LaneCapture) -> Optional[ProfileResult]:
+    """Re-derive one clone's ProfileResult from the lane certificate.
+
+    A verbatim mirror of ``_profile_fresh``'s factor loop with the
+    simulation replaced by the captured representative runs: the
+    deterministic schedule transfers unchanged (same trace by
+    certificate), only the noise stream is re-drawn per clone exactly
+    as ``Machine.run`` would draw it.  Returns ``None`` when the
+    capture is missing a factor (the clone then evacuates to scalar).
+    """
+    machine = profiler.machine
+    config = profiler.config
+    uarch = machine.name
+    measurements: List[Measurement] = []
+    accepted_cycles: List[float] = []
+    extrapolated = False
+    reps = config.acceptance.reps
+    for unroll in plan.factors:
+        run = capture.runs.get(unroll)
+        if run is None or not run.samples:
+            return None
+        if run.fastpath.get("extrapolated"):
+            extrapolated = True
+        # Reconstruct the noiseless base sample (Machine.run derives
+        # samples[0] from it, preserving every non-cycles counter).
+        base = dataclasses.replace(run.samples[0],
+                                   cycles=run.base_cycles,
+                                   context_switches=0)
+        rng = machine._rng(block, unroll)
+        samples = [machine._perturb(base, rng) for _ in range(reps)]
+        cycles, failure, clean = config.acceptance.accept(samples)
+        if failure is not None:
+            return ProfileResult(
+                text, uarch, failure=failure,
+                num_faults=rep_result.num_faults,
+                pages_mapped=rep_result.pages_mapped,
+                measurements=tuple(measurements),
+                detail=f"unroll={unroll}")
+        base_sample = samples[0]
+        measurements.append(Measurement(
+            unroll=unroll, cycles=cycles, clean_runs=clean,
+            total_runs=len(samples),
+            l1d_read_misses=base_sample.l1d_read_misses,
+            l1d_write_misses=base_sample.l1d_write_misses,
+            l1i_misses=base_sample.l1i_misses,
+            misaligned_refs=base_sample.misaligned_mem_refs))
+        accepted_cycles.append(cycles)
+
+    throughput = plan.derive_throughput(tuple(accepted_cycles))
+    extra = {"fastpath_extrapolated": 1.0} if extrapolated else {}
+    from repro.runtime import blockplan
+    if blockplan.enabled():
+        extra["blockplan_compiled"] = 1.0
+    return ProfileResult(
+        text, uarch,
+        throughput=max(throughput, 0.0),
+        measurements=tuple(measurements),
+        pages_mapped=rep_result.pages_mapped,
+        num_faults=rep_result.num_faults,
+        subnormal_events=rep_result.subnormal_events,
+        extra=extra)

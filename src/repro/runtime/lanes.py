@@ -1,0 +1,1291 @@
+"""Batch-lane vectorized execution over a matrix of machine states.
+
+The scalar pipeline simulates one block per Python dispatch loop even
+though a corpus is full of *same-shaped* blocks — identical mnemonics
+and operand shapes, differing only in immediate values.  This module
+runs N such blocks in **lockstep** as one numpy matrix of machine
+states (the batched counterpart of the flattened slot arrays in
+:mod:`repro.runtime.state`): one compiled step per static instruction
+slot updates a whole lane per dispatch.
+
+The lane run is a *certificate*, not a measurement.  It proves that
+every member of the lane — started from the canonical initial state —
+computes the identical address stream, the identical fault/mapping
+sequence, and the identical signature-periodicity outcome as the lane
+representative.  Under that certificate the representative's scalar
+profile (trace, schedule, cache annotations) transfers to every clone
+byte-for-byte; only the seeded measurement noise is re-drawn per clone
+(:mod:`repro.profiler.lanebatch`).  Blocks that diverge — a different
+effective address, a different period, a chaos ``block_poison``, a
+step-budget trip — **evacuate** to the untouched scalar path, so
+results stay byte-identical by construction.
+
+Mirrored protocols (kept in exact step with their scalar sources):
+
+* iteration loop, rollback-on-fault, signature history and
+  smallest-lag period scan: :class:`repro.simcore.fastrun.BlockRun`;
+* fault interception, invalid-address and fault-budget outcomes:
+  :func:`repro.profiler.mapping.map_pages`;
+* per-semantic operand/flag semantics: the compiled binders in
+  :mod:`repro.runtime.plan` (several are imported and re-used so the
+  two compilers cannot drift apart on widths).
+
+Kill switches mirror the ``--no-fastpath`` discipline:
+``REPRO_NO_LANES=1`` (or :func:`forced`) disables lanes entirely;
+``REPRO_LANE_WIDTH`` caps members per lane (width 1 degenerates to
+the scalar path — no lane ever forms).  Without numpy the module
+stays importable and :func:`enabled` is simply ``False``.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict, deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+try:  # numpy is optional: without it lanes are inert, never broken.
+    import numpy as _np
+except Exception:  # pragma: no cover - exercised via forced absence
+    _np = None
+
+from repro.isa.encoder import instruction_length
+from repro.isa.instruction import BasicBlock, Instruction
+from repro.isa.operands import is_imm, is_mem, is_reg
+from repro.isa.registers import GPR_BASES, GPR_INDEX
+from repro.resilience.policy import step_budget
+from repro.runtime.executor import _MASK, _sext
+from repro.runtime.memory import (MAX_USER_ADDRESS, MIN_USER_ADDRESS,
+                                  PAGE_SIZE, page_base, page_of)
+from repro.runtime.plan import _op_width
+from repro.simcore.periodicity import MAX_PERIOD, is_pure_register_block
+from repro.telemetry import cachestats
+from repro.telemetry import core as telemetry
+
+_MASK64 = _MASK[8]
+_RAX = GPR_INDEX["rax"]
+_RDX = GPR_INDEX["rdx"]
+_RSP = GPR_INDEX["rsp"]
+
+# ---------------------------------------------------------------------------
+# Kill switch + lane width (mirrors repro.simcore.config)
+# ---------------------------------------------------------------------------
+
+ENV_VAR = "REPRO_NO_LANES"
+WIDTH_VAR = "REPRO_LANE_WIDTH"
+DEFAULT_LANE_WIDTH = 16
+
+_DISABLING = ("1", "true", "yes", "on")
+
+#: Programmatic override; ``None`` defers to the environment.
+_override: Optional[bool] = None
+_width_override: Optional[int] = None
+
+
+def available() -> bool:
+    """Is the numpy backend importable at all?"""
+    return _np is not None
+
+
+def enabled() -> bool:
+    """Is batch-lane vectorized profiling active?"""
+    if _np is None:
+        return False
+    if _override is not None:
+        return _override
+    return os.environ.get(ENV_VAR, "").strip().lower() not in _DISABLING
+
+
+def set_enabled(value: Optional[bool]) -> None:
+    """Force lanes on/off; ``None`` defers to ``$REPRO_NO_LANES``."""
+    global _override
+    _override = None if value is None else bool(value)
+
+
+@contextmanager
+def forced(value: bool) -> Iterator[None]:
+    """Temporarily force lanes on or off (tests, benches)."""
+    global _override
+    saved = _override
+    _override = bool(value)
+    try:
+        yield
+    finally:
+        _override = saved
+
+
+def lane_width() -> int:
+    """Members per lane (``$REPRO_LANE_WIDTH``, default 16, min 1)."""
+    if _width_override is not None:
+        return _width_override
+    raw = os.environ.get(WIDTH_VAR, "").strip()
+    if not raw:
+        return DEFAULT_LANE_WIDTH
+    try:
+        width = int(raw)
+    except ValueError:
+        return DEFAULT_LANE_WIDTH
+    return max(1, width)
+
+
+def set_lane_width(value: Optional[int]) -> None:
+    """Force the lane width; ``None`` defers to ``$REPRO_LANE_WIDTH``."""
+    global _width_override
+    _width_override = None if value is None else max(1, int(value))
+
+
+@contextmanager
+def forced_width(value: int) -> Iterator[None]:
+    """Temporarily force the lane width (tests, benches)."""
+    global _width_override
+    saved = _width_override
+    _width_override = max(1, int(value))
+    try:
+        yield
+    finally:
+        _width_override = saved
+
+
+# ---------------------------------------------------------------------------
+# Fingerprints: the pure grouping key
+# ---------------------------------------------------------------------------
+
+class LaneGiveUp(Exception):
+    """The whole lane cannot be certified; every member goes scalar."""
+
+
+class _LaneFault(Exception):
+    """Lane-uniform access to an unmapped page (mirrors MemoryFault)."""
+
+    def __init__(self, address: int):
+        super().__init__(f"{address:#x}")
+        self.address = address
+
+
+class _LaneInvalid(Exception):
+    """Lane-uniform access outside user space (InvalidAddressFault)."""
+
+    def __init__(self, address: int):
+        super().__init__(f"{address:#x}")
+        self.address = address
+
+
+def _reg_sig(reg) -> str:
+    return f"{reg.kind}{reg.slot}.{reg.width}.{reg.bit_offset}"
+
+
+def _operand_sig(op) -> str:
+    if is_reg(op):
+        return "r:" + _reg_sig(op)
+    if is_mem(op):
+        base = _reg_sig(op.base) if op.base is not None else "-"
+        index = _reg_sig(op.index) if op.index is not None else "-"
+        return f"m:{base}:{index}:{op.scale}:{op.disp}:{op.width}"
+    return "i"  # immediates vary freely within a lane
+
+
+def fingerprint(block: BasicBlock) -> Optional[str]:
+    """Canonical lane key of a block, or ``None`` if lane-ineligible.
+
+    Two blocks with equal fingerprints are *shape-identical*: same
+    mnemonics, operand kinds, concrete registers, memory recipes
+    (base/index/scale/disp), widths, and per-instruction encoded
+    lengths — only immediate *values* (within the same encoding
+    class, pinned by the length component) may differ.  Equal
+    fingerprints therefore imply the same unroll plan and the same
+    per-instruction timing model inputs.
+
+    The key is a plain string built without ``hash()``, so grouping
+    is stable across processes and ``PYTHONHASHSEED`` values — a
+    property the lane-formation tests pin.
+    """
+    parts: List[str] = []
+    for instr in block.instructions:
+        info = instr.info
+        if info.semantic not in _VEC_COMPILERS:
+            return None
+        if info.fp or info.vec or info.unsupported:
+            return None
+        ops = instr.operands
+        for op in ops:
+            if is_reg(op):
+                if op.kind != "gpr":
+                    return None
+            elif is_mem(op):
+                for reg in (op.base, op.index):
+                    if reg is not None and reg.kind != "gpr":
+                        return None
+        if info.semantic in ("setcc", "cmov") and info.cc not in VEC_CC:
+            return None
+        if info.semantic == "cmov" and not is_reg(ops[0]):
+            return None  # conditional store = divergent access stream
+        if info.semantic == "imul" and len(ops) < 2:
+            return None  # widening rdx:rax form stays interpreted
+        parts.append("|".join(
+            [instr.mnemonic, info.semantic, str(len(ops)),
+             str(instr.operand_width),
+             str(instr.memory_access_width or 0),
+             str(instruction_length(instr))]
+            + [_operand_sig(op) for op in ops]))
+    if not parts:
+        return None
+    return f"{len(parts)};{block.byte_length};" + ";".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# Vectorized flag thunks (element-wise replicas of plan.py's binders)
+# ---------------------------------------------------------------------------
+
+if _np is not None:
+    #: Parity of the low result byte (True = even) — numpy lookup
+    #: table equivalent of ``repro.runtime.plan._PARITY``.
+    _PARITY_NP = _np.array(
+        [bin(i).count("1") % 2 == 0 for i in range(256)], dtype=bool)
+    _U64 = _np.uint64
+
+
+def _parity(result):
+    return _PARITY_NP[(result & _U64(0xFF)).astype(_np.intp)]
+
+
+def vec_add_flags(width: int) -> Callable:
+    """Element-wise replica of ``plan._add_flags_binder(width)``.
+
+    ``thunk(F, a, b, carry) -> result``: updates the six flag columns
+    of the ``(n, 6)`` bool matrix ``F`` and returns the masked result
+    column, exactly as the scalar thunk does per element.
+    """
+    bits = width * 8
+    mask = _MASK[width]
+    m = _U64(mask)
+    s = _U64(bits - 1)
+
+    def thunk(F, a, b, carry):
+        aa = a & m
+        bb = b & m
+        if width == 8:
+            t = aa + bb            # wraps: carry detected by compare
+            result = t + carry
+            cf = (t < aa) | (result < t)
+        else:
+            raw = aa + bb + carry  # < 2**33, no wrap
+            result = raw & m
+            cf = raw > m
+        sa = (a >> s) & _U64(1)
+        sb = (b >> s) & _U64(1)
+        sr = (result >> s) & _U64(1)
+        F[:, 0] = cf
+        F[:, 3] = result == 0
+        F[:, 4] = sr == _U64(1)
+        F[:, 5] = (sa == sb) & (sr != sa)
+        F[:, 1] = _parity(result)
+        F[:, 2] = ((a & _U64(0xF)) + (b & _U64(0xF)) + carry) > _U64(0xF)
+        return result
+    return thunk
+
+
+def vec_sub_flags(width: int) -> Callable:
+    """Element-wise replica of ``plan._sub_flags_binder(width)``."""
+    mask = _MASK[width]
+    m = _U64(mask)
+    s = _U64(width * 8 - 1)
+
+    def thunk(F, a, b, borrow):
+        aa = a & m
+        bb = b & m
+        result = (aa - bb - borrow) & m  # uint64 wrap ≡ python & mask
+        sa = aa >> s
+        sb = bb >> s
+        sr = result >> s
+        bw = borrow != 0
+        # scalar: a < b + borrow — guard the b+1 == 2**64 wrap case.
+        F[:, 0] = _np.where(bw, aa <= bb, aa < bb)
+        F[:, 3] = result == 0
+        F[:, 4] = sr == _U64(1)
+        F[:, 5] = (sa != sb) & (sr != sa)
+        F[:, 1] = _parity(result)
+        F[:, 2] = (aa & _U64(0xF)) < ((bb & _U64(0xF)) + borrow)
+        return result
+    return thunk
+
+
+def vec_logic_flags(width: int) -> Callable:
+    """Element-wise replica of ``plan._logic_flags_binder(width)``."""
+    m = _U64(_MASK[width])
+    s = _U64(width * 8 - 1)
+
+    def thunk(F, result):
+        result = result & m
+        F[:, 0] = False
+        F[:, 5] = False
+        F[:, 2] = False
+        F[:, 3] = result == 0
+        F[:, 4] = (result >> s) == _U64(1)
+        F[:, 1] = _parity(result)
+        return result
+    return thunk
+
+
+#: Condition evaluators over the ``(n, 6)`` flag matrix — columns
+#: cf=0 pf=1 af=2 zf=3 sf=4 of=5, same expressions as
+#: ``plan._CC_COMPILED`` element-wise.  Each returns a fresh bool
+#: column (never a live view).
+VEC_CC: Dict[str, Callable] = {
+    "e": lambda F: F[:, 3].copy(), "z": lambda F: F[:, 3].copy(),
+    "ne": lambda F: ~F[:, 3], "nz": lambda F: ~F[:, 3],
+    "l": lambda F: F[:, 4] != F[:, 5],
+    "ge": lambda F: F[:, 4] == F[:, 5],
+    "le": lambda F: F[:, 3] | (F[:, 4] != F[:, 5]),
+    "g": lambda F: ~F[:, 3] & (F[:, 4] == F[:, 5]),
+    "b": lambda F: F[:, 0].copy(), "c": lambda F: F[:, 0].copy(),
+    "ae": lambda F: ~F[:, 0], "nc": lambda F: ~F[:, 0],
+    "be": lambda F: F[:, 0] | F[:, 3],
+    "a": lambda F: ~F[:, 0] & ~F[:, 3],
+    "s": lambda F: F[:, 4].copy(), "ns": lambda F: ~F[:, 4],
+    "o": lambda F: F[:, 5].copy(), "no": lambda F: ~F[:, 5],
+    "p": lambda F: F[:, 1].copy(), "np": lambda F: ~F[:, 1],
+}
+
+
+# ---------------------------------------------------------------------------
+# Vector operand accessors
+# ---------------------------------------------------------------------------
+
+def _vreg_get(reg) -> Callable:
+    """get(R) -> uint64 column of the register view (copy-safe)."""
+    if reg.kind != "gpr":
+        raise LaneGiveUp("non-GPR register")
+    s = reg.slot
+    if reg.width == 64:
+        def get(R, _s=s):
+            # .copy(): a full-width read must not alias the slot it
+            # came from (xchg writes between its two reads/writes).
+            return R.G[:, _s].copy()
+        return get
+    off = _U64(reg.bit_offset)
+    m = _U64((1 << reg.width) - 1)
+
+    def get(R, _s=s, _o=off, _m=m):
+        return (R.G[:, _s] >> _o) & _m
+    return get
+
+
+def _vreg_put(reg) -> Callable:
+    """put(R, value, where=None) mirroring ``MachineState.write``."""
+    if reg.kind != "gpr":
+        raise LaneGiveUp("non-GPR register")
+    s = reg.slot
+    m = _U64((1 << reg.width) - 1)
+    if reg.width >= 32:
+        def put(R, value, where=None, _s=s, _m=m):
+            v = value & _m  # 32-bit writes zero-extend the slot
+            if where is None:
+                R.G[:, _s] = v
+            else:
+                R.G[:, _s] = _np.where(where, v, R.G[:, _s])
+        return put
+    keep = _U64(~reg.mask & _MASK64)
+    off = _U64(reg.bit_offset)
+
+    def put(R, value, where=None, _s=s, _m=m, _k=keep, _o=off):
+        v = (R.G[:, _s] & _k) | ((value & _m) << _o)
+        if where is None:
+            R.G[:, _s] = v
+        else:
+            R.G[:, _s] = _np.where(where, v, R.G[:, _s])
+    return put
+
+
+def _vea(mem) -> Callable:
+    """ea(R) -> uint64 address column (mirrors ``plan._ea_binder``)."""
+    d = _U64(mem.disp & _MASK64)
+    base = _vreg_get(mem.base) if mem.base is not None else None
+    index = _vreg_get(mem.index) if mem.index is not None else None
+    scale = _U64(mem.scale)
+    if base is None and index is None:
+        def ea(R, _d=d):
+            return _np.full(R.n, _d, dtype=_np.uint64)
+        return ea
+    if index is None:
+        def ea(R, _d=d, _b=base):
+            return _b(R) + _d  # uint64 wrap ≡ & 2**64-1
+        return ea
+    if base is None:
+        def ea(R, _d=d, _i=index, _s=scale):
+            return _i(R) * _s + _d
+        return ea
+
+    def ea(R, _d=d, _b=base, _i=index, _s=scale):
+        return _b(R) + _i(R) * _s + _d
+    return ea
+
+
+def _vread(instrs: Sequence[Instruction], op_idx: int,
+           width: Optional[int] = None) -> Callable:
+    """read(R) -> value column, mirroring ``plan._read_binder``.
+
+    Immediate operands become a per-member constant column — the one
+    place members of a lane are allowed to differ.
+    """
+    op = instrs[0].operands[op_idx]
+    if is_reg(op):
+        return _vreg_get(op)
+    if is_imm(op):
+        vals = []
+        for ins in instrs:
+            w = width or ins.operand_width
+            vals.append(ins.operands[op_idx].value & _MASK[min(w, 8)])
+        col = _np.array(vals, dtype=_np.uint64)
+
+        def read(R, _c=col):
+            return _c
+        return read
+    w = width if width is not None \
+        else (instrs[0].memory_access_width or op.width)
+    eab = _vea(op)
+
+    def read(R, _eab=eab, _w=w):
+        return R.mem_read(_eab(R), _w)
+    return read
+
+
+def _vwrite(instrs: Sequence[Instruction], op_idx: int,
+            width: Optional[int] = None) -> Callable:
+    """write(R, value, where=None), mirroring ``plan._write_binder``."""
+    op = instrs[0].operands[op_idx]
+    if is_reg(op):
+        return _vreg_put(op)
+    if not is_mem(op):
+        raise LaneGiveUp("immediate destination")
+    w = width if width is not None \
+        else (instrs[0].memory_access_width or op.width)
+    eab = _vea(op)
+
+    def write(R, value, where=None, _eab=eab, _w=w):
+        if where is not None:
+            # A masked store would give lane members different access
+            # streams; compilers must evacuate or give up instead.
+            raise LaneGiveUp("conditional memory store")
+        R.mem_write(_eab(R), _w, value)
+    return write
+
+
+# ---------------------------------------------------------------------------
+# Per-semantic vector compilers: compile(instrs) -> step(R)
+# ---------------------------------------------------------------------------
+
+_VEC_COMPILERS: Dict[str, Callable] = {}
+
+
+def _vec(*names: str):
+    def register(fn):
+        for name in names:
+            _VEC_COMPILERS[name] = fn
+        return fn
+    return register
+
+
+@_vec("mov")
+def _v_mov(instrs):
+    instr = instrs[0]
+    width = _op_width(instr, instr.operands[0])
+    read = _vread(instrs, 1, width)
+    write = _vwrite(instrs, 0, width)
+
+    def step(R):
+        write(R, read(R))
+    return step
+
+
+@_vec("movzx")
+def _v_movzx(instrs):
+    instr = instrs[0]
+    src_w = _op_width(instr, instr.operands[1])
+    read = _vread(instrs, 1, src_w)
+    write = _vwrite(instrs, 0, None)
+
+    def step(R):
+        write(R, read(R))
+    return step
+
+
+@_vec("movsx")
+def _v_movsx(instrs):
+    instr = instrs[0]
+    src_w = _op_width(instr, instr.operands[1])
+    read = _vread(instrs, 1, src_w)
+    write = _vwrite(instrs, 0, None)
+    sign = _U64(1 << (src_w * 8 - 1))
+    modulus = _U64((1 << (src_w * 8)) & _MASK64) if src_w < 8 else None
+    dmask = _U64(_MASK[_op_width(instr, instr.operands[0])])
+
+    def step(R):
+        v = read(R)
+        if modulus is not None:
+            v = _np.where(v >= sign, v - modulus, v)
+        write(R, v & dmask)
+    return step
+
+
+@_vec("lea")
+def _v_lea(instrs):
+    instr = instrs[0]
+    dst, src = instr.operands
+    if not is_mem(src) or not is_reg(dst):
+        raise LaneGiveUp("non-standard lea")
+    mask = _U64(_MASK[dst.width // 8])
+    eab = _vea(src)
+    write = _vwrite(instrs, 0, None)
+
+    def step(R):
+        write(R, eab(R) & mask)
+    return step
+
+
+@_vec("xchg")
+def _v_xchg(instrs):
+    instr = instrs[0]
+    width = instr.operand_width
+    ra = _vread(instrs, 0, width)
+    rb = _vread(instrs, 1, width)
+    wa = _vwrite(instrs, 0, width)
+    wb = _vwrite(instrs, 1, width)
+
+    def step(R):
+        va = ra(R)
+        vb = rb(R)
+        wa(R, vb)
+        wb(R, va)
+    return step
+
+
+def _v_binary(instrs, kind, compute=None):
+    instr = instrs[0]
+    dst, src = instr.operands
+    width = _op_width(instr, dst)
+    ra = _vread(instrs, 0, width)
+    wb = _vwrite(instrs, 0, width)
+    if is_imm(src):
+        # sign-extended immediates, one column slot per lane member
+        col = _np.array(
+            [_sext(ins.operands[1].value, min(width, 8)) & _MASK[width]
+             for ins in instrs], dtype=_np.uint64)
+
+        def rb(R, _c=col):
+            return _c
+    else:
+        rb = _vread(instrs, 1, width)
+    if kind == "add":
+        thunk = vec_add_flags(width)
+
+        def step(R):
+            wb(R, thunk(R.F, ra(R), rb(R), _U64(0)))
+    elif kind == "sub":
+        thunk = vec_sub_flags(width)
+
+        def step(R):
+            wb(R, thunk(R.F, ra(R), rb(R), _U64(0)))
+    else:
+        thunk = vec_logic_flags(width)
+
+        def step(R):
+            wb(R, thunk(R.F, compute(ra(R), rb(R))))
+    return step
+
+
+@_vec("add")
+def _v_add(instrs):
+    return _v_binary(instrs, "add")
+
+
+@_vec("sub")
+def _v_sub(instrs):
+    return _v_binary(instrs, "sub")
+
+
+@_vec("and")
+def _v_and(instrs):
+    return _v_binary(instrs, "logic", lambda a, b: a & b)
+
+
+@_vec("or")
+def _v_or(instrs):
+    return _v_binary(instrs, "logic", lambda a, b: a | b)
+
+
+@_vec("xor")
+def _v_xor(instrs):
+    return _v_binary(instrs, "logic", lambda a, b: a ^ b)
+
+
+def _v_carry(instrs, kind):
+    instr = instrs[0]
+    width = _op_width(instr, instr.operands[0])
+    ra = _vread(instrs, 0, width)
+    rb = _vread(instrs, 1, width)  # adc/sbb imm NOT sign-extended
+    wb = _vwrite(instrs, 0, width)
+    thunk = vec_add_flags(width) if kind == "add" \
+        else vec_sub_flags(width)
+
+    def step(R):
+        a = ra(R)
+        b = rb(R)
+        carry = R.F[:, 0].astype(_np.uint64)
+        wb(R, thunk(R.F, a, b, carry))
+    return step
+
+
+@_vec("adc")
+def _v_adc(instrs):
+    return _v_carry(instrs, "add")
+
+
+@_vec("sbb")
+def _v_sbb(instrs):
+    return _v_carry(instrs, "sub")
+
+
+@_vec("cmp")
+def _v_cmp(instrs):
+    instr = instrs[0]
+    dst, src = instr.operands
+    width = max(_op_width(instr, dst), 1)
+    ra = _vread(instrs, 0, width)
+    thunk = vec_sub_flags(width)
+    if is_imm(src):
+        col = _np.array(
+            [_sext(ins.operands[1].value, min(width, 8)) & _MASK[width]
+             for ins in instrs], dtype=_np.uint64)
+
+        def step(R, _c=col):
+            thunk(R.F, ra(R), _c, _U64(0))
+        return step
+    rb = _vread(instrs, 1, width)
+
+    def step(R):
+        thunk(R.F, ra(R), rb(R), _U64(0))
+    return step
+
+
+@_vec("test")
+def _v_test(instrs):
+    instr = instrs[0]
+    width = max(_op_width(instr, instr.operands[0]), 1)
+    ra = _vread(instrs, 0, width)
+    rb = _vread(instrs, 1, width)
+    thunk = vec_logic_flags(width)
+
+    def step(R):
+        thunk(R.F, ra(R) & rb(R))
+    return step
+
+
+def _v_incdec(instrs, kind):
+    instr = instrs[0]
+    width = _op_width(instr, instr.operands[0])
+    ra = _vread(instrs, 0, width)
+    wb = _vwrite(instrs, 0, width)
+    thunk = vec_add_flags(width) if kind == "add" \
+        else vec_sub_flags(width)
+
+    def step(R):
+        saved_cf = R.F[:, 0].copy()
+        result = thunk(R.F, ra(R), _U64(1), _U64(0))
+        R.F[:, 0] = saved_cf  # inc/dec preserve CF
+        wb(R, result)
+    return step
+
+
+@_vec("inc")
+def _v_inc(instrs):
+    return _v_incdec(instrs, "add")
+
+
+@_vec("dec")
+def _v_dec(instrs):
+    return _v_incdec(instrs, "sub")
+
+
+@_vec("neg")
+def _v_neg(instrs):
+    instr = instrs[0]
+    width = _op_width(instr, instr.operands[0])
+    ra = _vread(instrs, 0, width)
+    wb = _vwrite(instrs, 0, width)
+    thunk = vec_sub_flags(width)
+
+    def step(R):
+        value = ra(R)
+        result = thunk(R.F, _U64(0), value, _U64(0))
+        R.F[:, 0] = value != 0
+        wb(R, result)
+    return step
+
+
+@_vec("not")
+def _v_not(instrs):
+    instr = instrs[0]
+    width = _op_width(instr, instr.operands[0])
+    mask = _U64(_MASK[width])
+    ra = _vread(instrs, 0, width)
+    wb = _vwrite(instrs, 0, width)
+
+    def step(R):
+        wb(R, ~ra(R) & mask)
+    return step
+
+
+@_vec("bt")
+def _v_bt(instrs):
+    instr = instrs[0]
+    width = _op_width(instr, instr.operands[0])
+    bits = _U64(width * 8)
+    rs = _vread(instrs, 1, width)
+    rd = _vread(instrs, 0, width)
+
+    def step(R):
+        bit = rs(R) % bits  # src read first: access order matters
+        R.F[:, 0] = ((rd(R) >> bit) & _U64(1)) != 0
+    return step
+
+
+@_vec("bswap")
+def _v_bswap(instrs):
+    instr = instrs[0]
+    width = _op_width(instr, instr.operands[0])
+    ra = _vread(instrs, 0, width)
+    wb = _vwrite(instrs, 0, width)
+    shifts = [(_U64(8 * i), _U64(8 * (width - 1 - i)))
+              for i in range(width)]
+
+    def step(R):
+        value = ra(R)
+        result = _np.zeros(R.n, dtype=_np.uint64)
+        for down, up in shifts:
+            result |= ((value >> down) & _U64(0xFF)) << up
+        wb(R, result)
+    return step
+
+
+def _v_shift(instrs, compute):
+    """Shift/rotate family — count first, value read unconditionally,
+    no flag/state change where the masked count is zero (mirrors
+    ``plan._c_shift``).  A memory destination with per-member
+    count-zero disagreement evacuates the divergent rows: their
+    access streams (read-only vs read+write) differ."""
+    instr = instrs[0]
+    dst = instr.operands[0]
+    width = _op_width(instr, dst)
+    bits = width * 8
+    mask = _U64(_MASK[width])
+    sign = _U64(bits - 1)
+    cmask = _U64(0x3F if width == 8 else 0x1F)
+    dst_is_mem = is_mem(dst)
+    ra = _vread(instrs, 0, width)
+    wb = _vwrite(instrs, 0, width)
+    rc = _vread(instrs, 1, 1) if len(instr.operands) > 1 else None
+
+    def step(R):
+        if rc is None:
+            count = _np.ones(R.n, dtype=_np.uint64)
+        else:
+            count = rc(R) & cmask
+        nz = count != 0
+        if dst_is_mem:
+            R.enforce_uniform(nz, "shift-count")
+            if not bool(nz[0]):
+                ra(R)  # scalar still performs the read access
+                return
+            nz = None  # uniform: apply unconditionally
+        value = ra(R)
+        if nz is not None and not bool(nz.any()):
+            return  # no member shifts: value was read, nothing changes
+        safe = _np.where(nz, count, _U64(1)) if nz is not None else count
+        result, cf = compute(value, safe, bits)
+        result = result & mask
+        zf = result == 0
+        sf = (result >> sign) == _U64(1)
+        pf = _parity(result)
+        if nz is None or bool(nz.all()):
+            R.F[:, 0] = cf
+            R.F[:, 3] = zf
+            R.F[:, 4] = sf
+            R.F[:, 1] = pf
+            R.F[:, 5] = False
+            R.F[:, 2] = False
+            wb(R, result)
+        else:
+            R.F[:, 0] = _np.where(nz, cf, R.F[:, 0])
+            R.F[:, 3] = _np.where(nz, zf, R.F[:, 3])
+            R.F[:, 4] = _np.where(nz, sf, R.F[:, 4])
+            R.F[:, 1] = _np.where(nz, pf, R.F[:, 1])
+            R.F[:, 5] &= ~nz
+            R.F[:, 2] &= ~nz
+            wb(R, result, where=nz)
+    return step
+
+
+@_vec("shl", "sal")
+def _v_shl(instrs):
+    def compute(v, c, bits):
+        ok = c <= _U64(bits)
+        sh = _np.where(ok, _U64(bits) - c, _U64(1))
+        cf = _np.where(ok, ((v >> sh) & _U64(1)) != 0, False)
+        return v << c, cf
+    return _v_shift(instrs, compute)
+
+
+@_vec("shr")
+def _v_shr(instrs):
+    def compute(v, c, bits):
+        return v >> c, ((v >> (c - _U64(1))) & _U64(1)) != 0
+    return _v_shift(instrs, compute)
+
+
+@_vec("sar")
+def _v_sar(instrs):
+    def compute(v, c, bits):
+        signed = v.astype(_np.int64)
+        if bits < 64:
+            signed = _np.where(v >= _U64(1 << (bits - 1)),
+                               signed - _np.int64(1 << bits), signed)
+        ci = c.astype(_np.int64)
+        cf = ((signed >> (ci - 1)) & 1) != 0
+        return (signed >> ci).astype(_np.uint64), cf
+    return _v_shift(instrs, compute)
+
+
+@_vec("rol")
+def _v_rol(instrs):
+    def compute(v, c, bits):
+        cm = c % _U64(bits)
+        rsh = _np.where(cm > 0, _U64(bits) - cm, _U64(0))
+        rotated = (v << cm) | (v >> rsh)  # cm == 0 yields v exactly
+        return rotated, (rotated & _U64(1)) != 0
+    return _v_shift(instrs, compute)
+
+
+@_vec("ror")
+def _v_ror(instrs):
+    def compute(v, c, bits):
+        cm = c % _U64(bits)
+        lsh = _np.where(cm > 0, _U64(bits) - cm, _U64(0))
+        rotated = (v >> cm) | (v << lsh)
+        return rotated, ((rotated >> _U64(bits - 1)) & _U64(1)) != 0
+    return _v_shift(instrs, compute)
+
+
+@_vec("setcc")
+def _v_setcc(instrs):
+    instr = instrs[0]
+    cond = VEC_CC.get(instr.info.cc)
+    if cond is None:
+        raise LaneGiveUp("unknown condition")
+    wb = _vwrite(instrs, 0, 1)
+
+    def step(R):
+        wb(R, cond(R.F).astype(_np.uint64))
+    return step
+
+
+@_vec("cmov")
+def _v_cmov(instrs):
+    instr = instrs[0]
+    dst, src = instr.operands
+    cond = VEC_CC.get(instr.info.cc)
+    if cond is None:
+        raise LaneGiveUp("unknown condition")
+    if not is_reg(dst):
+        raise LaneGiveUp("cmov to memory")
+    width = _op_width(instr, dst)
+    rs = _vread(instrs, 1, width)
+    wb = _vwrite(instrs, 0, width)
+    rd = _vread(instrs, 0, width) if width == 4 else None
+
+    def step(R):
+        value = rs(R)  # source is always read
+        taken = cond(R.F)
+        if rd is not None:
+            # 32-bit cmov still zero-extends the destination.
+            wb(R, _np.where(taken, value, rd(R)))
+        else:
+            wb(R, value, where=taken)
+    return step
+
+
+@_vec("push")
+def _v_push(instrs):
+    instr = instrs[0]
+    width = max(instr.operand_width, 8)
+    rs = _vread(instrs, 0, width)
+    wu = _U64(width)
+
+    def step(R):
+        sp = R.G[:, _RSP] - wu
+        R.G[:, _RSP] = sp
+        value = rs(R)  # source read after the rsp update (scalar order)
+        R.mem_write(sp, width, value)
+    return step
+
+
+@_vec("pop")
+def _v_pop(instrs):
+    instr = instrs[0]
+    width = max(instr.operand_width, 8)
+    wb = _vwrite(instrs, 0, width)
+    wu = _U64(width)
+
+    def step(R):
+        sp = R.G[:, _RSP].copy()  # dst write may alias rsp
+        value = R.mem_read(sp, width)
+        wb(R, value)
+        R.G[:, _RSP] = sp + wu
+    return step
+
+
+@_vec("nop")
+def _v_nop(instrs):
+    def step(R):
+        return None
+    return step
+
+
+@_vec("cdq")
+def _v_cdq(instrs):
+    def step(R):
+        R.G[:, _RDX] = _np.where(
+            (R.G[:, _RAX] & _U64(0x80000000)) != 0,
+            _U64(0xFFFFFFFF), _U64(0))
+    return step
+
+
+@_vec("cqo")
+def _v_cqo(instrs):
+    def step(R):
+        R.G[:, _RDX] = _np.where(
+            (R.G[:, _RAX] >> _U64(63)) != 0, _U64(_MASK64), _U64(0))
+    return step
+
+
+@_vec("cdqe")
+def _v_cdqe(instrs):
+    def step(R):
+        v = R.G[:, _RAX] & _U64(0xFFFFFFFF)
+        R.G[:, _RAX] = _np.where(v >= _U64(0x80000000),
+                                 v - _U64(1 << 32), v)
+    return step
+
+
+@_vec("imul")
+def _v_imul(instrs):
+    instr = instrs[0]
+    ops = instr.operands
+    if len(ops) == 1:
+        raise LaneGiveUp("widening imul")
+    dst = ops[0]
+    width = _op_width(instr, dst)
+    sign = 1 << (width * 8 - 1)
+    modulus = 1 << (width * 8)
+    mask = _MASK[width]
+    if len(ops) == 2:
+        ra = _vread(instrs, 0, width)
+        rb = _vread(instrs, 1, width)
+    else:
+        ra = _vread(instrs, 1, width)
+        rb = _vread(instrs, 2, width)
+    wb = _vwrite(instrs, 0, width)
+
+    def step(R):
+        a = ra(R)
+        b = rb(R)
+        n = R.n
+        result = _np.empty(n, dtype=_np.uint64)
+        ovf = _np.empty(n, dtype=bool)
+        # exact signed products need python ints (can exceed 64 bits)
+        for i in range(n):
+            ai = int(a[i])
+            if ai >= sign:
+                ai -= modulus
+            bi = int(b[i])
+            if bi >= sign:
+                bi -= modulus
+            product = ai * bi
+            truncated = product & mask
+            t = truncated - modulus if truncated >= sign else truncated
+            ovf[i] = product != t
+            result[i] = truncated
+        R.F[:, 0] = ovf
+        R.F[:, 5] = ovf
+        wb(R, result)
+    return step
+
+
+# ---------------------------------------------------------------------------
+# Lane programs + cache
+# ---------------------------------------------------------------------------
+
+@dataclass
+class LaneProgram:
+    """One compiled lockstep program over N shape-identical blocks."""
+
+    steps: List[Callable]
+    block_len: int
+    width: int
+    pure: bool
+
+
+_PROGRAM_CACHE: "OrderedDict[Tuple[str, ...], LaneProgram]" = OrderedDict()
+_PROGRAM_CACHE_CAP = 256
+
+
+def _count(name: str, value: int = 1) -> None:
+    if telemetry.is_enabled():
+        telemetry.count(name, value)
+
+
+def program_for(blocks: Sequence[BasicBlock],
+                texts: Sequence[str]) -> LaneProgram:
+    """Compile (or fetch) the lockstep program for one lane."""
+    key = tuple(texts)
+    program = _PROGRAM_CACHE.get(key)
+    if program is not None:
+        _PROGRAM_CACHE.move_to_end(key)
+        _count("cache.lanes.hits")
+        return program
+    _count("cache.lanes.misses")
+    program = _build_program(blocks)
+    if len(_PROGRAM_CACHE) >= _PROGRAM_CACHE_CAP:
+        _PROGRAM_CACHE.popitem(last=False)
+        _count("cache.lanes.evictions")
+    _PROGRAM_CACHE[key] = program
+    return program
+
+
+def clear_program_cache() -> None:
+    _PROGRAM_CACHE.clear()
+
+
+def _build_program(blocks: Sequence[BasicBlock]) -> LaneProgram:
+    first = blocks[0]
+    steps: List[Callable] = []
+    for k in range(len(first.instructions)):
+        instrs = [b.instructions[k] for b in blocks]
+        compiler = _VEC_COMPILERS.get(instrs[0].info.semantic)
+        if compiler is None:
+            raise LaneGiveUp(
+                f"semantic {instrs[0].info.semantic!r} not vectorized")
+        steps.append(compiler(instrs))
+    return LaneProgram(steps=steps, block_len=len(first.instructions),
+                       width=len(blocks),
+                       pure=is_pure_register_block(first))
+
+
+def _lane_cache_stats() -> cachestats.CacheStats:
+    """Unified-telemetry provider for the lane program cache."""
+    return cachestats.registry_stats("lanes",
+                                     size=len(_PROGRAM_CACHE),
+                                     capacity=_PROGRAM_CACHE_CAP)
+
+
+cachestats.register_provider("lanes", _lane_cache_stats)
+
+
+# ---------------------------------------------------------------------------
+# The lockstep runner
+# ---------------------------------------------------------------------------
+
+@dataclass
+class LaneOutcome:
+    """What the certificate run predicts for every lane member.
+
+    ``survivors[i]`` is True when member ``i`` stayed in lockstep for
+    the whole run; evacuated members carry no prediction and must be
+    profiled scalar.  ``failure``/``num_faults``/``pages_mapped``
+    mirror :class:`repro.profiler.mapping.MappingOutcome`;
+    ``witness`` is the signature-periodicity outcome
+    ``(steady_from, period)`` (``None`` = ran to full unroll).
+    """
+
+    survivors: List[bool]
+    failure: Optional[str]  # None | "invalid_address" | "too_many_faults"
+    num_faults: int
+    pages_mapped: int
+    witness: Optional[Tuple[int, int]]
+    evacuated: Dict[str, int] = field(default_factory=dict)
+
+
+class _Runner:
+    """Runs one lane in lockstep, mirroring map_pages + BlockRun."""
+
+    def __init__(self, program: LaneProgram, unroll: int,
+                 max_faults: int, init_constant: int, budget: int):
+        n = program.width
+        self.program = program
+        self.n = n
+        self.unroll = unroll
+        self.max_faults = max_faults
+        self.budget = budget
+        init = _U64(init_constant & _MASK64)
+        self.G = _np.full((n, len(GPR_BASES)), init, dtype=_np.uint64)
+        self.F = _np.zeros((n, 6), dtype=bool)
+        pattern = (init_constant & 0xFFFFFFFF).to_bytes(4, "little")
+        row = _np.frombuffer(pattern * (PAGE_SIZE // 4), dtype=_np.uint8)
+        self.FRAME = _np.tile(row, (n, 1))
+        self.active = _np.ones(n, dtype=bool)
+        self.mapped: set = set()
+        self.num_faults = 0
+        self.executed = 0
+        self.evacuated: Dict[str, int] = {}
+
+    # -- evacuation --------------------------------------------------------
+
+    def _evacuate(self, mask, reason: str) -> None:
+        mask = mask & self.active
+        count = int(mask.sum())
+        if not count:
+            return
+        self.active &= ~mask
+        self.evacuated[reason] = self.evacuated.get(reason, 0) + count
+        if int(self.active.sum()) <= 1:
+            # only the representative left: the lane buys nothing
+            raise LaneGiveUp("lane dissolved")
+
+    def enforce_uniform(self, column, reason: str) -> None:
+        """Evacuate active rows whose ``column`` differs from row 0."""
+        self._evacuate(self.active & (column != column[0]), reason)
+
+    # -- memory (mirrors VirtualMemory single-frame semantics) -------------
+
+    def _uniform_addr(self, addr) -> int:
+        self._evacuate(self.active & (addr != addr[0]), "address")
+        return int(addr[0])
+
+    def _require(self, address: int) -> None:
+        if not (MIN_USER_ADDRESS <= address < MAX_USER_ADDRESS):
+            raise _LaneInvalid(address)
+        if page_of(address) not in self.mapped:
+            raise _LaneFault(address)
+
+    def _check_pages(self, address: int, width: int) -> None:
+        self._require(address)
+        end = address + width - 1
+        if page_of(address) != page_of(end):
+            self._require(page_base(end))
+
+    def mem_read(self, addr, width: int):
+        a = self._uniform_addr(addr)
+        self._check_pages(a, width)
+        off = a & (PAGE_SIZE - 1)
+        value = _np.zeros(self.n, dtype=_np.uint64)
+        for i in range(width):
+            # single-frame mode: a page-crossing access wraps around
+            # inside the one physical frame
+            value |= self.FRAME[:, (off + i) % PAGE_SIZE] \
+                .astype(_np.uint64) << _U64(8 * i)
+        return value
+
+    def mem_write(self, addr, width: int, value) -> None:
+        a = self._uniform_addr(addr)
+        self._check_pages(a, width)
+        off = a & (PAGE_SIZE - 1)
+        for i in range(width):
+            self.FRAME[:, (off + i) % PAGE_SIZE] = \
+                ((value >> _U64(8 * i)) & _U64(0xFF)).astype(_np.uint8)
+
+    # -- the BlockRun protocol ---------------------------------------------
+
+    def _snapshot(self):
+        return (self.G.copy(), self.F.copy(), self.FRAME.copy())
+
+    def _restore(self, snapshot) -> None:
+        if snapshot is None:
+            raise LaneGiveUp("fault in pure block")
+        self.G[:] = snapshot[0]
+        self.F[:] = snapshot[1]
+        self.FRAME[:] = snapshot[2]
+
+    def _scan_lags(self, snapshot, history):
+        """Per-member smallest lag whose history signature matches."""
+        G, F, FR = snapshot
+        lag = _np.zeros(self.n, dtype=_np.int64)
+        for k in range(1, len(history) + 1):
+            hG, hF, hFR = history[-k]
+            eq = ((G == hG).all(axis=1) & (F == hF).all(axis=1)
+                  & (FR == hFR).all(axis=1))
+            _np.copyto(lag, _np.int64(k), where=(lag == 0) & eq)
+        return lag
+
+    def row_state(self, i: int):
+        """Row ``i`` as plain python values (tests, width-1 checks)."""
+        return ([int(x) for x in self.G[i]],
+                [bool(x) for x in self.F[i]],
+                bytes(self.FRAME[i]))
+
+    def run(self) -> LaneOutcome:
+        program = self.program
+        history: deque = deque(maxlen=MAX_PERIOD)
+        iteration = 0
+        witness = None
+        failure = None
+        while iteration < self.unroll:
+            if self.executed > self.budget:
+                # the scalar watchdog would quarantine every member
+                # identically — cheaper to just re-run them scalar
+                raise LaneGiveUp("step budget exceeded")
+            if program.pure:
+                if iteration >= 1:
+                    witness = (iteration - 1, 1)
+                    break
+                snapshot = None
+            else:
+                snapshot = self._snapshot()
+                lag = self._scan_lags(snapshot, history)
+                rep_lag = int(lag[0])
+                self._evacuate(self.active & (lag != rep_lag), "period")
+                if rep_lag:
+                    witness = (iteration - rep_lag, rep_lag)
+                    break
+            while True:
+                try:
+                    for step in program.steps:
+                        step(self)
+                    break
+                except _LaneFault as fault:
+                    self._restore(snapshot)
+                    self.num_faults += 1
+                    if self.num_faults > self.max_faults:
+                        failure = "too_many_faults"
+                        break
+                    self.mapped.add(page_of(fault.address))
+                except _LaneInvalid:
+                    failure = "invalid_address"
+                    break
+            if failure is not None:
+                break
+            self.executed += program.block_len
+            if snapshot is not None:
+                history.append(snapshot)
+            iteration += 1
+        return LaneOutcome(
+            survivors=[bool(x) for x in self.active],
+            failure=failure,
+            num_faults=self.num_faults,
+            pages_mapped=len(self.mapped),
+            witness=witness,
+            evacuated=dict(self.evacuated))
+
+
+def certify(program: LaneProgram, unroll: int, max_faults: int,
+            init_constant: int,
+            budget: Optional[int] = None) -> LaneOutcome:
+    """Run one lane in lockstep and return its predictions.
+
+    Raises :class:`LaneGiveUp` when the lane cannot be certified at
+    all (step-budget trip, dissolution to the representative alone);
+    callers send every member through the scalar path then.
+    """
+    if budget is None:
+        budget = step_budget()
+    return _Runner(program, unroll, max_faults, init_constant,
+                   budget).run()

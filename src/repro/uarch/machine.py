@@ -87,6 +87,10 @@ class Machine:
         self.noise = noise if noise is not None else NoiseParameters()
         self.decomposer = Decomposer(self.desc, self.table, self.div_table)
         self.scheduler = DataflowScheduler(self.desc, self.decomposer)
+        #: cycles -> context-switch probability; the exp() below is a
+        #: pure function of the cycle count and shows up hot in both
+        #: the scalar reps loop and lane-clone replay.
+        self._p_switch_cache: dict = {}
 
     @property
     def name(self) -> str:
@@ -475,8 +479,11 @@ class Machine:
     def _perturb(self, base: CounterSample,
                  rng: random.Random) -> CounterSample:
         noise = self.noise
-        p_switch = 1.0 - math.exp(-base.cycles
-                                  * noise.context_switch_rate)
+        p_switch = self._p_switch_cache.get(base.cycles)
+        if p_switch is None:
+            p_switch = 1.0 - math.exp(-base.cycles
+                                      * noise.context_switch_rate)
+            self._p_switch_cache[base.cycles] = p_switch
         if rng.random() < p_switch:
             return base.with_noise(
                 extra_cycles=rng.randint(*noise.context_switch_cycles),

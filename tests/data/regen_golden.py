@@ -23,16 +23,80 @@ APPS = (("llvm", 10), ("openblas", 6), ("gzip", 6))
 SEED = 11
 UARCHES = ("ivybridge", "haswell", "skylake")
 
+#: Lane-shaped block families: every member of a family shares one
+#: lane fingerprint (same mnemonics/operand shapes/encoded lengths,
+#: immediates varying within one encoding class), so the batch-lane
+#: vectorizer (``repro.runtime.lanes``) can group them.  A small
+#: sample is folded into the golden corpus itself; the larger
+#: ``golden_lanes.json`` fixture feeds the lane differential suite
+#: and ``benchmarks/bench_lanes.py``.
+GOLDEN_LANE_SHAPES = (
+    "movq (%%rax), %%rbx\naddq $0x%x, %%rbx\nmovq %%rbx, 8(%%rax)",
+    "addq $0x%x, %%rbx\nxorq %%rbx, %%rcx\n"
+    "leaq (%%rbx,%%rcx,2), %%rdx\nrolq $3, %%rdx",
+    "cmpq $0x%x, %%rsi\ncmovne %%rdi, %%r8\nsete %%al\n"
+    "sbbq %%rdx, %%rdx",
+)
+GOLDEN_LANE_MEMBERS = 8
+
+LANES_FIXTURE_SHAPES = GOLDEN_LANE_SHAPES + (
+    "movzwl 16(%%rdi), %%eax\nandl $0x%x, %%eax\n"
+    "orl %%eax, %%esi\nmovl %%esi, 16(%%rdi)",
+    "movq 24(%%rsp), %%rcx\nshrq $0x%x, %%rcx\n"
+    "testq %%rcx, %%rcx\nsetne %%dl",
+    "decq %%r13\ncmpq $0x%x, %%r13\ncmovl %%r14, %%r13\nincq %%r15",
+    "imulq $0x%x, %%rsi, %%rdi\naddq %%rdi, %%r12\nrorq $5, %%r12",
+    "movq 32(%%rbx), %%rax\nsubq $0x%x, %%rax\n"
+    "xorq %%rax, %%rdx\nmovq %%rdx, 40(%%rbx)",
+    "movl 8(%%rbp), %%ecx\naddl $0x%x, %%ecx\nbswapl %%ecx\n"
+    "movl %%ecx, 12(%%rbp)",
+    "addq $0x%x, %%r8\nmovq %%r8, (%%rsi)\nadcq $0, %%r9\n"
+    "movq 16(%%rsi), %%r10",
+)
+LANES_FIXTURE_MEMBERS = 48
+
+
+def lane_family(shape, members):
+    """Same-fingerprint member texts for one family shape.
+
+    Immediates stay in one x86 encoding class (imm32, 0x100 + 16*k)
+    so every member has identical per-instruction encoded lengths —
+    a requirement of the lane fingerprint.  Shift-count immediates
+    would truncate (count & 0x3f), but 0x100+16k masks to a varying
+    5-bit pattern anyway, which is exactly the heterogeneity the lane
+    runner must prove it handles.
+    """
+    return [shape % (0x100 + 16 * k) for k in range(members)]
+
 
 def build_records():
     from repro.corpus.dataset import BlockRecord, Corpus, \
         build_application
+    from repro.isa.parser import parse_block
     records = []
     for app, count in APPS:
         for record in build_application(app, count=count, seed=SEED):
             records.append(BlockRecord(
                 block=record.block, application=app,
                 frequency=record.frequency, block_id=len(records)))
+    for shape in GOLDEN_LANE_SHAPES:
+        for text in lane_family(shape, GOLDEN_LANE_MEMBERS):
+            records.append(BlockRecord(
+                block=parse_block(text), application="lanes",
+                frequency=2, block_id=len(records)))
+    return Corpus(records)
+
+
+def build_lane_records():
+    """The larger all-lane fixture behind ``golden_lanes.json``."""
+    from repro.corpus.dataset import BlockRecord, Corpus
+    from repro.isa.parser import parse_block
+    records = []
+    for shape in LANES_FIXTURE_SHAPES:
+        for text in lane_family(shape, LANES_FIXTURE_MEMBERS):
+            records.append(BlockRecord(
+                block=parse_block(text), application="lanes",
+                frequency=2, block_id=len(records)))
     return Corpus(records)
 
 
@@ -49,6 +113,18 @@ def main() -> None:
     }
     with open(os.path.join(HERE, "golden_corpus.json"), "w") as fh:
         json.dump(corpus_doc, fh, indent=1)
+        fh.write("\n")
+
+    lane_corpus = build_lane_records()
+    lanes_doc = {
+        "seed": SEED,
+        "blocks": [{"block_id": r.block_id,
+                    "application": r.application,
+                    "frequency": r.frequency,
+                    "text": r.block.text()} for r in lane_corpus],
+    }
+    with open(os.path.join(HERE, "golden_lanes.json"), "w") as fh:
+        json.dump(lanes_doc, fh, indent=1)
         fh.write("\n")
 
     for uarch in UARCHES:

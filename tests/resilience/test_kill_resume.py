@@ -34,6 +34,10 @@ CASES = [
     pytest.param("haswell", 1,
                  {"REPRO_NO_FASTPATH": "1", "REPRO_NO_BLOCKPLAN": "1"},
                  id="haswell-serial-slowpaths"),
+    pytest.param("haswell", 2,
+                 {"REPRO_NO_LANES": "0",
+                  "RESUME_DRIVER_CORPUS": "lanes"},
+                 id="haswell-pooled-lanes"),
 ]
 
 

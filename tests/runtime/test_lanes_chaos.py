@@ -1,0 +1,124 @@
+"""Chaos points vs batch lanes: faults evacuate, bytes never change.
+
+Two fault injectors intersect the lane layer:
+
+* ``block_poison`` — a poisoned block must never enter a lane (it
+  would raise mid-lockstep and take certified neighbours down with
+  it).  The pre-filter leaves exactly the poisoned member to the
+  scalar path, which quarantines it as usual; the rest of the family
+  still rides the lane.
+* the step budget — a lockstep run that exceeds the watchdog budget
+  abandons certification (``LaneGiveUp``) and sends the whole lane
+  scalar, where the same watchdog applies.
+
+Either way the observable bytes must match a lanes-off run under the
+identical chaos policy.  (The SIGKILL -> ``--resume`` leg of the
+matrix lives in ``tests/resilience/test_kill_resume.py``, which runs
+a lane-shaped corpus with ``REPRO_NO_LANES=0``.)
+"""
+
+import pytest
+
+from repro.isa.parser import parse_block
+from repro.profiler.harness import BasicBlockProfiler
+from repro.profiler.result import FailureReason
+from repro.resilience import chaos
+from repro.resilience.chaos import ChaosPolicy
+from repro.resilience.policy import forced_step_budget
+from repro.runtime import lanes
+from repro.runtime.state import INIT_CONSTANT
+from repro.uarch.machine import Machine
+
+pytestmark = pytest.mark.skipif(not lanes.available(),
+                                reason="numpy not installed")
+
+#: One lane family, six members, all mappable at the init constant.
+FAMILY = ["movq (%%rax), %%rbx\naddq $0x%x, %%rbx\n"
+          "movq %%rbx, 8(%%rax)" % (0x100 + 16 * k) for k in range(6)]
+
+
+def _fingerprint(result):
+    return (result.block_text, result.ok,
+            None if result.failure is None else result.failure.value,
+            result.throughput,
+            tuple((m.unroll, m.cycles, m.clean_runs, m.total_runs)
+                  for m in result.measurements),
+            result.pages_mapped, result.num_faults, result.detail)
+
+
+def _poison_policy(texts, want=1):
+    """A seeded policy whose ``block_poison`` hits exactly ``want``
+    of ``texts`` (the hash is deterministic, so scan seeds)."""
+    for seed in range(1000):
+        policy = ChaosPolicy(seed=seed,
+                             rates={"block_poison": 1.0 / len(texts)})
+        fired = [t for t in texts
+                 if policy.should_fire("block_poison", t)]
+        if len(fired) == want:
+            return policy, fired
+    raise AssertionError("no seed poisons exactly "
+                         f"{want} of {len(texts)} blocks")
+
+
+def _profile(policy, lanes_on):
+    with chaos.forced(policy), lanes.forced(lanes_on):
+        profiler = BasicBlockProfiler(Machine("haswell", seed=0))
+        results = profiler.profile_many(FAMILY)
+        marked = {r.block_text for r in results
+                  if r.extra.get("lanes_vectorized")}
+    return results, marked
+
+
+def test_poison_evacuates_only_the_poisoned_member():
+    texts = [parse_block(t).text() for t in FAMILY]
+    policy, fired = _poison_policy(texts, want=1)
+    results, marked = _profile(policy, lanes_on=True)
+    by_text = {r.block_text: r for r in results}
+    poisoned = by_text[fired[0]]
+    assert poisoned.failure is FailureReason.QUARANTINED
+    assert poisoned.block_text not in marked
+    # The other five members still rode the lane.
+    survivors = set(texts) - {fired[0]}
+    assert marked == survivors
+    assert all(by_text[t].ok for t in survivors)
+
+
+def test_poison_bytes_identical_lanes_on_off():
+    texts = [parse_block(t).text() for t in FAMILY]
+    policy, _ = _poison_policy(texts, want=1)
+    on, marked_on = _profile(policy, lanes_on=True)
+    off, marked_off = _profile(policy, lanes_on=False)
+    assert [_fingerprint(r) for r in on] \
+        == [_fingerprint(r) for r in off]
+    assert marked_on and not marked_off
+
+
+def test_step_budget_trips_the_certificate_run():
+    blocks = [parse_block(t) for t in FAMILY]
+    program = lanes.program_for(blocks, [b.text() for b in blocks])
+    with pytest.raises(lanes.LaneGiveUp):
+        lanes.certify(program, unroll=16, max_faults=32,
+                      init_constant=INIT_CONSTANT, budget=1)
+    # A sane budget certifies the very same lane.
+    outcome = lanes.certify(program, unroll=16, max_faults=32,
+                            init_constant=INIT_CONSTANT)
+    assert all(outcome.survivors)
+
+
+def test_step_budget_bytes_identical_lanes_on_off():
+    """With a one-step watchdog the lane gives up and every member is
+    quarantined by the scalar watchdog — in both modes, identically."""
+    def run(on):
+        with forced_step_budget(1), lanes.forced(on):
+            profiler = BasicBlockProfiler(Machine("haswell", seed=0))
+            results = profiler.profile_many(FAMILY)
+            marked = [r for r in results
+                      if r.extra.get("lanes_vectorized")]
+        return results, marked
+
+    on, marked_on = run(True)
+    off, marked_off = run(False)
+    assert [_fingerprint(r) for r in on] \
+        == [_fingerprint(r) for r in off]
+    assert not marked_on and not marked_off
+    assert all(r.failure is FailureReason.QUARANTINED for r in on)

@@ -1,0 +1,305 @@
+"""Property-based tests for batch-lane grouping and evacuation.
+
+Three algebraic properties the lane layer's byte-identity argument
+leans on:
+
+* **grouping is a pure function of fingerprints** — permuting the
+  input corpus never changes the partition (only member order, which
+  stays first-appearance), grouping twice gives identical output, and
+  no step involves ``hash()`` (fingerprints and group keys survive
+  ``PYTHONHASHSEED`` changes and fresh interpreters);
+* **evacuation is conservation** — every lane member is either a
+  survivor or evacuated, never both, never neither, and never
+  duplicated: address divergence evacuates exactly the rows whose
+  address differs from the representative's;
+* **width 1 degenerates to scalar** — a one-wide lane cannot
+  amortize anything, so ``REPRO_LANE_WIDTH=1`` must disable batching
+  entirely, and the row<->state bridge is an exact round trip.
+
+Uses hypothesis when available; otherwise a seeded random fallback
+walks the same properties over a fixed sample of cases.
+"""
+
+import os
+import random
+import subprocess
+import sys
+
+import pytest
+
+from repro.isa.parser import parse_block
+from repro.isa.registers import FLAG_NAMES, GPR_BASES, GPR_INDEX
+from repro.profiler.harness import BasicBlockProfiler
+from repro.profiler.lanebatch import batching_active, form_groups
+from repro.runtime import lanes
+from repro.runtime.state import INIT_CONSTANT, MachineState
+from repro.uarch.machine import Machine
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - environment-dependent
+    HAVE_HYPOTHESIS = False
+
+needs_numpy = pytest.mark.skipif(not lanes.available(),
+                                 reason="numpy not installed")
+
+#: Mixed pool: three lane-eligible families (two members each, same
+#: fingerprint within a family) plus lane-ineligible blocks (vector
+#: FP, unvectorized div) whose fingerprint is None.
+BLOCK_POOL = [parse_block(text) for text in (
+    "movq (%rax), %rbx\naddq $0x100, %rbx\nmovq %rbx, 8(%rax)",
+    "movq (%rax), %rbx\naddq $0x110, %rbx\nmovq %rbx, 8(%rax)",
+    "shlq $5, %rbx\nxorq %rbx, %rcx",
+    "shlq $6, %rbx\nxorq %rbx, %rcx",
+    "cmpq $0x200, %rsi\ncmovne %rdi, %r8\nsete %al",
+    "cmpq $0x210, %rsi\ncmovne %rdi, %r8\nsete %al",
+    "mulps %xmm1, %xmm2\naddps %xmm2, %xmm3",
+    "xor %edx, %edx\ndiv %ecx",
+)]
+
+
+def pool_blocks(choices):
+    return [BLOCK_POOL[c % len(BLOCK_POOL)] for c in choices]
+
+
+def _partition(groups):
+    """Order-free view of a grouping: {fingerprint: frozenset(texts)}."""
+    return {key: frozenset(members) for key, members in groups.items()}
+
+
+def _texts(groups, blocks):
+    return {key: [blocks[i].text() for i in members]
+            for key, members in groups.items()}
+
+
+# ---------------------------------------------------------------------------
+# Property 1: grouping is a pure, order-blind function of fingerprints
+# ---------------------------------------------------------------------------
+
+def check_grouping_partition(choices):
+    blocks = pool_blocks(choices)
+    groups = form_groups(blocks)
+    texts = [b.text() for b in blocks]
+    flat = [i for members in groups.values() for i in members]
+    # No index twice, and member order is first-appearance order.
+    assert len(set(flat)) == len(flat)
+    for members in groups.values():
+        assert members == sorted(members)
+    # Every grouped index is the first occurrence of its text and
+    # carries the group's fingerprint.
+    for key, members in groups.items():
+        for i in members:
+            assert texts.index(texts[i]) == i
+            assert lanes.fingerprint(blocks[i]) == key
+    # Every *un*grouped first occurrence is lane-ineligible.
+    grouped = set(flat)
+    for i, block in enumerate(blocks):
+        if texts.index(texts[i]) == i and i not in grouped:
+            assert lanes.fingerprint(block) is None
+
+
+def check_grouping_order_independent(choices, perm_seed):
+    blocks = pool_blocks(choices)
+    shuffled = list(blocks)
+    random.Random(perm_seed).shuffle(shuffled)
+    a = _partition(_texts(form_groups(blocks), blocks))
+    b = _partition(_texts(form_groups(shuffled), shuffled))
+    assert a == b
+    # Purity: same input, same output, including member order.
+    assert form_groups(blocks) == form_groups(blocks)
+
+
+# ---------------------------------------------------------------------------
+# Property 2: evacuation conserves the lane membership
+# ---------------------------------------------------------------------------
+
+#: ``andq $mask, %rbx`` then a load through ``%rbx``: the member's
+#: address is ``INIT_CONSTANT & mask``.  Masks from COLLIDE keep the
+#: init constant intact (they only add bits where the constant has
+#: zeros); masks from DIVERGE move the load to a different page.
+COLLIDE_MASKS = tuple(0x7FFFFF00 | b for b in range(6))
+DIVERGE_MASKS = (0x7FFF0000, 0x7FFE0000, 0x7FFC0000)
+ALL_MASKS = COLLIDE_MASKS + DIVERGE_MASKS
+
+_DIVERGE_SHAPE = "andq $0x%x, %%rbx\nmovq (%%rbx), %%rcx"
+
+
+def check_evacuation_conserves(masks):
+    blocks = [parse_block(_DIVERGE_SHAPE % m) for m in masks]
+    texts = [b.text() for b in blocks]
+    program = lanes.program_for(blocks, texts)
+    addresses = [INIT_CONSTANT & m for m in masks]
+    expected = [addr == addresses[0] for addr in addresses]
+    try:
+        outcome = lanes.certify(program, unroll=16, max_faults=32,
+                                init_constant=INIT_CONSTANT)
+    except lanes.LaneGiveUp:
+        # Dissolution: evacuation left the representative alone.
+        assert sum(expected) <= 1
+        return
+    assert len(outcome.survivors) == len(masks)
+    assert outcome.survivors == expected
+    # Partition: evacuated tallies cover exactly the non-survivors.
+    assert sum(outcome.evacuated.values()) \
+        == sum(1 for s in outcome.survivors if not s)
+    assert outcome.failure is None
+    assert outcome.pages_mapped >= 1
+
+
+# ---------------------------------------------------------------------------
+# Property 3: the row<->state bridge is exact
+# ---------------------------------------------------------------------------
+
+def check_lane_row_round_trip(gprs, flags):
+    state = MachineState()
+    state.load_lane_row(gprs, flags)
+    out_g, out_f = state.export_lane_row()
+    assert out_g == [v & ((1 << 64) - 1) for v in gprs]
+    assert out_f == [bool(f) for f in flags]
+    # The dict-like views see the same values (live arrays).
+    for name in ("rax", "rsp", "r15"):
+        assert state.gpr[name] == out_g[GPR_INDEX[name]]
+
+
+if HAVE_HYPOTHESIS:
+    corpora = st.lists(st.integers(min_value=0, max_value=11),
+                       max_size=24)
+
+    @settings(max_examples=30, deadline=None)
+    @given(choices=corpora)
+    def test_grouping_is_a_partition(choices):
+        check_grouping_partition(choices)
+
+    @settings(max_examples=30, deadline=None)
+    @given(choices=corpora,
+           perm_seed=st.integers(min_value=0, max_value=2**16))
+    def test_grouping_is_order_independent(choices, perm_seed):
+        check_grouping_order_independent(choices, perm_seed)
+
+    @needs_numpy
+    @settings(max_examples=20, deadline=None)
+    @given(masks=st.lists(st.sampled_from(ALL_MASKS), min_size=2,
+                          max_size=8, unique=True))
+    def test_evacuation_conserves_members(masks):
+        check_evacuation_conserves(masks)
+
+    @settings(max_examples=30, deadline=None)
+    @given(gprs=st.lists(st.integers(min_value=0, max_value=2**64 - 1),
+                         min_size=len(GPR_BASES),
+                         max_size=len(GPR_BASES)),
+           flags=st.lists(st.booleans(), min_size=len(FLAG_NAMES),
+                          max_size=len(FLAG_NAMES)))
+    def test_lane_row_round_trip(gprs, flags):
+        check_lane_row_round_trip(gprs, flags)
+else:  # pragma: no cover - seeded fallback
+    def _cases(n=30, seed=99):
+        rng = random.Random(seed)
+        for _ in range(n):
+            yield ([rng.randrange(12)
+                    for _ in range(rng.randrange(25))],
+                   rng.randrange(2**16))
+
+    def test_grouping_is_a_partition():
+        for choices, _ in _cases():
+            check_grouping_partition(choices)
+
+    def test_grouping_is_order_independent():
+        for choices, perm in _cases():
+            check_grouping_order_independent(choices, perm)
+
+    @needs_numpy
+    def test_evacuation_conserves_members():
+        rng = random.Random(7)
+        for _ in range(20):
+            n = rng.randint(2, 8)
+            check_evacuation_conserves(rng.sample(ALL_MASKS, n))
+
+    def test_lane_row_round_trip():
+        rng = random.Random(13)
+        for _ in range(30):
+            check_lane_row_round_trip(
+                [rng.randrange(2**64) for _ in GPR_BASES],
+                [rng.random() < 0.5 for _ in FLAG_NAMES])
+
+
+# ---------------------------------------------------------------------------
+# Width 1 degenerates to the scalar path
+# ---------------------------------------------------------------------------
+
+def test_width_one_disables_batching():
+    profiler = BasicBlockProfiler(Machine("haswell", seed=0))
+    with lanes.forced(True), lanes.forced_width(1):
+        assert not batching_active(profiler)
+    with lanes.forced(True), lanes.forced_width(2):
+        assert batching_active(profiler)
+    with lanes.forced(False), lanes.forced_width(8):
+        assert not batching_active(profiler)
+
+
+@needs_numpy
+def test_width_one_seeds_nothing():
+    from repro.profiler import lanebatch
+    family = [parse_block(_DIVERGE_SHAPE % m) for m in COLLIDE_MASKS]
+    profiler = BasicBlockProfiler(Machine("haswell", seed=0))
+    with lanes.forced(True), lanes.forced_width(1):
+        lanebatch.prepare_lanes(profiler, family)
+        assert not profiler._memo
+    with lanes.forced(True), lanes.forced_width(len(family)):
+        lanebatch.prepare_lanes(profiler, family)
+        assert profiler._memo  # same corpus does seed at real widths
+
+
+def test_load_lane_row_rejects_bad_shapes():
+    state = MachineState()
+    with pytest.raises(ValueError):
+        state.load_lane_row([1, 2, 3], [False] * len(FLAG_NAMES))
+    with pytest.raises(ValueError):
+        state.load_lane_row([0] * len(GPR_BASES), [True])
+
+
+# ---------------------------------------------------------------------------
+# Process stability: fingerprints must not depend on PYTHONHASHSEED
+# ---------------------------------------------------------------------------
+
+_FINGERPRINT_SCRIPT = """
+from repro.isa.parser import parse_block
+from repro.profiler.lanebatch import form_groups
+from repro.runtime.lanes import fingerprint
+
+texts = [
+    "movq (%rax), %rbx\\naddq $0x100, %rbx\\nmovq %rbx, 8(%rax)",
+    "movq (%rax), %rbx\\naddq $0x110, %rbx\\nmovq %rbx, 8(%rax)",
+    "cmpq $0x200, %rsi\\ncmovne %rdi, %r8\\nsete %al",
+    "shlq $5, %rbx\\nxorq %rbx, %rcx",
+    "mulps %xmm1, %xmm2",
+]
+blocks = [parse_block(t) for t in texts]
+for block in blocks:
+    print(fingerprint(block))
+for key, members in form_groups(blocks).items():
+    print(key, members)
+"""
+
+
+def _fingerprints_under_hashseed(hashseed: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hashseed
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src) \
+        + os.pathsep + env.get("PYTHONPATH", "")
+    out = subprocess.run([sys.executable, "-c", _FINGERPRINT_SCRIPT],
+                         env=env, capture_output=True, text=True,
+                         check=True)
+    return out.stdout.strip()
+
+
+def test_fingerprints_stable_across_processes_and_hash_seeds():
+    """Lane fingerprints and group keys are pure string functions of
+    block shape — a randomised ``hash()`` sneaking in would make the
+    parent and pool workers form different lanes, which this catches."""
+    a = _fingerprints_under_hashseed("0")
+    b = _fingerprints_under_hashseed("4242")
+    assert a == b
+    assert "None" in a  # the FP block really is ineligible
