@@ -1,0 +1,145 @@
+"""Learned triage: warm-cache re-profile speedup and bit-identity.
+
+Profiles the golden regression corpus end to end three ways — triage
+off, triage on against an empty store (the *cold* run, which journals
+every accepted measurement and trains the surrogate), and triage on
+again (the *warm* run, where surrogate-confirmed blocks replay their
+journaled bytes instead of re-simulating) — and enforces the triage
+contract:
+
+* **Identity** — throughputs and the accept/drop funnel are
+  byte-identical across all three runs.  Asserted on every timed run.
+* **Routing budget** — on the warm run at most ``FALLTHROUGH_BUDGET``
+  of the corpus may fall through to full simulation.  The golden
+  corpus drops 2 of 46 blocks (never journaled, so never
+  revalidatable); every accepted block must revalidate, keeping the
+  fall-through at ~4.3%.
+* **Speed** — the warm run must beat the triage-off run by at least
+  ``SPEEDUP_FLOOR`` (3x) end to end, including store load, surrogate
+  evaluation and the revalidation bookkeeping.
+
+The store lives in a throwaway directory, so repeats are
+self-contained.  Results land in ``reports/triage.{txt,json}`` plus a
+repo-root ``BENCH_triage.json`` for the dashboard and the CI perf
+gate (``repro bench check``).
+"""
+
+import json
+import os
+import shutil
+import tempfile
+import time
+
+from repro.corpus.dataset import BlockRecord, Corpus
+from repro.eval.reporting import format_table
+from repro.eval.validation import profile_corpus_detailed
+from repro.isa.parser import parse_block
+from repro.triage import config, stage
+
+from conftest import REPORT_DIR
+
+DATA = os.path.join(os.path.dirname(__file__), "..", "tests", "data")
+ROOT_JSON = os.path.join(os.path.dirname(__file__), "..",
+                         "BENCH_triage.json")
+
+UARCH = os.environ.get("REPRO_BENCH_TRIAGE_UARCH", "haswell")
+SPEEDUP_FLOOR = 3.0
+FALLTHROUGH_BUDGET = 0.05
+REPEATS = int(os.environ.get("REPRO_BENCH_TRIAGE_REPEATS", "3"))
+
+
+def _golden_corpus():
+    with open(os.path.join(DATA, "golden_corpus.json")) as fh:
+        doc = json.load(fh)
+    records = [BlockRecord(block=parse_block(b["text"]),
+                           application=b["application"],
+                           frequency=b["frequency"],
+                           block_id=b["block_id"])
+               for b in doc["blocks"]]
+    return doc["seed"], Corpus(records)
+
+
+def _payload(profile) -> str:
+    return json.dumps({"throughputs": profile.throughputs,
+                       "funnel": profile.funnel})
+
+
+def _timed(corpus, seed, triage_on):
+    start = time.perf_counter()
+    with config.forced(triage_on):
+        profile = profile_corpus_detailed(corpus, UARCH, seed=seed)
+    return time.perf_counter() - start, profile
+
+
+def test_triage(report):
+    seed, corpus = _golden_corpus()
+    total = len(list(corpus))
+
+    saved_cache = os.environ.get("REPRO_CACHE")
+    tmp = tempfile.mkdtemp(prefix="bench_triage_")
+    os.environ["REPRO_CACHE"] = tmp
+    stage._STORES.clear()
+    try:
+        off_s, base = _timed(corpus, seed, triage_on=False)
+        cold_s, cold = _timed(corpus, seed, triage_on=True)
+        assert _payload(cold) == _payload(base), \
+            "cold triage run diverged from the triage-off bytes"
+
+        best_off, best_warm = off_s, None
+        for _ in range(REPEATS):
+            run_off_s, off = _timed(corpus, seed, triage_on=False)
+            warm_s, warm = _timed(corpus, seed, triage_on=True)
+            assert _payload(warm) == _payload(off) == _payload(base), \
+                "warm triage run diverged from the triage-off bytes"
+            best_off = min(best_off, run_off_s)
+            best_warm = warm_s if best_warm is None \
+                else min(best_warm, warm_s)
+
+        revalidated = warm.info.get("triage_revalidated", 0)
+        fall_through = (total - revalidated) / total
+    finally:
+        stage._STORES.clear()
+        if saved_cache is None:
+            os.environ.pop("REPRO_CACHE", None)
+        else:
+            os.environ["REPRO_CACHE"] = saved_cache
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    speedup = best_off / best_warm
+    rows = [
+        ("triage off", total, round(best_off, 4), "-", "baseline"),
+        ("cold (journal+train)", total, round(cold_s, 4), "-",
+         "recorded"),
+        ("warm (revalidate)", total, round(best_warm, 4),
+         f"{speedup:.2f}x", f">= {SPEEDUP_FLOOR}x enforced"),
+    ]
+    title = (f"{UARCH}, golden corpus, best of {REPEATS}; "
+             f"outputs bit-identical in all runs; fall-through "
+             f"{fall_through:.1%} (budget {FALLTHROUGH_BUDGET:.0%}, "
+             f"{revalidated}/{total} revalidated)")
+    report("triage", format_table(
+        ["run", "blocks", "seconds", "speedup", "gate"], rows,
+        title=title))
+
+    doc = {"uarch": UARCH, "repeats": REPEATS,
+           "floor": SPEEDUP_FLOOR, "identical_outputs": True,
+           "fall_through": fall_through,
+           "fall_through_budget": FALLTHROUGH_BUDGET,
+           "warm": {"blocks": total, "off_s": best_off,
+                    "warm_s": best_warm, "speedup": speedup,
+                    "revalidated": revalidated,
+                    "cold_s": cold_s}}
+    for path in (os.path.join(REPORT_DIR, "triage.json"), ROOT_JSON):
+        with open(path, "w") as fh:
+            json.dump(doc, fh, indent=1)
+            fh.write("\n")
+
+    assert revalidated == base.funnel["accepted"], (
+        f"only {revalidated} of {base.funnel['accepted']} accepted "
+        f"blocks revalidated — the surrogate or the journal regressed")
+    assert fall_through <= FALLTHROUGH_BUDGET, (
+        f"fall-through {fall_through:.1%} > {FALLTHROUGH_BUDGET:.0%}")
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"warm triage {speedup:.2f}x < {SPEEDUP_FLOOR}x on the golden "
+        f"corpus — store load, surrogate eval or memo seeding "
+        f"regressed")

@@ -66,6 +66,15 @@ REGISTRY: List[EnvVar] = [
     EnvVar("REPRO_LANE_WIDTH", "`16`",
            "max same-shape blocks per vectorized lane "
            "(`1` degenerates to the scalar path)", "performance"),
+    EnvVar("REPRO_TRIAGE", "unset",
+           "`1` enables learned triage: surrogate-confirmed cached "
+           "measurements replay instead of re-simulating "
+           "([docs/performance.md](docs/performance.md))",
+           "performance"),
+    EnvVar("REPRO_TRIAGE_TOL", "`0.25`",
+           "relative surrogate-vs-cached agreement band for triage "
+           "revalidation (routing only — never changes measured "
+           "bytes)", "performance"),
     # -- robustness knobs -------------------------------------------------
     EnvVar("REPRO_CHAOS", "unset",
            "arm deterministic fault injection "

@@ -109,9 +109,11 @@ class CorpusProfile:
     count per key of ``ProfileResult.extra`` (currently
     ``fastpath_extrapolated``: blocks whose measurement used the
     steady-state fast path, ``blockplan_compiled``: blocks executed
-    through compiled block plans, and ``lanes_vectorized``: blocks
-    whose result came out of a certified batch lane).  It is kept
-    *outside* the
+    through compiled block plans, ``lanes_vectorized``: blocks whose
+    result came out of a certified batch lane, and
+    ``triage_revalidated``: blocks whose journaled cached measurement
+    was replayed by the triage surrogate instead of re-simulated).
+    It is kept *outside* the
     funnel so the funnel — and therefore accepted/dropped accounting —
     stays byte-identical whichever switches are on or off.
     """
@@ -166,6 +168,10 @@ def profile_corpus_detailed(corpus: Corpus, uarch: str, seed: int = 0,
         profile = profile_records_detailed(profiler, corpus)
         sp.annotate(blocks=profile.funnel["total"],
                     accepted=profile.funnel["accepted"])
+    # Opt-in triage training from this run's journal (no-op unless
+    # $REPRO_TRIAGE armed the stage; see repro.triage.publish_weights).
+    from repro import triage
+    triage.publish_weights(uarch, seed, config)
     return profile
 
 

@@ -272,7 +272,7 @@ _STITCH_EXCLUDED = frozenset({
     "profiler.blocks_total", "profiler.blocks_accepted",
     "profiler.fastpath_extrapolated", "profiler.blockplan_compiled",
     "profiler.chaos_block_poison", "profiler.step_budget_exceeded",
-    "profiler.lanes_vectorized",
+    "profiler.lanes_vectorized", "profiler.triage_revalidated",
 })
 
 
@@ -567,6 +567,12 @@ def profile_corpus_sharded(corpus: Corpus, uarch: str, seed: int = 0,
     merged = merge_profiles(
         [(by_index[index], profile)
          for index, profile in results.items()])
+    # Triage training (opt-in, parent-side): workers appended their
+    # shards' fresh measurements to the triage journal; fold them into
+    # a refreshed surrogate so the *next* run routes sharper.  A no-op
+    # unless $REPRO_TRIAGE armed the stage; degrades on any failure.
+    from repro import triage
+    triage.publish_weights(uarch, seed, config)
     if aggregator is not None:
         series = aggregator.finish()
         window.deposit_run(label, series)

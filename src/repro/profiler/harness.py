@@ -155,6 +155,8 @@ class BasicBlockProfiler:
             telemetry.count("profiler.chaos_block_poison")
         if result.extra.get("lanes_vectorized"):
             telemetry.count("profiler.lanes_vectorized")
+        if result.extra.get("triage_revalidated"):
+            telemetry.count("profiler.triage_revalidated")
         if result.extra.get("step_budget_exceeded"):
             telemetry.count("profiler.step_budget_exceeded")
 
@@ -377,15 +379,23 @@ class BasicBlockProfiler:
         When batch lanes are active (``repro.runtime.lanes``), a
         pre-pass seeds the dedup memo with certified lane-clone
         results; the scalar loop below is unchanged either way and
-        simply finds those results as memo hits.
+        simply finds those results as memo hits.  When triage is
+        active (``repro.triage``, opt-in), an earlier pre-pass seeds
+        the memo with revalidated cached measurements — blocks it
+        cannot vouch for fall through to lanes and the scalar loop
+        unchanged — and freshly measured blocks are journaled after
+        the loop for future revalidation.
         """
+        from repro import triage
         from repro.profiler import lanebatch
         with telemetry.span("profiler.profile_many",
                             uarch=self.machine.name) as sp:
             items = [parse_block(b) if isinstance(b, str) else b
                      for b in blocks]
+            triage.prepare_triage(self, items)
             lanebatch.prepare_lanes(self, items)
             results = [self.profile(block) for block in items]
+            triage.absorb_results(self, items, results)
             sp.annotate(blocks=len(results),
                         accepted=sum(1 for r in results if r.ok),
                         fastpath_extrapolated=sum(
@@ -396,7 +406,10 @@ class BasicBlockProfiler:
                             if r.extra.get("blockplan_compiled")),
                         lanes_vectorized=sum(
                             1 for r in results
-                            if r.extra.get("lanes_vectorized")))
+                            if r.extra.get("lanes_vectorized")),
+                        triage_revalidated=sum(
+                            1 for r in results
+                            if r.extra.get("triage_revalidated")))
         return results
 
 

@@ -11,9 +11,16 @@ from repro.telemetry import benchgate
 REPO_ROOT = os.path.abspath(
     os.path.join(os.path.dirname(__file__), "..", ".."))
 
-COMMITTED = [os.path.join(REPO_ROOT, name)
-             for name in ("BENCH_simcore.json", "BENCH_blockplan.json",
-                          "BENCH_windows.json")]
+#: Every committed benchmark result, auto-discovered so a newly added
+#: BENCH_*.json is gated from the commit that introduces it — no
+#: hand-maintained list to forget updating (BENCH_lanes.json used to
+#: slip through exactly that way).
+COMMITTED = benchgate.discover_bench_files(REPO_ROOT)
+
+#: Files every checkout of this repo must carry (self-mode floors).
+EXPECTED_COMMITTED = ("BENCH_simcore.json", "BENCH_blockplan.json",
+                      "BENCH_windows.json", "BENCH_lanes.json",
+                      "BENCH_triage.json")
 
 
 def _write(path, doc):
@@ -79,10 +86,14 @@ class TestBaselineMode:
 
 
 class TestRunGate:
+    def test_discovery_finds_every_expected_file(self):
+        names = {os.path.basename(p) for p in COMMITTED}
+        missing = set(EXPECTED_COMMITTED) - names
+        assert not missing, f"committed BENCH files missing: {missing}"
+
     def test_committed_files_pass(self):
-        paths = [p for p in COMMITTED if os.path.exists(p)]
-        assert len(paths) >= 2, "committed BENCH files missing"
-        report = benchgate.run_gate(paths, tolerance=0.15)
+        assert len(COMMITTED) >= len(EXPECTED_COMMITTED)
+        report = benchgate.run_gate(COMMITTED, tolerance=0.15)
         assert report["ok"], benchgate.render_gate(report)
 
     def test_unreadable_file_is_an_error_not_a_crash(self, tmp_path):

@@ -1,0 +1,19 @@
+"""Shared triage fixtures: every test gets an isolated store."""
+
+import pytest
+
+from repro.triage import stage
+
+
+@pytest.fixture
+def triage_cache(monkeypatch, tmp_path):
+    """Point ``$REPRO_CACHE`` at a throwaway directory.
+
+    The env var (not a programmatic override) so pool workers resolve
+    the same isolated root.  The process-level store cache is cleared
+    on both sides so no journal leaks between tests.
+    """
+    monkeypatch.setenv("REPRO_CACHE", str(tmp_path))
+    stage._STORES.clear()
+    yield str(tmp_path)
+    stage._STORES.clear()

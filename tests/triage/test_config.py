@@ -1,0 +1,66 @@
+"""The triage switchboard: opt-in polarity and tolerance parsing."""
+
+from repro.triage import config
+
+
+class TestEnabled:
+    def test_default_off(self, monkeypatch):
+        monkeypatch.delenv(config.ENV_VAR, raising=False)
+        config.set_enabled(None)
+        assert not config.enabled()
+
+    def test_env_opt_in_values(self, monkeypatch):
+        config.set_enabled(None)
+        for value in ("1", "true", "YES", " on "):
+            monkeypatch.setenv(config.ENV_VAR, value)
+            assert config.enabled(), value
+        for value in ("0", "", "off", "no", "2"):
+            monkeypatch.setenv(config.ENV_VAR, value)
+            assert not config.enabled(), value
+
+    def test_forced_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(config.ENV_VAR, "1")
+        config.set_enabled(None)
+        with config.forced(False):
+            assert not config.enabled()
+        assert config.enabled()
+        monkeypatch.delenv(config.ENV_VAR)
+        with config.forced(True):
+            assert config.enabled()
+        assert not config.enabled()
+
+    def test_set_enabled_none_defers(self, monkeypatch):
+        monkeypatch.delenv(config.ENV_VAR, raising=False)
+        config.set_enabled(True)
+        try:
+            assert config.enabled()
+        finally:
+            config.set_enabled(None)
+        assert not config.enabled()
+
+
+class TestTolerance:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv(config.TOL_VAR, raising=False)
+        config.set_tolerance(None)
+        assert config.tolerance() == config.DEFAULT_TOLERANCE
+
+    def test_env_parse(self, monkeypatch):
+        config.set_tolerance(None)
+        monkeypatch.setenv(config.TOL_VAR, "0.05")
+        assert config.tolerance() == 0.05
+
+    def test_malformed_env_degrades_to_default(self, monkeypatch):
+        """A bad tolerance costs nothing: routing falls back sane."""
+        config.set_tolerance(None)
+        for value in ("banana", "", "-0.3", "0", "nan"):
+            monkeypatch.setenv(config.TOL_VAR, value)
+            got = config.tolerance()
+            assert got == config.DEFAULT_TOLERANCE, value
+
+    def test_forced_tolerance(self, monkeypatch):
+        monkeypatch.setenv(config.TOL_VAR, "0.5")
+        config.set_tolerance(None)
+        with config.forced_tolerance(0.01):
+            assert config.tolerance() == 0.01
+        assert config.tolerance() == 0.5

@@ -1,0 +1,70 @@
+"""The frozen mixed novel/cached triage corpus, end to end.
+
+``tests/data/golden_triage.json`` tags every block with the role the
+triage stage must assign it on a warm run: ``cached`` blocks were
+journaled by a prior run over exactly that sub-corpus, ``novel``
+blocks were never seen.  The fixture pins the routing outcome — every
+accepted cached block revalidates, every novel block falls through —
+while the measured bytes stay equal to a triage-off profile of the
+same mixed corpus.  Regenerate with regen_golden.py (see its header).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.corpus.dataset import BlockRecord, Corpus
+from repro.eval.validation import profile_corpus_detailed
+from repro.isa.parser import parse_block
+from repro.triage import config
+
+DATA = os.path.join(os.path.dirname(__file__), "..", "data")
+
+
+@pytest.fixture(scope="module")
+def golden_triage():
+    with open(os.path.join(DATA, "golden_triage.json")) as fh:
+        doc = json.load(fh)
+    records = [(BlockRecord(block=parse_block(b["text"]),
+                            application=b["application"],
+                            frequency=b["frequency"],
+                            block_id=b["block_id"]), b["role"])
+               for b in doc["blocks"]]
+    return doc, records
+
+
+def test_fixture_shape(golden_triage):
+    doc, records = golden_triage
+    roles = {role for _, role in records}
+    assert roles == {"cached", "novel"}
+    texts = [r.block.text() for r, _ in records]
+    assert len(set(texts)) == len(texts)  # roles are unambiguous
+
+
+def test_mixed_corpus_routes_by_role(triage_cache, golden_triage):
+    doc, records = golden_triage
+    seed = doc["seed"]
+    mixed = Corpus([r for r, _ in records])
+    cached_only = Corpus([r for r, role in records
+                          if role == "cached"])
+
+    with config.forced(False):
+        base = profile_corpus_detailed(mixed, "haswell", seed=seed)
+    with config.forced(True):
+        # Prior run over the cached sub-corpus: journals + trains.
+        warmup = profile_corpus_detailed(cached_only, "haswell",
+                                         seed=seed)
+        warm = profile_corpus_detailed(mixed, "haswell", seed=seed)
+
+    # Bytes: triage-on over the mixed corpus == triage-off.
+    assert json.dumps({"t": warm.throughputs, "f": warm.funnel}) \
+        == json.dumps({"t": base.throughputs, "f": base.funnel})
+
+    # Routing: exactly the accepted cached-role blocks revalidate.
+    cached_ids = {r.block_id for r, role in records
+                  if role == "cached"}
+    expected = sum(1 for bid in base.throughputs if bid in cached_ids)
+    assert expected == warmup.funnel["accepted"]
+    assert warm.info["triage_revalidated"] == expected
+    assert 0 < expected < warm.funnel["total"]  # both roles exercised

@@ -1,0 +1,98 @@
+"""Property: triage routing is a pure function of its inputs.
+
+For a fixed published model, ``decide`` depends on exactly (block
+content, cached value, tolerance) — never on evaluation order, the
+process hash seed, or what else was routed before.  This is what makes
+triage deterministic across serial runs, pool workers, and re-runs:
+the same journal always routes the same blocks the same way.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.corpus.dataset import build_application
+from repro.triage import stage, surrogate
+from repro.triage.store import block_digest
+
+try:
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - hypothesis ships in the image
+    HAVE_HYPOTHESIS = False
+
+#: A fixed pool of real blocks and a model trained on half of them, so
+#: the property exercises both journaled and never-seen content.
+_BLOCKS = [r.block
+           for r in build_application("llvm", count=20, seed=13)]
+_MODEL = surrogate.fit_rows(
+    [(block_digest(b.text()), b, 1.0 + i * 0.37)
+     for i, b in enumerate(_BLOCKS[:10])])
+
+
+@pytest.mark.skipif(not HAVE_HYPOTHESIS,
+                    reason="hypothesis not installed")
+class TestRoutingPurity:
+    @given(st.lists(
+        st.tuples(st.integers(min_value=0, max_value=len(_BLOCKS) - 1),
+                  st.floats(min_value=0.01, max_value=50.0,
+                            allow_nan=False, allow_infinity=False),
+                  st.floats(min_value=0.001, max_value=2.0,
+                            allow_nan=False, allow_infinity=False)),
+        min_size=1, max_size=12))
+    @settings(max_examples=60, deadline=None)
+    def test_order_blind_and_repeatable(self, draws):
+        """Routing a batch forwards, backwards, or twice never changes
+        any individual verdict."""
+        forward = [stage.decide(_MODEL, _BLOCKS[i], cached, tol)
+                   for i, cached, tol in draws]
+        backward = [stage.decide(_MODEL, _BLOCKS[i], cached, tol)
+                    for i, cached, tol in reversed(draws)]
+        again = [stage.decide(_MODEL, _BLOCKS[i], cached, tol)
+                 for i, cached, tol in draws]
+        assert forward == again
+        assert forward == list(reversed(backward))
+
+    @given(st.integers(min_value=0, max_value=len(_BLOCKS) - 1),
+           st.floats(min_value=0.01, max_value=50.0,
+                     allow_nan=False, allow_infinity=False))
+    @settings(max_examples=60, deadline=None)
+    def test_widening_tolerance_is_monotone(self, i, cached):
+        """A verdict accepted at some tolerance stays accepted at every
+        wider one — the band is a band, not a hash bucket."""
+        if stage.decide(_MODEL, _BLOCKS[i], cached, 0.1):
+            assert stage.decide(_MODEL, _BLOCKS[i], cached, 0.5)
+            assert stage.decide(_MODEL, _BLOCKS[i], cached, 2.0)
+
+
+def test_routing_hashseed_stable():
+    """The full route — featurize, predict, compare — is identical
+    under different ``PYTHONHASHSEED`` values (pool workers and the
+    parent are separate processes with separate hash seeds)."""
+    script = (
+        "from repro.corpus.dataset import build_application\n"
+        "from repro.triage import stage, surrogate\n"
+        "from repro.triage.store import block_digest\n"
+        "blocks = [r.block for r in"
+        " build_application('llvm', count=12, seed=13)]\n"
+        "model = surrogate.fit_rows("
+        "[(block_digest(b.text()), b, 1.0 + i * 0.37)"
+        " for i, b in enumerate(blocks[:6])])\n"
+        "verdicts = [stage.decide(model, b, 1.0 + j * 0.4, 0.25)"
+        " for j, b in enumerate(blocks)]\n"
+        "print(''.join('1' if v else '0' for v in verdicts))\n")
+    outputs = set()
+    for hashseed in ("0", "4242"):
+        env = dict(os.environ, PYTHONHASHSEED=hashseed,
+                   PYTHONPATH=os.pathsep.join(
+                       filter(None, [os.environ.get("PYTHONPATH"),
+                                     "src"])))
+        out = subprocess.run(
+            [sys.executable, "-c", script], env=env,
+            capture_output=True, text=True, check=True,
+            cwd=os.path.join(os.path.dirname(__file__), "..", ".."))
+        outputs.add(out.stdout.strip())
+    assert len(outputs) == 1 and outputs != {""}

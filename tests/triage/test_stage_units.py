@@ -1,0 +1,196 @@
+"""Stage units: routing predicate, row round-trip, memo seeding."""
+
+import pytest
+
+from repro.profiler.harness import BasicBlockProfiler
+from repro.profiler.result import FailureReason, ProfileResult
+from repro.resilience import chaos
+from repro.triage import config, stage, surrogate
+from repro.triage import store as storemod
+from repro.uarch.machine import Machine
+
+TEXT = "add %rax, %rbx\nimul %rcx, %rbx"
+
+
+def _profiled(uarch="haswell", seed=0, text=TEXT):
+    profiler = BasicBlockProfiler(Machine(uarch, seed=seed))
+    return profiler, profiler.profile(text)
+
+
+def _fingerprint(result):
+    return (result.ok, result.throughput,
+            tuple((m.unroll, m.cycles, m.clean_runs, m.total_runs,
+                   m.l1d_read_misses, m.l1d_write_misses,
+                   m.l1i_misses, m.misaligned_refs)
+                  for m in result.measurements),
+            result.pages_mapped, result.num_faults,
+            result.subnormal_events)
+
+
+def _journal_and_train(profiler, result, triage_cache):
+    """Journal one measured block and publish a model fitted on it."""
+    st = stage.store_for(profiler.machine.name, profiler.machine.seed,
+                         profiler.config)
+    digest = storemod.block_digest(result.block_text)
+    st.append([stage._row_for_result(digest, result)])
+    from repro.isa.parser import parse_block
+    model = surrogate.fit_rows(
+        [(digest, parse_block(result.block_text), result.throughput)])
+    st.publish(model)
+    return st
+
+
+class TestDecide:
+    def test_pure_and_deterministic(self):
+        from repro.isa.parser import parse_block
+        block = parse_block(TEXT)
+        model = surrogate.fit_rows(
+            [(storemod.block_digest(TEXT), block, 2.0)])
+        first = stage.decide(model, block, 2.0, 0.25)
+        assert first is True  # single-row fit predicts its own row
+        assert all(stage.decide(model, block, 2.0, 0.25) is first
+                   for _ in range(3))
+
+    def test_no_model_routes_to_simulation(self):
+        from repro.isa.parser import parse_block
+        assert stage.decide(None, parse_block(TEXT), 2.0, 0.25) is False
+
+    def test_invalid_cached_value_routes_to_simulation(self):
+        from repro.isa.parser import parse_block
+        block = parse_block(TEXT)
+        model = surrogate.fit_rows(
+            [(storemod.block_digest(TEXT), block, 2.0)])
+        assert stage.decide(model, block, True, 0.25) is False
+        assert stage.decide(model, block, "2.0", 0.25) is False
+
+    def test_unfeaturizable_block_routes_to_simulation(self):
+        model = surrogate.fit_rows(
+            [(storemod.block_digest(TEXT), None, 2.0)])
+        assert model is None  # and even with a model:
+        from repro.isa.parser import parse_block
+        real = surrogate.fit_rows(
+            [(storemod.block_digest(TEXT), parse_block(TEXT), 2.0)])
+        assert stage.decide(real, None, 2.0, 0.25) is False
+
+    def test_tolerance_is_the_band(self):
+        from repro.isa.parser import parse_block
+        block = parse_block(TEXT)
+        model = surrogate.fit_rows(
+            [(storemod.block_digest(TEXT), block, 2.0)])
+        # The model predicts ~2.0 for this block; a cached claim far
+        # outside any tolerance band must disagree.
+        assert stage.decide(model, block, 2.0, 1e-6) is True
+        assert stage.decide(model, block, 20.0, 0.25) is False
+        assert stage.decide(model, block, 20.0, 100.0) is True
+
+
+class TestRowRoundTrip:
+    def test_exact_reconstruction(self):
+        _, result = _profiled()
+        row = stage._row_for_result("aa", result)
+        back = stage._result_from_row("haswell", TEXT, row)
+        assert back is not None
+        assert _fingerprint(back) == _fingerprint(result)
+        assert back.extra.get("triage_revalidated") == 1.0
+        marker_free = {k: v for k, v in back.extra.items()
+                       if k != "triage_revalidated"}
+        assert marker_free == dict(result.extra)
+
+    def test_marker_never_journaled(self):
+        _, result = _profiled()
+        result.extra["triage_revalidated"] = 1.0
+        row = stage._row_for_result("aa", result)
+        assert "triage_revalidated" not in row["extra"]
+
+    @pytest.mark.parametrize("mutate", [
+        {"throughput": 0.0},
+        {"throughput": -1.5},
+        {"throughput": True},
+        {"throughput": "2.0"},
+        {"measurements": [[1, 2]]},       # wrong arity
+        {"pages_mapped": "many"},
+    ])
+    def test_malformed_row_falls_through(self, mutate):
+        _, result = _profiled()
+        row = stage._row_for_result("aa", result)
+        row.update(mutate)
+        assert stage._result_from_row("haswell", TEXT, row) is None
+
+    def test_missing_key_falls_through(self):
+        _, result = _profiled()
+        row = stage._row_for_result("aa", result)
+        del row["measurements"]
+        assert stage._result_from_row("haswell", TEXT, row) is None
+
+
+class TestPrepare:
+    def test_seeds_memo_with_exact_bytes(self, triage_cache):
+        profiler, result = _profiled()
+        _journal_and_train(profiler, result, triage_cache)
+        fresh = BasicBlockProfiler(Machine("haswell", seed=0))
+        with config.forced(True):
+            stage.prepare_triage(fresh, [result_block(TEXT)])
+        assert TEXT in fresh._memo
+        seeded = fresh._memo[TEXT]
+        assert _fingerprint(seeded) == _fingerprint(result)
+        assert seeded.extra["triage_revalidated"] == 1.0
+
+    def test_disabled_is_a_noop(self, triage_cache):
+        profiler, result = _profiled()
+        _journal_and_train(profiler, result, triage_cache)
+        fresh = BasicBlockProfiler(Machine("haswell", seed=0))
+        with config.forced(False):
+            stage.prepare_triage(fresh, [result_block(TEXT)])
+        assert fresh._memo == {}
+
+    def test_poisoned_block_never_revalidated(self, triage_cache):
+        """Chaos block_poison must reach the scalar path and
+        quarantine exactly as with triage off."""
+        profiler, result = _profiled()
+        _journal_and_train(profiler, result, triage_cache)
+        fresh = BasicBlockProfiler(Machine("haswell", seed=0))
+        policy = chaos.ChaosPolicy.parse("42:block_poison=1.0")
+        with config.forced(True), chaos.forced(policy):
+            stage.prepare_triage(fresh, [result_block(TEXT)])
+        assert fresh._memo == {}
+
+    def test_tampered_cached_value_disagrees(self, triage_cache):
+        """A journal row whose throughput drifted from what the
+        surrogate learned falls through to fresh simulation."""
+        profiler, result = _profiled()
+        st = _journal_and_train(profiler, result, triage_cache)
+        digest = storemod.block_digest(TEXT)
+        tampered = dict(st.rows[digest])
+        tampered["throughput"] = result.throughput * 10
+        st.rows[digest] = tampered
+        fresh = BasicBlockProfiler(Machine("haswell", seed=0))
+        with config.forced(True):
+            stage.prepare_triage(fresh, [result_block(TEXT)])
+        assert fresh._memo == {}
+
+
+class TestAbsorb:
+    def test_journals_only_fresh_accepted_results(self, triage_cache):
+        profiler, result = _profiled()
+        revalidated = ProfileResult(
+            "xor %rax, %rax", "haswell", throughput=1.0,
+            extra={"triage_revalidated": 1.0})
+        failed = ProfileResult(
+            "ud2", "haswell", failure=FailureReason.UNSUPPORTED)
+        with config.forced(True):
+            stage.absorb_results(
+                profiler, [], [result, revalidated, failed, result])
+        st = stage.store_for("haswell", 0, profiler.config)
+        digests = set(st.rows)
+        assert digests == {storemod.block_digest(TEXT)}
+
+    def test_disabled_journals_nothing(self, triage_cache):
+        profiler, result = _profiled()
+        with config.forced(False):
+            stage.absorb_results(profiler, [], [result])
+        assert stage.store_for("haswell", 0, profiler.config).rows == {}
+
+
+def result_block(text):
+    from repro.isa.parser import parse_block
+    return parse_block(text)
