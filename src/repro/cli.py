@@ -154,12 +154,115 @@ def _print_profile() -> None:
                   f"{row['calls']:>8}  {row['function']}")
 
 
+def _sample_fraction(args) -> Optional[float]:
+    """--sample FRAC, else $REPRO_SAMPLE, else None (full corpus)."""
+    from repro.corpus import sampling
+    if getattr(args, "sample", None) is not None:
+        fraction = args.sample
+        if not 0.0 < fraction <= 1.0:
+            raise SystemExit(f"error: --sample {fraction}: fraction "
+                             "must be in (0, 1]")
+        return fraction
+    return sampling.sample_fraction()
+
+
+def _stream_corpus_cmd(args) -> int:
+    """``repro corpus --stream``: generate -> shard -> profile -> write
+    without ever materialising the corpus.
+
+    Records flow straight from the lazy generators through the
+    streamed engine into an incremental writer; ``--sample`` threads
+    an order-blind stratified filter into the stream; ``--resume``
+    journals against a corpus *spec* digest (scale/seed/apps), since a
+    stream cannot digest records it has not generated yet.
+    """
+    from repro.corpus import sampling, streaming
+    from repro.corpus.io import StreamCsvWriter, StreamJsonWriter
+    from repro.telemetry import profiling
+
+    fraction = _sample_fraction(args)
+
+    def source():
+        records = streaming.iter_corpus(scale=args.scale,
+                                        seed=args.seed)
+        if fraction and fraction < 1.0:
+            records = sampling.sample_stream(records, fraction,
+                                             seed=args.seed)
+        return records
+
+    if args.out.endswith(".json"):
+        writer = StreamJsonWriter(args.out, args.scale)
+    else:
+        writer = StreamCsvWriter(args.out, measured=args.measure)
+
+    if not args.measure:
+        blocks = 0
+        with profiling.phase("corpus_stream"), writer:
+            for record in source():
+                writer.add(record)
+                blocks += 1
+        print(f"streamed {blocks} blocks")
+        print(f"wrote {writer.written} blocks to {args.out}")
+        if profiling.is_enabled():
+            _print_profile()
+        return 0
+
+    jobs = _resolve_jobs(args)
+    cache = journal = journal_meta = None
+    if args.resume:
+        from repro.eval.pipeline import JOURNAL_NAME, _shard_cache_dir
+        from repro.parallel import ShardCache
+        from repro.resilience.journal import RunJournal
+        cache = ShardCache(_shard_cache_dir("stream", args.uarch,
+                                            args.seed))
+        journal = RunJournal(os.path.join(cache.directory,
+                                          JOURNAL_NAME))
+        journal_meta = {
+            "uarch": args.uarch, "seed": args.seed,
+            "stream": streaming.corpus_spec_digest(args.scale,
+                                                   args.seed),
+            "sample": fraction or 1.0,
+        }
+
+    totals = {"blocks": 0, "measured": 0}
+
+    def on_shard(shard, profile) -> None:
+        for record in shard.records:
+            throughput = profile.throughputs.get(record.block_id)
+            writer.add(record, throughput)
+            totals["blocks"] += 1
+            if throughput is not None:
+                totals["measured"] += 1
+
+    from repro.parallel import profile_corpus_streamed
+    with profiling.phase(f"measure:stream:{args.uarch}"), writer:
+        profile_corpus_streamed(
+            source(), args.uarch, seed=args.seed, jobs=jobs,
+            cache=cache, journal=journal, journal_meta=journal_meta,
+            run_label=f"stream:{args.uarch}", on_shard=on_shard)
+    print(f"measured {totals['measured']}/{totals['blocks']} blocks "
+          f"on {args.uarch} ({jobs} jobs, streamed)")
+    print(f"wrote {writer.written} blocks to {args.out}")
+    if profiling.is_enabled():
+        _print_profile()
+    return 0
+
+
 def cmd_corpus(args) -> int:
-    from repro.corpus import build_corpus
+    from repro.corpus import build_corpus, sampling
     from repro.corpus.io import save_csv, save_json
     from repro.telemetry import profiling
+    if getattr(args, "stream", False) \
+            or os.environ.get("REPRO_STREAM", "").strip() == "1":
+        return _stream_corpus_cmd(args)
     with profiling.phase("corpus_build"):
         corpus = build_corpus(scale=args.scale, seed=args.seed)
+    fraction = _sample_fraction(args)
+    if fraction and fraction < 1.0:
+        corpus = sampling.sample_corpus(corpus, fraction,
+                                        seed=args.seed)
+        print(f"stratified sample: {len(corpus)} blocks "
+              f"({fraction:.0%} per stratum)")
     measured = None
     if args.measure:
         jobs = _resolve_jobs(args)
@@ -185,7 +288,7 @@ def cmd_corpus(args) -> int:
 
 
 def cmd_validate(args) -> int:
-    from repro.corpus import build_corpus
+    from repro.corpus import build_corpus, sampling
     from repro.eval.reporting import format_table
     from repro.eval.validation import validate
     from repro.models import (IacaModel, IthemalModel, LlvmMcaModel,
@@ -193,6 +296,16 @@ def cmd_validate(args) -> int:
     from repro.telemetry import profiling
     with profiling.phase("corpus_build"):
         corpus = build_corpus(scale=args.scale, seed=args.seed)
+    # --sample FRAC: profile a stratified sample only, then project
+    # the full-corpus error tables with bootstrap CIs.  The stratum
+    # census below is cheap — it never profiles anything.
+    fraction = _sample_fraction(args)
+    full_counts = None
+    if fraction and fraction < 1.0:
+        with profiling.phase("corpus_sample"):
+            full_counts = sampling.stratum_counts(corpus)
+            corpus = sampling.sample_corpus(corpus, fraction,
+                                            seed=args.seed)
     models = [IacaModel(), LlvmMcaModel(), IthemalModel(), OsacaModel()]
     jobs = _resolve_jobs(args)
     measured = None
@@ -211,10 +324,17 @@ def cmd_validate(args) -> int:
              round(result.weighted_overall_error(m), 4),
              round(result.kendall_tau(m), 4))
             for m in result.model_names]
+    title = f"{args.uarch}: {len(result.rows)} blocks evaluated, " \
+            f"{result.profiled_fraction:.1%} profiled"
+    if full_counts is not None:
+        title += f" ({fraction:.0%} stratified sample)"
     print(format_table(
-        ["model", "avg error", "weighted", "tau"], rows,
-        title=f"{args.uarch}: {len(result.rows)} blocks evaluated, "
-              f"{result.profiled_fraction:.1%} profiled"))
+        ["model", "avg error", "weighted", "tau"], rows, title=title))
+    if full_counts is not None:
+        projection = sampling.project_validation(
+            result, corpus.records, full_counts, seed=args.seed)
+        print()
+        print(sampling.render_projection(projection))
     if profiling.is_enabled():
         _print_profile()
     return 0
@@ -355,6 +475,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for profiling (default: "
                             "os.cpu_count(), or $REPRO_JOBS); results "
                             "are bit-identical to --jobs 1")
+        p.add_argument("--stream", action="store_true",
+                       help="constant-memory pipeline: generate -> "
+                            "shard -> profile -> fold -> discard with "
+                            "a bounded prefetch queue (also "
+                            "$REPRO_STREAM; results are bit-identical "
+                            "to batch — see docs/performance.md)")
         p.add_argument("--resume", action="store_true",
                        help="measure through the journaled shard "
                             "cache: a previous run of the same "
@@ -394,6 +520,16 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     p.set_defaults(func=cmd_ports)
 
+    def sample_arg(p):
+        p.add_argument("--sample", type=float, default=None,
+                       metavar="FRAC",
+                       help="profile a deterministic stratified "
+                            "sample (app x block category, seeded, "
+                            "order-blind) of FRAC of the corpus; "
+                            "validate projects full-corpus error "
+                            "tables with bootstrap confidence "
+                            "intervals (also $REPRO_SAMPLE)")
+
     p = sub.add_parser("corpus", help="synthesise the benchmark suite")
     p.add_argument("--scale", type=float, default=0.001)
     p.add_argument("--out", default="bhive.csv")
@@ -401,12 +537,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="profile every block and include throughputs")
     common(p)
     jobs_arg(p)
+    sample_arg(p)
     p.set_defaults(func=cmd_corpus)
 
     p = sub.add_parser("validate", help="run the Table V pipeline")
     p.add_argument("--scale", type=float, default=0.001)
     common(p)
     jobs_arg(p)
+    sample_arg(p)
     p.set_defaults(func=cmd_validate)
 
     p = sub.add_parser("telemetry",
@@ -481,6 +619,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         os.environ["REPRO_NO_BLOCKPLAN"] = "1"
     if getattr(args, "no_lanes", False):
         os.environ["REPRO_NO_LANES"] = "1"
+    if getattr(args, "stream", False):
+        # Exported so pool workers and nested engine calls (e.g. the
+        # Experiment behind --resume) all take the streamed path.
+        os.environ["REPRO_STREAM"] = "1"
     if getattr(args, "triage", None) is not None:
         # Exported so pool workers route (and journal) consistently
         # with the parent.

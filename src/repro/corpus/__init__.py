@@ -8,6 +8,12 @@ from repro.corpus.dataset import (DEFAULT_APPS, GOOGLE_APPS, TABLE3_APPS,
 from repro.corpus.known_blocks import (div_block, gzip_crc_block,
                                        tensorflow_ablation_block,
                                        zero_idiom_block)
+from repro.corpus.sampling import (block_category, project_validation,
+                                   sample_corpus, sample_stream,
+                                   stratum, stratum_counts)
+from repro.corpus.streaming import (corpus_spec_digest, default_prefetch,
+                                    iter_application, iter_corpus,
+                                    stream_enabled)
 from repro.corpus.synthesis import BlockSynthesizer
 from repro.corpus.tracing import assign_frequencies
 
@@ -19,4 +25,9 @@ __all__ = [
     "DEFAULT_APPS", "GOOGLE_APPS", "TABLE3_APPS",
     "div_block", "gzip_crc_block", "tensorflow_ablation_block",
     "zero_idiom_block",
+    # streaming generation + stratified sampling
+    "iter_application", "iter_corpus", "corpus_spec_digest",
+    "stream_enabled", "default_prefetch",
+    "block_category", "stratum", "stratum_counts",
+    "sample_stream", "sample_corpus", "project_validation",
 ]

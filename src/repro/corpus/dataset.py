@@ -13,8 +13,6 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.corpus.appspec import ApplicationSpec
-from repro.corpus.synthesis import BlockSynthesizer
-from repro.corpus.tracing import assign_frequencies
 from repro.isa.instruction import BasicBlock
 
 #: Table III applications in paper order.
@@ -103,39 +101,28 @@ def _target_count(spec: ApplicationSpec, scale: float) -> int:
 def build_application(name: str, scale: float = 0.01,
                       seed: int = 0,
                       count: Optional[int] = None) -> Corpus:
-    """Synthesise one application's blocks with frequencies."""
-    spec = get_spec(name)
-    n = count if count is not None else _target_count(spec, scale)
-    synthesizer = BlockSynthesizer(spec, seed=seed)
-    blocks = synthesizer.blocks(n)
-    frequencies = assign_frequencies(n, spec.zipf_exponent, seed=seed)
-    if spec.hot_kernel_bias:
-        from repro.models.residual import block_mix
-        frequencies = [
-            max(1, int(f * (1.0 + spec.hot_kernel_bias
-                            * block_mix(b)["vector"]) ** 2))
-            for b, f in zip(blocks, frequencies)
-        ]
-    records = [BlockRecord(block=b, application=name,
-                           frequency=f, block_id=i)
-               for i, (b, f) in enumerate(zip(blocks, frequencies))]
-    return Corpus(records, scale=scale)
+    """Synthesise one application's blocks with frequencies.
+
+    A thin wrapper around :func:`repro.corpus.streaming.iter_application`
+    — batch and streamed pipelines consume the same records in the
+    same order by construction.
+    """
+    from repro.corpus.streaming import iter_application
+    return Corpus(list(iter_application(name, scale=scale, seed=seed,
+                                        count=count)), scale=scale)
 
 
 def build_corpus(scale: float = 0.01, seed: int = 0,
                  applications: Sequence[str] = DEFAULT_APPS) -> Corpus:
-    """Synthesise the full benchmark suite at ``scale`` of Table III."""
-    records: List[BlockRecord] = []
-    next_id = 0
-    for name in applications:
-        app = build_application(name, scale=scale, seed=seed)
-        for r in app.records:
-            records.append(BlockRecord(block=r.block,
-                                       application=r.application,
-                                       frequency=r.frequency,
-                                       block_id=next_id))
-            next_id += 1
-    return Corpus(records, scale=scale)
+    """Synthesise the full benchmark suite at ``scale`` of Table III.
+
+    A thin wrapper around :func:`repro.corpus.streaming.iter_corpus`;
+    see there for the lazy counterpart a ``--stream`` run consumes.
+    """
+    from repro.corpus.streaming import iter_corpus
+    return Corpus(list(iter_corpus(scale=scale, seed=seed,
+                                   applications=applications)),
+                  scale=scale)
 
 
 def build_google_corpus(scale: float = 0.01,

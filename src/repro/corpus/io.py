@@ -93,6 +93,85 @@ def save_json(path: str, corpus: Corpus,
         json.dump(payload, fh, indent=1)
 
 
+class StreamCsvWriter:
+    """Incremental counterpart of :func:`save_csv`.
+
+    The streamed pipeline writes rows as shards fold instead of
+    materialising the corpus first; for the same records the output
+    bytes equal a :func:`save_csv` call.  ``measured=True`` switches
+    to the two-column BHive-style format and skips rows added without
+    a throughput (exactly :func:`save_csv`'s ``measured`` semantics).
+    """
+
+    def __init__(self, path: str, measured: bool = False):
+        self._fh = open(path, "w", newline="")
+        self._writer = csv.writer(self._fh)
+        self.measured = measured
+        self.written = 0
+
+    def add(self, record: BlockRecord,
+            throughput: Optional[float] = None) -> bool:
+        if self.measured:
+            if throughput is None:
+                return False
+            self._writer.writerow([block_to_field(record.block),
+                                   f"{throughput:.2f}"])
+        else:
+            self._writer.writerow([block_to_field(record.block)])
+        self.written += 1
+        return True
+
+    def close(self) -> None:
+        self._fh.close()
+
+    def __enter__(self) -> "StreamCsvWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+class StreamJsonWriter:
+    """Incremental counterpart of :func:`save_json`.
+
+    Emits the exact bytes ``json.dump(payload, fh, indent=1)`` would
+    for the same records — the record array is streamed one element
+    at a time, so a corpus of any length serialises without ever
+    being held in memory.
+    """
+
+    def __init__(self, path: str, scale: float):
+        self._fh = open(path, "w")
+        self._fh.write('{\n "scale": ' + json.dumps(scale)
+                       + ',\n "records": [')
+        self.written = 0
+
+    def add(self, record: BlockRecord,
+            throughput: Optional[float] = None) -> None:
+        item = {
+            "id": record.block_id,
+            "application": record.application,
+            "frequency": record.frequency,
+            "asm": block_to_field(record.block),
+            "throughput": throughput,
+        }
+        body = json.dumps(item, indent=1)
+        indented = "\n".join("  " + line for line in body.splitlines())
+        self._fh.write(("\n" if self.written == 0 else ",\n")
+                       + indented)
+        self.written += 1
+
+    def close(self) -> None:
+        self._fh.write("]\n}" if self.written == 0 else "\n ]\n}")
+        self._fh.close()
+
+    def __enter__(self) -> "StreamJsonWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
 def load_json(path: str):
     """Returns (corpus, measured dict) from :func:`save_json` output."""
     with open(path) as fh:

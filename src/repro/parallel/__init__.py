@@ -13,16 +13,19 @@ differential suite in ``tests/parallel``.
 
 from repro.parallel.engine import (DEFAULT_SHARD_TIMEOUT, default_jobs,
                                    profile_corpus_sharded,
+                                   profile_corpus_streamed,
                                    profile_shard_worker)
 from repro.parallel.shard_cache import ShardCache
-from repro.parallel.sharding import (DEFAULT_SHARD_SIZE, Shard,
-                                     merge_funnels, merge_profiles,
-                                     partition_check, shard_corpus,
-                                     shard_digest)
+from repro.parallel.sharding import (DEFAULT_SHARD_SIZE, ProfileFolder,
+                                     Shard, merge_funnels,
+                                     merge_profiles, partition_check,
+                                     shard_corpus, shard_digest,
+                                     stream_shards)
 
 __all__ = [
-    "DEFAULT_SHARD_SIZE", "DEFAULT_SHARD_TIMEOUT", "Shard",
-    "ShardCache", "default_jobs", "merge_funnels", "merge_profiles",
-    "partition_check", "profile_corpus_sharded", "profile_shard_worker",
-    "shard_corpus", "shard_digest",
+    "DEFAULT_SHARD_SIZE", "DEFAULT_SHARD_TIMEOUT", "ProfileFolder",
+    "Shard", "ShardCache", "default_jobs", "merge_funnels",
+    "merge_profiles", "partition_check", "profile_corpus_sharded",
+    "profile_corpus_streamed", "profile_shard_worker", "shard_corpus",
+    "shard_digest", "stream_shards",
 ]

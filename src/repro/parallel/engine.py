@@ -47,20 +47,25 @@ import shutil
 import tempfile
 import time
 import uuid
-from concurrent.futures import ProcessPoolExecutor
-from typing import Dict, List, Optional, Sequence, Tuple
+from concurrent.futures import (FIRST_COMPLETED, ProcessPoolExecutor,
+                                wait as futures_wait)
+from itertools import chain
+from typing import (Callable, Dict, Iterable, Iterator, List, Optional,
+                    Sequence, Tuple, Union)
 
-from repro.corpus.dataset import Corpus
+from repro.corpus.dataset import BlockRecord, Corpus
+from repro.corpus import streaming as corpus_streaming
 from repro.profiler.harness import BasicBlockProfiler, ProfilerConfig
 from repro.profiler.result import FailureReason
 from repro.parallel.shard_cache import ShardCache
-from repro.parallel.sharding import (DEFAULT_SHARD_SIZE, Shard,
-                                     merge_profiles, shard_corpus,
-                                     shard_digest)
+from repro.parallel.sharding import (DEFAULT_SHARD_SIZE, ProfileFolder,
+                                     Shard, merge_profiles, shard_corpus,
+                                     shard_digest, stream_shards)
 from repro.resilience import chaos
 from repro.resilience import policy as resilience
 from repro.resilience.journal import RunJournal
 from repro.telemetry import core as telemetry
+from repro.telemetry import resources
 from repro.telemetry import window
 from repro.uarch.descriptor import MachineDescriptor
 
@@ -182,6 +187,34 @@ def profile_shard_worker(descriptor: MachineDescriptor,
         telemetry.event("worker.shard_summary", shard=index,
                         counters=counters)
     return index, profile
+
+
+#: Blocks this worker has profiled since it last dropped its retained
+#: state (profilers + compiled plans) — the streamed engine's
+#: per-worker epoch counter.
+_WORKER_STREAM_SINCE = [0]
+
+
+def profile_shard_worker_streamed(descriptor: MachineDescriptor,
+                                  config: Optional[ProfilerConfig],
+                                  index: int, records: tuple
+                                  ) -> Tuple[int, CorpusProfile]:
+    """Streamed-mode worker entry: bounded retained state.
+
+    Identical bytes to :func:`profile_shard_worker` — it *is* that
+    function, behind a per-worker epoch that drops the profiler cache
+    and the compiled-plan cache every
+    :func:`~repro.corpus.streaming.stream_epoch_blocks` profiled
+    blocks, so a worker's RSS tracks the epoch, not the corpus.
+    """
+    from repro.runtime.plan import clear_plan_cache
+    epoch = corpus_streaming.stream_epoch_blocks()
+    if epoch and _WORKER_STREAM_SINCE[0] >= epoch:
+        _WORKER_PROFILERS.clear()
+        clear_plan_cache()
+        _WORKER_STREAM_SINCE[0] = 0
+    _WORKER_STREAM_SINCE[0] += len(records)
+    return profile_shard_worker(descriptor, config, index, records)
 
 
 #: Decode-table cache_info() totals already exported by this worker
@@ -390,7 +423,8 @@ def profile_corpus_sharded(corpus: Corpus, uarch: str, seed: int = 0,
                            worker_fn=None, serial_fn=None,
                            retry: Optional[resilience.RetryPolicy] = None,
                            stats: Optional[Dict] = None,
-                           run_label: Optional[str] = None
+                           run_label: Optional[str] = None,
+                           stream: Optional[bool] = None
                            ) -> CorpusProfile:
     """Profile a corpus across a worker pool, bit-identical to serial.
 
@@ -404,6 +438,13 @@ def profile_corpus_sharded(corpus: Corpus, uarch: str, seed: int = 0,
     are quarantined and re-profiled.  ``stats``, if given, is filled
     with run accounting (shard counts, cache hits, resumed shards,
     retries, failures).
+
+    ``stream`` (default: ``$REPRO_STREAM``) routes the run through
+    :func:`profile_corpus_streamed` over the very same shard sequence:
+    the journal identity is unchanged — batch and streamed runs resume
+    each other — and the result is byte-identical (the differential
+    suite proves it), but shards fold into the merged profile as they
+    complete instead of accumulating until the end.
     """
     from repro.eval.validation import profile_records_detailed
     jobs = default_jobs() if jobs is None else max(1, jobs)
@@ -413,6 +454,21 @@ def profile_corpus_sharded(corpus: Corpus, uarch: str, seed: int = 0,
         shards = shard_corpus(corpus, shard_size)
     worker_fn = worker_fn or profile_shard_worker
     retry = retry or resilience.default_retry_policy(seed)
+
+    if stream is None:
+        stream = corpus_streaming.stream_enabled()
+    if stream:
+        return profile_corpus_streamed(
+            iter(shards), uarch, seed=seed, jobs=jobs, config=config,
+            shard_size=shard_size, shard_timeout=shard_timeout,
+            cache=cache,
+            journal=journal,
+            journal_meta=(_journal_meta(uarch, seed, shards)
+                          if journal is not None else None),
+            worker_fn=worker_fn, serial_fn=serial_fn, retry=retry,
+            stats=stats, run_label=run_label,
+            total_blocks=sum(len(shard) for shard in shards),
+            total_shards=len(shards))
 
     # Live-layer setup (all of it telemetry-gated): mint the
     # run-scoped trace ID, announce the run, and build the windowed
@@ -580,7 +636,438 @@ def profile_corpus_sharded(corpus: Corpus, uarch: str, seed: int = 0,
                         total=merged.funnel["total"],
                         accepted=merged.funnel["accepted"],
                         windows=len(series))
+    resources.sample_peak_rss()
     return merged
+
+
+def _as_shard_stream(source: Union[Iterable[BlockRecord],
+                                   Iterable[Shard]],
+                     shard_size: int) -> Iterator[Shard]:
+    """Normalise a streamed source into an iterator of shards.
+
+    Accepts either block records (lazily cut into shards via
+    :func:`stream_shards`) or pre-built shards (passed through) — the
+    distinction is made by peeking at the first item, so a generator
+    source is never materialised.
+    """
+    iterator = iter(source)
+    try:
+        first = next(iterator)
+    except StopIteration:
+        return iter(())
+    rest = chain([first], iterator)
+    if isinstance(first, Shard):
+        return rest
+    return stream_shards(rest, shard_size)
+
+
+def profile_corpus_streamed(source: Union[Iterable[BlockRecord],
+                                          Iterable[Shard]],
+                            uarch: str, seed: int = 0, *,
+                            jobs: Optional[int] = None,
+                            config: Optional[ProfilerConfig] = None,
+                            shard_size: int = DEFAULT_SHARD_SIZE,
+                            shard_timeout: Optional[float] = None,
+                            cache: Optional[ShardCache] = None,
+                            journal: Optional[RunJournal] = None,
+                            journal_meta: Optional[Dict] = None,
+                            worker_fn=None, serial_fn=None,
+                            retry: Optional[resilience.RetryPolicy] = None,
+                            stats: Optional[Dict] = None,
+                            run_label: Optional[str] = None,
+                            prefetch: Optional[int] = None,
+                            total_blocks: Optional[int] = None,
+                            total_shards: Optional[int] = None,
+                            on_shard: Optional[Callable[[Shard,
+                                                         "CorpusProfile"],
+                                                        None]] = None
+                            ) -> CorpusProfile:
+    """Profile a lazily generated corpus in constant memory.
+
+    The pipelined counterpart of :func:`profile_corpus_sharded`:
+    ``source`` is an *iterator* of block records (or pre-built shards)
+    that is consumed exactly once — generate → digest → shard →
+    profile → fold → discard.  At most ``prefetch`` shards (default
+    ``$REPRO_STREAM_PREFETCH`` × ``jobs``, never fewer than ``jobs``)
+    are in flight at a time, so generation overlaps profiling in the
+    pool workers while the bounded window provides backpressure: peak
+    RSS is a function of ``jobs`` and ``shard_size``, never of corpus
+    length (``benchmarks/bench_streaming.py`` enforces this).
+
+    Results fold incrementally into a :class:`ProfileFolder` in
+    shard-index order — the same fold ``merge_profiles`` performs over
+    the full pair list — so the returned profile is byte-identical to
+    the batch engine's over the same records.  Cache, journal, chaos
+    accounting, serial rescue, and window feeding all reuse the batch
+    engine's helpers; a streamed run with a journal resumes a batch
+    run and vice versa, provided ``journal_meta`` matches.
+
+    A streamed run cannot derive journal identity from a corpus it has
+    not finished generating, so callers with ``journal`` must pass
+    ``journal_meta`` explicitly (the batch delegation passes its usual
+    corpus digest; generator-mode callers pin a corpus *spec* digest
+    from :func:`repro.corpus.streaming.corpus_spec_digest`).
+
+    ``total_blocks``/``total_shards`` (when known) size the window
+    aggregator and the ``run.start`` event; ``None`` means unknown —
+    the live layer then reports blocks-so-far and rate instead of an
+    ETA.  ``on_shard(shard, profile)`` fires after each fold, in shard
+    order — the hook streaming writers (``repro corpus --stream``)
+    attach to emit rows incrementally.
+    """
+    from repro.eval.validation import profile_records_detailed
+    jobs = default_jobs() if jobs is None else max(1, jobs)
+    if shard_timeout is None:
+        shard_timeout = default_shard_timeout()
+    # The batch delegation hands over its resolved default worker —
+    # swap it (and a plain None) for the epoch-bounded streamed entry;
+    # injected custom workers pass through untouched.
+    if worker_fn is None or worker_fn is profile_shard_worker:
+        worker_fn = profile_shard_worker_streamed
+    retry = retry or resilience.default_retry_policy(seed)
+    if prefetch is None:
+        prefetch = corpus_streaming.default_prefetch(jobs)
+    max_inflight = max(jobs, int(prefetch))
+
+    shard_iter = _as_shard_stream(source, shard_size)
+
+    hub = telemetry.get_telemetry()
+    trace_id: Optional[str] = None
+    aggregator: Optional[window.WindowAggregator] = None
+    starts: Optional[Dict[int, int]] = None
+    label = run_label or uarch
+    if hub.enabled:
+        if hub.trace_id is None:
+            hub.trace_id = uuid.uuid4().hex[:12]
+        trace_id = hub.trace_id
+        starts = {}
+        aggregator = window.WindowAggregator(
+            label, total_blocks,
+            on_window=lambda summary: telemetry.event(
+                "window", label=label, **summary))
+        telemetry.event("run.start", label=label, uarch=uarch,
+                        seed=seed, jobs=jobs, shards=total_shards,
+                        blocks=total_blocks,
+                        window_size=aggregator.window_size)
+
+    descriptor = MachineDescriptor(uarch=uarch, seed=seed,
+                                   trace=trace_id)
+
+    journaled: Dict[str, int] = {}
+    if journal is not None:
+        if cache is None:
+            raise ValueError("journal requires a shard cache")
+        if journal_meta is None:
+            raise ValueError(
+                "a streamed run cannot derive journal identity from "
+                "a corpus it has not generated yet; pass journal_meta "
+                "(e.g. corpus_spec_digest(...))")
+        journaled = journal.open(journal_meta)
+
+    folder = ProfileFolder()
+    run_stats = {"shards": 0, "cache_hits": 0, "resumed": 0,
+                 "profiled": 0, "retried": 0, "failed": 0,
+                 "written": 0, "max_queue_depth": 0}
+    offset = 0
+
+    def arrive(shard: Shard) -> None:
+        # Called in shard-index order, the only order the stream can
+        # produce — global block offsets are running prefix sums.
+        nonlocal offset
+        run_stats["shards"] += 1
+        telemetry.count("parallel.shards_total")
+        if starts is not None:
+            starts[shard.index] = offset
+        offset += len(shard)
+
+    def hit(shard: Shard) -> None:
+        run_stats["cache_hits"] += 1
+        telemetry.count("parallel.shard_cache_hits")
+        telemetry.count("cache.shard.hits")
+        if shard.digest in journaled:
+            run_stats["resumed"] += 1
+            telemetry.count("resilience.resumed_shards")
+
+    def fold(shard: Shard, profile: CorpusProfile) -> None:
+        folder.add(shard, profile)
+        _feed_windows(aggregator, starts, shard, profile)
+        if starts is not None:
+            del starts[shard.index]  # bounded parent-side state
+        telemetry.count("stream.folded")
+        if on_shard is not None:
+            on_shard(shard, profile)
+
+    def depth(in_flight: int) -> None:
+        if in_flight > run_stats["max_queue_depth"]:
+            run_stats["max_queue_depth"] = in_flight
+            telemetry.set_gauge("stream.max_queue_depth", in_flight)
+        telemetry.observe("stream.queue_depth", in_flight)
+
+    try:
+        with telemetry.span("parallel.profile_corpus", uarch=uarch,
+                            jobs=jobs, streamed=True) as span:
+            if jobs <= 1:
+                _stream_serial(shard_iter, descriptor, config, cache,
+                               journal, journaled, run_stats,
+                               arrive, hit, fold, depth)
+            else:
+                _stream_pool(shard_iter, descriptor, config, jobs,
+                             max_inflight, shard_timeout, worker_fn,
+                             serial_fn, retry, cache, journal,
+                             journaled, run_stats, hub, trace_id,
+                             arrive, hit, fold, depth)
+            if run_stats["resumed"]:
+                telemetry.event("resilience.resume",
+                                shards=run_stats["resumed"],
+                                pending=run_stats["shards"]
+                                - run_stats["cache_hits"])
+            span.annotate(shards=run_stats["shards"],
+                          profiled=run_stats["profiled"],
+                          cache_hits=run_stats["cache_hits"],
+                          resumed=run_stats["resumed"],
+                          failed=run_stats["failed"])
+    finally:
+        if journal is not None:
+            journal.close()
+
+    if stats is not None:
+        stats.update(run_stats)
+    merged = folder.result()
+    from repro import triage
+    triage.publish_weights(uarch, seed, config)
+    if aggregator is not None:
+        series = aggregator.finish()
+        window.deposit_run(label, series)
+        telemetry.event("run.end", label=label, uarch=uarch,
+                        total=merged.funnel["total"],
+                        accepted=merged.funnel["accepted"],
+                        windows=len(series))
+    resources.sample_peak_rss()
+    return merged
+
+
+def _stream_serial(shard_iter: Iterator[Shard],
+                   descriptor: MachineDescriptor,
+                   config: Optional[ProfilerConfig],
+                   cache: Optional[ShardCache],
+                   journal: Optional[RunJournal],
+                   journaled: Dict[str, int], run_stats: Dict,
+                   arrive, hit, fold, depth) -> None:
+    """The streamed engine's in-process path: profile as shards cut.
+
+    One shared profiler across misses — the batch serial path's
+    memoisation semantics — but the profiler (and the compiled-plan
+    cache with it) is dropped and rebuilt every
+    :func:`~repro.corpus.streaming.stream_epoch_blocks` profiled
+    blocks: results and plans are pure functions of (text, machine,
+    config), so the reset changes no bytes while keeping retained
+    state bounded by the epoch instead of the corpus length.
+    """
+    from repro.eval.validation import profile_records_detailed
+    from repro.runtime.plan import clear_plan_cache
+    epoch = corpus_streaming.stream_epoch_blocks()
+    profiler = None
+    since_reset = 0
+    for shard in shard_iter:
+        arrive(shard)
+        telemetry.count("stream.submitted")
+        depth(1)
+        cached = _load_verified(cache, shard, journaled)
+        if cached is not None:
+            hit(shard)
+            fold(shard, cached)
+            continue
+        if cache is not None:
+            telemetry.count("cache.shard.misses")
+        if epoch and since_reset >= epoch:
+            profiler = None
+            clear_plan_cache()
+            since_reset = 0
+        if profiler is None:
+            profiler = BasicBlockProfiler(descriptor.build(), config)
+        profile = profile_records_detailed(profiler, shard.records)
+        since_reset += len(shard)
+        run_stats["profiled"] += 1
+        _store(cache, shard, profile, run_stats, journal)
+        fold(shard, profile)
+
+
+def _stream_pool(shard_iter: Iterator[Shard],
+                 descriptor: MachineDescriptor,
+                 config: Optional[ProfilerConfig], jobs: int,
+                 max_inflight: int, shard_timeout: float,
+                 worker_fn, serial_fn,
+                 retry: resilience.RetryPolicy,
+                 cache: Optional[ShardCache],
+                 journal: Optional[RunJournal],
+                 journaled: Dict[str, int], run_stats: Dict,
+                 hub, trace_id: Optional[str],
+                 arrive, hit, fold, depth) -> None:
+    """The streamed engine's pooled path: bounded-prefetch pipeline.
+
+    A fill loop pulls shards from the generator only while fewer than
+    ``max_inflight`` results are outstanding (submitted or completed
+    but not yet foldable), so the generator provides results exactly
+    as fast as the pool consumes them — that bounded window *is* the
+    backpressure.  A fold loop drains completed shards strictly in
+    index order; because submission is also in index order, the fold
+    frontier can never starve while work is outstanding.
+
+    Failure handling mirrors the batch pool: a worker exception or
+    per-shard timeout escalates to the bounded serial rescue in the
+    parent (same retry keys, same quarantine-or-raise), and a broken
+    pool is rebuilt once per submit so one crashed worker cannot sink
+    the rest of the stream.
+    """
+    inflight: Dict[int, Tuple] = {}   # index -> (future, shard, t0)
+    ready: Dict[int, Tuple] = {}      # index -> (shard, profile)
+    next_fold = 0
+    exhausted = False
+    hung = False
+    interrupted = False
+    pool: Optional[ProcessPoolExecutor] = None
+    trace_dir: Optional[str] = None
+
+    def ensure_pool() -> ProcessPoolExecutor:
+        nonlocal pool, trace_dir
+        if pool is None:
+            if hub.enabled and trace_dir is None:
+                trace_dir = tempfile.mkdtemp(prefix="repro-trace-")
+            pool = ProcessPoolExecutor(max_workers=jobs,
+                                       initializer=_init_worker,
+                                       initargs=(trace_dir, trace_id))
+        return pool
+
+    def submit(shard: Shard) -> None:
+        nonlocal pool
+        executor = ensure_pool()
+        try:
+            future = executor.submit(worker_fn, descriptor, config,
+                                     shard.index, shard.records)
+        except Exception:
+            # The pool died between submits (e.g. a crashed worker
+            # broke it): rebuild once and retry; a second failure is
+            # fatal and propagates.
+            _terminate_pool(executor)
+            pool = None
+            future = ensure_pool().submit(worker_fn, descriptor,
+                                          config, shard.index,
+                                          shard.records)
+        inflight[shard.index] = (future, shard, time.monotonic())
+
+    def rescue(shard: Shard) -> CorpusProfile:
+        run_stats["retried"] += 1
+        telemetry.count("parallel.worker_retries")
+        telemetry.count("resilience.retries")
+        telemetry.event("parallel.worker_retry", shard=shard.index,
+                        digest=shard.digest)
+        retry_fn = serial_fn or _serial_shard
+        try:
+            profile = retry.run(
+                lambda attempt, s=shard: retry_fn(descriptor, config,
+                                                  s),
+                key=f"serial_rescue|{shard.digest}",
+                retry_on=(Exception,))
+        except Exception as exc:
+            run_stats["failed"] += 1
+            telemetry.count("parallel.worker_failures")
+            telemetry.event("parallel.worker_failure",
+                            shard=shard.index,
+                            error=type(exc).__name__)
+            resilience.quarantine_or_raise(
+                f"shard {shard.index} failed in the pool and in "
+                f"{retry.max_attempts} serial attempts",
+                type(exc).__name__)
+            return _worker_failure_profile(shard)
+        run_stats["profiled"] += 1
+        _store(cache, shard, profile, run_stats, journal)
+        return profile
+
+    def land(future, shard: Shard) -> CorpusProfile:
+        try:
+            _, profile = future.result(timeout=0)
+        except Exception as exc:
+            telemetry.event("parallel.shard_error", shard=shard.index,
+                            error=type(exc).__name__)
+            return rescue(shard)
+        run_stats["profiled"] += 1
+        _replicate_profiler_counters(profile)
+        _store(cache, shard, profile, run_stats, journal)
+        return profile
+
+    try:
+        while True:
+            # Fill: pull from the generator only while the in-flight
+            # window has room.
+            while not exhausted and \
+                    len(inflight) + len(ready) < max_inflight:
+                shard = next(shard_iter, None)
+                if shard is None:
+                    exhausted = True
+                    break
+                arrive(shard)
+                cached = _load_verified(cache, shard, journaled)
+                if cached is not None:
+                    hit(shard)
+                    ready[shard.index] = (shard, cached)
+                    continue
+                if cache is not None:
+                    telemetry.count("cache.shard.misses")
+                _account_planned_worker_faults([shard])
+                telemetry.count("stream.submitted")
+                submit(shard)
+                depth(len(inflight) + len(ready))
+            # Fold: drain the contiguous completed frontier in index
+            # order (this is what keeps streamed == batch bytes).
+            while next_fold in ready:
+                shard, profile = ready.pop(next_fold)
+                fold(shard, profile)
+                next_fold += 1
+            if exhausted and not inflight:
+                if ready:  # pragma: no cover - invariant guard
+                    raise RuntimeError(
+                        f"stream fold stalled at {next_fold} with "
+                        f"{sorted(ready)} ready")
+                break
+            if not inflight:
+                continue  # window was all cache hits; pull more
+            # Wait for a completion, bounded by the oldest in-flight
+            # shard's remaining timeout budget.
+            now = time.monotonic()
+            oldest = min(t0 for _, _, t0 in inflight.values())
+            futures_wait([f for f, _, _ in inflight.values()],
+                         timeout=max(0.0,
+                                     oldest + shard_timeout - now),
+                         return_when=FIRST_COMPLETED)
+            now = time.monotonic()
+            for index in sorted(inflight):
+                future, shard, t0 = inflight[index]
+                if future.done():
+                    del inflight[index]
+                    ready[index] = (shard, land(future, shard))
+                elif now - t0 > shard_timeout:
+                    hung = True
+                    future.cancel()
+                    del inflight[index]
+                    telemetry.event("parallel.shard_error",
+                                    shard=shard.index,
+                                    error="TimeoutError")
+                    ready[index] = (shard, rescue(shard))
+    except BaseException:
+        interrupted = True
+        raise
+    finally:
+        if pool is not None:
+            if hung or interrupted:
+                _terminate_pool(pool)
+            else:
+                pool.shutdown(wait=True, cancel_futures=True)
+        if trace_dir is not None:
+            try:
+                if not interrupted:
+                    _stitch_worker_traces(trace_dir)
+            finally:
+                shutil.rmtree(trace_dir, ignore_errors=True)
 
 
 def _load_verified(cache: Optional[ShardCache], shard: Shard,

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
 
 from repro.corpus.dataset import BlockRecord, Corpus
 
@@ -79,15 +79,37 @@ def shard_corpus(corpus: Iterable[BlockRecord],
     no randomness, no hashing of ids, so every process derives the
     same shards from the same corpus.
     """
+    return list(stream_shards(corpus, shard_size))
+
+
+def stream_shards(records: Iterable[BlockRecord],
+                  shard_size: int = DEFAULT_SHARD_SIZE
+                  ) -> Iterator[Shard]:
+    """Lazily cut a record stream into the shards ``shard_corpus``
+    would produce — same indices, contents and content digests — while
+    holding at most one shard's records at a time.
+
+    The generator half of the streamed pipeline: ``shard_corpus`` is a
+    ``list(...)`` of this, so batch and streamed sharding cannot
+    diverge by construction (and ``tests/corpus/test_streaming.py``
+    re-proves it with hypothesis anyway).
+    """
     if shard_size < 1:
         raise ValueError(f"shard_size must be >= 1, got {shard_size}")
-    records = list(corpus)
-    shards = []
-    for index, start in enumerate(range(0, len(records), shard_size)):
-        chunk = tuple(records[start:start + shard_size])
-        shards.append(Shard(index=index, records=chunk,
-                            digest=shard_digest(chunk)))
-    return shards
+    chunk: List[BlockRecord] = []
+    index = 0
+    for record in records:
+        chunk.append(record)
+        if len(chunk) == shard_size:
+            frozen = tuple(chunk)
+            yield Shard(index=index, records=frozen,
+                        digest=shard_digest(frozen))
+            chunk = []
+            index += 1
+    if chunk:
+        frozen = tuple(chunk)
+        yield Shard(index=index, records=frozen,
+                    digest=shard_digest(frozen))
 
 
 def merge_funnels(funnels: Sequence[Dict]) -> Dict:
@@ -103,6 +125,52 @@ def merge_funnels(funnels: Sequence[Dict]) -> Dict:
     return merged
 
 
+class ProfileFolder:
+    """Incremental shard-profile merge, one shard at a time.
+
+    The streamed engine's fold stage: shards are :meth:`add`-ed in
+    shard-index order as they complete and their per-shard state is
+    discarded immediately — only the folded throughputs/funnel/info
+    accumulate.  Folding in index order reproduces exactly what
+    ``merge_profiles`` computes from the full pair list (throughput
+    insertion order, funnel bucket first-encounter order, every
+    count), which is why ``merge_profiles`` is itself implemented as a
+    fold — batch and streamed merges cannot diverge by construction.
+    """
+
+    def __init__(self):
+        from repro.eval.validation import CorpusProfile
+        self._profile_cls = CorpusProfile
+        self._throughputs: Dict[int, float] = {}
+        self._funnel = CorpusProfile.empty_funnel()
+        self._info: Dict[str, int] = {}
+        self.folded = 0
+
+    def add(self, shard: Shard, profile: CorpusProfile) -> None:
+        """Fold one shard's profile in (callers supply index order)."""
+        for record in shard.records:
+            value = profile.throughputs.get(record.block_id)
+            if value is not None:
+                if record.block_id in self._throughputs:
+                    raise ValueError(
+                        f"duplicate block id {record.block_id} "
+                        f"across shards")
+                self._throughputs[record.block_id] = value
+        funnel = profile.funnel
+        self._funnel["total"] += funnel.get("total", 0)
+        self._funnel["accepted"] += funnel.get("accepted", 0)
+        for reason, count in (funnel.get("dropped") or {}).items():
+            self._funnel["dropped"][reason] = \
+                self._funnel["dropped"].get(reason, 0) + count
+        for key, value in (profile.info or {}).items():
+            self._info[key] = self._info.get(key, 0) + value
+        self.folded += 1
+
+    def result(self) -> CorpusProfile:
+        return self._profile_cls(throughputs=self._throughputs,
+                                 funnel=self._funnel, info=self._info)
+
+
 def merge_profiles(shard_profiles: Iterable[Tuple[Shard, CorpusProfile]]
                    ) -> CorpusProfile:
     """Merge per-shard profiles into one corpus profile.
@@ -112,25 +180,11 @@ def merge_profiles(shard_profiles: Iterable[Tuple[Shard, CorpusProfile]]
     order, reverse order, or any interleaving — the property the
     hypothesis suite in ``tests/parallel`` exercises.
     """
-    from repro.eval.validation import CorpusProfile
-    ordered = sorted(shard_profiles, key=lambda sp: sp[0].index)
-    throughputs: Dict[int, float] = {}
-    for shard, profile in ordered:
-        for record in shard.records:
-            value = profile.throughputs.get(record.block_id)
-            if value is not None:
-                if record.block_id in throughputs:
-                    raise ValueError(
-                        f"duplicate block id {record.block_id} "
-                        f"across shards")
-                throughputs[record.block_id] = value
-    funnel = merge_funnels([profile.funnel for _, profile in ordered])
-    info: Dict[str, int] = {}
-    for _, profile in ordered:
-        for key, value in (profile.info or {}).items():
-            info[key] = info.get(key, 0) + value
-    return CorpusProfile(throughputs=throughputs, funnel=funnel,
-                         info=info)
+    folder = ProfileFolder()
+    for shard, profile in sorted(shard_profiles,
+                                 key=lambda sp: sp[0].index):
+        folder.add(shard, profile)
+    return folder.result()
 
 
 def partition_check(corpus: Corpus, shards: Sequence[Shard]) -> None:

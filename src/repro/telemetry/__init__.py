@@ -39,6 +39,8 @@ from repro.telemetry.cachestats import CacheStats
 from repro.telemetry.report import (build_run_report, default_report_dir,
                                     funnel_from_counters, render_summary,
                                     write_run_report)
+from repro.telemetry.resources import (peak_rss_kb, resources_section,
+                                       sample_peak_rss)
 from repro.telemetry.window import WindowAggregator, default_window_size
 
 __all__ = [
@@ -53,7 +55,8 @@ __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
     # unified cache telemetry + windowed series
     "CacheStats", "WindowAggregator", "default_window_size",
-    # reports
+    # reports + process resources
     "build_run_report", "render_summary", "write_run_report",
     "default_report_dir", "funnel_from_counters",
+    "peak_rss_kb", "sample_peak_rss", "resources_section",
 ]

@@ -228,24 +228,35 @@ def render_top(records: List[Dict]) -> str:
             f"{hb.get('blocks_per_s', 0.0)} blk/s "
             f"(uptime {hb.get('uptime_s', 0.0)}s)")
 
-    # Per-run windowed progress + ETA.
+    # Per-run windowed progress + ETA.  A streamed run over a lazily
+    # generated corpus announces ``blocks: null`` — the total is
+    # unknown until the generator ends, so an ETA would be fiction:
+    # report blocks-so-far and the observed rate instead.
     for label, start in sorted(runs.items()):
         series = windows.get(label, [])
-        total_blocks = start.get("blocks", 0)
+        total_blocks = start.get("blocks") or 0
         done = sum(w.get("blocks", 0) for w in series)
         state = "done" if label in ended else "running"
-        line = (f"run {label}: {done}/{total_blocks} blocks "
-                f"[{state}], {len(series)} windows")
+        if total_blocks:
+            line = (f"run {label}: {done}/{total_blocks} blocks "
+                    f"[{state}], {len(series)} windows")
+        else:
+            line = (f"run {label}: {done} blocks so far "
+                    f"[{'done' if label in ended else 'streaming'}], "
+                    f"{len(series)} windows")
         rates = [w["sim_rate"] for w in series
                  if w.get("sim_rate") is not None]
         if rates:
             line += f", sim_rate {rates[-1]:.2f} blk/kcyc"
-        if (label not in ended and 0 < done < total_blocks
-                and len(series) >= 2):
+        if label not in ended and done > 0 and series \
+                and "ts" in series[-1] and "ts" in start:
             elapsed = series[-1]["ts"] - start["ts"]
             if elapsed > 0:
-                eta = (total_blocks - done) * elapsed / done
-                line += f", eta {_format_eta(eta)}"
+                if 0 < done < total_blocks and len(series) >= 2:
+                    eta = (total_blocks - done) * elapsed / done
+                    line += f", eta {_format_eta(eta)}"
+                elif not total_blocks:
+                    line += f", {done / elapsed:.1f} blk/s"
         lines.append(line)
     # Orphan window series (no run.start in this trace slice).
     for label in sorted(set(windows) - set(runs)):

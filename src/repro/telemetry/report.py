@@ -17,7 +17,7 @@ import os
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.telemetry import cachestats, profiling, window
+from repro.telemetry import cachestats, profiling, resources, window
 from repro.telemetry.metrics import MetricsRegistry
 
 __all__ = ["build_run_report", "render_summary", "write_run_report",
@@ -190,6 +190,7 @@ def build_run_report(registry: MetricsRegistry, name: str,
                 round(compile_ms["total"], 3) if compile_ms else 0.0,
         },
         "caches": _caches_section(counters),
+        "resources": resources.resources_section(snap),
         "windows": window.runs(),
         "metrics": snap,
     }
@@ -279,6 +280,18 @@ def render_summary(report: Dict) -> str:
               f"{c['hit_rate']:.1%}"
               if c.get("hit_rate") is not None else "-")
              for name, c in sorted(live.items())])
+
+    res = report.get("resources") or {}
+    if res.get("peak_rss_kb") or res.get("stream"):
+        bits = []
+        if res.get("peak_rss_kb"):
+            bits.append(f"peak rss {res['peak_rss_kb'] / 1024:.1f} MiB")
+        stream = res.get("stream") or {}
+        if stream:
+            bits.append(f"streamed {stream.get('folded', 0)} shards "
+                        f"(max {stream.get('max_queue_depth', 0)} "
+                        f"in flight)")
+        lines += ["", "resources: " + ", ".join(bits)]
 
     windows = report.get("windows") or {}
     window_lines = []

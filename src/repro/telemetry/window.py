@@ -88,18 +88,23 @@ class WindowAggregator:
 
     ``total`` (the corpus size) is known up front, so every window —
     including the final partial one — knows exactly how many block
-    indices it must see before it can finalise.
+    indices it must see before it can finalise.  ``total=None`` means
+    the series length is unknown until it ends (a streamed run over a
+    lazily generated corpus): every window then expects a full
+    ``window_size`` indices and the final partial window finalises at
+    :meth:`finish` — given the same observations the summaries are
+    byte-identical to a known-total run's.
 
     ``observe(index, value)`` accepts ``value=None`` for blocks that
     produced no measurement (dropped blocks): they advance the window
     toward completion but contribute no sample.
     """
 
-    def __init__(self, label: str, total: int,
+    def __init__(self, label: str, total: Optional[int],
                  window_size: Optional[int] = None,
                  reservoir: int = DEFAULT_RESERVOIR,
                  on_window=None):
-        if total < 0:
+        if total is not None and total < 0:
             raise ValueError(f"total must be >= 0, got {total}")
         self.label = label
         self.total = total
@@ -115,12 +120,15 @@ class WindowAggregator:
     # ------------------------------------------------------------------
 
     def _expected(self, window: int) -> int:
+        if self.total is None:
+            return self.window_size
         start = window * self.window_size
         return min(self.window_size, self.total - start)
 
     def observe(self, index: int, value: Optional[float]) -> None:
         """Record block ``index``'s measurement (or its absence)."""
-        if not 0 <= index < self.total:
+        if index < 0 or (self.total is not None
+                         and index >= self.total):
             raise IndexError(f"block index {index} outside corpus "
                              f"of {self.total}")
         window = index // self.window_size
@@ -203,10 +211,12 @@ class WindowAggregator:
     def finish(self) -> List[Dict]:
         """Finalise any straggler windows and return the ordered series.
 
-        With a correct feed every window already finalised on its
-        completeness condition; stragglers can only mean some indices
-        were never observed (a defensive path), and they finalise with
-        whatever arrived.
+        With a known ``total`` and a correct feed every window already
+        finalised on its completeness condition; stragglers mean some
+        indices were never observed (a defensive path) — except in
+        unknown-total mode, where the final partial window *must*
+        finalise here because only the end of the stream reveals it
+        was partial.  Either way they finalise with whatever arrived.
         """
         for window in sorted(self._partial):
             self._finalize(window, self._partial[window])

@@ -5,8 +5,9 @@ import os
 import pytest
 
 from repro.corpus import build_application
-from repro.corpus.io import (block_from_field, block_to_field, load_csv,
-                             load_json, save_csv, save_json)
+from repro.corpus.io import (StreamCsvWriter, StreamJsonWriter,
+                             block_from_field, block_to_field,
+                             load_csv, load_json, save_csv, save_json)
 
 
 @pytest.fixture(scope="module")
@@ -74,3 +75,63 @@ class TestJson:
         save_json(path, corpus)
         _, loaded_measured = load_json(path)
         assert loaded_measured == {}
+
+
+class TestStreamWriters:
+    """The incremental writers emit the batch savers' exact bytes."""
+
+    def _bytes(self, path):
+        with open(path, "rb") as fh:
+            return fh.read()
+
+    def test_csv_byte_identical(self, corpus, tmp_path):
+        batch = os.path.join(tmp_path, "batch.csv")
+        streamed = os.path.join(tmp_path, "streamed.csv")
+        save_csv(batch, corpus)
+        with StreamCsvWriter(streamed) as writer:
+            for record in corpus:
+                assert writer.add(record)
+        assert writer.written == len(corpus)
+        assert self._bytes(streamed) == self._bytes(batch)
+
+    def test_csv_measured_byte_identical(self, corpus, measured,
+                                         tmp_path):
+        batch = os.path.join(tmp_path, "batch.csv")
+        streamed = os.path.join(tmp_path, "streamed.csv")
+        save_csv(batch, corpus, measured)
+        with StreamCsvWriter(streamed, measured=True) as writer:
+            for record in corpus:
+                kept = writer.add(record,
+                                  measured.get(record.block_id))
+                assert kept == (record.block_id in measured)
+        assert writer.written == len(measured)
+        assert self._bytes(streamed) == self._bytes(batch)
+
+    def test_json_byte_identical(self, corpus, measured, tmp_path):
+        batch = os.path.join(tmp_path, "batch.json")
+        streamed = os.path.join(tmp_path, "streamed.json")
+        save_json(batch, corpus, measured)
+        with StreamJsonWriter(streamed, corpus.scale) as writer:
+            for record in corpus:
+                writer.add(record, measured.get(record.block_id))
+        assert self._bytes(streamed) == self._bytes(batch)
+
+    def test_json_empty_byte_identical(self, corpus, tmp_path):
+        from repro.corpus.dataset import Corpus
+        empty = Corpus([], scale=corpus.scale)
+        batch = os.path.join(tmp_path, "batch.json")
+        streamed = os.path.join(tmp_path, "streamed.json")
+        save_json(batch, empty)
+        with StreamJsonWriter(streamed, empty.scale):
+            pass
+        assert self._bytes(streamed) == self._bytes(batch)
+
+    def test_streamed_json_loads_back(self, corpus, measured,
+                                      tmp_path):
+        path = os.path.join(tmp_path, "round.json")
+        with StreamJsonWriter(path, corpus.scale) as writer:
+            for record in corpus:
+                writer.add(record, measured.get(record.block_id))
+        loaded, loaded_measured = load_json(path)
+        assert len(loaded) == len(corpus)
+        assert loaded_measured == measured

@@ -1,0 +1,176 @@
+"""Streamed profiling is byte-identical to batch, and never cheats.
+
+``profile_corpus_streamed`` consumes a *generator* of records — it can
+never look ahead, count, or re-read its input — yet its merged profile
+must serialise to exactly the bytes the batch sharded engine produces.
+This suite proves that differentially (serial and pooled, all three
+microarchitectures), pins the ``REPRO_STREAM=1`` delegation path in
+``profile_corpus_sharded``, and checks the streamed run's contracts:
+index-ordered folding, honest stats, journal-identity discipline, and
+cache interoperability with batch runs.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.corpus.dataset import build_application
+from repro.parallel import (ShardCache, profile_corpus_sharded,
+                            profile_corpus_streamed, shard_corpus)
+from repro.resilience import JOURNAL_NAME, RunJournal
+
+UARCHES = ("ivybridge", "haswell", "skylake")
+
+
+def _payload(profile) -> str:
+    return json.dumps({"throughputs": profile.throughputs,
+                       "funnel": profile.funnel})
+
+
+def _records(app="openblas", count=26, seed=5):
+    return build_application(app, count=count, seed=seed).records
+
+
+@pytest.mark.parametrize("uarch", UARCHES)
+@pytest.mark.parametrize("jobs", (1, 2))
+def test_streamed_equals_batch(uarch, jobs):
+    records = _records()
+    batch = profile_corpus_sharded(records, uarch, seed=5, jobs=jobs,
+                                   shard_size=4)
+    streamed = profile_corpus_streamed(iter(records), uarch, seed=5,
+                                       jobs=jobs, shard_size=4)
+    assert _payload(streamed) == _payload(batch)
+
+
+def test_env_delegation_equals_batch(monkeypatch):
+    """``REPRO_STREAM=1`` reroutes the batch entry point through the
+    streamed engine — same signature, same bytes."""
+    records = _records(count=21)
+    monkeypatch.delenv("REPRO_STREAM", raising=False)
+    batch = profile_corpus_sharded(records, "haswell", seed=5,
+                                   jobs=2, shard_size=8)
+    monkeypatch.setenv("REPRO_STREAM", "1")
+    streamed = profile_corpus_sharded(records, "haswell", seed=5,
+                                      jobs=2, shard_size=8)
+    assert _payload(streamed) == _payload(batch)
+
+
+def test_stream_flag_overrides_env(monkeypatch):
+    monkeypatch.setenv("REPRO_STREAM", "1")
+    records = _records(count=9)
+    explicit_off = profile_corpus_sharded(records, "haswell", seed=5,
+                                          shard_size=4, stream=False)
+    explicit_on = profile_corpus_sharded(records, "haswell", seed=5,
+                                         shard_size=4, stream=True)
+    assert _payload(explicit_off) == _payload(explicit_on)
+
+
+def test_accepts_shard_stream():
+    """Pre-cut shards stream through unchanged (the delegation path
+    hands over shards, not records)."""
+    records = _records(count=18)
+    shards = shard_corpus(records, 4)
+    streamed = profile_corpus_streamed(iter(shards), "skylake", seed=5,
+                                       shard_size=4)
+    assert _payload(streamed) == _payload(
+        profile_corpus_sharded(records, "skylake", seed=5,
+                               shard_size=4))
+
+
+@pytest.mark.parametrize("jobs", (1, 2))
+def test_on_shard_fires_in_index_order(jobs):
+    records = _records(count=22)
+    seen = []
+    profile_corpus_streamed(
+        iter(records), "haswell", seed=5, jobs=jobs, shard_size=4,
+        on_shard=lambda shard, profile:
+            seen.append((shard.index, len(shard),
+                         len(profile.throughputs))))
+    assert [index for index, _, _ in seen] \
+        == list(range(len(shard_corpus(records, 4))))
+    assert sum(n for _, n, _ in seen) == len(records)
+
+
+@pytest.mark.parametrize("jobs", (1, 2))
+def test_stats_account_for_every_shard(jobs):
+    records = _records(count=20)
+    stats = {}
+    profile_corpus_streamed(iter(records), "haswell", seed=5,
+                            jobs=jobs, shard_size=4, stats=stats)
+    assert stats["shards"] == 5
+    assert stats["profiled"] == 5
+    assert stats["cache_hits"] == 0
+    assert stats["failed"] == 0
+    assert stats["max_queue_depth"] >= 1
+
+
+def test_empty_stream():
+    profile = profile_corpus_streamed(iter(()), "haswell", seed=0)
+    assert profile.throughputs == {}
+    assert profile.funnel["total"] == 0
+
+
+def test_journal_requires_identity(tmp_path):
+    """A streamed run cannot digest a corpus it hasn't generated yet,
+    so journalling demands an explicit identity."""
+    cache = ShardCache(str(tmp_path))
+    journal = RunJournal(os.path.join(str(tmp_path), JOURNAL_NAME))
+    with pytest.raises(ValueError):
+        profile_corpus_streamed(iter(_records(count=4)), "haswell",
+                                seed=5, cache=cache, journal=journal)
+
+
+@pytest.mark.parametrize("jobs", (1, 2))
+def test_cache_interop_with_batch(tmp_path, jobs):
+    """A batch run warms the cache; the streamed run over the same
+    records resumes every shard from it — and vice versa."""
+    records = _records(count=16)
+    cache = ShardCache(str(tmp_path))
+    batch_stats = {}
+    batch = profile_corpus_sharded(records, "haswell", seed=5,
+                                   jobs=jobs, shard_size=4,
+                                   cache=cache, stats=batch_stats)
+    assert batch_stats["cache_hits"] == 0
+    stream_stats = {}
+    streamed = profile_corpus_streamed(iter(records), "haswell",
+                                       seed=5, jobs=jobs, shard_size=4,
+                                       cache=cache, stats=stream_stats)
+    assert stream_stats["cache_hits"] == 4
+    assert stream_stats["profiled"] == 0
+    assert _payload(streamed) == _payload(batch)
+
+
+def test_streamed_run_is_rerunnable_from_journal(tmp_path):
+    """Two streamed runs sharing a cache+journal: the second loads
+    every shard back and reproduces the first's bytes."""
+    records = _records(count=16)
+
+    def run():
+        cache = ShardCache(str(tmp_path))
+        journal = RunJournal(os.path.join(cache.directory,
+                                          JOURNAL_NAME))
+        stats = {}
+        profile = profile_corpus_streamed(
+            iter(records), "haswell", seed=5, jobs=2, shard_size=4,
+            cache=cache, journal=journal,
+            journal_meta={"uarch": "haswell", "seed": 5,
+                          "stream": "test-rerun"}, stats=stats)
+        return _payload(profile), stats
+
+    first, first_stats = run()
+    second, second_stats = run()
+    assert first == second
+    assert first_stats["resumed"] == 0
+    assert second_stats["resumed"] == 4
+    assert second_stats["profiled"] == 0
+
+
+def test_prefetch_depth_does_not_change_bytes(monkeypatch):
+    records = _records(count=24)
+    payloads = set()
+    for prefetch in ("1", "2", "5"):
+        monkeypatch.setenv("REPRO_STREAM_PREFETCH", prefetch)
+        payloads.add(_payload(profile_corpus_streamed(
+            iter(records), "haswell", seed=5, jobs=2, shard_size=3)))
+    assert len(payloads) == 1

@@ -68,9 +68,22 @@ def main(argv):
     cache = SlowStoreCache(cache_dir)
     journal = RunJournal(os.path.join(cache_dir, JOURNAL_NAME))
     stats = {}
-    profile = profile_corpus_sharded(corpus, uarch, seed=0, jobs=jobs,
-                                     shards=shards, cache=cache,
-                                     journal=journal, stats=stats)
+    if os.environ.get("RESUME_DRIVER_STREAM") == "1":
+        # The streamed leg: same records, but fed as a generator the
+        # engine has never seen in full — journal identity is pinned
+        # to a fixed spec tag instead of a corpus digest.
+        from repro.parallel import profile_corpus_streamed
+        profile = profile_corpus_streamed(
+            iter(corpus.records), uarch, seed=0, jobs=jobs,
+            shard_size=2, cache=cache, journal=journal,
+            journal_meta={"uarch": uarch, "seed": 0,
+                          "stream": "kill-resume-driver"},
+            stats=stats)
+    else:
+        profile = profile_corpus_sharded(corpus, uarch, seed=0,
+                                         jobs=jobs, shards=shards,
+                                         cache=cache, journal=journal,
+                                         stats=stats)
     payload = {"throughputs": profile.throughputs,
                "funnel": profile.funnel,
                "info": profile.info}

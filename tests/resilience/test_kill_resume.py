@@ -38,6 +38,15 @@ CASES = [
                  {"REPRO_NO_LANES": "0",
                   "RESUME_DRIVER_CORPUS": "lanes"},
                  id="haswell-pooled-lanes"),
+    # Streamed legs: the generator is killed mid-stream, and the
+    # resumed streamed run must reproduce the baseline bytes from the
+    # journal + cache alone (serial and pooled, all three uarches).
+    pytest.param("ivybridge", 1, {"RESUME_DRIVER_STREAM": "1"},
+                 id="ivybridge-serial-stream"),
+    pytest.param("haswell", 2, {"RESUME_DRIVER_STREAM": "1"},
+                 id="haswell-pooled-stream"),
+    pytest.param("skylake", 2, {"RESUME_DRIVER_STREAM": "1"},
+                 id="skylake-pooled-stream"),
 ]
 
 

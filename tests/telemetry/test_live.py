@@ -158,3 +158,49 @@ class TestRenderTop:
         assert main(["top", path]) == 0
         out = capsys.readouterr().out
         assert "phase: experiment.measure" in out
+
+
+def _unknown_total_trace():
+    """A streamed run over a lazy generator: run.start announces
+    ``blocks: null`` because the total is unknown mid-stream."""
+    t0 = 2000.0
+    trace = [
+        {"kind": "event", "name": "run.start",
+         "label": "stream:haswell", "uarch": "haswell", "blocks": None,
+         "jobs": 2, "shards": None, "window_size": 32, "ts": t0,
+         "trace": "str111", "seq": 1},
+    ]
+    for i in range(2):
+        trace.append(
+            {"kind": "event", "name": "window",
+             "label": "stream:haswell", "window": i, "start": 32 * i,
+             "blocks": 32, "accepted": 32, "sampled": 32, "p50": 4.0,
+             "p95": 9.0, "p99": 12.0, "mean": 5.0, "jitter": 1.0,
+             "sim_rate": 180.0, "ts": t0 + 2 * (i + 1),
+             "trace": "str111", "seq": 2 + i})
+    return trace
+
+
+class TestRenderTopUnknownTotal:
+    def test_no_fictional_eta_mid_stream(self):
+        screen = render_top(_unknown_total_trace())
+        assert "run stream:haswell: 64 blocks so far [streaming]" \
+            in screen
+        assert "2 windows" in screen
+        assert "eta" not in screen
+        # The observed rate replaces the ETA: 64 blocks over 4s.
+        assert "16.0 blk/s" in screen
+
+    def test_done_stream_drops_rate(self):
+        records = _unknown_total_trace() + [
+            {"kind": "event", "name": "run.end",
+             "label": "stream:haswell", "ts": 2004.5, "seq": 9}]
+        screen = render_top(records)
+        assert "64 blocks so far [done]" in screen
+        assert "blk/s" not in screen
+        assert "eta" not in screen
+
+    def test_known_total_still_gets_eta(self):
+        screen = render_top(_synthetic_trace())
+        assert "eta" in screen
+        assert "blocks so far" not in screen
