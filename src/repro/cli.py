@@ -369,20 +369,52 @@ def cmd_top(args) -> int:
     import time as time_mod
 
     from repro.telemetry import live
-    records, offset = live.read_records(args.trace_file)
     if not args.follow:
+        records, _ = live.read_records(args.trace_file)
         print(live.render_top(records))
         return 0
+    follower = live.TraceFollower(args.trace_file)
+    records, _ = follower.poll()
     try:
         while True:
             # Clear screen + home, like top(1).
             print("\x1b[2J\x1b[H" + live.render_top(records),
                   flush=True)
             time_mod.sleep(args.interval)
-            fresh, offset = live.read_records(args.trace_file, offset)
+            fresh, restarted = follower.poll()
+            if restarted:
+                # Rotated/truncated trace: the accumulated view
+                # describes a file that no longer exists.
+                records = []
             records.extend(fresh)
     except KeyboardInterrupt:
         return 0
+
+
+def cmd_serve(args) -> int:
+    """Run the profiling daemon (see docs/service.md)."""
+    from repro import telemetry
+    from repro.serve.config import ServeConfig
+    from repro.serve.daemon import run_daemon
+    if bool(args.socket) == (args.port is not None):
+        print("error: exactly one of --socket PATH / --port N "
+              "is required", file=sys.stderr)
+        return 2
+    if not telemetry.get_telemetry().enabled:
+        # Metrics-only collection so /v1/stats and the window metrics
+        # work without --trace; --trace upgrades this to a full
+        # NDJSON export (wired in main()).
+        telemetry.enable()
+    config = ServeConfig.from_env(
+        socket=args.socket, port=args.port, host=args.host,
+        jobs=_resolve_jobs(args),
+        queue_size=args.queue, deadline_ms=args.deadline_ms,
+        rate=args.rate, burst=args.burst, batch_size=args.batch,
+        coalesce_ms=args.coalesce_ms, breaker_threshold=args.breaker,
+        breaker_cooldown_s=args.breaker_cooldown, drain_s=args.drain,
+        state_dir=args.state)
+    run_daemon(config)
+    return 0
 
 
 def cmd_bench_check(args) -> int:
@@ -576,6 +608,69 @@ def build_parser() -> argparse.ArgumentParser:
                    help="refresh period for --follow (seconds)")
     p.set_defaults(func=cmd_top)
 
+    p = sub.add_parser("serve",
+                       help="run the profiling daemon: accept block "
+                            "requests over HTTP (Unix socket or TCP), "
+                            "coalesce them into content-addressed "
+                            "batches, answer from the shared shard "
+                            "cache (see docs/service.md)")
+    listen = p.add_mutually_exclusive_group(required=True)
+    listen.add_argument("--socket", metavar="PATH", default=None,
+                        help="listen on a Unix-domain socket at PATH")
+    listen.add_argument("--port", type=int, metavar="N", default=None,
+                        help="listen on TCP port N (loopback by "
+                             "default; see --bind)")
+    p.add_argument("--bind", dest="host", default="127.0.0.1",
+                   metavar="ADDR",
+                   help="TCP bind address for --port "
+                        "(default 127.0.0.1)")
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="worker processes per batch (default: "
+                        "os.cpu_count(), or $REPRO_JOBS); results are "
+                        "bit-identical whatever N is")
+    p.add_argument("--queue", type=int, default=None, metavar="N",
+                   help="admission queue capacity; a full queue sheds "
+                        "with 429 + retry-after (default 64, or "
+                        "$REPRO_SERVE_QUEUE)")
+    p.add_argument("--deadline-ms", type=float, default=None,
+                   metavar="MS",
+                   help="default per-request deadline when the client "
+                        "sends none (default 30000, or "
+                        "$REPRO_SERVE_DEADLINE_MS)")
+    p.add_argument("--rate", type=float, default=None, metavar="R",
+                   help="per-client token-bucket refill rate in "
+                        "requests/second; 0 disables rate limits "
+                        "(default 0, or $REPRO_SERVE_RATE)")
+    p.add_argument("--burst", type=int, default=None, metavar="N",
+                   help="token-bucket burst capacity (default 16, or "
+                        "$REPRO_SERVE_BURST)")
+    p.add_argument("--batch", type=int, default=None, metavar="N",
+                   help="max requests coalesced into one engine batch "
+                        "(default 64, or $REPRO_SERVE_BATCH)")
+    p.add_argument("--coalesce-ms", type=float, default=None,
+                   metavar="MS",
+                   help="how long the batcher lingers for more "
+                        "requests to coalesce (default 5, or "
+                        "$REPRO_SERVE_COALESCE_MS)")
+    p.add_argument("--breaker", type=int, default=None, metavar="N",
+                   help="consecutive worker-trouble batches before "
+                        "the circuit breaker opens and batches run "
+                        "scalar (default 3, or $REPRO_SERVE_BREAKER)")
+    p.add_argument("--breaker-cooldown", type=float, default=None,
+                   metavar="SECS",
+                   help="seconds the breaker stays open before a "
+                        "half-open probe (default 5, or "
+                        "$REPRO_SERVE_BREAKER_COOLDOWN_S)")
+    p.add_argument("--drain", type=float, default=None, metavar="SECS",
+                   help="ceiling on the graceful SIGTERM drain "
+                        "(default 10, or $REPRO_SERVE_DRAIN_S)")
+    p.add_argument("--state", metavar="DIR", default=None,
+                   help="state directory: request journal + per-uarch "
+                        "shard caches (default <cache>/serve, or "
+                        "$REPRO_SERVE_STATE)")
+    common(p)
+    p.set_defaults(func=cmd_serve)
+
     p = sub.add_parser("bench", help="benchmark-result tooling")
     bench_sub = p.add_subparsers(dest="bench_command", required=True)
     p = bench_sub.add_parser(
@@ -600,7 +695,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "from it)")
     p.add_argument("--group", default=None,
                    choices=("pipeline", "performance", "robustness",
-                            "observability", "bench"))
+                            "observability", "serve", "bench"))
     p.add_argument("--format", choices=("table", "json"),
                    default="table")
     p.set_defaults(func=cmd_envvars)

@@ -111,11 +111,47 @@ REGISTRY: List[EnvVar] = [
     EnvVar("REPRO_TELEMETRY", "`1` (benches)",
            "`0` lets the bench suites skip telemetry collection "
            "when chasing peak numbers", "observability"),
+    # -- serve daemon -----------------------------------------------------
+    EnvVar("REPRO_SERVE_QUEUE", "`64`",
+           "admission queue capacity; a full queue sheds with "
+           "429 + retry-after ([docs/service.md](docs/service.md))",
+           "serve"),
+    EnvVar("REPRO_SERVE_DEADLINE_MS", "`30000`",
+           "default per-request deadline when the client sends none; "
+           "expired queued work is cancelled and counted, never "
+           "silently dropped", "serve"),
+    EnvVar("REPRO_SERVE_RATE", "`0` (unlimited)",
+           "per-client token-bucket refill rate in requests/second",
+           "serve"),
+    EnvVar("REPRO_SERVE_BURST", "`16`",
+           "per-client token-bucket burst capacity", "serve"),
+    EnvVar("REPRO_SERVE_BATCH", "`64`",
+           "max requests coalesced into one content-addressed engine "
+           "batch", "serve"),
+    EnvVar("REPRO_SERVE_COALESCE_MS", "`5`",
+           "how long the batcher lingers for concurrent requests to "
+           "coalesce before executing", "serve"),
+    EnvVar("REPRO_SERVE_BREAKER", "`3`",
+           "consecutive worker-trouble batches before the circuit "
+           "breaker opens and batches run scalar", "serve"),
+    EnvVar("REPRO_SERVE_BREAKER_COOLDOWN_S", "`5`",
+           "seconds the open breaker waits before a half-open pool "
+           "probe", "serve"),
+    EnvVar("REPRO_SERVE_WINDOW", "`32`",
+           "finished requests per serve-metrics window "
+           "(p50/p95/p99 latency, jitter, deadline-miss rate)",
+           "serve"),
+    EnvVar("REPRO_SERVE_DRAIN_S", "`10`",
+           "ceiling on the graceful SIGTERM drain before forced "
+           "shutdown", "serve"),
+    EnvVar("REPRO_SERVE_STATE", "`<cache>/serve`",
+           "daemon state directory: CRC-self-checked request journal "
+           "plus per-(uarch, seed) shard caches", "serve"),
 ]
 
 #: Order groups render in when a table spans several.
 GROUP_ORDER = ("pipeline", "performance", "robustness",
-               "observability", "bench")
+               "observability", "serve", "bench")
 
 
 def by_group(group: Optional[str] = None) -> List[EnvVar]:

@@ -16,8 +16,11 @@ Three cooperating layers (see docs/robustness.md):
 from repro.errors import (ChaosFault, StepBudgetExceeded,
                           StrictModeViolation)
 from repro.resilience.chaos import (CRASH_EXIT_CODE, FAULT_POINTS,
-                                    ChaosPolicy, ChaosSpecError)
-from repro.resilience.journal import JOURNAL_NAME, RunJournal
+                                    PIPELINE_FAULT_POINTS,
+                                    SERVE_FAULT_POINTS, ChaosPolicy,
+                                    ChaosSpecError)
+from repro.resilience.journal import (JOURNAL_NAME, RunJournal,
+                                      journal_line, parse_journal_line)
 from repro.resilience.policy import (DEFAULT_STEP_BUDGET, RetryPolicy,
                                      default_retry_policy,
                                      forced_step_budget, forced_strict,
@@ -28,9 +31,9 @@ from repro.resilience.policy import (DEFAULT_STEP_BUDGET, RetryPolicy,
 __all__ = [
     # chaos
     "ChaosPolicy", "ChaosSpecError", "ChaosFault", "FAULT_POINTS",
-    "CRASH_EXIT_CODE",
+    "PIPELINE_FAULT_POINTS", "SERVE_FAULT_POINTS", "CRASH_EXIT_CODE",
     # journal
-    "RunJournal", "JOURNAL_NAME",
+    "RunJournal", "JOURNAL_NAME", "journal_line", "parse_journal_line",
     # policy
     "RetryPolicy", "default_retry_policy", "DEFAULT_STEP_BUDGET",
     "step_budget", "set_step_budget", "forced_step_budget",

@@ -46,8 +46,8 @@ from repro.telemetry import core as telemetry
 
 ENV_VAR = "REPRO_CHAOS"
 
-#: Every named fault point, in pipeline order.
-FAULT_POINTS: Tuple[str, ...] = (
+#: Fault points woven through the batch pipeline, in pipeline order.
+PIPELINE_FAULT_POINTS: Tuple[str, ...] = (
     "worker_crash",    # worker process hard-exits at shard start
     "worker_hang",     # worker sleeps past the shard deadline
     "cache_truncate",  # shard-cache write leaves truncated JSON
@@ -56,6 +56,17 @@ FAULT_POINTS: Tuple[str, ...] = (
     "disk_full",       # persistent ENOSPC on the atomic write
     "block_poison",    # RuntimeError surfaces mid-simulation
 )
+
+#: Fault points specific to the ``repro serve`` daemon (request path).
+SERVE_FAULT_POINTS: Tuple[str, ...] = (
+    "serve_accept_error",  # daemon: accepted connection dies immediately
+    "serve_slow_client",   # daemon: response stalls mid-write (hang_s)
+    "serve_queue_full",    # daemon: admission queue reports full
+)
+
+#: Every named fault point.
+FAULT_POINTS: Tuple[str, ...] = \
+    PIPELINE_FAULT_POINTS + SERVE_FAULT_POINTS
 
 #: Hard exit code used by the ``worker_crash`` point (recognisable in
 #: worker post-mortems; the parent only ever sees BrokenProcessPool).

@@ -38,14 +38,20 @@ JOURNAL_VERSION = 1
 JOURNAL_NAME = "journal.ndjson"
 
 
-def _line_for(record: Dict) -> str:
-    """Serialize a record with its own integrity checksum appended."""
+def journal_line(record: Dict) -> str:
+    """Serialize a record with its own integrity checksum appended.
+
+    The line format is shared beyond the run journal: the serve-side
+    request journal (:mod:`repro.serve.requestlog`) and the triage
+    store reuse it so every crash-safe NDJSON file in the tree fails
+    torn writes the same way.
+    """
     payload = json.dumps(record, sort_keys=True)
     crc = zlib.crc32(payload.encode())
     return json.dumps({"crc": crc, "rec": record}, sort_keys=True)
 
 
-def _parse_line(line: str) -> Optional[Dict]:
+def parse_journal_line(line: str) -> Optional[Dict]:
     """A record that passes its self-check, else ``None``."""
     try:
         doc = json.loads(line)
@@ -111,7 +117,7 @@ class RunJournal:
         for line in lines:
             if not line.strip():
                 continue
-            record = _parse_line(line)
+            record = parse_journal_line(line)
             if record is None:
                 self.torn_records += 1
                 continue
@@ -140,7 +146,7 @@ class RunJournal:
 
     def _append(self, record: Dict) -> None:
         assert self._fh is not None, "journal not opened"
-        self._fh.write(_line_for(record) + "\n")
+        self._fh.write(journal_line(record) + "\n")
         self._fh.flush()
         os.fsync(self._fh.fileno())
 

@@ -1,0 +1,131 @@
+"""Admission control: bounded queue + per-client token buckets.
+
+Load shedding is *deterministic and explicit*: a request the daemon
+cannot take right now is answered 429 with a computed ``retry-after``
+— it is never blocked on (a slow queue must not stall the accept
+loop) and never dropped silently (every shed increments
+``serve.shed.<reason>`` and is visible in the window metrics).
+
+Both mechanisms take an injectable monotonic ``clock`` so the tests
+drive them with a fake clock — no sleeps, no flakiness.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, Optional
+
+from repro.resilience import chaos
+from repro.telemetry import core as telemetry
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The admission verdict for one request."""
+
+    admitted: bool
+    #: Shed reason when not admitted: ``queue_full`` / ``rate_limited``
+    #: / ``draining`` / ``chaos``.
+    reason: str = ""
+    #: Client guidance: how long to back off before retrying.
+    retry_after_ms: float = 0.0
+
+
+class AdmissionQueue:
+    """A bounded FIFO that sheds instead of blocking.
+
+    ``try_admit`` either enqueues and returns an admitted decision or
+    returns a 429-shaped shed decision — callers never wait.  The
+    ``serve_queue_full`` chaos point forces the full-queue branch for
+    a deterministic subset of requests so the shedding path is
+    testable without generating real overload.
+    """
+
+    def __init__(self, capacity: int,
+                 clock: Callable[[], float] = time.monotonic):
+        self.capacity = max(1, capacity)
+        self.clock = clock
+        self._items: Deque = deque()
+        #: Sliding estimate of per-request service time, seeding the
+        #: retry-after hint (seconds).
+        self._service_estimate_s = 0.1
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def try_admit(self, item) -> AdmissionDecision:
+        key = getattr(item, "digest", "") or repr(item)
+        forced_full = chaos.fire("serve_queue_full", key)
+        if forced_full or len(self._items) >= self.capacity:
+            retry_ms = self.retry_after_ms()
+            telemetry.count("serve.shed.queue_full")
+            telemetry.event("serve.shed", reason="queue_full",
+                            depth=len(self._items),
+                            chaos=bool(forced_full))
+            return AdmissionDecision(False, "queue_full", retry_ms)
+        self._items.append(item)
+        return AdmissionDecision(True)
+
+    def pop_all(self) -> list:
+        """Drain every queued item (batcher side)."""
+        items = list(self._items)
+        self._items.clear()
+        return items
+
+    def pop_batch(self, limit: int) -> list:
+        items = []
+        while self._items and len(items) < limit:
+            items.append(self._items.popleft())
+        return items
+
+    def observe_service_time(self, seconds: float) -> None:
+        """Fold one completed batch's per-request time into the hint."""
+        if seconds > 0:
+            self._service_estimate_s = \
+                0.8 * self._service_estimate_s + 0.2 * seconds
+
+    def retry_after_ms(self) -> float:
+        """How long until a queue slot plausibly frees up.
+
+        Half the queue's worth of estimated service time: pessimistic
+        enough that a retrying client usually succeeds, bounded so
+        shed clients are never told to wait forever.
+        """
+        depth = max(1, len(self._items))
+        return min(30_000.0,
+                   1000.0 * self._service_estimate_s * depth / 2 + 50.0)
+
+
+class TokenBucket:
+    """Per-client token buckets: ``rate`` tokens/s, ``burst`` deep.
+
+    ``rate <= 0`` disables rate limiting entirely (the default —
+    admission is then bounded by the queue alone).  Buckets are lazily
+    created per client id and refilled from the injected clock, so the
+    decision for a given (client, time) is reproducible.
+    """
+
+    def __init__(self, rate: float, burst: int,
+                 clock: Callable[[], float] = time.monotonic):
+        self.rate = rate
+        self.burst = max(1, burst)
+        self.clock = clock
+        self._buckets: Dict[str, tuple] = {}  # client -> (tokens, at)
+
+    def allow(self, client: str) -> AdmissionDecision:
+        if self.rate <= 0:
+            return AdmissionDecision(True)
+        now = self.clock()
+        tokens, at = self._buckets.get(client, (float(self.burst), now))
+        tokens = min(float(self.burst), tokens + (now - at) * self.rate)
+        if tokens >= 1.0:
+            self._buckets[client] = (tokens - 1.0, now)
+            return AdmissionDecision(True)
+        self._buckets[client] = (tokens, now)
+        retry_ms = 1000.0 * (1.0 - tokens) / self.rate
+        telemetry.count("serve.shed.rate_limited")
+        telemetry.event("serve.shed", reason="rate_limited",
+                        client=client)
+        return AdmissionDecision(False, "rate_limited", retry_ms)

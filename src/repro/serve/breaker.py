@@ -1,0 +1,96 @@
+"""Circuit breaker around the worker pool.
+
+The engine already degrades per shard (a crashed worker's shard is
+rescued serially in the parent), but a pool that keeps crashing turns
+every batch into rescue work — paying pool startup plus timeouts only
+to fall back anyway.  The breaker watches *batch-level* worker
+trouble and, after ``threshold`` consecutive troubled batches, opens:
+while open the service runs batches scalar (``jobs=1``, the same
+deterministic path, just slower), so results never change — only the
+execution strategy.  After ``cooldown_s`` it lets one probe batch use
+the pool (half-open); a clean probe closes the breaker, a troubled
+one re-opens it and restarts the cooldown.
+
+State transitions are driven by an injectable monotonic clock and
+are observable: every transition emits a ``serve.breaker`` event and
+the current state is exported as the ``serve.breaker_open`` gauge.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.telemetry import core as telemetry
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with half-open probes."""
+
+    def __init__(self, threshold: int = 3, cooldown_s: float = 5.0,
+                 clock: Callable[[], float] = time.monotonic):
+        self.threshold = max(1, threshold)
+        self.cooldown_s = cooldown_s
+        self.clock = clock
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+
+    # ------------------------------------------------------------------
+
+    def allow_pool(self) -> bool:
+        """May the next batch use the worker pool?
+
+        ``False`` means run scalar.  In the open state the first call
+        after the cooldown elapses transitions to half-open and grants
+        a single probe; further calls stay scalar until the probe
+        reports back.
+        """
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN:
+            if self.clock() - self._opened_at >= self.cooldown_s:
+                self._transition(HALF_OPEN)
+                self._probe_in_flight = True
+                return True
+            return False
+        # half-open: one probe at a time
+        if not self._probe_in_flight:
+            self._probe_in_flight = True
+            return True
+        return False
+
+    def record_success(self) -> None:
+        self.consecutive_failures = 0
+        if self.state != CLOSED:
+            self._probe_in_flight = False
+            self._transition(CLOSED)
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        if self.state == HALF_OPEN:
+            self._probe_in_flight = False
+            self._open()
+        elif self.state == CLOSED \
+                and self.consecutive_failures >= self.threshold:
+            self._open()
+
+    # ------------------------------------------------------------------
+
+    def _open(self) -> None:
+        self._opened_at = self.clock()
+        self._transition(OPEN)
+
+    def _transition(self, state: str) -> None:
+        previous, self.state = self.state, state
+        telemetry.count(f"serve.breaker.{state}")
+        telemetry.event("serve.breaker", state=state,
+                        previous=previous,
+                        consecutive_failures=self.consecutive_failures)
+        telemetry.set_gauge("serve.breaker_open",
+                            0 if state == CLOSED else 1)

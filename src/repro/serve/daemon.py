@@ -1,0 +1,412 @@
+"""The asyncio daemon: transport, coalescing, deadlines, drain.
+
+One accept loop, one batcher task.  Connections are short-lived
+(one request, one JSON response, close); admitted profiling requests
+are journaled durably, queued, and coalesced — the batcher lingers
+``coalesce_ms`` so concurrent clients' blocks merge into one
+content-addressed engine batch — then executed off-loop in a thread
+(:meth:`ProfilingService.execute` blocks on the worker pool).
+
+The robustness ladder, in request order:
+
+1. ``serve_accept_error`` chaos: the connection dies at accept.
+2. Draining (SIGTERM seen): profile requests get 503 + retry-after;
+   health stays answerable so orchestrators can watch the drain.
+3. Rate limit: per-client token bucket → 429 + retry-after.
+4. Journal memo: an identical, already-answered request replays its
+   recorded results with no queue and no engine work.
+5. Admission: bounded queue → 429 + retry-after when full (or when
+   ``serve_queue_full`` chaos forces the branch).
+6. Deadline: work still queued when its deadline passes is cancelled
+   *before* it reaches a worker, counted as a per-window miss, and
+   answered 504 — never silently dropped.
+7. Execution: circuit breaker picks pooled vs scalar; results are
+   journaled ``done`` before the response bytes go out.
+8. ``serve_slow_client`` chaos: the response write stalls
+   ``hang_s`` seconds — the daemon must stay live throughout.
+
+SIGTERM drains gracefully: stop admitting, let the batcher finish
+what it can inside ``drain_s``, journal the rest (the next start
+replays them), flush telemetry, exit 0.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import signal
+from typing import Dict, List, Optional, Tuple
+
+from repro.resilience import chaos
+from repro.serve import http
+from repro.serve.admission import AdmissionQueue, TokenBucket
+from repro.serve.config import ServeConfig
+from repro.serve.core import (ProfileRequest, ProfilingService,
+                              RequestError, parse_profile_request)
+from repro.telemetry import core as telemetry
+
+
+class _Pending:
+    """One admitted request waiting for the batcher."""
+
+    __slots__ = ("request", "future", "digest")
+
+    def __init__(self, request: ProfileRequest,
+                 future: "asyncio.Future"):
+        self.request = request
+        self.future = future
+        self.digest = request.digest
+
+
+class ServeDaemon:
+    """Asyncio transport around a :class:`ProfilingService`."""
+
+    def __init__(self, service: ProfilingService, config: ServeConfig):
+        self.service = service
+        self.config = config
+        self.queue = AdmissionQueue(config.queue_size,
+                                    clock=service.clock)
+        self.bucket = TokenBucket(config.rate, config.burst,
+                                  clock=service.clock)
+        self.draining = False
+        self._conn_count = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._wake = asyncio.Event()
+        self._shutdown = asyncio.Event()
+        self._batch_in_flight = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    async def run(self) -> None:
+        self.service.start()
+        replayed = await asyncio.to_thread(self.service.recover)
+        if replayed:
+            telemetry.event("serve.recovery_replayed", count=replayed)
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, self._begin_drain,
+                                        signal.Signals(sig).name)
+            except (NotImplementedError, RuntimeError):
+                pass
+        batcher = asyncio.create_task(self._batch_loop())
+        if self.config.socket:
+            if os.path.exists(self.config.socket):
+                os.unlink(self.config.socket)
+            self._server = await asyncio.start_unix_server(
+                self._handle, path=self.config.socket)
+            where = self.config.socket
+        else:
+            self._server = await asyncio.start_server(
+                self._handle, host=self.config.host,
+                port=self.config.port or 0)
+            where = "%s:%d" % self._server.sockets[0].getsockname()[:2]
+        telemetry.event("serve.listening", address=where,
+                        jobs=self.config.jobs)
+        print(f"repro serve: listening on {where} "
+              f"(jobs={self.config.jobs}, "
+              f"queue={self.config.queue_size})", flush=True)
+
+        await self._shutdown.wait()
+        await self._drain(batcher)
+
+    def _begin_drain(self, signame: str = "SIGTERM") -> None:
+        if not self.draining:
+            self.draining = True
+            telemetry.event("serve.drain_begin", signal=signame)
+            print(f"repro serve: {signame} received, draining",
+                  flush=True)
+            self._shutdown.set()
+            self._wake.set()
+
+    async def _drain(self, batcher: "asyncio.Task") -> None:
+        """Finish or journal in-flight work, then stop everything."""
+        if self._server is not None:
+            self._server.close()
+        deadline = self.service.clock() + self.config.drain_s
+        while (len(self.queue) or self._batch_in_flight) \
+                and self.service.clock() < deadline:
+            self._wake.set()
+            await asyncio.sleep(0.02)
+        # Whatever is still queued already has a durable ``req``
+        # record: the next start replays it.  Tell waiting clients.
+        leftovers = self.queue.pop_all()
+        for pending in leftovers:
+            self._resolve(pending, 503, http.error_body(
+                503, "draining: request journaled for replay",
+                request=pending.digest))
+        batcher.cancel()
+        try:
+            await batcher
+        except asyncio.CancelledError:
+            pass
+        if self._server is not None:
+            await self._server.wait_closed()
+        if self.config.socket and os.path.exists(self.config.socket):
+            try:
+                os.unlink(self.config.socket)
+            except OSError:
+                pass
+        self.service.windows.close_window(final=True)
+        telemetry.event("serve.drain_end", journaled=len(leftovers))
+        self.service.close()
+
+    # ------------------------------------------------------------------
+    # connection handling
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        self._conn_count += 1
+        conn_key = f"conn-{self._conn_count}"
+        try:
+            if chaos.fire("serve_accept_error", conn_key):
+                telemetry.count("serve.accept_errors")
+                writer.close()
+                return
+            try:
+                request = await self._read_request(reader)
+            except http.HttpError as exc:
+                await self._send(writer, exc.status,
+                                 http.error_body(exc.status,
+                                                 exc.message))
+                return
+            except (asyncio.IncompleteReadError, ConnectionError,
+                    asyncio.LimitOverrunError):
+                writer.close()
+                return
+            status, body, headers, slow_key = \
+                await self._route(request)
+            await self._send(writer, status, body, headers, slow_key)
+        except ConnectionError:
+            pass
+        finally:
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    async def _read_request(self,
+                            reader: asyncio.StreamReader
+                            ) -> http.HttpRequest:
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.LimitOverrunError:
+            raise http.HttpError(413, "header block too large")
+        method, path, headers = http.parse_head(head[:-4])
+        length = http.content_length(headers)
+        body = await reader.readexactly(length) if length else b""
+        return http.HttpRequest(method, path, headers, body)
+
+    async def _send(self, writer: asyncio.StreamWriter, status: int,
+                    body: Dict,
+                    headers: Optional[Dict[str, str]] = None,
+                    slow_key: Optional[str] = None) -> None:
+        if slow_key is not None:
+            policy = chaos.active()
+            if policy is not None and chaos.fire("serve_slow_client",
+                                                 slow_key):
+                telemetry.count("serve.slow_clients")
+                await asyncio.sleep(policy.hang_seconds)
+        writer.write(http.format_response(status, body, headers))
+        try:
+            await writer.drain()
+        except ConnectionError:
+            pass
+
+    # ------------------------------------------------------------------
+    # routing
+
+    async def _route(self, request: http.HttpRequest
+                     ) -> Tuple[int, Dict, Optional[Dict],
+                                Optional[str]]:
+        if request.path == "/v1/health":
+            if request.method != "GET":
+                return 405, http.error_body(405, "GET only"), \
+                    None, None
+            body = self.service.health(queue_depth=len(self.queue),
+                                       draining=self.draining)
+            return 200, body, None, None
+        if request.path == "/v1/stats":
+            if request.method != "GET":
+                return 405, http.error_body(405, "GET only"), \
+                    None, None
+            return 200, self._stats_body(), None, None
+        if request.path == "/v1/profile":
+            if request.method != "POST":
+                return 405, http.error_body(405, "POST only"), \
+                    None, None
+            return await self._profile(request)
+        return 404, http.error_body(
+            404, f"no route for {request.path}"), None, None
+
+    def _stats_body(self) -> Dict:
+        registry = telemetry.registry()
+        counters = {name: counter.value
+                    for name, counter in registry.counters.items()
+                    if name.startswith(("serve.", "cache."))}
+        return {"counters": counters,
+                "window": self.service.windows.last,
+                "breaker": self.service.breaker.state,
+                "queue_depth": len(self.queue)}
+
+    async def _profile(self, request: http.HttpRequest
+                       ) -> Tuple[int, Dict, Optional[Dict],
+                                  Optional[str]]:
+        try:
+            profile_request = parse_profile_request(
+                request.json(), self.config)
+        except http.HttpError as exc:
+            self.service.windows.observe_error()
+            return exc.status, http.error_body(exc.status,
+                                               exc.message), \
+                None, None
+        except RequestError as exc:
+            self.service.windows.observe_error()
+            return exc.status, http.error_body(exc.status,
+                                               exc.message), \
+                None, None
+        digest = profile_request.digest
+
+        if self.draining:
+            self.service.windows.observe_shed()
+            return 503, http.error_body(
+                503, "draining", request=digest,
+                retry_after_ms=1000.0), \
+                {"Retry-After": "1"}, digest
+
+        decision = self.bucket.allow(profile_request.client)
+        if not decision.admitted:
+            self.service.windows.observe_shed()
+            return 429, http.error_body(
+                429, "rate limit exceeded", reason=decision.reason,
+                retry_after_ms=round(decision.retry_after_ms, 1),
+                request=digest), \
+                self._retry_headers(decision.retry_after_ms), digest
+
+        memo = self.service.lookup_memo(profile_request)
+        if memo is not None:
+            latency = 0.0
+            self.service.windows.observe_completed(latency)
+            return 200, self._result_body(profile_request, memo,
+                                          cached=True), None, digest
+
+        profile_request.admitted_at = self.service.clock()
+        future: "asyncio.Future" = \
+            asyncio.get_running_loop().create_future()
+        pending = _Pending(profile_request, future)
+        decision = self.queue.try_admit(pending)
+        if not decision.admitted:
+            self.service.windows.observe_shed()
+            return 429, http.error_body(
+                429, "admission queue full", reason=decision.reason,
+                retry_after_ms=round(decision.retry_after_ms, 1),
+                request=digest), \
+                self._retry_headers(decision.retry_after_ms), digest
+
+        # Durable before any work: SIGKILL from here on replays.
+        await asyncio.to_thread(self.service.journal.record_request,
+                                digest, profile_request.body())
+        self._wake.set()
+        status, body = await future
+        return status, body, None, digest
+
+    @staticmethod
+    def _retry_headers(retry_after_ms: float) -> Dict[str, str]:
+        return {"Retry-After":
+                str(max(1, int(round(retry_after_ms / 1000.0))))}
+
+    def _result_body(self, request: ProfileRequest, results: List,
+                     cached: bool = False) -> Dict:
+        return {"request": request.digest, "uarch": request.uarch,
+                "seed": request.seed, "results": results,
+                "cached": cached}
+
+    # ------------------------------------------------------------------
+    # batching
+
+    async def _batch_loop(self) -> None:
+        while True:
+            await self._wake.wait()
+            self._wake.clear()
+            if not len(self.queue):
+                if self._shutdown.is_set():
+                    await asyncio.sleep(0.01)
+                continue
+            if self.config.coalesce_ms > 0:
+                await asyncio.sleep(self.config.coalesce_ms / 1000.0)
+            batch = self.queue.pop_batch(self.config.batch_size)
+            if not batch:
+                continue
+            self._batch_in_flight += 1
+            try:
+                await self._run_batch(batch)
+            finally:
+                self._batch_in_flight -= 1
+            if len(self.queue):
+                self._wake.set()
+
+    async def _run_batch(self, batch: List[_Pending]) -> None:
+        now = self.service.clock()
+        live: List[_Pending] = []
+        for pending in batch:
+            if pending.request.expired(now):
+                # Cancelled before it reaches a worker — journaled,
+                # counted, answered; never silently dropped.
+                await asyncio.to_thread(
+                    self.service.journal.record_dropped,
+                    pending.digest, "deadline")
+                self.service.windows.observe_deadline_miss()
+                self._resolve(pending, 504, http.error_body(
+                    504, "deadline exceeded before execution",
+                    request=pending.digest))
+            else:
+                live.append(pending)
+        if not live:
+            return
+        groups: Dict[Tuple[str, int], List[_Pending]] = {}
+        for pending in live:
+            key = (pending.request.uarch, pending.request.seed)
+            groups.setdefault(key, []).append(pending)
+        for key in sorted(groups):
+            group = groups[key]
+            started = self.service.clock()
+            try:
+                results, _stats = await asyncio.to_thread(
+                    self.service.execute,
+                    [p.request for p in group], False)
+            except Exception as exc:  # engine must not kill the loop
+                telemetry.count("serve.batch_errors")
+                telemetry.event("serve.batch_error",
+                                error=type(exc).__name__)
+                for pending in group:
+                    self.service.windows.observe_error()
+                    self._resolve(pending, 500, http.error_body(
+                        500, f"batch failed: {type(exc).__name__}",
+                        request=pending.digest))
+                continue
+            elapsed = self.service.clock() - started
+            self.queue.observe_service_time(
+                elapsed / max(1, len(group)))
+            for pending, result in zip(group, results):
+                await asyncio.to_thread(
+                    self.service.journal.record_done,
+                    pending.digest, result)
+                latency_ms = 1000.0 * (self.service.clock()
+                                       - pending.request.admitted_at)
+                self.service.windows.observe_completed(latency_ms)
+                self._resolve(pending, 200, self._result_body(
+                    pending.request, result))
+
+    @staticmethod
+    def _resolve(pending: _Pending, status: int, body: Dict) -> None:
+        if not pending.future.done():
+            pending.future.set_result((status, body))
+
+
+def run_daemon(config: ServeConfig,
+               service: Optional[ProfilingService] = None) -> None:
+    """Blocking entry point used by ``repro serve``."""
+    service = service or ProfilingService(config)
+    daemon = ServeDaemon(service, config)
+    asyncio.run(daemon.run())

@@ -1,0 +1,119 @@
+"""A deliberately minimal HTTP/1.1 layer — stdlib only.
+
+The daemon speaks just enough HTTP for curl, the bundled client, and
+load generators: request line + headers + ``Content-Length`` body in,
+one JSON response out, ``Connection: close`` on every exchange.  No
+keep-alive, no chunked encoding, no TLS — a profiling daemon behind a
+Unix socket or loopback port does not need them, and every feature
+left out is an attack/robustness surface that cannot fail.
+
+Parsing is hardened where it matters: header block and body sizes are
+capped, Content-Length must be a sane integer, and any malformed input
+maps to a clean 400 instead of an exception escaping into the accept
+loop.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+MAX_HEADER_BYTES = 16384
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class HttpError(Exception):
+    """Malformed request; carries the status to answer with."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class HttpRequest:
+    method: str
+    path: str
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self):
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            raise HttpError(400, "request body is not valid JSON")
+
+
+def parse_head(head: bytes) -> Tuple[str, str, Dict[str, str]]:
+    """Parse the request line + headers (everything before the body)."""
+    if len(head) > MAX_HEADER_BYTES:
+        raise HttpError(413, "header block too large")
+    try:
+        text = head.decode("latin-1")
+    except UnicodeDecodeError:
+        raise HttpError(400, "undecodable request head")
+    lines = text.split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed request line: {lines[0]!r}")
+    method, path = parts[0].upper(), parts[1]
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    return method, path, headers
+
+
+def content_length(headers: Dict[str, str]) -> int:
+    raw = headers.get("content-length", "0")
+    try:
+        length = int(raw)
+    except ValueError:
+        raise HttpError(400, f"bad Content-Length: {raw!r}")
+    if length < 0:
+        raise HttpError(400, "negative Content-Length")
+    if length > MAX_BODY_BYTES:
+        raise HttpError(413, "request body too large")
+    return length
+
+
+def format_response(status: int, body: Dict,
+                    extra_headers: Optional[Dict[str, str]] = None
+                    ) -> bytes:
+    """One complete JSON response, Connection: close."""
+    payload = json.dumps(body, sort_keys=True).encode("utf-8")
+    reason = STATUS_TEXT.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}",
+             "Content-Type: application/json",
+             f"Content-Length: {len(payload)}",
+             "Connection: close"]
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    head = "\r\n".join(lines) + "\r\n\r\n"
+    return head.encode("latin-1") + payload
+
+
+def error_body(status: int, message: str, **extra) -> Dict:
+    body = {"error": STATUS_TEXT.get(status, "error").lower()
+            .replace(" ", "_"), "detail": message}
+    body.update(extra)
+    return body

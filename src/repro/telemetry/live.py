@@ -25,13 +25,14 @@ the rest is ignored until more bytes arrive.
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 from typing import Dict, List, Optional, Tuple
 
 from repro.telemetry import core
 
-__all__ = ["Heartbeat", "render_top", "read_records",
+__all__ = ["Heartbeat", "TraceFollower", "render_top", "read_records",
            "DEFAULT_HEARTBEAT_SECS"]
 
 #: Default ``--heartbeat`` period.
@@ -79,11 +80,21 @@ class Heartbeat:
         return self
 
     def stop(self) -> None:
+        """Stop the timer thread and emit one final snapshot.
+
+        The final beat (``final=True``) runs on the *caller's* thread
+        after the timer thread has joined, so it fires on every exit
+        path that reaches ``stop()`` — clean return, exception unwind
+        (``finally`` / context-manager ``__exit__``), and SIGTERM
+        handlers that shut the run down — and the trace tail always
+        reflects terminal state, not the last timer tick.
+        """
         if self._thread is None:
             return
         self._stop.set()
         self._thread.join(timeout=self.interval + 2.0)
         self._thread = None
+        self.beat(final=True)
 
     def __enter__(self) -> "Heartbeat":
         return self.start()
@@ -97,7 +108,7 @@ class Heartbeat:
         while not self._stop.wait(self.interval):
             self.beat()
 
-    def beat(self) -> None:
+    def beat(self, final: bool = False) -> None:
         """Emit one heartbeat now (also called from tests)."""
         hub = core.get_telemetry()
         if not hub.enabled:
@@ -113,6 +124,7 @@ class Heartbeat:
         hub.event(
             "heartbeat",
             phase=hub.current_phase,
+            final=final,
             uptime_s=round(now - self._started, 3),
             blocks_total=total,
             blocks_accepted=counters.get("profiler.blocks_accepted", 0),
@@ -155,6 +167,71 @@ def read_records(path: str, offset: int = 0
         except (ValueError, UnicodeDecodeError):
             continue
     return records, offset + consumed
+
+
+class TraceFollower:
+    """Tail a trace file across rotation and truncation.
+
+    ``read_records`` alone tails a fixed offset into a fixed file — if
+    the writer rotates the trace (new inode at the same path) or
+    truncates it in place, a plain offset points into dead bytes and
+    the follower goes silent forever.  ``repro top --follow`` (and the
+    serve daemon's own trace rotation) need better: :meth:`poll`
+    detects rotation and truncation by ``stat`` — a changed
+    inode/device, a size smaller than the consumed offset, a file
+    that vanished between polls (the filesystem may hand a recreated
+    file the *same* inode number, so the disappearance itself must be
+    remembered), or a same-size rewrite betrayed by ``st_mtime_ns`` —
+    and re-opens from byte 0, reporting the restart so the renderer
+    can drop stale state.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self.offset = 0
+        self._identity: Optional[Tuple[int, int]] = None  # (dev, ino)
+        self._mtime_ns: Optional[int] = None
+        self._vanished = False
+        #: How many times the file was rotated/truncated under us.
+        self.restarts = 0
+
+    def poll(self) -> Tuple[List[Dict], bool]:
+        """New records since the last poll, plus a restarted flag.
+
+        ``restarted`` is ``True`` when the file was rotated, replaced,
+        or truncated since the previous poll: the returned records
+        then start from the beginning of the *new* file and any
+        accumulated view of the old one should be discarded.  A
+        missing file is not itself a restart — the offset is held,
+        the vanish is remembered, and whatever next appears at the
+        path is treated as a fresh file.
+        """
+        try:
+            st = os.stat(self.path)
+        except OSError:
+            if self._identity is not None:
+                self._vanished = True
+            return [], False
+        dev_ino = (st.st_dev, st.st_ino)
+        restarted = False
+        if self._identity is not None and (
+                self._vanished
+                or dev_ino != self._identity
+                or st.st_size < self.offset
+                # A rewrite landing on exactly the consumed size:
+                # appends always grow the file, so same-size with a
+                # changed mtime means the bytes under us are new.
+                or (st.st_size == self.offset
+                    and self._mtime_ns is not None
+                    and st.st_mtime_ns != self._mtime_ns)):
+            restarted = True
+            self.restarts += 1
+            self.offset = 0
+        self._vanished = False
+        self._identity = dev_ino
+        self._mtime_ns = st.st_mtime_ns
+        records, self.offset = read_records(self.path, self.offset)
+        return records, restarted
 
 
 # ---------------------------------------------------------------------------

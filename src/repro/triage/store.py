@@ -37,7 +37,7 @@ import os
 import zlib
 from typing import Dict, List, Optional
 
-from repro.resilience.journal import _line_for, _parse_line
+from repro.resilience.journal import journal_line, parse_journal_line
 from repro.triage.surrogate import Surrogate
 
 BLOCKS_NAME = "blocks.ndjson"
@@ -114,7 +114,7 @@ class TriageStore:
         for line in lines:
             if not line.strip():
                 continue
-            record = _parse_line(line)
+            record = parse_journal_line(line)
             if record is None or "digest" not in record:
                 self.torn_rows += 1
                 continue
@@ -133,7 +133,7 @@ class TriageStore:
             return 0
         try:
             os.makedirs(self.directory, exist_ok=True)
-            payload = "".join(_line_for(r) + "\n" for r in records)
+            payload = "".join(journal_line(r) + "\n" for r in records)
             with open(self.blocks_path, "a") as fh:
                 fh.write(payload)
                 fh.flush()

@@ -27,7 +27,7 @@ from repro.parallel import (ShardCache, profile_corpus_sharded,
 from repro.parallel import engine
 from repro.profiler.result import FailureReason
 from repro.resilience import chaos
-from repro.resilience.chaos import FAULT_POINTS, ChaosPolicy
+from repro.resilience.chaos import PIPELINE_FAULT_POINTS, ChaosPolicy
 from repro.resilience.policy import RetryPolicy
 
 #: All seven points armed; rates picked (with ``hang_s`` kept tiny so
@@ -131,7 +131,7 @@ class TestAllFaultsAcceptance:
             funnel={**funnel, "info": dict(profile.info)})
         resilience = report["resilience"]
         assert resilience["faults_injected"] == plan
-        assert set(resilience["faults_injected"]) == set(FAULT_POINTS)
+        assert set(resilience["faults_injected"]) == set(PIPELINE_FAULT_POINTS)
         # Crashed shards escalated pool -> serial; transient write
         # errors were retried with backoff.
         assert resilience["retries"] >= \

@@ -3,7 +3,7 @@
 import json
 
 from repro.resilience.journal import (JOURNAL_NAME, RunJournal,
-                                      _line_for)
+                                      journal_line)
 
 META = {"uarch": "haswell", "seed": 0, "shards": 3,
         "corpus": "deadbeef"}
@@ -99,9 +99,9 @@ class TestIdentityPinning:
 
     def test_wrong_version_rotates(self, tmp_path):
         path = tmp_path / JOURNAL_NAME
-        begin = _line_for({"kind": "begin", "version": 999,
+        begin = journal_line({"kind": "begin", "version": 999,
                            "meta": META})
-        shard = _line_for({"kind": "shard", "digest": "aaa-0",
+        shard = journal_line({"kind": "shard", "digest": "aaa-0",
                            "index": 0, "checksum": 111})
         path.write_text(begin + "\n" + shard + "\n")
         journal = _journal(tmp_path)

@@ -1,0 +1,94 @@
+"""Admission control: shedding is explicit, bounded, and never blocks.
+
+Every decision here is driven by a fake clock and (for the chaos
+branch) a forced policy — no sleeps, no real overload generation.
+"""
+
+from dataclasses import dataclass
+
+from repro import telemetry
+from repro.resilience import chaos
+from repro.resilience.chaos import ChaosPolicy
+from repro.serve.admission import AdmissionQueue, TokenBucket
+
+
+@dataclass
+class Item:
+    digest: str
+
+
+class TestAdmissionQueue:
+    def test_admits_until_capacity_then_sheds(self, clock):
+        queue = AdmissionQueue(capacity=3, clock=clock)
+        for i in range(3):
+            assert queue.try_admit(Item(f"d{i}")).admitted
+        decision = queue.try_admit(Item("d3"))
+        assert not decision.admitted
+        assert decision.reason == "queue_full"
+        assert decision.retry_after_ms > 0
+        assert len(queue) == 3  # the shed item never entered
+
+    def test_shed_is_counted(self, clock):
+        telemetry.enable()
+        queue = AdmissionQueue(capacity=1, clock=clock)
+        queue.try_admit(Item("a"))
+        queue.try_admit(Item("b"))
+        counters = telemetry.registry().snapshot()["counters"]
+        assert counters["serve.shed.queue_full"] == 1
+
+    def test_pop_batch_is_fifo_and_bounded(self, clock):
+        queue = AdmissionQueue(capacity=8, clock=clock)
+        for i in range(5):
+            queue.try_admit(Item(f"d{i}"))
+        batch = queue.pop_batch(3)
+        assert [item.digest for item in batch] == ["d0", "d1", "d2"]
+        assert [item.digest for item in queue.pop_all()] == ["d3", "d4"]
+        assert len(queue) == 0
+
+    def test_retry_after_tracks_service_time(self, clock):
+        queue = AdmissionQueue(capacity=4, clock=clock)
+        queue.try_admit(Item("a"))
+        before = queue.retry_after_ms()
+        for _ in range(20):
+            queue.observe_service_time(2.0)  # slow service
+        assert queue.retry_after_ms() > before
+        assert queue.retry_after_ms() <= 30_000.0  # bounded hint
+
+    def test_chaos_forces_the_full_branch(self, clock):
+        queue = AdmissionQueue(capacity=64, clock=clock)
+        policy = ChaosPolicy(seed=7, rates={"serve_queue_full": 1.0})
+        with chaos.forced(policy):
+            decision = queue.try_admit(Item("any"))
+        assert not decision.admitted
+        assert decision.reason == "queue_full"
+        # Chaos off again: the same (empty) queue admits normally.
+        assert queue.try_admit(Item("any")).admitted
+
+
+class TestTokenBucket:
+    def test_rate_zero_disables_limiting(self, clock):
+        bucket = TokenBucket(rate=0.0, burst=1, clock=clock)
+        assert all(bucket.allow("c").admitted for _ in range(100))
+
+    def test_burst_then_shed_with_retry_hint(self, clock):
+        bucket = TokenBucket(rate=1.0, burst=2, clock=clock)
+        assert bucket.allow("c").admitted
+        assert bucket.allow("c").admitted
+        decision = bucket.allow("c")
+        assert not decision.admitted
+        assert decision.reason == "rate_limited"
+        # One token refills in one second at rate=1.
+        assert 0 < decision.retry_after_ms <= 1000.0
+
+    def test_refill_from_clock(self, clock):
+        bucket = TokenBucket(rate=2.0, burst=1, clock=clock)
+        assert bucket.allow("c").admitted
+        assert not bucket.allow("c").admitted
+        clock.advance(0.5)  # 0.5s * 2/s = one token back
+        assert bucket.allow("c").admitted
+
+    def test_clients_are_independent(self, clock):
+        bucket = TokenBucket(rate=1.0, burst=1, clock=clock)
+        assert bucket.allow("a").admitted
+        assert not bucket.allow("a").admitted
+        assert bucket.allow("b").admitted  # b has its own bucket

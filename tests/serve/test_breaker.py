@@ -1,0 +1,76 @@
+"""Circuit breaker state machine, driven entirely by a fake clock."""
+
+from repro import telemetry
+from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+def _tripped(clock, threshold=3, cooldown_s=5.0):
+    breaker = CircuitBreaker(threshold=threshold,
+                             cooldown_s=cooldown_s, clock=clock)
+    for _ in range(threshold):
+        breaker.record_failure()
+    return breaker
+
+
+class TestTrip:
+    def test_consecutive_failures_open_the_breaker(self, clock):
+        breaker = CircuitBreaker(threshold=3, clock=clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        assert breaker.allow_pool()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert not breaker.allow_pool()
+
+    def test_success_resets_the_consecutive_count(self, clock):
+        breaker = CircuitBreaker(threshold=2, clock=clock)
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED  # never two in a row
+
+
+class TestHalfOpen:
+    def test_cooldown_grants_a_single_probe(self, clock):
+        breaker = _tripped(clock, cooldown_s=5.0)
+        clock.advance(4.9)
+        assert not breaker.allow_pool()  # still cooling down
+        clock.advance(0.2)
+        assert breaker.allow_pool()      # the probe
+        assert breaker.state == HALF_OPEN
+        assert not breaker.allow_pool()  # one probe at a time
+
+    def test_probe_success_closes(self, clock):
+        breaker = _tripped(clock, cooldown_s=1.0)
+        clock.advance(1.0)
+        assert breaker.allow_pool()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow_pool()
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self, clock):
+        breaker = _tripped(clock, cooldown_s=1.0)
+        clock.advance(1.0)
+        assert breaker.allow_pool()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(0.5)
+        assert not breaker.allow_pool()  # cooldown restarted at reopen
+        clock.advance(0.6)
+        assert breaker.allow_pool()
+
+
+class TestObservability:
+    def test_transitions_emit_events_and_gauge(self, clock):
+        sink = telemetry.MemorySink()
+        telemetry.enable(sink)
+        breaker = _tripped(clock, threshold=1, cooldown_s=1.0)
+        clock.advance(1.0)
+        breaker.allow_pool()
+        breaker.record_success()
+        states = [r["state"] for r in sink.records
+                  if r.get("name") == "serve.breaker"]
+        assert states == [OPEN, HALF_OPEN, CLOSED]
+        gauges = telemetry.registry().snapshot()["gauges"]
+        assert gauges["serve.breaker_open"] == 0

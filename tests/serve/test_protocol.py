@@ -1,0 +1,228 @@
+"""Wire-protocol tests: a real daemon on a Unix socket, in-process.
+
+The daemon runs on its own event loop in a background thread; the
+blocking :class:`ServeClient` talks to it over the socket exactly as
+external tooling would.  Chaos policies are process-global, so forcing
+one in the test thread arms the daemon thread too — overload and
+fault behaviour is exercised deterministically, with no load
+generation and no sleeps beyond the chaos hang itself.
+"""
+
+import asyncio
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro import telemetry
+from repro.resilience import chaos
+from repro.resilience.chaos import ChaosPolicy
+from repro.serve import http
+from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.config import ServeConfig
+from repro.serve.core import ProfilingService
+from repro.serve.daemon import ServeDaemon
+
+ADD = "addq %rax, %rbx"
+MUL = "imulq %rcx, %rdx\naddq %rax, %rbx"
+
+
+class DaemonHarness:
+    """Run a ServeDaemon on a background-thread event loop."""
+
+    def __init__(self, config):
+        self.config = config
+        self.service = ProfilingService(config)
+        self.daemon = ServeDaemon(self.service, config)
+        self.loop = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        self.loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self.loop)
+        try:
+            self.loop.run_until_complete(self.daemon.run())
+        finally:
+            self.loop.close()
+
+    def __enter__(self):
+        # Metrics-only collection, exactly what ``repro serve`` turns
+        # on — the counters back /v1/stats.
+        telemetry.enable()
+        self._thread.start()
+        client = ServeClient(socket_path=self.config.socket,
+                             timeout=30.0)
+        client.wait_ready()
+        return client
+
+    def __exit__(self, exc_type, exc, tb):
+        deadline = time.monotonic() + 5.0
+        while self.loop is None and time.monotonic() < deadline:
+            time.sleep(0.01)
+        if self.loop is not None and self.loop.is_running():
+            self.loop.call_soon_threadsafe(self.daemon._begin_drain,
+                                           "TEST")
+        self._thread.join(timeout=30.0)
+        assert not self._thread.is_alive(), "daemon failed to drain"
+
+
+@pytest.fixture
+def harness(tmp_path):
+    config = ServeConfig(socket=str(tmp_path / "serve.sock"), jobs=1,
+                         coalesce_ms=1.0, window=4,
+                         state_dir=str(tmp_path / "state"))
+    return DaemonHarness(config)
+
+
+class TestRoutes:
+    def test_health_profile_and_memo(self, harness):
+        with harness as client:
+            health = client.health()
+            assert health.status == 200
+            assert health.body["status"] == "ok"
+
+            first = client.profile([ADD, MUL, "bogus %zz"])
+            assert first.status == 200
+            assert first.body["cached"] is False
+            statuses = [r["status"] for r in first.body["results"]]
+            assert statuses == ["ok", "ok", "parse_error"]
+
+            again = client.profile([ADD, MUL, "bogus %zz"])
+            assert again.status == 200
+            assert again.body["cached"] is True
+            assert again.body["results"] == first.body["results"]
+            assert again.body["request"] == first.body["request"]
+
+    def test_error_statuses(self, harness):
+        with harness as client:
+            assert client.request("GET", "/v1/nope").status == 404
+            assert client.request("GET", "/v1/profile").status == 405
+            assert client.request("POST", "/v1/health").status == 405
+            assert client.profile([]).status == 400
+            bad = client.profile([ADD], uarch="zen4")
+            assert bad.status == 400
+            assert "zen4" in bad.body["detail"]
+
+    def test_malformed_json_is_a_clean_400(self, harness):
+        with harness as client:
+            body = b"{not json"
+            head = (f"POST /v1/profile HTTP/1.1\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    f"Connection: close\r\n\r\n").encode()
+            with socket.socket(socket.AF_UNIX,
+                               socket.SOCK_STREAM) as sock:
+                sock.settimeout(10.0)
+                sock.connect(harness.config.socket)
+                sock.sendall(head + body)
+                raw = b""
+                while True:
+                    chunk = sock.recv(65536)
+                    if not chunk:
+                        break
+                    raw += chunk
+            assert b" 400 " in raw.split(b"\r\n", 1)[0]
+
+    def test_stats_exposes_counters_and_queue(self, harness):
+        with harness as client:
+            client.profile([ADD])
+            stats = client.stats()
+            assert stats.status == 200
+            assert stats.body["counters"]["serve.requests"] >= 1
+            assert stats.body["breaker"] == "closed"
+            assert isinstance(stats.body["queue_depth"], int)
+
+
+class TestChaos:
+    def test_queue_full_chaos_sheds_429(self, harness):
+        with harness as client:
+            policy = ChaosPolicy(seed=7,
+                                 rates={"serve_queue_full": 1.0})
+            with chaos.forced(policy):
+                shed = client.profile([ADD])
+            assert shed.status == 429
+            assert shed.body["reason"] == "queue_full"
+            assert shed.body["retry_after_ms"] > 0
+            assert shed.retry_after_s >= 1
+            # Retrying after the (chaos-shaped) overload succeeds.
+            assert client.profile([ADD]).status == 200
+
+    def test_accept_error_chaos_drops_the_connection(self, harness):
+        with harness as client:
+            policy = ChaosPolicy(seed=7,
+                                 rates={"serve_accept_error": 1.0})
+            with chaos.forced(policy):
+                with pytest.raises(ServeClientError):
+                    client.profile([ADD])
+            # The daemon survives its own chaos: next request works.
+            assert client.profile([ADD]).status == 200
+
+    def test_slow_client_chaos_stalls_but_serves(self, harness):
+        with harness as client:
+            policy = ChaosPolicy(seed=7,
+                                 rates={"serve_slow_client": 1.0},
+                                 hang_seconds=0.3)
+            with chaos.forced(policy):
+                started = time.monotonic()
+                response = client.profile([ADD])
+                elapsed = time.monotonic() - started
+            assert response.status == 200
+            assert elapsed >= 0.3
+            assert client.health().status == 200
+
+
+class TestDeadlines:
+    def test_expired_in_queue_is_504_and_journaled(self, tmp_path):
+        # A long coalesce window guarantees the 1ms deadline expires
+        # while the request is still queued — cancelled pre-worker.
+        config = ServeConfig(socket=str(tmp_path / "serve.sock"),
+                             jobs=1, coalesce_ms=300.0,
+                             state_dir=str(tmp_path / "state"))
+        with DaemonHarness(config) as client:
+            missed = client.profile([ADD], deadline_ms=1)
+            assert missed.status == 504
+            assert "deadline" in missed.body["detail"]
+            stats = client.stats()
+            assert stats.body["counters"]["serve.deadline_miss"] == 1
+            # The drop is closed out, not memoized: the same blocks
+            # with a sane deadline compute fresh and succeed.
+            ok = client.profile([ADD], deadline_ms=60_000)
+            assert ok.status == 200
+            assert ok.body["cached"] is False
+
+
+class TestRateLimit:
+    def test_over_rate_client_sheds_with_retry_after(self, tmp_path):
+        config = ServeConfig(socket=str(tmp_path / "serve.sock"),
+                             jobs=1, coalesce_ms=1.0,
+                             rate=0.001, burst=1,
+                             state_dir=str(tmp_path / "state"))
+        with DaemonHarness(config) as client:
+            assert client.profile([ADD], client="greedy").status == 200
+            shed = client.profile([MUL], client="greedy")
+            assert shed.status == 429
+            assert shed.body["reason"] == "rate_limited"
+            assert shed.retry_after_s >= 1
+            # Another client is unaffected.
+            assert client.profile([MUL], client="polite").status == 200
+
+
+class TestDraining:
+    def test_draining_daemon_sheds_profile_but_answers_health(
+            self, serve_config):
+        service = ProfilingService(serve_config)
+        service.start()
+        daemon = ServeDaemon(service, serve_config)
+        daemon.draining = True
+        request = http.HttpRequest(
+            "POST", "/v1/profile", {},
+            json.dumps({"blocks": [ADD]}).encode())
+        status, body, headers, _ = asyncio.run(daemon._route(request))
+        assert status == 503
+        assert headers["Retry-After"] == "1"
+        health = http.HttpRequest("GET", "/v1/health", {}, b"")
+        status, body, _, _ = asyncio.run(daemon._route(health))
+        assert status == 200
+        assert body["status"] == "draining"
+        service.close()

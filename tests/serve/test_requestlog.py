@@ -1,0 +1,120 @@
+"""Request journal: CRC-self-checked lines, pending/completed truth.
+
+The journal is both the crash-recovery source (``req`` without
+``done`` replays) and the request-level dedup memo (``done`` records
+answer identical requests without engine work), so the load-time
+bookkeeping must stay honest under torn tails and dropped work.
+"""
+
+import os
+
+from repro.resilience.journal import journal_line, parse_journal_line
+from repro.serve.requestlog import (REQUEST_LOG_NAME, RequestJournal,
+                                    read_done_records)
+
+BODY = {"blocks": ["addq %rax, %rbx"], "uarch": "haswell", "seed": 0,
+        "client": "t", "deadline_ms": 0.0}
+RESULTS = [{"status": "ok", "throughput": 1.0}]
+
+
+def _journal(tmp_path):
+    return RequestJournal(str(tmp_path / REQUEST_LOG_NAME))
+
+
+class TestRoundTrip:
+    def test_fresh_journal_starts_empty(self, tmp_path):
+        with _journal(tmp_path) as journal:
+            assert journal.open() == {}
+            assert journal.completed == {}
+        # The begin record makes the file non-empty but adds nothing
+        # to pending on reopen.
+        with _journal(tmp_path) as journal:
+            assert journal.open() == {}
+
+    def test_req_without_done_is_pending_on_reload(self, tmp_path):
+        with _journal(tmp_path) as journal:
+            journal.open()
+            journal.record_request("d1", BODY)
+        with _journal(tmp_path) as journal:
+            assert journal.open() == {"d1": BODY}
+            assert journal.completed == {}
+
+    def test_done_clears_pending_and_feeds_the_memo(self, tmp_path):
+        with _journal(tmp_path) as journal:
+            journal.open()
+            journal.record_request("d1", BODY)
+            journal.record_done("d1", RESULTS)
+        with _journal(tmp_path) as journal:
+            assert journal.open() == {}
+            assert journal.completed == {"d1": RESULTS}
+        assert read_done_records(
+            str(tmp_path / REQUEST_LOG_NAME)) == [("d1", RESULTS)]
+
+    def test_dropped_closes_out_without_memoizing(self, tmp_path):
+        with _journal(tmp_path) as journal:
+            journal.open()
+            journal.record_request("d1", BODY)
+            journal.record_dropped("d1", "deadline")
+        with _journal(tmp_path) as journal:
+            assert journal.open() == {}          # never replays
+            assert journal.completed == {}        # never answers
+
+
+class TestTornTail:
+    def test_torn_final_line_is_dropped_not_fatal(self, tmp_path):
+        path = str(tmp_path / REQUEST_LOG_NAME)
+        with _journal(tmp_path) as journal:
+            journal.open()
+            journal.record_request("d1", BODY)
+            journal.record_done("d1", RESULTS)
+            journal.record_request("d2", BODY)
+        # SIGKILL mid-append: truncate the last line partway through.
+        with open(path, "rb") as fh:
+            data = fh.read()
+        with open(path, "wb") as fh:
+            fh.write(data[:-20])
+        with _journal(tmp_path) as journal:
+            pending = journal.open()
+        assert journal.torn_records == 1
+        assert pending == {}                      # d2's req was torn
+        assert journal.completed == {"d1": RESULTS}
+
+    def test_garbage_line_is_dropped(self, tmp_path):
+        path = str(tmp_path / REQUEST_LOG_NAME)
+        with _journal(tmp_path) as journal:
+            journal.open()
+            journal.record_done("d1", RESULTS)
+        with open(path, "a") as fh:
+            fh.write("not a journal line\n")
+        with _journal(tmp_path) as journal:
+            journal.open()
+        assert journal.torn_records == 1
+        assert journal.completed == {"d1": RESULTS}
+
+
+class TestLineFormat:
+    def test_lines_reuse_the_run_journal_format(self, tmp_path):
+        """Every line parses with the shared resilience parser."""
+        path = str(tmp_path / REQUEST_LOG_NAME)
+        with _journal(tmp_path) as journal:
+            journal.open()
+            journal.record_request("d1", BODY)
+            journal.record_done("d1", RESULTS)
+        with open(path) as fh:
+            lines = fh.read().splitlines()
+        assert len(lines) == 3  # begin, req, done
+        records = [parse_journal_line(line) for line in lines]
+        assert all(record is not None for record in records)
+        assert [r["kind"] for r in records] == ["begin", "req", "done"]
+        # And the round trip is byte-stable.
+        for line, record in zip(lines, records):
+            assert journal_line(record) == line
+
+    def test_appends_are_durable(self, tmp_path):
+        with _journal(tmp_path) as journal:
+            journal.open()
+            journal.record_request("d1", BODY)
+            # Visible to an independent reader before close().
+            raw = open(str(tmp_path / REQUEST_LOG_NAME)).read()
+            assert '"req"' in raw
+        assert os.path.getsize(str(tmp_path / REQUEST_LOG_NAME)) > 0

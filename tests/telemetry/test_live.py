@@ -1,6 +1,7 @@
 """Live monitor: heartbeat events, lenient tailing, `repro top`."""
 
 import json
+import os
 import time
 
 from repro import telemetry
@@ -204,3 +205,119 @@ class TestRenderTopUnknownTotal:
         screen = render_top(_synthetic_trace())
         assert "eta" in screen
         assert "blocks so far" not in screen
+
+
+class TestHeartbeatFinalSnapshot:
+    def test_stop_emits_a_final_beat(self):
+        sink = telemetry.MemorySink()
+        telemetry.enable(sink)
+        with Heartbeat(interval=600.0):
+            telemetry.count("profiler.blocks_total", 5)
+        beats = [r for r in sink.records
+                 if r.get("name") == "heartbeat"]
+        # The interval never elapsed: the only beat is the final one,
+        # and it reflects terminal state, not a timer tick.
+        assert len(beats) == 1
+        assert beats[0]["final"] is True
+        assert beats[0]["blocks_total"] == 5
+
+    def test_final_beat_fires_on_exception_unwind(self):
+        sink = telemetry.MemorySink()
+        telemetry.enable(sink)
+        try:
+            with Heartbeat(interval=600.0):
+                raise RuntimeError("run blew up")
+        except RuntimeError:
+            pass
+        finals = [r for r in sink.records
+                  if r.get("name") == "heartbeat" and r.get("final")]
+        assert len(finals) == 1
+
+    def test_periodic_beats_are_not_final(self):
+        sink = telemetry.MemorySink()
+        telemetry.enable(sink)
+        with Heartbeat(interval=0.05):
+            time.sleep(0.2)
+        beats = [r for r in sink.records
+                 if r.get("name") == "heartbeat"]
+        assert len(beats) >= 2
+        assert all(b["final"] is False for b in beats[:-1])
+        assert beats[-1]["final"] is True
+
+    def test_stop_is_idempotent(self):
+        telemetry.enable(sink := telemetry.MemorySink())
+        hb = Heartbeat(interval=600.0).start()
+        hb.stop()
+        hb.stop()  # second stop: no thread, no second final beat
+        finals = [r for r in sink.records
+                  if r.get("name") == "heartbeat" and r.get("final")]
+        assert len(finals) == 1
+
+
+class TestTraceFollower:
+    def _write(self, path, text):
+        with open(path, "w") as fh:
+            fh.write(text)
+
+    def test_plain_tailing(self, tmp_path):
+        path = str(tmp_path / "t.ndjson")
+        self._write(path, '{"a": 1}\n')
+        follower = live.TraceFollower(path)
+        records, restarted = follower.poll()
+        assert [r["a"] for r in records] == [1] and not restarted
+        with open(path, "a") as fh:
+            fh.write('{"a": 2}\n')
+        records, restarted = follower.poll()
+        assert [r["a"] for r in records] == [2] and not restarted
+        assert follower.restarts == 0
+
+    def test_rotation_is_detected_by_inode(self, tmp_path):
+        path = str(tmp_path / "t.ndjson")
+        self._write(path, '{"a": 1}\n{"a": 2}\n')
+        follower = live.TraceFollower(path)
+        follower.poll()
+        # Rotate: move aside, recreate at the same path (new inode).
+        os.rename(path, path + ".1")
+        self._write(path, '{"b": 10}\n')
+        records, restarted = follower.poll()
+        assert restarted
+        assert [r["b"] for r in records] == [10]  # from byte 0
+        assert follower.restarts == 1
+
+    def test_truncation_in_place_is_detected_by_size(self, tmp_path):
+        path = str(tmp_path / "t.ndjson")
+        self._write(path, '{"a": 1}\n{"a": 2}\n{"a": 3}\n')
+        follower = live.TraceFollower(path)
+        records, _ = follower.poll()
+        assert len(records) == 3
+        self._write(path, '{"b": 1}\n')  # same inode, shrunk
+        records, restarted = follower.poll()
+        assert restarted
+        assert [r["b"] for r in records] == [1]
+
+    def test_missing_file_holds_state_without_restart(self, tmp_path):
+        path = str(tmp_path / "t.ndjson")
+        self._write(path, '{"a": 1}\n')
+        follower = live.TraceFollower(path)
+        follower.poll()
+        os.unlink(path)
+        records, restarted = follower.poll()
+        assert records == [] and not restarted
+        # The writer recreates the file: caught by the inode check.
+        self._write(path, '{"b": 1}\n')
+        records, restarted = follower.poll()
+        assert restarted
+        assert [r["b"] for r in records] == [1]
+
+    def test_same_size_rewrite_after_recreate(self, tmp_path):
+        """A recreated file that happens to match the old size must
+        still restart (inode changed, bytes are unrelated)."""
+        path = str(tmp_path / "t.ndjson")
+        self._write(path, '{"a": 1}\n')
+        follower = live.TraceFollower(path)
+        follower.poll()
+        os.unlink(path)
+        self._write(path, '{"a": 9}\n')  # identical length
+        records, restarted = follower.poll()
+        assert restarted
+        assert [r["a"] for r in records] == [9]

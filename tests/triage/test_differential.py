@@ -20,7 +20,7 @@ from repro.corpus.dataset import build_application
 from repro.eval.validation import profile_corpus_detailed
 from repro.parallel import profile_corpus_sharded
 from repro.resilience import chaos
-from repro.resilience.journal import _line_for, _parse_line
+from repro.resilience.journal import journal_line, parse_journal_line
 from repro.triage import config
 
 UARCHES = ("ivybridge", "haswell", "skylake")
@@ -128,11 +128,11 @@ def test_corrupted_journal_row_falls_through(triage_cache):
     (journal,) = glob.glob(
         os.path.join(triage_cache, "triage_*", "blocks.ndjson"))
     with open(journal) as fh:
-        rows = [_parse_line(line) for line in fh.read().splitlines()]
+        rows = [parse_journal_line(line) for line in fh.read().splitlines()]
     assert rows and all(r is not None for r in rows)
     rows[0]["throughput"] *= 10.0  # drift one cached value
     with open(journal, "w") as fh:
-        fh.writelines(_line_for(r) + "\n" for r in rows)
+        fh.writelines(journal_line(r) + "\n" for r in rows)
     stage._STORES.clear()  # force a reload from the tampered file
     with config.forced(True):
         warm = profile_corpus_detailed(corpus, "haswell", seed=8)
